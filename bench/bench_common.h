@@ -1,0 +1,151 @@
+// Shared plumbing for the figure-reproduction benchmarks.
+//
+// Every bench binary prints the paper figure's series as an aligned text
+// table. Default parameters are scaled to finish in seconds; pass --full
+// for paper-scale sweeps.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/stacks.h"
+#include "sched/fluid.h"
+#include "workload/workload.h"
+
+namespace pdq::bench {
+
+inline bool full_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  return false;
+}
+
+/// Factory for a fresh stack by short name (stacks keep per-run state, so
+/// benches construct one per run).
+inline std::unique_ptr<harness::ProtocolStack> make_stack(
+    const std::string& name) {
+  using namespace harness;
+  if (name == "PDQ(Full)") return std::make_unique<PdqStack>(core::PdqConfig::full(), name);
+  if (name == "PDQ(ES+ET)") return std::make_unique<PdqStack>(core::PdqConfig::es_et(), name);
+  if (name == "PDQ(ES)") return std::make_unique<PdqStack>(core::PdqConfig::es(), name);
+  if (name == "PDQ(Basic)") return std::make_unique<PdqStack>(core::PdqConfig::basic(), name);
+  if (name == "D3") return std::make_unique<D3Stack>();
+  if (name == "RCP") return std::make_unique<RcpStack>();
+  if (name == "TCP") return std::make_unique<TcpStack>();
+  std::fprintf(stderr, "unknown stack %s\n", name.c_str());
+  std::abort();
+}
+
+inline const std::vector<std::string>& all_stacks() {
+  static const std::vector<std::string> v{
+      "PDQ(Full)", "PDQ(ES+ET)", "PDQ(ES)", "PDQ(Basic)",
+      "D3",        "RCP",        "TCP"};
+  return v;
+}
+
+inline const std::vector<std::string>& main_stacks() {
+  static const std::vector<std::string> v{"PDQ(Full)", "D3", "RCP", "TCP"};
+  return v;
+}
+
+/// Query-aggregation run: n deadline/no-deadline flows into one receiver
+/// over the single-bottleneck topology (the paper's S5.2 setting).
+struct AggregationSpec {
+  int num_flows = 5;
+  std::int64_t size_lo = 2'000;
+  std::int64_t size_hi = 198'000;
+  bool deadlines = true;
+  sim::Time deadline_mean = 20 * sim::kMillisecond;
+  sim::Time deadline_floor = 3 * sim::kMillisecond;
+  std::uint64_t seed = 1;
+};
+
+inline std::vector<net::FlowSpec> aggregation_flows(const AggregationSpec& a,
+                                                    int num_servers) {
+  sim::Rng rng(a.seed);
+  auto size = workload::uniform_size(a.size_lo, a.size_hi);
+  auto dl = workload::exp_deadline(a.deadline_mean, a.deadline_floor);
+  std::vector<net::FlowSpec> flows;
+  for (int i = 0; i < a.num_flows; ++i) {
+    net::FlowSpec f;
+    f.id = i + 1;
+    f.size_bytes = size(rng);
+    if (a.deadlines) f.deadline = dl(rng);
+    // src/dst filled by run_aggregation; store sender index in src.
+    f.src = i % num_servers;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+inline harness::RunResult run_aggregation(harness::ProtocolStack& stack,
+                                          const AggregationSpec& a) {
+  const int senders = std::max(1, std::min(a.num_flows, 32));
+  auto flows = aggregation_flows(a, senders);
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_single_bottleneck(t, senders);
+    for (auto& f : flows) {
+      f.src = servers[static_cast<std::size_t>(f.src)];
+      f.dst = servers.back();
+    }
+    return servers;
+  };
+  harness::RunOptions opts;
+  opts.horizon = 30 * sim::kSecond;
+  opts.seed = a.seed;
+  return harness::run_scenario(stack, build, flows, opts);
+}
+
+/// The paper's omniscient Optimal on the same flow set: EDF +
+/// Moore-Hodgson (deadlines) or SRPT (mean FCT), on the bottleneck link.
+inline std::vector<sched::Job> to_jobs(const std::vector<net::FlowSpec>& fl) {
+  std::vector<sched::Job> jobs;
+  for (const auto& f : fl) {
+    jobs.push_back({f.size_bytes, f.start_time, f.absolute_deadline(),
+                    static_cast<int>(f.id)});
+  }
+  return jobs;
+}
+
+inline double optimal_app_throughput(const AggregationSpec& a) {
+  auto flows = aggregation_flows(a, std::max(1, std::min(a.num_flows, 32)));
+  return sched::optimal_application_throughput(to_jobs(flows), 1e9);
+}
+
+inline double optimal_mean_fct_ms(const AggregationSpec& a) {
+  auto flows = aggregation_flows(a, std::max(1, std::min(a.num_flows, 32)));
+  return sched::optimal_mean_fct_ms(to_jobs(flows), 1e9);
+}
+
+/// Averages a metric over `trials` seeds.
+inline double average_over_seeds(int trials,
+                                 const std::function<double(std::uint64_t)>& f) {
+  double total = 0;
+  for (int t = 0; t < trials; ++t) {
+    total += f(static_cast<std::uint64_t>(1000 + 7 * t));
+  }
+  return total / trials;
+}
+
+// ---- table printing ----
+
+inline void print_header(const char* xlabel,
+                         const std::vector<std::string>& cols) {
+  std::printf("%-14s", xlabel);
+  for (const auto& c : cols) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+}
+
+inline void print_row(const std::string& x, const std::vector<double>& cells,
+                      const char* fmt = " %12.2f") {
+  std::printf("%-14s", x.c_str());
+  for (double v : cells) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+}  // namespace pdq::bench

@@ -1,0 +1,88 @@
+// Figure 10: resilience to inaccurate flow information. PDQ with perfect
+// flow sizes vs random criticality vs flow-size estimation (criticality
+// from bytes already sent, 50 KB buckets), against RCP — under a uniform
+// and a Pareto(1.1) flow size distribution. 10 deadline-unconstrained
+// flows with mean 100 KB, query aggregation.
+#include "bench_common.h"
+
+using namespace pdq;
+using namespace pdq::bench;
+
+namespace {
+
+double run_mode(const char* dist, core::CriticalityMode mode, bool use_rcp,
+                int trials) {
+  return average_over_seeds(trials, [&](std::uint64_t seed) {
+    sim::Rng rng(seed);
+    std::function<std::int64_t(sim::Rng&)> size;
+    if (std::string(dist) == "uniform") {
+      size = workload::uniform_size(2'000, 198'000);
+    } else {
+      // Pareto tail index 1.1, scaled to mean ~100 KB:
+      // mean = alpha*xm/(alpha-1) => xm = mean*(alpha-1)/alpha.
+      size = workload::pareto_size(1.1, 9'090);
+    }
+    const int n = 10;
+    std::vector<net::FlowSpec> flows;
+    for (int i = 0; i < n; ++i) {
+      net::FlowSpec f;
+      f.id = i + 1;
+      f.size_bytes = size(rng);
+      flows.push_back(f);
+    }
+    auto build = [&](net::Topology& t) {
+      auto servers = net::build_single_bottleneck(t, n);
+      for (int i = 0; i < n; ++i) {
+        flows[static_cast<std::size_t>(i)].src =
+            servers[static_cast<std::size_t>(i)];
+        flows[static_cast<std::size_t>(i)].dst = servers.back();
+      }
+      return servers;
+    };
+    harness::RunOptions opts;
+    opts.horizon = 120 * sim::kSecond;
+    opts.seed = seed;
+    std::unique_ptr<harness::ProtocolStack> stack;
+    if (use_rcp) {
+      stack = std::make_unique<harness::RcpStack>();
+    } else {
+      core::PdqConfig cfg = core::PdqConfig::full();
+      cfg.criticality = mode;
+      stack = std::make_unique<harness::PdqStack>(cfg, "PDQ");
+    }
+    return harness::run_scenario(*stack, build, flows, opts).mean_fct_ms();
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int trials = full ? 100 : 48;
+
+  std::printf(
+      "Fig 10: mean FCT [ms] with inaccurate flow information\n"
+      "(10 flows, mean size 100 KB, query aggregation; flow criticality\n"
+      "re-estimated every 50 KB in Estimation mode)\n\n");
+  print_header("scheme", {"Uniform", "Pareto(1.1)"});
+  struct Row {
+    const char* name;
+    core::CriticalityMode mode;
+    bool rcp;
+  };
+  const Row rows[] = {
+      {"PDQ perfect", core::CriticalityMode::kExact, false},
+      {"PDQ random", core::CriticalityMode::kRandom, false},
+      {"PDQ estimate", core::CriticalityMode::kEstimation, false},
+      {"RCP", core::CriticalityMode::kExact, true},
+  };
+  for (const auto& row : rows) {
+    print_row(row.name, {run_mode("uniform", row.mode, row.rcp, trials),
+                         run_mode("pareto", row.mode, row.rcp, trials)});
+  }
+  std::printf(
+      "\nExpected shape (paper): random criticality hurts badly under the\n"
+      "heavy-tailed distribution; the simple estimation scheme recovers\n"
+      "most of PDQ's advantage and beats RCP under both distributions.\n");
+  return 0;
+}

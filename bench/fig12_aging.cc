@@ -1,0 +1,83 @@
+// Figure 12: flow aging prevents starvation of less critical flows.
+// The sender divides its advertised T by 2^(alpha * wait/100ms); larger
+// alpha lets long-waiting flows climb the criticality order. Flow-level
+// simulation on a fat-tree with random-permutation traffic, as in the
+// paper (which uses a 128-server fat-tree).
+#include "bench_common.h"
+#include "flowsim/flowsim.h"
+
+using namespace pdq;
+using namespace pdq::bench;
+
+namespace {
+
+struct AgingResult {
+  double mean_ms;
+  double max_ms;
+};
+
+AgingResult run_aging(double alpha, bool rcp, int k, int flows_per_server,
+                      std::uint64_t seed) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator, seed);
+  auto servers = net::build_fat_tree(topo, k);
+  sim::Rng rng(seed);
+  workload::FlowSetOptions w;
+  w.num_flows = static_cast<int>(servers.size()) * flows_per_server;
+  // A strongly skewed mix under near-saturation load, so pure SJF keeps
+  // preempting the elephants (the starvation Fig 12 is about).
+  w.size = workload::pareto_size(1.25, 30'000, 30'000'000);
+  w.pattern = workload::random_permutation();
+  w.arrival_rate_per_sec = 400.0 * static_cast<double>(servers.size());
+  auto flows = workload::make_flows(servers, w, rng);
+
+  flowsim::Options o;
+  o.model = rcp ? flowsim::Model::kRcp : flowsim::Model::kPdq;
+  o.aging_alpha = alpha;
+  flowsim::FlowLevelSimulator fs(topo, o);
+  auto r = fs.run(flows);
+  return {r.mean_fct_ms(), r.max_fct_ms()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int k = full ? 8 : 4;  // 128 or 16 servers
+  // Enough arrivals that the stream outlives the largest elephants --
+  // starvation needs sustained competition, not a one-shot burst.
+  const int fps = full ? 600 : 300;
+  const int trials = full ? 3 : 1;
+
+  std::printf(
+      "Fig 12: effect of the aging rate alpha on PDQ flow completion\n"
+      "times (fat-tree k=%d, Pareto sizes, random permutation)\n\n",
+      k);
+  print_header("alpha", {"PDQ mean", "PDQ max", "RCP mean", "RCP max"});
+
+  AgingResult rcp{0, 0};
+  {
+    double mean = 0, mx = 0;
+    for (int t = 0; t < trials; ++t) {
+      auto r = run_aging(0.0, true, k, fps, 1000 + 7u * t);
+      mean += r.mean_ms;
+      mx += r.max_ms;
+    }
+    rcp = {mean / trials, mx / trials};
+  }
+  for (double alpha : (full ? std::vector<double>{0.0, 1.0, 2.0, 4.0, 8.0, 10.0}
+                            : std::vector<double>{0.0, 2.0, 8.0})) {
+    double mean = 0, mx = 0;
+    for (int t = 0; t < trials; ++t) {
+      auto r = run_aging(alpha, false, k, fps, 1000 + 7u * t);
+      mean += r.mean_ms;
+      mx += r.max_ms;
+    }
+    print_row(std::to_string(alpha).substr(0, 4),
+              {mean / trials, mx / trials, rcp.mean_ms, rcp.max_ms});
+  }
+  std::printf(
+      "\nExpected shape (paper): aging cuts PDQ's worst-case FCT by ~48%%\n"
+      "while the mean rises only ~1.7%%; both stay well below RCP/D3.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 1: the motivating example. Three flows (sizes 1,2,3; deadlines
+// 1,4,6) on a unit link under (b) fair sharing, (c) SJF/EDF, and (d) D3
+// for every one of the 3! arrival orders.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "flowsim/flowsim.h"
+#include "net/builders.h"
+
+using namespace pdq;
+
+namespace {
+
+const std::int64_t kUnit = 1'000'000;  // 1 "size unit" = 1 MB
+constexpr double kRate = 8e6;          // 1 unit per second
+
+std::vector<sched::Job> jobs() {
+  return {{1 * kUnit, 0, sim::from_seconds(1.0), 0},
+          {2 * kUnit, 0, sim::from_seconds(4.0), 1},
+          {3 * kUnit, 0, sim::from_seconds(6.0), 2}};
+}
+
+/// D3 under a given arrival order, via the flow-level first-come
+/// first-reserved model with epsilon-staggered starts.
+int d3_deadlines_met(const std::vector<int>& order) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1);
+  net::LinkDefaults d;
+  d.rate_bps = kRate;
+  auto servers = net::build_single_bottleneck(topo, 3, d);
+  const sim::Time deadlines[3] = {sim::from_seconds(1.0),
+                                  sim::from_seconds(4.0),
+                                  sim::from_seconds(6.0)};
+  const std::int64_t sizes[3] = {1 * kUnit, 2 * kUnit, 3 * kUnit};
+  std::vector<net::FlowSpec> flows;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const int i = order[k];
+    net::FlowSpec f;
+    f.id = i + 1;
+    f.src = servers[static_cast<std::size_t>(i)];
+    f.dst = servers.back();
+    f.size_bytes = sizes[i];
+    f.start_time = static_cast<sim::Time>(k) * sim::kMillisecond;
+    f.deadline = deadlines[i] - f.start_time;
+    flows.push_back(f);
+  }
+  flowsim::Options o;
+  o.model = flowsim::Model::kD3;
+  o.goodput_factor = 1.0;
+  o.init_latency = 0;
+  o.early_termination = false;
+  o.horizon = 20 * sim::kSecond;
+  flowsim::FlowLevelSimulator fs(topo, o);
+  auto r = fs.run(flows);
+  int met = 0;
+  for (const auto& f : r.flows) met += f.deadline_met() ? 1 : 0;
+  return met;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1: fA=(1,d=1) fB=(2,d=4) fC=(3,d=6), unit-rate link\n\n");
+  std::printf("(b/c) centralized fluid schedules:\n");
+  std::printf("%-14s %6s %6s %6s %10s %9s\n", "discipline", "fA", "fB", "fC",
+              "mean", "deadlines");
+  for (auto [name, s] : {std::pair<const char*, sched::Schedule>{
+                             "fair sharing", sched::fair_sharing(jobs(), kRate)},
+                         {"SJF", sched::srpt(jobs(), kRate)},
+                         {"EDF", sched::edf(jobs(), kRate)}}) {
+    std::printf("%-14s %5.2fs %5.2fs %5.2fs %8.2fs %7.0f%%\n", name,
+                sim::to_seconds(s.completion[0]),
+                sim::to_seconds(s.completion[1]),
+                sim::to_seconds(s.completion[2]),
+                s.mean_fct_ms(jobs()) / 1000.0, s.on_time_percent(jobs()));
+  }
+
+  std::printf("\n(d) D3 (first-come first-reserved) per arrival order:\n");
+  std::printf("%-14s %14s\n", "arrival order", "deadlines met");
+  std::vector<int> order{0, 1, 2};
+  const char* names = "ABC";
+  int orders_all_met = 0;
+  do {
+    const int met = d3_deadlines_met(order);
+    orders_all_met += (met == 3) ? 1 : 0;
+    std::printf("f%c;f%c;f%c      %10d / 3\n", names[order[0]],
+                names[order[1]], names[order[2]], met);
+  } while (std::next_permutation(order.begin(), order.end()));
+  std::printf(
+      "\nPaper: D3 satisfies all deadlines for only 1 of 6 orders (the EDF\n"
+      "order fA;fB;fC); measured: %d of 6.\n",
+      orders_all_met);
+  return 0;
+}

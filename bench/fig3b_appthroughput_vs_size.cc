@@ -1,0 +1,47 @@
+// Figure 3b: application throughput [%] vs average flow size with 3
+// concurrent deadline flows (uniform sizes around the mean).
+#include "bench_common.h"
+
+using namespace pdq;
+using namespace pdq::bench;
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int trials = full ? 8 : 4;
+  const std::vector<int> means_kb = full
+                                        ? std::vector<int>{100, 150, 200, 250,
+                                                           300, 350}
+                                        : std::vector<int>{100, 200, 300};
+
+  std::printf(
+      "Fig 3b: application throughput [%%] vs avg flow size, 3 flows\n\n");
+  std::vector<std::string> cols{"Optimal"};
+  for (const auto& s : all_stacks()) cols.push_back(s);
+  print_header("avg size [KB]", cols);
+
+  for (int kb : means_kb) {
+    AggregationSpec base;
+    base.num_flows = 3;
+    base.size_lo = (kb - 98) * 1000L;
+    base.size_hi = (kb + 98) * 1000L;
+    std::vector<double> cells;
+    cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
+      AggregationSpec a = base;
+      a.seed = seed;
+      return optimal_app_throughput(a);
+    }));
+    for (const auto& name : all_stacks()) {
+      cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
+        AggregationSpec a = base;
+        a.seed = seed;
+        auto stack = make_stack(name);
+        return run_aggregation(*stack, a).application_throughput();
+      }));
+    }
+    print_row(std::to_string(kb), cells, " %12.1f");
+  }
+  std::printf(
+      "\nExpected shape (paper): deadline-agnostic TCP/RCP degrade as flows\n"
+      "grow; PDQ stays near Optimal at every size.\n");
+  return 0;
+}

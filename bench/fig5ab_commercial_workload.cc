@@ -1,0 +1,112 @@
+// Figure 5a/5b: the commercial cloud workload (Greenberg et al. [12]
+// size mix; our synthetic stand-in), random permutation on the 17-node
+// tree, Poisson arrivals. Short flows (<40 KB) carry deadlines.
+//  (a) short-flow arrival rate sustainable at 99% application throughput;
+//  (b) mean FCT of long flows, normalized to PDQ(Full).
+#include "bench_common.h"
+
+using namespace pdq;
+using namespace pdq::bench;
+
+namespace {
+
+std::vector<net::FlowSpec> vl2_flows(int num_flows, double rate_per_sec,
+                                     std::uint64_t seed) {
+  sim::Rng rng(seed);
+  sim::Simulator s0;
+  net::Topology t0(s0, 1);
+  auto servers = net::build_single_rooted_tree(t0);
+
+  workload::FlowSetOptions w;
+  w.num_flows = num_flows;
+  w.size = workload::vl2_size();
+  w.pattern = workload::random_permutation();
+  w.arrival_rate_per_sec = rate_per_sec;
+  auto flows = workload::make_flows(servers, w, rng);
+  // Short flows (<40 KB) are deadline-constrained (paper S5.3).
+  auto dl = workload::exp_deadline();
+  for (auto& f : flows) {
+    if (f.size_bytes < 40'000) f.deadline = dl(rng);
+  }
+  return flows;
+}
+
+harness::RunResult run_vl2(harness::ProtocolStack& stack, int num_flows,
+                           double rate, std::uint64_t seed) {
+  auto flows = vl2_flows(num_flows, rate, seed);
+  auto build = [](net::Topology& t) { return net::build_single_rooted_tree(t); };
+  harness::RunOptions opts;
+  opts.horizon = 30 * sim::kSecond;
+  opts.seed = seed;
+  return harness::run_scenario(stack, build, flows, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int trials = full ? 3 : 2;
+  const int num_flows = full ? 600 : 200;
+  // With the scaled-down default, a single missed deadline among ~100
+  // deadline flows drops below 99%; use a 95% bar by default and the
+  // paper's 99% bar in --full mode (which has ~10x the samples).
+  const double bar = full ? 99.0 : 95.0;
+
+  std::printf(
+      "Fig 5a: flow arrival rate [flows/s] sustained at %.0f%% application\n"
+      "throughput (VL2-style size mix, short flows deadline-constrained)\n\n",
+      bar);
+  const std::vector<std::string> stacks{"PDQ(Full)", "PDQ(ES+ET)",
+                                        "PDQ(Basic)", "D3", "RCP", "TCP"};
+  print_header("protocol", {"rate@bar"});
+  for (const auto& name : stacks) {
+    // Binary search over the arrival rate (geometric grid, flows/s).
+    const std::vector<double> grid =
+        full ? std::vector<double>{250,  500,   1000,  2000, 4000,
+                                   8000, 12000, 16000, 24000}
+             : std::vector<double>{500, 1000, 2000, 4000, 8000, 16000};
+    double best = 0;
+    for (double rate : grid) {
+      const double at = average_over_seeds(trials, [&](std::uint64_t seed) {
+        auto stack = make_stack(name);
+        return run_vl2(*stack, num_flows, rate, seed).application_throughput();
+      });
+      if (at >= bar) {
+        best = rate;
+      } else {
+        break;
+      }
+    }
+    print_row(name, {best}, " %12.0f");
+  }
+
+  std::printf(
+      "\nFig 5b: mean FCT of long flows (>1 MB) at a moderate arrival rate\n"
+      "(ms; paper normalizes to PDQ(Full))\n\n");
+  print_header("protocol", {"long FCT"});
+  const double rate = full ? 2000 : 1000;
+  for (const auto& name :
+       std::vector<std::string>{"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP",
+                                "TCP"}) {
+    const double fct = average_over_seeds(trials, [&](std::uint64_t seed) {
+      auto stack = make_stack(name);
+      auto r = run_vl2(*stack, num_flows, rate, seed);
+      double sum = 0;
+      int n = 0;
+      for (const auto& f : r.flows) {
+        if (f.spec.size_bytes > 1'000'000 &&
+            f.outcome == net::FlowOutcome::kCompleted) {
+          sum += sim::to_millis(f.completion_time());
+          ++n;
+        }
+      }
+      return n ? sum / n : 0.0;
+    });
+    print_row(name, {fct});
+  }
+  std::printf(
+      "\nExpected shape (paper): PDQ sustains the highest arrival rate\n"
+      "(Suppressed Probing matters here) and shortens long flows ~26%%\n"
+      "vs RCP and ~39%% vs TCP.\n");
+  return 0;
+}

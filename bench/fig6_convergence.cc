@@ -1,0 +1,63 @@
+// Figure 6: convergence dynamics. Five ~1 MB flows start together; PDQ
+// serves them one at a time with seamless switchovers. Prints the
+// per-millisecond series behind Fig 6a (per-flow throughput), 6b
+// (bottleneck utilization) and 6c (queue, normalized to data packets).
+#include "bench_common.h"
+
+using namespace pdq;
+using namespace pdq::bench;
+
+int main() {
+  std::vector<net::FlowSpec> flows;
+  for (int i = 0; i < 5; ++i) {
+    net::FlowSpec f;
+    f.id = i + 1;
+    f.size_bytes = 1'000'000 + i * 1000;  // smaller index = more critical
+    flows.push_back(f);
+  }
+  harness::PdqStack stack;
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_single_bottleneck(t, 5);
+    for (int i = 0; i < 5; ++i) {
+      flows[static_cast<std::size_t>(i)].src =
+          servers[static_cast<std::size_t>(i)];
+      flows[static_cast<std::size_t>(i)].dst = servers.back();
+    }
+    return servers;
+  };
+  harness::RunOptions opts;
+  opts.horizon = sim::kSecond;
+  opts.watch_link = std::make_pair(net::NodeId{0}, net::NodeId{6});
+  opts.per_flow_series = true;
+  auto r = harness::run_scenario(stack, build, flows, opts);
+
+  std::printf("Fig 6: 5 x ~1 MB flows, single 1 Gbps bottleneck\n\n");
+  std::printf("%4s %7s %7s %7s %7s %7s | %8s %10s\n", "ms", "f1", "f2", "f3",
+              "f4", "f5", "util[%]", "queue[pkt]");
+  const std::size_t bins = r.flow_goodput_bps[0].size();
+  for (std::size_t b = 0; b < bins && b < 46; ++b) {
+    std::printf("%4zu", b);
+    for (const auto& s : r.flow_goodput_bps) {
+      std::printf(" %7.0f", b < s.size() ? s[b] / 1e6 : 0.0);
+    }
+    const double util =
+        b < r.link_utilization.size() ? 100.0 * r.link_utilization[b] : 0.0;
+    const double qpkts =
+        r.queue_series.time_average(
+            static_cast<sim::Time>(b) * sim::kMillisecond,
+            static_cast<sim::Time>(b + 1) * sim::kMillisecond) /
+        1516.0;
+    std::printf(" | %8.1f %10.2f\n", util, qpkts);
+  }
+
+  std::printf("\nper-flow completion [ms]:");
+  for (const auto& f : r.flows)
+    std::printf(" %.2f", sim::to_millis(f.completion_time()));
+  std::printf("\ndrops: %lld\n", static_cast<long long>(r.queue_drops));
+  std::printf(
+      "\nExpected (paper): flows finish one by one at ~8.5/17/25.5/34/42 ms\n"
+      "(ideal 40 ms + 2-RTT init + ~3%% header overhead), ~100%% bottleneck\n"
+      "utilization across switchovers, queue of only a few packets, no "
+      "drops.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7: robustness to bursty traffic. A long-lived flow runs from
+// t=0; 50 short (~20 KB) flows all arrive at t=10 ms. PDQ preempts the
+// long flow, drains the burst near line rate, and resumes.
+#include "bench_common.h"
+
+using namespace pdq;
+using namespace pdq::bench;
+
+int main() {
+  std::vector<net::FlowSpec> flows;
+  net::FlowSpec longf;
+  longf.id = 1;
+  longf.size_bytes = 12'000'000;
+  flows.push_back(longf);
+  for (int i = 0; i < 50; ++i) {
+    net::FlowSpec f;
+    f.id = 2 + i;
+    f.size_bytes = 20'000 + (i % 7) * 64;  // 20 KB, small perturbation
+    f.start_time = 10 * sim::kMillisecond;
+    flows.push_back(f);
+  }
+  harness::PdqStack stack;
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_single_bottleneck(t, 51);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      flows[i].src = servers[i];
+      flows[i].dst = servers.back();
+    }
+    return servers;
+  };
+  harness::RunOptions opts;
+  opts.horizon = sim::kSecond;
+  opts.watch_link = std::make_pair(net::NodeId{0}, net::NodeId{52});
+  opts.per_flow_series = true;
+  auto r = harness::run_scenario(stack, build, flows, opts);
+
+  std::printf(
+      "Fig 7: 50 x 20 KB flows burst at t=10 ms into a long-lived flow\n\n");
+  std::printf("%4s %12s %13s %9s %11s\n", "ms", "long[Mbps]", "short[Mbps]",
+              "util[%]", "queue[pkt]");
+  const std::size_t bins = r.flow_goodput_bps[0].size();
+  double preempt_util = 0;
+  int preempt_bins = 0;
+  for (std::size_t b = 0; b < bins && b < 50; ++b) {
+    double shorts = 0;
+    for (std::size_t i = 1; i < r.flow_goodput_bps.size(); ++i) {
+      if (b < r.flow_goodput_bps[i].size()) shorts += r.flow_goodput_bps[i][b];
+    }
+    const double util =
+        b < r.link_utilization.size() ? 100.0 * r.link_utilization[b] : 0.0;
+    if (b >= 10 && b < 19) {
+      preempt_util += util;
+      ++preempt_bins;
+    }
+    const double qpkts =
+        r.queue_series.time_average(
+            static_cast<sim::Time>(b) * sim::kMillisecond,
+            static_cast<sim::Time>(b + 1) * sim::kMillisecond) /
+        1516.0;
+    std::printf("%4zu %12.0f %13.0f %9.1f %11.2f\n", b,
+                r.flow_goodput_bps[0][b] / 1e6, shorts / 1e6, util, qpkts);
+  }
+  sim::Time last_short = 0;
+  for (const auto& f : r.flows)
+    if (f.spec.id >= 2) last_short = std::max(last_short, f.finish_time);
+  std::printf(
+      "\nburst drained by t=%.1f ms; utilization during preemption: %.1f%%;\n"
+      "long flow FCT %.1f ms; peak queue %.1f pkts; drops %lld\n",
+      sim::to_millis(last_short),
+      preempt_bins ? preempt_util / preempt_bins : 0.0,
+      sim::to_millis(r.flow(1)->completion_time()),
+      r.queue_series.max_value() / 1516.0,
+      static_cast<long long>(r.queue_drops));
+  std::printf(
+      "\nExpected (paper): burst (1 MB total) drains in ~9 ms at ~92%%\n"
+      "utilization; queue stays at 5-10 packets; no drops.\n");
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Figure 8: impact of network scale across fat-tree, BCube and Jellyfish,
+// comparing packet-level and flow-level simulation, plus the per-flow
+// FCT-ratio CDF of Fig 8e (RCP FCT / PDQ FCT).
+//
+// Deadline-unconstrained random-permutation traffic with multiple flows
+// per server; packet level runs the smaller sizes, flow level scales up.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "flowsim/flowsim.h"
+
+using namespace pdq;
+using namespace pdq::bench;
+
+namespace {
+
+struct TopoCase {
+  const char* name;
+  std::function<std::vector<net::NodeId>(net::Topology&, int size_index)>
+      build;
+  std::vector<int> sizes;  // index -> parameter meaning differs per topo
+};
+
+std::vector<net::FlowSpec> perm_flows(const std::vector<net::NodeId>& servers,
+                                      int flows_per_server,
+                                      std::uint64_t seed) {
+  sim::Rng rng(seed);
+  workload::FlowSetOptions w;
+  w.num_flows = static_cast<int>(servers.size()) * flows_per_server;
+  w.size = workload::uniform_size(2'000, 198'000);
+  w.pattern = workload::random_permutation();
+  return workload::make_flows(servers, w, rng);
+}
+
+double packet_level_fct(harness::ProtocolStack& stack,
+                        const harness::TopologyBuilder& build, std::uint64_t seed) {
+  sim::Simulator s0;
+  net::Topology t0(s0, 1);
+  auto servers = build(t0);
+  auto flows = perm_flows(servers, 3, seed);
+  harness::RunOptions opts;
+  opts.horizon = 60 * sim::kSecond;
+  opts.seed = seed;
+  return harness::run_scenario(
+             stack, [&](net::Topology& t) { return build(t); }, flows, opts)
+      .mean_fct_ms();
+}
+
+double flow_level_fct(flowsim::Model model, const harness::TopologyBuilder& build,
+                      int flows_per_server, std::uint64_t seed) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator, seed);
+  auto servers = build(topo);
+  auto flows = perm_flows(servers, flows_per_server, seed);
+  flowsim::Options o;
+  o.model = model;
+  flowsim::FlowLevelSimulator fs(topo, o);
+  return fs.run(flows).mean_fct_ms();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const std::uint64_t seed = 17;
+
+  // --- Fig 8b-d: mean FCT vs network size per topology ---
+  std::printf(
+      "Fig 8b-8d: mean FCT [ms], random permutation, 3 flows/server,\n"
+      "no deadlines. 'pkt' = packet-level, 'flow' = flow-level.\n\n");
+  print_header("topology/size",
+               {"PDQ pkt", "PDQ flow", "RCP pkt", "RCP flow"});
+
+  struct Case {
+    std::string label;
+    harness::TopologyBuilder build;
+    bool packet_feasible;
+  };
+  std::vector<Case> cases;
+  for (int k : std::vector<int>{4, full ? 8 : 4}) {
+    if (!cases.empty() && cases.back().label == "fat-tree/" +
+                              std::to_string(k * k * k / 4))
+      continue;
+    cases.push_back({"fat-tree/" + std::to_string(k * k * k / 4),
+                     [k](net::Topology& t) { return net::build_fat_tree(t, k); },
+                     k <= 4});
+  }
+  cases.push_back({"bcube/16",
+                   [](net::Topology& t) { return net::build_bcube(t, 2, 3); },
+                   true});
+  if (full) {
+    cases.push_back({"bcube/64",
+                     [](net::Topology& t) { return net::build_bcube(t, 4, 2); },
+                     false});
+  }
+  cases.push_back({"jellyfish/20",
+                   [](net::Topology& t) {
+                     return net::build_jellyfish(t, 10, 6, 4, 3);
+                   },
+                   true});
+  if (full) {
+    cases.push_back({"jellyfish/160",
+                     [](net::Topology& t) {
+                       return net::build_jellyfish(t, 40, 12, 8, 3);
+                     },
+                     false});
+  }
+
+  for (const auto& c : cases) {
+    std::vector<double> cells;
+    if (c.packet_feasible) {
+      harness::PdqStack pdq;
+      cells.push_back(packet_level_fct(pdq, c.build, seed));
+    } else {
+      cells.push_back(0.0);
+    }
+    cells.push_back(flow_level_fct(flowsim::Model::kPdq, c.build, 3, seed));
+    if (c.packet_feasible) {
+      harness::RcpStack rcp;
+      cells.push_back(packet_level_fct(rcp, c.build, seed));
+    } else {
+      cells.push_back(0.0);
+    }
+    cells.push_back(flow_level_fct(flowsim::Model::kRcp, c.build, 3, seed));
+    print_row(c.label, cells);
+  }
+
+  // --- Fig 8a: deadline-constrained flows at scale (flow level) ---
+  std::printf(
+      "\nFig 8a: application throughput [%%] on fat-trees, deadline flows,\n"
+      "flow-level simulation, random permutation (fixed 3 flows/server):\n\n");
+  print_header("#servers", {"PDQ", "D3", "RCP"});
+  for (int k : full ? std::vector<int>{4, 8, 16} : std::vector<int>{4, 8}) {
+    sim::Simulator simulator;
+    net::Topology topo(simulator, seed);
+    auto servers = net::build_fat_tree(topo, k);
+    sim::Rng rng(seed);
+    workload::FlowSetOptions w;
+    w.num_flows = static_cast<int>(servers.size()) * 3;
+    w.size = workload::uniform_size(2'000, 198'000);
+    w.deadline = workload::exp_deadline();
+    w.pattern = workload::random_permutation();
+    auto flows = workload::make_flows(servers, w, rng);
+    std::vector<double> cells;
+    for (auto model : {flowsim::Model::kPdq, flowsim::Model::kD3,
+                       flowsim::Model::kRcp}) {
+      flowsim::Options o;
+      o.model = model;
+      flowsim::FlowLevelSimulator fs(topo, o);
+      cells.push_back(fs.run(flows).application_throughput());
+    }
+    print_row(std::to_string(servers.size()), cells, " %12.1f");
+  }
+
+  // --- Fig 8e: CDF of RCP FCT / PDQ FCT per flow (flow level) ---
+  std::printf(
+      "\nFig 8e: CDF of per-flow FCT ratio RCP/PDQ (fat-tree, ~128 servers,\n"
+      "flow level):\n\n");
+  {
+    sim::Simulator simulator;
+    net::Topology topo(simulator, seed);
+    auto servers = net::build_fat_tree(topo, 8);  // 128 servers
+    auto flows = perm_flows(servers, full ? 10 : 8, seed);
+    flowsim::Options op;
+    op.model = flowsim::Model::kPdq;
+    flowsim::FlowLevelSimulator fp(topo, op);
+    auto rp = fp.run(flows);
+    flowsim::Options orr;
+    orr.model = flowsim::Model::kRcp;
+    flowsim::FlowLevelSimulator fr(topo, orr);
+    auto rr = fr.run(flows);
+    std::vector<double> ratio;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (rp.flows[i].outcome == net::FlowOutcome::kCompleted &&
+          rr.flows[i].outcome == net::FlowOutcome::kCompleted) {
+        ratio.push_back(
+            static_cast<double>(rr.flows[i].completion_time()) /
+            static_cast<double>(rp.flows[i].completion_time()));
+      }
+    }
+    std::sort(ratio.begin(), ratio.end());
+    print_header("ratio", {"CDF"});
+    for (double x : {0.25, 0.5, 1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+      const auto it = std::upper_bound(ratio.begin(), ratio.end(), x);
+      print_row(std::to_string(x).substr(0, 5),
+                {100.0 * static_cast<double>(it - ratio.begin()) /
+                 static_cast<double>(ratio.size())},
+                " %12.1f");
+    }
+    std::size_t pdq_faster = 0, pdq_2x = 0;
+    for (double x : ratio) {
+      if (x > 1.0) ++pdq_faster;
+      if (x >= 2.0) ++pdq_2x;
+    }
+    std::printf(
+        "\nPDQ faster for %.1f%% of flows; >=2x faster for %.1f%% "
+        "(paper: 85-95%% and ~40%%).\n",
+        100.0 * pdq_faster / ratio.size(), 100.0 * pdq_2x / ratio.size());
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 9: resilience to random packet loss at the bottleneck link, both
+// directions. (a) deadline-constrained: flows supported at 99%
+// application throughput; (b) deadline-unconstrained: mean FCT normalized
+// to loss-free PDQ.
+#include "bench_common.h"
+
+using namespace pdq;
+using namespace pdq::bench;
+
+namespace {
+
+harness::RunResult run_lossy(harness::ProtocolStack& stack, int n,
+                             bool deadlines, double loss,
+                             std::uint64_t seed) {
+  AggregationSpec a;
+  a.num_flows = n;
+  a.deadlines = deadlines;
+  a.seed = seed;
+  const int senders = std::max(1, std::min(n, 32));
+  auto flows = aggregation_flows(a, senders);
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_single_bottleneck(t, senders);
+    for (auto& f : flows) {
+      f.src = servers[static_cast<std::size_t>(f.src)];
+      f.dst = servers.back();
+    }
+    return servers;
+  };
+  harness::RunOptions opts;
+  opts.horizon = 60 * sim::kSecond;
+  opts.seed = seed;
+  // The bottleneck link is switch(0) -> receiver(last host id).
+  opts.watch_link = std::make_pair(net::NodeId{0},
+                                   static_cast<net::NodeId>(senders + 1));
+  opts.watch_link_drop_rate = loss;
+  return harness::run_scenario(stack, build, flows, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int trials = full ? 4 : 2;
+  const std::vector<double> loss_rates{0.0, 0.01, 0.02, 0.03};
+
+  std::printf(
+      "Fig 9a: flows at 99%% application throughput vs packet loss rate\n"
+      "(loss applied in both directions at the bottleneck)\n\n");
+  print_header("loss [%]", {"PDQ", "TCP"});
+  const int hi = full ? 32 : 16;
+  for (double loss : loss_rates) {
+    std::vector<double> cells;
+    for (const char* name : {"PDQ(Full)", "TCP"}) {
+      auto pred = [&](int n) {
+        return average_over_seeds(trials, [&](std::uint64_t seed) {
+                 auto stack = make_stack(name);
+                 return run_lossy(*stack, n, true, loss, seed)
+                     .application_throughput();
+               }) >= 99.0;
+      };
+      cells.push_back(std::max(0, harness::binary_search_max(1, hi, pred)));
+    }
+    print_row(std::to_string(static_cast<int>(loss * 100)), cells,
+              " %12.0f");
+  }
+
+  std::printf(
+      "\nFig 9a': application throughput [%%] at 8 concurrent deadline\n"
+      "flows vs loss rate (smoother view of the same resilience)\n\n");
+  print_header("loss [%]", {"PDQ", "TCP"});
+  for (double loss : loss_rates) {
+    std::vector<double> cells;
+    for (const char* name : {"PDQ(Full)", "TCP"}) {
+      cells.push_back(average_over_seeds(trials * 3, [&](std::uint64_t seed) {
+        auto stack = make_stack(name);
+        return run_lossy(*stack, 8, true, loss, seed)
+            .application_throughput();
+      }));
+    }
+    print_row(std::to_string(static_cast<int>(loss * 100)), cells,
+              " %12.1f");
+  }
+
+  std::printf(
+      "\nFig 9b: mean FCT vs loss rate, normalized to each protocol's own\n"
+      "loss-free PDQ baseline (10 flows, no deadlines)\n\n");
+  print_header("loss [%]", {"PDQ", "TCP"});
+  double pdq_base = 0;
+  std::vector<std::vector<double>> rows;
+  for (double loss : loss_rates) {
+    std::vector<double> cells;
+    for (const char* name : {"PDQ(Full)", "TCP"}) {
+      cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
+        auto stack = make_stack(name);
+        return run_lossy(*stack, 10, false, loss, seed).mean_fct_ms();
+      }));
+    }
+    if (loss == 0.0) pdq_base = cells[0];
+    rows.push_back(cells);
+  }
+  for (std::size_t i = 0; i < loss_rates.size(); ++i) {
+    print_row(std::to_string(static_cast<int>(loss_rates[i] * 100)),
+              {rows[i][0] / pdq_base, rows[i][1] / pdq_base});
+  }
+  std::printf(
+      "\nExpected shape (paper): at 3%% loss PDQ's FCT grows ~11%% while\n"
+      "TCP's grows ~45%%; PDQ's explicit rate control compensates for "
+      "loss.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) for the simulator hot paths: event
+// queue throughput, PDQ switch packet processing, and path computation.
+#include <benchmark/benchmark.h>
+
+#include "core/pdq_switch.h"
+#include "net/builders.h"
+#include "net/topology.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+using namespace pdq;
+
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::uint64_t x = 9;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      x = x * 6364136223846793005ULL + 1;
+      q.schedule(static_cast<sim::Time>(x % 100000), [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_SimulatorEventCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 1000) s.schedule_in(10, tick);
+    };
+    s.schedule_in(0, tick);
+    s.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventCascade);
+
+void BM_PdqSwitchForward(benchmark::State& state) {
+  const auto flows = state.range(0);
+  sim::Simulator simulator;
+  net::Topology topo(simulator);
+  auto servers = net::build_single_bottleneck(topo, 2);
+  auto ctl = std::make_unique<core::PdqLinkController>(core::PdqConfig::full());
+  auto* c = ctl.get();
+  topo.port_on_link(topo.switch_ids()[0], servers.back())
+      ->set_controller(std::move(ctl));
+  // Pre-populate the list with `flows` flows.
+  for (std::int64_t f = 1; f <= flows; ++f) {
+    net::Packet p;
+    p.flow = f;
+    p.type = net::PacketType::kSyn;
+    p.pdq.rate_bps = 1e9;
+    p.pdq.expected_tx = f * sim::kMillisecond;
+    p.pdq.rtt = 200 * sim::kMicrosecond;
+    c->on_forward(p);
+  }
+  std::int64_t f = 1;
+  for (auto _ : state) {
+    net::Packet p;
+    p.flow = f;
+    p.type = net::PacketType::kData;
+    p.pdq.rate_bps = 1e9;
+    p.pdq.expected_tx = f * sim::kMillisecond;
+    p.pdq.rtt = 200 * sim::kMicrosecond;
+    c->on_forward(p);
+    f = f % flows + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PdqSwitchForward)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_FatTreeEcmpPath(benchmark::State& state) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator);
+  auto servers = net::build_fat_tree(topo, 8);
+  net::FlowId f = 0;
+  for (auto _ : state) {
+    auto path = topo.ecmp_path(++f, servers[0],
+                               servers[servers.size() - 1]);
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_FatTreeEcmpPath);
+
+void BM_EndToEndFiveFlowScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    net::Topology topo(simulator);
+    auto servers = net::build_single_bottleneck(topo, 5);
+    core::install_pdq(topo, core::PdqConfig::full());
+    // Measure raw simulation throughput of the canonical Fig 6 scenario
+    // setup (no flows: controller ticks only) for 10 simulated ms.
+    simulator.run(10 * sim::kMillisecond);
+    benchmark::DoNotOptimize(simulator.now());
+  }
+}
+BENCHMARK(BM_EndToEndFiveFlowScenario);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Partition/aggregate scenario (the paper's S5.2 "query aggregation"):
+// a front-end fans a query out to N workers; every worker's response must
+// arrive before the deadline or the final answer degrades.
+//
+// Compares how many responses make their deadline under PDQ, D3, RCP and
+// TCP as the fan-out grows.
+//
+// Build & run:  ./build/examples/deadline_aggregation [max_fanout]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "harness/stacks.h"
+#include "workload/workload.h"
+
+using namespace pdq;
+
+namespace {
+
+harness::RunResult run_fanout(harness::ProtocolStack& stack, int fanout,
+                              std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<net::FlowSpec> flows;
+  for (int i = 0; i < fanout; ++i) {
+    net::FlowSpec f;
+    f.id = i + 1;
+    // Worker responses: uniform [2 KB, 198 KB], exp(20 ms) deadline with a
+    // 3 ms floor -- the paper's deadline-constrained workload.
+    f.size_bytes = rng.uniform_int(2'000, 198'000);
+    f.deadline = workload::exp_deadline()(rng);
+    flows.push_back(f);
+  }
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_single_bottleneck(t, fanout);
+    for (int i = 0; i < fanout; ++i) {
+      flows[static_cast<std::size_t>(i)].src =
+          servers[static_cast<std::size_t>(i)];
+      flows[static_cast<std::size_t>(i)].dst = servers.back();
+    }
+    return servers;
+  };
+  harness::RunOptions opts;
+  opts.horizon = 10 * sim::kSecond;
+  opts.seed = seed;
+  return harness::run_scenario(stack, build, flows, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_fanout = argc > 1 ? std::atoi(argv[1]) : 24;
+  std::printf(
+      "Query aggregation: %% of worker responses meeting their deadline\n"
+      "(uniform [2,198] KB responses, exponential 20 ms deadlines)\n\n");
+  std::printf("%8s %10s %10s %10s %10s\n", "workers", "PDQ", "D3", "RCP",
+              "TCP");
+  for (int fanout = 4; fanout <= max_fanout; fanout += 4) {
+    double cells[4];
+    int c = 0;
+    for (int proto = 0; proto < 4; ++proto) {
+      std::unique_ptr<harness::ProtocolStack> stack;
+      switch (proto) {
+        case 0: stack = std::make_unique<harness::PdqStack>(); break;
+        case 1: stack = std::make_unique<harness::D3Stack>(); break;
+        case 2: stack = std::make_unique<harness::RcpStack>(); break;
+        default: stack = std::make_unique<harness::TcpStack>(); break;
+      }
+      double total = 0;
+      const int kTrials = 3;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        total += run_fanout(*stack, fanout,
+                            static_cast<std::uint64_t>(97 + trial))
+                     .application_throughput();
+      }
+      cells[c++] = total / kTrials;
+    }
+    std::printf("%8d %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", fanout, cells[0],
+                cells[1], cells[2], cells[3]);
+  }
+  std::printf(
+      "\nPDQ sustains high application throughput far beyond the point\n"
+      "where first-come-first-reserved (D3) and fair sharing (RCP/TCP)\n"
+      "start missing deadlines.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Burst robustness (the paper's Fig 7 scenario as an application): a
+// long-lived background transfer is preempted by a burst of 50 short
+// query responses; PDQ pauses the elephant, drains the burst at line
+// rate, then resumes -- visible in the printed per-millisecond series.
+//
+// Build & run:  ./build/examples/incast_burst
+#include <cstdio>
+
+#include "harness/stacks.h"
+
+using namespace pdq;
+
+int main() {
+  std::vector<net::FlowSpec> flows;
+  net::FlowSpec elephant;
+  elephant.id = 1;
+  elephant.size_bytes = 4'000'000;
+  flows.push_back(elephant);
+  for (int i = 0; i < 50; ++i) {
+    net::FlowSpec f;
+    f.id = 2 + i;
+    f.size_bytes = 20'000 + (i % 5) * 40;  // ~20 KB with perturbation
+    f.start_time = 10 * sim::kMillisecond;
+    flows.push_back(f);
+  }
+
+  harness::PdqStack stack;
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_single_bottleneck(t, 51);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      flows[i].src = servers[i];
+      flows[i].dst = servers.back();
+    }
+    return servers;
+  };
+  harness::RunOptions opts;
+  opts.horizon = sim::kSecond;
+  opts.watch_link = std::make_pair(net::NodeId{0}, net::NodeId{52});
+  opts.per_flow_series = true;
+  auto r = harness::run_scenario(stack, build, flows, opts);
+
+  std::printf(
+      "Fig 7 scenario: 50 x 20 KB burst at t=10ms preempting a long flow\n\n");
+  std::printf("%5s %12s %12s %12s %10s\n", "ms", "long[Mbps]", "burst[Mbps]",
+              "util[%]", "queue[pkt]");
+  const std::size_t bins = r.flow_goodput_bps[0].size();
+  for (std::size_t b = 0; b < bins && b < 45; ++b) {
+    double burst = 0;
+    for (std::size_t i = 1; i < r.flow_goodput_bps.size(); ++i) {
+      if (b < r.flow_goodput_bps[i].size()) burst += r.flow_goodput_bps[i][b];
+    }
+    const double util =
+        b < r.link_utilization.size() ? 100.0 * r.link_utilization[b] : 0.0;
+    const double queue_pkts =
+        r.queue_series.time_average(static_cast<sim::Time>(b) *
+                                        sim::kMillisecond,
+                                    static_cast<sim::Time>(b + 1) *
+                                        sim::kMillisecond) /
+        1516.0;
+    std::printf("%5zu %12.0f %12.0f %12.1f %10.1f\n", b,
+                r.flow_goodput_bps[0][b] / 1e6, burst / 1e6, util, queue_pkts);
+  }
+
+  sim::Time last_short = 0;
+  for (const auto& f : r.flows) {
+    if (f.spec.id >= 2) last_short = std::max(last_short, f.finish_time);
+  }
+  std::printf(
+      "\nLong flow FCT: %.1f ms; burst fully drained by t=%.1f ms; "
+      "drops: %lld\n",
+      sim::to_millis(r.flow(1)->completion_time()),
+      sim::to_millis(last_short), static_cast<long long>(r.queue_drops));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Multipath PDQ on BCube (the paper's S6): stripe each flow across
+// subflows on the server's multiple NICs and shift load away from paused
+// paths. Prints single-path vs multipath completion times per flow.
+//
+// Build & run:  ./build/examples/multipath_bcube [num_subflows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/stacks.h"
+#include "workload/workload.h"
+
+using namespace pdq;
+
+int main(int argc, char** argv) {
+  const int subflows = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  // BCube(2,3): 16 dual-digit servers, 4 NICs each.
+  sim::Simulator scratch_sim;
+  net::Topology scratch(scratch_sim, 1);
+  auto servers = net::build_bcube(scratch, 2, 3);
+
+  sim::Rng rng(2026);
+  workload::FlowSetOptions w;
+  w.num_flows = 4;  // 25% of hosts sending: the light-load regime
+  w.size = workload::uniform_size(1'000'000, 1'000'000);
+  w.pattern = workload::random_permutation();
+  auto flows = workload::make_flows(servers, w, rng);
+
+  auto build = [](net::Topology& t) { return net::build_bcube(t, 2, 3); };
+  harness::RunOptions opts;
+  opts.horizon = 10 * sim::kSecond;
+
+  harness::PdqStack single;
+  auto rs = harness::run_scenario(single, build, flows, opts);
+
+  core::MpdqConfig cfg;
+  cfg.num_subflows = subflows;
+  harness::MpdqStack multi(cfg);
+  auto rm = harness::run_scenario(multi, build, flows, opts);
+
+  std::printf("M-PDQ on BCube(2,3), random permutation, 4 x 1 MB flows\n\n");
+  std::printf("%6s %14s %16s %9s\n", "flow", "PDQ FCT [ms]",
+              "M-PDQ(%d) [ms]", "speedup");
+  for (std::size_t i = 0; i < rs.flows.size(); ++i) {
+    const double a = sim::to_millis(rs.flows[i].completion_time());
+    const double b = sim::to_millis(rm.flows[i].completion_time());
+    std::printf("f%-5lld %14.2f %16.2f %8.2fx\n",
+                static_cast<long long>(rs.flows[i].spec.id), a, b, a / b);
+  }
+  std::printf("\nmean: PDQ %.2f ms vs M-PDQ %.2f ms (%.2fx)\n",
+              rs.mean_fct_ms(), rm.mean_fct_ms(),
+              rs.mean_fct_ms() / rm.mean_fct_ms());
+  std::printf(
+      "M-PDQ exploits the %d parallel NIC paths BCube provides, shifting\n"
+      "load away from paused subflows every millisecond.\n",
+      4);
+  return 0;
+}

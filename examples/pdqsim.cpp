@@ -1,0 +1,240 @@
+// pdqsim: command-line driver for the PDQ simulator.
+//
+// Runs any protocol on any built-in topology with a configurable
+// workload and prints per-flow results plus summary metrics; the one-stop
+// entry point for trying the library without writing C++.
+//
+// Usage:
+//   pdqsim [--protocol pdq|pdq-basic|pdq-es|pdq-eset|mpdq|rcp|d3|tcp]
+//          [--topology bottleneck|tree|fattree|bcube|jellyfish]
+//          [--servers N] [--flows N] [--pattern agg|stride|staggered|perm]
+//          [--size-dist uniform|vl2|edu|pareto] [--mean-kb N]
+//          [--deadlines] [--deadline-ms N] [--arrival-rate R]
+//          [--subflows K] [--seed S] [--csv] [--verbose]
+//
+// Examples:
+//   pdqsim --protocol pdq --topology fattree --servers 16 --flows 48
+//   pdqsim --protocol tcp --pattern agg --flows 30 --deadlines
+//   pdqsim --protocol mpdq --topology bcube --subflows 4
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "harness/stacks.h"
+#include "workload/workload.h"
+
+using namespace pdq;
+
+namespace {
+
+struct Args {
+  std::string protocol = "pdq";
+  std::string topology = "bottleneck";
+  int servers = 12;
+  int flows = 12;
+  std::string pattern = "perm";
+  std::string size_dist = "uniform";
+  int mean_kb = 100;
+  bool deadlines = false;
+  int deadline_ms = 20;
+  double arrival_rate = 0.0;
+  int subflows = 3;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  bool verbose = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: pdqsim [--protocol P] [--topology T] [--servers N]\n"
+               "              [--flows N] [--pattern P] [--size-dist D]\n"
+               "              [--mean-kb N] [--deadlines] [--deadline-ms N]\n"
+               "              [--arrival-rate R] [--subflows K] [--seed S]\n"
+               "              [--csv] [--verbose]\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  auto next = [&](int& i) -> const char* {
+    if (++i >= argc) usage();
+    return argv[i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--protocol") a.protocol = next(i);
+    else if (arg == "--topology") a.topology = next(i);
+    else if (arg == "--servers") a.servers = std::atoi(next(i));
+    else if (arg == "--flows") a.flows = std::atoi(next(i));
+    else if (arg == "--pattern") a.pattern = next(i);
+    else if (arg == "--size-dist") a.size_dist = next(i);
+    else if (arg == "--mean-kb") a.mean_kb = std::atoi(next(i));
+    else if (arg == "--deadlines") a.deadlines = true;
+    else if (arg == "--deadline-ms") { a.deadline_ms = std::atoi(next(i)); a.deadlines = true; }
+    else if (arg == "--arrival-rate") a.arrival_rate = std::atof(next(i));
+    else if (arg == "--subflows") a.subflows = std::atoi(next(i));
+    else if (arg == "--seed") a.seed = static_cast<std::uint64_t>(std::atoll(next(i)));
+    else if (arg == "--csv") a.csv = true;
+    else if (arg == "--verbose") a.verbose = true;
+    else if (arg == "--help" || arg == "-h") usage();
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      usage();
+    }
+  }
+  return a;
+}
+
+harness::TopologyBuilder topology_builder(const Args& a) {
+  const int n = a.servers;
+  if (a.topology == "bottleneck") {
+    return [n](net::Topology& t) { return net::build_single_bottleneck(t, n); };
+  }
+  if (a.topology == "tree") {
+    const int tors = std::max(1, n / 3);
+    return [tors](net::Topology& t) {
+      return net::build_single_rooted_tree(t, tors, 3);
+    };
+  }
+  if (a.topology == "fattree") {
+    // Smallest even k with k^3/4 >= n.
+    int k = 4;
+    while (k * k * k / 4 < n) k += 2;
+    return [k](net::Topology& t) { return net::build_fat_tree(t, k); };
+  }
+  if (a.topology == "bcube") {
+    // BCube(2,k): smallest 2^(k+1) >= n.
+    int k = 1;
+    while ((2 << k) < n) ++k;
+    return [k](net::Topology& t) { return net::build_bcube(t, 2, k); };
+  }
+  if (a.topology == "jellyfish") {
+    const int switches = std::max(4, (n + 3) / 4);
+    return [switches](net::Topology& t) {
+      return net::build_jellyfish(t, switches, 8, 4, 7);
+    };
+  }
+  std::fprintf(stderr, "unknown topology %s\n", a.topology.c_str());
+  usage();
+}
+
+workload::PatternFn pattern_fn(const Args& a) {
+  if (a.pattern == "agg") return workload::aggregation();
+  if (a.pattern == "stride") return workload::stride(1);
+  if (a.pattern == "staggered") return workload::staggered_prob(0.7, 3);
+  if (a.pattern == "perm") return workload::random_permutation();
+  std::fprintf(stderr, "unknown pattern %s\n", a.pattern.c_str());
+  usage();
+}
+
+workload::SizeFn size_fn(const Args& a) {
+  const std::int64_t mean = a.mean_kb * 1000L;
+  if (a.size_dist == "uniform") {
+    return workload::uniform_size(std::max<std::int64_t>(1, mean - 98'000),
+                                  mean + 98'000);
+  }
+  if (a.size_dist == "vl2") return workload::vl2_size();
+  if (a.size_dist == "edu") return workload::edu_size();
+  if (a.size_dist == "pareto")
+    return workload::pareto_size(1.1, std::max<std::int64_t>(1, mean / 11));
+  std::fprintf(stderr, "unknown size-dist %s\n", a.size_dist.c_str());
+  usage();
+}
+
+std::unique_ptr<harness::ProtocolStack> stack_for(const Args& a) {
+  if (a.protocol == "pdq")
+    return std::make_unique<harness::PdqStack>();
+  if (a.protocol == "pdq-basic")
+    return std::make_unique<harness::PdqStack>(core::PdqConfig::basic(),
+                                               "PDQ(Basic)");
+  if (a.protocol == "pdq-es")
+    return std::make_unique<harness::PdqStack>(core::PdqConfig::es(),
+                                               "PDQ(ES)");
+  if (a.protocol == "pdq-eset")
+    return std::make_unique<harness::PdqStack>(core::PdqConfig::es_et(),
+                                               "PDQ(ES+ET)");
+  if (a.protocol == "mpdq") {
+    core::MpdqConfig cfg;
+    cfg.num_subflows = a.subflows;
+    return std::make_unique<harness::MpdqStack>(cfg);
+  }
+  if (a.protocol == "rcp") return std::make_unique<harness::RcpStack>();
+  if (a.protocol == "d3") return std::make_unique<harness::D3Stack>();
+  if (a.protocol == "tcp") return std::make_unique<harness::TcpStack>();
+  std::fprintf(stderr, "unknown protocol %s\n", a.protocol.c_str());
+  usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+
+  // Materialize the workload against a scratch topology.
+  sim::Simulator scratch_sim;
+  net::Topology scratch(scratch_sim, a.seed);
+  auto build = topology_builder(a);
+  auto servers = build(scratch);
+
+  sim::Rng rng(a.seed);
+  workload::FlowSetOptions w;
+  w.num_flows = a.flows;
+  w.size = size_fn(a);
+  if (a.deadlines) {
+    w.deadline = workload::exp_deadline(a.deadline_ms * sim::kMillisecond);
+  }
+  w.pattern = pattern_fn(a);
+  w.arrival_rate_per_sec = a.arrival_rate;
+  auto flows = workload::make_flows(servers, w, rng);
+
+  auto stack = stack_for(a);
+  harness::RunOptions opts;
+  opts.horizon = 120 * sim::kSecond;
+  opts.seed = a.seed;
+  auto r = harness::run_scenario(*stack, build, flows, opts);
+
+  if (a.csv) {
+    std::printf("flow,src,dst,size_bytes,deadline_ms,fct_ms,outcome,met\n");
+    for (const auto& f : r.flows) {
+      std::printf("%lld,%d,%d,%lld,%.3f,%.3f,%d,%d\n",
+                  static_cast<long long>(f.spec.id), f.spec.src, f.spec.dst,
+                  static_cast<long long>(f.spec.size_bytes),
+                  f.spec.has_deadline() ? sim::to_millis(f.spec.deadline) : -1,
+                  sim::to_millis(f.completion_time()),
+                  static_cast<int>(f.outcome), f.deadline_met() ? 1 : 0);
+    }
+    return 0;
+  }
+
+  std::printf("pdqsim: %s on %s (%zu servers), %d flows, seed %llu\n\n",
+              stack->name().c_str(), a.topology.c_str(), servers.size(),
+              a.flows, static_cast<unsigned long long>(a.seed));
+  if (a.verbose) {
+    std::printf("%6s %6s %6s %10s %10s %10s %6s\n", "flow", "src", "dst",
+                "size[KB]", "dl[ms]", "fct[ms]", "met");
+    for (const auto& f : r.flows) {
+      std::printf("%6lld %6d %6d %10.1f %10.1f %10.2f %6s\n",
+                  static_cast<long long>(f.spec.id), f.spec.src, f.spec.dst,
+                  static_cast<double>(f.spec.size_bytes) / 1000.0,
+                  f.spec.has_deadline() ? sim::to_millis(f.spec.deadline) : -1,
+                  sim::to_millis(f.completion_time()),
+                  f.outcome != net::FlowOutcome::kCompleted ? "TERM"
+                  : f.deadline_met()                        ? "yes"
+                                                            : "no");
+    }
+    std::printf("\n");
+  }
+  std::printf("completed:             %zu / %zu\n", r.completed(),
+              r.flows.size());
+  std::printf("mean FCT:              %.3f ms\n", r.mean_fct_ms());
+  std::printf("max FCT:               %.3f ms\n", r.max_fct_ms());
+  if (a.deadlines) {
+    std::printf("application throughput: %.1f %%\n",
+                r.application_throughput());
+  }
+  std::printf("queue drops:           %lld\n",
+              static_cast<long long>(r.queue_drops));
+  return 0;
+}

@@ -1,0 +1,36 @@
+// The shared flow comparator (paper S3.3): flows are ordered by
+//   1. earlier absolute deadline        (EDF — deadline flows first)
+//   2. smaller expected transmission time (SJF tie-break)
+//   3. smaller flow id                  (final tie-break)
+// Deadline-unconstrained flows carry deadline = infinity, so EDF naturally
+// prioritizes all deadline flows over no-deadline flows.
+#pragma once
+
+#include <tuple>
+
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace pdq::core {
+
+struct Criticality {
+  sim::Time deadline = sim::kTimeInfinity;  // absolute
+  sim::Time expected_tx = 0;                // T
+  net::FlowId flow = net::kInvalidFlow;
+
+  friend bool operator<(const Criticality& a, const Criticality& b) {
+    return std::tie(a.deadline, a.expected_tx, a.flow) <
+           std::tie(b.deadline, b.expected_tx, b.flow);
+  }
+  friend bool operator==(const Criticality& a, const Criticality& b) {
+    return a.deadline == b.deadline && a.expected_tx == b.expected_tx &&
+           a.flow == b.flow;
+  }
+};
+
+/// true when a is strictly more critical than b.
+inline bool more_critical(const Criticality& a, const Criticality& b) {
+  return a < b;
+}
+
+}  // namespace pdq::core

@@ -1,0 +1,177 @@
+#include "core/mpdq.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/topology.h"
+
+namespace pdq::core {
+
+namespace {
+/// Same mixer as the topology's ECMP hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+MpdqSender::MpdqSender(net::AgentContext ctx, MpdqConfig cfg)
+    : ctx_(std::move(ctx)), cfg_(cfg) {
+  assert(cfg_.num_subflows >= 1);
+  result_.spec = ctx_.spec;
+
+  // Flow-level ECMP: each subflow hashes onto one of the link-disjoint
+  // paths (collisions possible, exactly as with switch ECMP).
+  const auto& paths = ctx_.topo->disjoint_paths(ctx_.spec.src, ctx_.spec.dst);
+  assert(!paths.empty());
+  workers_.resize(static_cast<std::size_t>(cfg_.num_subflows));
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const std::uint64_t h =
+        mix64(static_cast<std::uint64_t>(ctx_.spec.id) * 1315423911ULL + w);
+    workers_[w].route = paths[h % paths.size()];
+  }
+}
+
+MpdqSender::~MpdqSender() {
+  for (auto& w : workers_) {
+    if (w.id != net::kInvalidFlow) {
+      ctx_.local->detach_sender(w.id);
+      ctx_.topo->host(ctx_.spec.dst).detach_receiver(w.id);
+    }
+  }
+}
+
+int MpdqSender::sending_subflows() const {
+  int n = 0;
+  for (const auto& w : workers_)
+    if (!w.done && w.sender && w.sender->rate_bps() > 0) ++n;
+  return n;
+}
+
+std::int64_t MpdqSender::remaining_bytes() const {
+  // Live view: bytes still unacknowledged across all unfinished subflows.
+  std::int64_t rem = 0;
+  for (const auto& w : workers_) {
+    if (!w.done && w.sender && !w.sender->finished())
+      rem += w.sender->remaining_bytes();
+  }
+  return rem;
+}
+
+void MpdqSender::start() {
+  assert(!started_);
+  started_ = true;
+
+  const auto k = static_cast<std::int64_t>(workers_.size());
+  const std::int64_t base = ctx_.spec.size_bytes / k;
+
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    net::FlowSpec sub = ctx_.spec;
+    sub.id = ctx_.spec.id * kMpdqIdStride + 1 + static_cast<net::FlowId>(w);
+    sub.parent = ctx_.spec.id;
+    sub.size_bytes =
+        (w == 0) ? ctx_.spec.size_bytes - base * (k - 1) : base;
+    if (sub.size_bytes <= 0) {
+      workers_[w].done = true;
+      continue;
+    }
+
+    net::AgentContext rctx;
+    rctx.topo = ctx_.topo;
+    rctx.local = &ctx_.topo->host(ctx_.spec.dst);
+    rctx.spec = sub;
+    workers_[w].receiver = std::make_unique<PdqReceiver>(std::move(rctx));
+    ctx_.topo->host(ctx_.spec.dst)
+        .attach_receiver(sub.id, workers_[w].receiver.get());
+
+    net::AgentContext sctx;
+    sctx.topo = ctx_.topo;
+    sctx.local = ctx_.local;
+    sctx.spec = sub;
+    sctx.route = workers_[w].route;
+    sctx.on_done = [this, w](const net::FlowResult& r) {
+      on_subflow_done(w, r);
+    };
+    workers_[w].sender = std::make_unique<PdqSender>(std::move(sctx), cfg_.pdq);
+    workers_[w].sender->set_remaining_override(
+        [this] { return remaining_bytes(); });
+    ctx_.local->attach_sender(sub.id, workers_[w].sender.get());
+    workers_[w].id = sub.id;
+    workers_[w].sender->start();
+  }
+
+  ctx_.topo->sim().schedule_in(cfg_.rebalance_interval,
+                               [this] { rebalance(); });
+}
+
+void MpdqSender::rebalance() {
+  if (result_.outcome != net::FlowOutcome::kPending) return;
+
+  // Target: the *sending* subflow with the minimal remaining load.
+  Worker* target = nullptr;
+  std::int64_t target_remaining = 0;
+  for (auto& w : workers_) {
+    if (w.done || !w.sender || w.sender->finished()) continue;
+    if (w.sender->rate_bps() <= 0) continue;
+    const std::int64_t rem = w.sender->remaining_bytes();
+    if (!target || rem < target_remaining) {
+      target = &w;
+      target_remaining = rem;
+    }
+  }
+  if (target) {
+    for (auto& w : workers_) {
+      if (&w == target || w.done || !w.sender || w.sender->finished())
+        continue;
+      if (w.sender->rate_bps() > 0) continue;  // only drain paused subflows
+      const std::int64_t movable = w.sender->unsent_tail_bytes();
+      if (movable <= 0) continue;
+      std::int64_t moved = w.sender->shrink_tail(movable);
+      if (moved > 0 && !target->sender->extend_tail(moved)) {
+        // Target raced to completion; hand the bytes to any live subflow
+        // (the donor itself if need be) so none are lost.
+        for (auto& other : workers_) {
+          if (other.sender && !other.sender->finished() &&
+              other.sender->extend_tail(moved)) {
+            moved = 0;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  ctx_.topo->sim().schedule_in(cfg_.rebalance_interval,
+                               [this] { rebalance(); });
+}
+
+void MpdqSender::on_subflow_done(std::size_t wi, const net::FlowResult& r) {
+  Worker& w = workers_[wi];
+  w.done = true;
+  result_.packets_sent += r.packets_sent;
+  result_.retransmissions += r.retransmissions;
+  result_.bytes_acked += r.bytes_acked;
+
+  if (r.outcome == net::FlowOutcome::kTerminated) {
+    // Early Termination on any subflow kills the whole multipath flow.
+    finish(net::FlowOutcome::kTerminated);
+    return;
+  }
+  if (result_.bytes_acked >= result_.spec.size_bytes) {
+    finish(net::FlowOutcome::kCompleted);
+    return;
+  }
+  // Not done yet: remaining bytes live in other (possibly paused)
+  // subflows; the rebalancer keeps funneling work to whoever can send.
+}
+
+void MpdqSender::finish(net::FlowOutcome outcome) {
+  if (result_.outcome != net::FlowOutcome::kPending) return;
+  result_.outcome = outcome;
+  result_.finish_time = ctx_.topo->sim().now();
+  if (ctx_.on_done) ctx_.on_done(result_);
+}
+
+}  // namespace pdq::core

@@ -1,0 +1,64 @@
+// Multipath PDQ (paper S6).
+//
+// The M-PDQ sender splits a flow into `num_subflows` PDQ subflows assigned
+// to paths by flow-level ECMP hashing over the link-disjoint path set (in
+// BCube these are the paths through the server's multiple NICs). Each
+// subflow starts with an equal slice of the flow. A periodic rebalancer
+// implements the paper's load shifting: it moves unsent bytes from paused
+// subflows to the sending subflow with the minimal remaining load. Every
+// subflow advertises the whole flow's remaining size as its criticality,
+// so M-PDQ flows compete with single-path flows on equal terms.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/pdq_agent.h"
+#include "core/pdq_config.h"
+#include "net/paced_sender.h"
+
+namespace pdq::core {
+
+struct MpdqConfig {
+  PdqConfig pdq;
+  int num_subflows = 3;  // the paper's Fig 11a setting
+  sim::Time rebalance_interval = sim::kMillisecond;
+};
+
+/// Subflow ids are parent * kMpdqIdStride + 1 + subflow index; keep parent
+/// flow ids below 2^43 to avoid collisions.
+inline constexpr net::FlowId kMpdqIdStride = 1 << 20;
+
+class MpdqSender : public net::Agent {
+ public:
+  MpdqSender(net::AgentContext ctx, MpdqConfig cfg);
+  ~MpdqSender() override;
+
+  void start() override;
+  void on_packet(const net::PacketPtr&) override {}  // subflows get these
+  const net::FlowResult* flow_result() const override { return &result_; }
+
+  int sending_subflows() const;
+  std::int64_t remaining_bytes() const;
+
+ private:
+  struct Worker {
+    std::vector<net::NodeId> route;
+    std::unique_ptr<PdqSender> sender;
+    std::unique_ptr<PdqReceiver> receiver;
+    net::FlowId id = net::kInvalidFlow;
+    bool done = false;
+  };
+
+  void rebalance();
+  void on_subflow_done(std::size_t w, const net::FlowResult& r);
+  void finish(net::FlowOutcome outcome);
+
+  net::AgentContext ctx_;
+  MpdqConfig cfg_;
+  net::FlowResult result_;
+  std::vector<Worker> workers_;
+  bool started_ = false;
+};
+
+}  // namespace pdq::core

@@ -1,0 +1,143 @@
+#include "core/pdq_agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdq::core {
+
+namespace {
+constexpr sim::Time kMinTick = 50 * sim::kMicrosecond;
+}  // namespace
+
+PdqSender::PdqSender(net::AgentContext ctx, PdqConfig cfg)
+    : net::PacedSender(std::move(ctx)), cfg_(cfg) {
+  rmax_ = cfg_.rmax_bps > 0.0 ? cfg_.rmax_bps : nic_rate_bps();
+  if (cfg_.criticality == CriticalityMode::kRandom) {
+    // A fixed criticality drawn once at flow start; using the transmission
+    // time of a uniformly random "size" keeps units consistent.
+    const double fake_bytes =
+        this->ctx().topo->rng().uniform(1.0, 2.0e6);
+    random_criticality_ =
+        sim::transmission_time(static_cast<std::int64_t>(fake_bytes), rmax_);
+  }
+}
+
+sim::Time PdqSender::advertised_tx_time() const {
+  switch (cfg_.criticality) {
+    case CriticalityMode::kRandom:
+      return random_criticality_;
+    case CriticalityMode::kEstimation: {
+      // Least-attained-service estimate: the more a flow has sent, the
+      // larger it probably is. Updated every `estimation_bucket_bytes` so
+      // criticality does not flap per packet.
+      const std::int64_t sent =
+          ctx().spec.size_bytes - remaining_bytes();
+      const std::int64_t bucket =
+          (sent / cfg_.estimation_bucket_bytes + 1) *
+          cfg_.estimation_bucket_bytes;
+      return sim::transmission_time(bucket, rmax_);
+    }
+    case CriticalityMode::kExact:
+      break;
+  }
+  sim::Time t = remaining_override_
+                    ? sim::transmission_time(remaining_override_(), rmax_)
+                    : expected_tx_time(rmax_);
+  if (cfg_.aging_alpha > 0.0 && started()) {
+    const double waited = static_cast<double>(
+                              ctx().topo->sim().now() - ctx().spec.start_time) /
+                          static_cast<double>(cfg_.aging_unit);
+    const double factor = std::pow(2.0, cfg_.aging_alpha * waited);
+    t = static_cast<sim::Time>(static_cast<double>(t) / factor);
+  }
+  return t;
+}
+
+sim::Time PdqSender::advertised_deadline() const {
+  if (cfg_.criticality != CriticalityMode::kExact) return sim::kTimeInfinity;
+  return ctx().spec.absolute_deadline();
+}
+
+void PdqSender::on_start() { tick(); }
+
+void PdqSender::decorate(net::Packet& p) {
+  p.size_bytes += net::kSchedulingHeaderBytes;
+  auto& h = p.pdq;
+  h.rate_bps = rmax_;  // R_H is always the maximal sending rate
+  h.pause_by = paused_by_;
+  h.deadline = advertised_deadline();
+  h.expected_tx = advertised_tx_time();
+  h.rtt = rtt_estimate();
+  h.inter_probe_rtts = 0.0;  // switches raise this via Suppressed Probing
+}
+
+void PdqSender::on_reverse(const net::PacketPtr& p) {
+  got_feedback_ = true;
+  const auto& h = p->pdq;
+  paused_by_ = h.pause_by;
+  if (h.inter_probe_rtts > 0.0) inter_probe_rtts_ = h.inter_probe_rtts;
+
+  if (check_early_termination()) return;
+
+  if (is_paused() || h.rate_bps <= 0.0) {
+    set_rate(0.0);
+    // Probe at the instructed interval (at least one RTT).
+    const double gap_rtts = std::max(1.0, inter_probe_rtts_);
+    next_probe_at_ =
+        now() + static_cast<sim::Time>(
+                    gap_rtts * static_cast<double>(rtt_estimate()));
+  } else {
+    set_rate(std::min(h.rate_bps, rmax_));
+  }
+}
+
+bool PdqSender::check_early_termination() {
+  if (!cfg_.early_termination || finished()) return false;
+  const sim::Time deadline = ctx().spec.absolute_deadline();
+  if (deadline == sim::kTimeInfinity) return false;
+  const sim::Time t = now();
+  const bool past = t > deadline;
+  const bool cannot_finish = t + expected_tx_time(rmax_) > deadline;
+  const bool paused_too_late =
+      (is_paused() || rate_bps() <= 0.0) && t + rtt_estimate() > deadline;
+  if (past || cannot_finish || paused_too_late) {
+    complete(net::FlowOutcome::kTerminated);
+    return true;
+  }
+  return false;
+}
+
+void PdqSender::send_probe() {
+  send_control(net::PacketType::kProbe);
+}
+
+void PdqSender::tick() {
+  if (finished()) return;
+
+  if (check_early_termination()) return;
+
+  if (got_feedback_ && rate_bps() <= 0.0 && now() >= next_probe_at_) {
+    send_probe();
+    const double gap_rtts = std::max(1.0, inter_probe_rtts_);
+    next_probe_at_ =
+        now() + static_cast<sim::Time>(
+                    gap_rtts * static_cast<double>(rtt_estimate()));
+  }
+
+  const sim::Time interval = std::max(rtt_estimate() / 2, kMinTick);
+  sim().schedule_in(interval, [this] { tick(); });
+}
+
+PdqReceiver::PdqReceiver(net::AgentContext ctx, double receive_rate_bps)
+    : net::EchoReceiver(std::move(ctx)),
+      receive_rate_bps_(receive_rate_bps > 0.0
+                            ? receive_rate_bps
+                            : ctx_.local->nic_rate_bps()) {}
+
+void PdqReceiver::decorate_reply(net::Packet& reply, const net::Packet&) {
+  // The PDQ receiver prevents sender overruns by capping the granted rate
+  // at what it can process and receive.
+  reply.pdq.rate_bps = std::min(reply.pdq.rate_bps, receive_rate_bps_);
+}
+
+}  // namespace pdq::core

@@ -1,0 +1,68 @@
+// PDQ end-host logic (paper S3.1-S3.2).
+//
+// Sender: paces data at the switch-granted rate R_S; when paused (R_S = 0)
+// it probes every I_S RTTs; optionally applies Early Termination to
+// deadline flows and aging to long-waiting flows; supports the inaccurate-
+// flow-knowledge criticality modes of S5.6.
+// Receiver: echoes the scheduling header into ACKs and clamps the granted
+// rate to what it can receive.
+#pragma once
+
+#include "core/pdq_config.h"
+#include "net/paced_sender.h"
+
+namespace pdq::core {
+
+class PdqSender : public net::PacedSender {
+ public:
+  PdqSender(net::AgentContext ctx, PdqConfig cfg);
+
+  net::NodeId paused_by() const { return paused_by_; }
+  bool is_paused() const { return paused_by_ != net::kInvalidNode; }
+  double rmax_bps() const { return rmax_; }
+
+  /// The T_H value this sender currently advertises (after criticality
+  /// mode and aging adjustments). Exposed for tests.
+  sim::Time advertised_tx_time() const;
+  sim::Time advertised_deadline() const;
+
+  /// M-PDQ hook: subflows advertise the whole multipath flow's remaining
+  /// bytes instead of their own slice, so criticality stays comparable to
+  /// single-path flows.
+  void set_remaining_override(std::function<std::int64_t()> fn) {
+    remaining_override_ = std::move(fn);
+  }
+
+ protected:
+  void on_start() override;
+  void decorate(net::Packet& p) override;
+  void on_reverse(const net::PacketPtr& p) override;
+
+ private:
+  void tick();
+  void send_probe();
+  bool check_early_termination();
+
+  PdqConfig cfg_;
+  double rmax_ = 0.0;
+  net::NodeId paused_by_ = net::kInvalidNode;  // P_S
+  double inter_probe_rtts_ = 1.0;              // I_S
+  sim::Time next_probe_at_ = 0;
+  sim::Time random_criticality_ = 0;  // fixed T for CriticalityMode::kRandom
+  bool got_feedback_ = false;
+  std::function<std::int64_t()> remaining_override_;
+};
+
+class PdqReceiver : public net::EchoReceiver {
+ public:
+  /// `receive_rate_bps` caps the granted rate (0 = receiver NIC rate).
+  explicit PdqReceiver(net::AgentContext ctx, double receive_rate_bps = 0.0);
+
+ protected:
+  void decorate_reply(net::Packet& reply, const net::Packet& data) override;
+
+ private:
+  double receive_rate_bps_;
+};
+
+}  // namespace pdq::core

@@ -1,0 +1,296 @@
+#include "core/pdq_switch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/topology.h"
+
+namespace pdq::core {
+
+void PdqLinkController::attach(net::Port& port) {
+  net::LinkController::attach(port);
+  r_pdq_bps_ = cfg_.r_pdq_fraction * port.link().rate_bps;
+  capacity_bps_ = r_pdq_bps_;
+  // Kick off the periodic rate-controller / GC loop.
+  port.owner().topo().sim().schedule_in(
+      static_cast<sim::Time>(cfg_.rc_interval_rtts *
+                             static_cast<double>(cfg_.default_rtt)),
+      [this] { rate_controller_tick(); });
+}
+
+net::NodeId PdqLinkController::my_id() const {
+  return port_->owner().id();
+}
+
+sim::Time PdqLinkController::now() const {
+  return port_->owner().topo().sim().now();
+}
+
+int PdqLinkController::find(net::FlowId f) const {
+  for (std::size_t i = 0; i < list_.size(); ++i)
+    if (list_[i].flow == f) return static_cast<int>(i);
+  return -1;
+}
+
+void PdqLinkController::remove(net::FlowId f) {
+  const int i = find(f);
+  if (i >= 0) list_.erase(list_.begin() + i);
+}
+
+std::size_t PdqLinkController::resort(std::size_t i) {
+  FlowEntry e = list_[i];
+  list_.erase(list_.begin() + static_cast<std::ptrdiff_t>(i));
+  const Criticality c = e.criticality();
+  auto pos = std::lower_bound(
+      list_.begin(), list_.end(), c,
+      [](const FlowEntry& fe, const Criticality& key) {
+        return fe.criticality() < key;
+      });
+  const auto idx = static_cast<std::size_t>(pos - list_.begin());
+  list_.insert(pos, std::move(e));
+  peak_list_size_ = std::max(peak_list_size_, list_.size());
+  return idx;
+}
+
+int PdqLinkController::num_sending() const {
+  int n = 0;
+  for (const auto& e : list_)
+    if (e.sending()) ++n;
+  return n;
+}
+
+std::size_t PdqLinkController::list_limit() const {
+  // Store the most critical 2*kappa flows (kappa = sending flows), with a
+  // small floor so short lists never thrash, capped by the memory bound M.
+  const auto kappa = static_cast<std::size_t>(num_sending());
+  const std::size_t want = std::max<std::size_t>(2 * kappa, 8);
+  return std::min(want, static_cast<std::size_t>(cfg_.max_flows_M));
+}
+
+double PdqLinkController::avail_bw(std::size_t index) const {
+  // Algorithm 2: flows more critical than `index` either consume their
+  // committed rate R_i or, if nearly completed (T_i < K * RTT_i) and the
+  // Early Start budget X < K allows, are exempted so the next flow can
+  // start while they drain.
+  const double K = cfg_.early_start ? cfg_.early_start_K : 0.0;
+  double X = 0.0;
+  double A = 0.0;
+  const sim::Time t = now();
+  for (std::size_t i = 0; i < index && i < list_.size(); ++i) {
+    const FlowEntry& e = list_[i];
+    const sim::Time ertt = e.rtt > 0 ? e.rtt : cfg_.default_rtt;
+    const double tx_in_rtts =
+        static_cast<double>(e.expected_tx) / static_cast<double>(ertt);
+    if (tx_in_rtts < K && X < K) {
+      X += tx_in_rtts;
+    } else {
+      double effective = e.rate_bps;
+      // Honor a recent provisional grant that has not been committed yet.
+      if (e.granted_at >= 0 && t - e.granted_at < 2 * ertt) {
+        effective = std::max(effective, e.granted_bps);
+      }
+      A += effective;
+    }
+  }
+  if (A >= capacity_bps_) return 0.0;
+  return capacity_bps_ - A;
+}
+
+void PdqLinkController::on_forward(net::Packet& p) {
+  if (p.flow == net::kInvalidFlow) return;
+  auto& hdr = p.pdq;
+
+  if (p.type == net::PacketType::kTerm) {
+    remove(p.flow);
+    return;
+  }
+
+  // Algorithm 1, line 1: paused by some other switch -> forget the flow.
+  if (hdr.pause_by != net::kInvalidNode && hdr.pause_by != my_id()) {
+    remove(p.flow);
+    return;
+  }
+
+  int idx = find(p.flow);
+  if (idx < 0) {
+    const std::size_t limit = list_limit();
+    const Criticality incoming{hdr.deadline, hdr.expected_tx, p.flow};
+    const bool fits = list_.size() < limit ||
+                      more_critical(incoming, list_.back().criticality());
+    if (!fits) {
+      // Beyond the state cap: hand the flow to the RCP-style fallback so
+      // leftover bandwidth is still used (S3.3.1).
+      overflow_flows_.insert(p.flow);
+      hdr.rate_bps = std::min(hdr.rate_bps, rcp_fallback_rate());
+      if (hdr.rate_bps <= 0.0) {
+        hdr.rate_bps = 0.0;
+        hdr.pause_by = my_id();
+      } else {
+        hdr.pause_by = net::kInvalidNode;
+      }
+      return;
+    }
+    FlowEntry e;
+    e.flow = p.flow;
+    e.rate_bps = 0.0;
+    e.pause_by = net::kInvalidNode;
+    list_.push_back(e);
+    idx = static_cast<int>(list_.size() - 1);
+  }
+
+  // Update <D_i, T_i, RTT_i> from the header and restore sort order.
+  auto& entry = list_[static_cast<std::size_t>(idx)];
+  entry.deadline = hdr.deadline;
+  entry.expected_tx = hdr.expected_tx;
+  if (hdr.rtt > 0) entry.rtt = hdr.rtt;
+  entry.last_seen = now();
+  std::size_t pos = resort(static_cast<std::size_t>(idx));
+  // Evict the least critical entries once sorted (they can re-enter via
+  // probes when the list has room again). The newcomer was admitted only
+  // if more critical than the old tail, so it survives.
+  const std::size_t limit_now = list_limit();
+  while (list_.size() > limit_now && list_.back().flow != p.flow) {
+    list_.pop_back();
+  }
+  assert(pos < list_.size() && list_[pos].flow == p.flow);
+  FlowEntry& e = list_[pos];
+
+  const double requested = hdr.rate_bps;
+  const double W = std::min(avail_bw(pos), hdr.rate_bps);
+  const bool not_sending_now = e.pause_by != net::kInvalidNode;
+  // Hysteresis target: what this flow could reasonably get *right now* —
+  // its request capped by the rate-controlled capacity. Comparing against
+  // the raw request would wedge every paused flow whenever the rate
+  // controller temporarily depresses C (an Early-Start queue transient).
+  const double entitled = std::min(requested, capacity_bps_);
+  const bool substantial =
+      !not_sending_now || W >= cfg_.unpause_fraction * entitled;
+  if (W >= cfg_.min_grant_bps && substantial) {
+    const bool not_sending = not_sending_now;
+    // Unpausing happens in criticality order ("the switch accepts flows
+    // according to their criticality"): a flow paused by this switch may
+    // not leapfrog a more critical flow that is also waiting here.
+    // Without this, transient slack created by committed-rate fluctuation
+    // is granted to whichever paused flow happens to probe first.
+    bool leapfrog = false;
+    if (not_sending) {
+      for (std::size_t i = 0; i < pos; ++i) {
+        if (list_[i].pause_by == my_id()) {
+          leapfrog = true;
+          break;
+        }
+      }
+    }
+    const bool dampened =
+        not_sending && last_unpause_time_ >= 0 &&
+        last_unpaused_flow_ != p.flow &&
+        now() - last_unpause_time_ < cfg_.dampening;
+    if (leapfrog || dampened) {
+      hdr.pause_by = my_id();
+      e.pause_by = my_id();
+      e.granted_bps = 0.0;
+      e.granted_at = -1;
+    } else {
+      const bool was_not_sending = not_sending || !e.sending();
+      hdr.pause_by = net::kInvalidNode;
+      hdr.rate_bps = W;
+      e.granted_bps = W;
+      e.granted_at = now();
+      if (was_not_sending) {
+        last_unpause_time_ = now();
+        last_unpaused_flow_ = p.flow;
+      }
+    }
+  } else {
+    hdr.pause_by = my_id();
+    e.pause_by = my_id();
+    e.granted_bps = 0.0;
+    e.granted_at = -1;
+  }
+}
+
+void PdqLinkController::on_reverse(net::Packet& p) {
+  if (p.flow == net::kInvalidFlow) return;
+  auto& hdr = p.pdq;
+
+  if (p.type == net::PacketType::kTermAck) {
+    remove(p.flow);
+    return;
+  }
+
+  // Algorithm 3.
+  if (hdr.pause_by != net::kInvalidNode && hdr.pause_by != my_id()) {
+    remove(p.flow);
+  }
+  if (hdr.pause_by != net::kInvalidNode) {
+    hdr.rate_bps = 0.0;
+  }
+  const int idx = find(p.flow);
+  if (idx >= 0) {
+    auto& e = list_[static_cast<std::size_t>(idx)];
+    e.pause_by = hdr.pause_by;
+    if (cfg_.suppressed_probing) {
+      hdr.inter_probe_rtts =
+          std::max(hdr.inter_probe_rtts,
+                   cfg_.probing_X * static_cast<double>(idx));
+    }
+    e.rate_bps = hdr.rate_bps;
+    e.granted_bps = hdr.rate_bps;  // the commit supersedes the grant
+    e.granted_at = hdr.rate_bps > 0.0 ? now() : -1;
+    e.last_seen = now();
+  }
+}
+
+sim::Time PdqLinkController::avg_rtt() const {
+  sim::Time total = 0;
+  int n = 0;
+  for (const auto& e : list_) {
+    if (e.rtt > 0) {
+      total += e.rtt;
+      ++n;
+    }
+  }
+  return n > 0 ? total / n : cfg_.default_rtt;
+}
+
+void PdqLinkController::rate_controller_tick() {
+  const sim::Time rtt = avg_rtt();
+
+  // Garbage-collect entries whose sender went silent (lost TERM, crashed
+  // sender). Keeps a lost pause/terminate message from wedging the link.
+  const sim::Time cutoff = now() - cfg_.gc_timeout;
+  std::erase_if(list_,
+                [&](const FlowEntry& e) { return e.last_seen < cutoff; });
+
+  // C = max(0, r_PDQ - q / (2 RTT)): drain whatever queue Early Start or
+  // transient inconsistency built up.
+  const double q_bits = static_cast<double>(port_->queue().bytes()) * 8.0;
+  const double drain_bps =
+      q_bits / (2.0 * sim::to_seconds(rtt));
+  capacity_bps_ = std::max(0.0, r_pdq_bps_ - drain_bps);
+
+  overflow_count_estimate_ = overflow_flows_.size();
+  overflow_flows_.clear();
+
+  port_->owner().topo().sim().schedule_in(
+      static_cast<sim::Time>(cfg_.rc_interval_rtts * static_cast<double>(rtt)),
+      [this] { rate_controller_tick(); });
+}
+
+double PdqLinkController::rcp_fallback_rate() {
+  double committed = 0.0;
+  for (const auto& e : list_) committed += e.rate_bps;
+  const double leftover = std::max(0.0, capacity_bps_ - committed);
+  const auto n = std::max<std::size_t>(
+      {overflow_count_estimate_, overflow_flows_.size(), 1});
+  return leftover / static_cast<double>(n);
+}
+
+void install_pdq(net::Topology& topo, const PdqConfig& cfg) {
+  topo.install_controllers([&](net::Port& port) {
+    (void)port;
+    return std::make_unique<PdqLinkController>(cfg);
+  });
+}
+
+}  // namespace pdq::core

@@ -1,0 +1,97 @@
+// PDQ switch logic: one PdqLinkController per output port.
+//
+// Implements the paper's Algorithms 1-3:
+//  - Algorithm 1 (on forward packets): add/evict flows in the per-link
+//    criticality-sorted list, accept or pause, with Dampening and the
+//    RCP-fallback path for flows beyond the state cap M.
+//  - Algorithm 2 (Availbw): available bandwidth for the j-th most critical
+//    flow, exempting "nearly completed" flows (Early Start, budget K).
+//  - Algorithm 3 (on reverse packets): commit the path-wide decision into
+//    per-flow state and stretch probe intervals (Suppressed Probing).
+// Plus the rate controller: C = max(0, r_PDQ - q/(2*RTT)), updated every
+// 2 average RTTs, which both drains Early-Start queues and absorbs
+// transient inconsistency (e.g. lost pause messages).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/criticality.h"
+#include "core/pdq_config.h"
+#include "net/link_controller.h"
+#include "net/node.h"
+
+namespace pdq::core {
+
+class PdqLinkController : public net::LinkController {
+ public:
+  explicit PdqLinkController(PdqConfig cfg) : cfg_(cfg) {}
+
+  void attach(net::Port& port) override;
+  void on_forward(net::Packet& p) override;
+  void on_reverse(net::Packet& p) override;
+
+  /// Per-flow state for link `e` (paper S3.3.1), kept sorted by
+  /// criticality.
+  struct FlowEntry {
+    net::FlowId flow = net::kInvalidFlow;
+    double rate_bps = 0.0;                     // R_i (committed on reverse)
+    net::NodeId pause_by = net::kInvalidNode;  // P_i
+    sim::Time deadline = sim::kTimeInfinity;   // D_i (absolute)
+    sim::Time expected_tx = 0;                 // T_i
+    sim::Time rtt = 0;                         // RTT_i
+    sim::Time last_seen = 0;
+    /// Rate provisionally granted on the forward path. Counted by
+    /// avail_bw() until the reverse-path commit lands, so that two flows
+    /// racing through their first RTT cannot both be granted the full
+    /// link (the committed R_i alone is half an RTT stale).
+    double granted_bps = 0.0;
+    sim::Time granted_at = -1;
+
+    Criticality criticality() const { return {deadline, expected_tx, flow}; }
+    bool sending() const { return rate_bps > 0.0; }
+  };
+
+  const std::vector<FlowEntry>& flow_list() const { return list_; }
+  double capacity_bps() const { return capacity_bps_; }
+  int num_sending() const;
+  std::size_t peak_list_size() const { return peak_list_size_; }
+
+  /// Algorithm 2. Exposed for unit tests.
+  double avail_bw(std::size_t index) const;
+
+ private:
+  int find(net::FlowId f) const;
+  void remove(net::FlowId f);
+  /// Re-sorts entry `i` after its criticality fields changed; returns its
+  /// new index.
+  std::size_t resort(std::size_t i);
+  std::size_t list_limit() const;
+  void rate_controller_tick();
+  double rcp_fallback_rate();
+  sim::Time avg_rtt() const;
+  net::NodeId my_id() const;
+  sim::Time now() const;
+
+  PdqConfig cfg_;
+  std::vector<FlowEntry> list_;
+  double capacity_bps_ = 0.0;  // C, set by the rate controller
+  double r_pdq_bps_ = 0.0;     // configured PDQ share of the link
+
+  // Dampening state: the last time a non-sending flow was (provisionally)
+  // accepted, and which flow it was.
+  sim::Time last_unpause_time_ = -1;
+  net::FlowId last_unpaused_flow_ = net::kInvalidFlow;
+
+  // RCP-fallback bookkeeping: overflow flows seen this control interval.
+  std::unordered_set<net::FlowId> overflow_flows_;
+  std::size_t overflow_count_estimate_ = 0;
+
+  std::size_t peak_list_size_ = 0;
+};
+
+/// Installs PDQ controllers on every output port of every node.
+void install_pdq(net::Topology& topo, const PdqConfig& cfg);
+
+}  // namespace pdq::core

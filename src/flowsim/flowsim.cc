@@ -1,0 +1,342 @@
+#include "flowsim/flowsim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <unordered_map>
+
+namespace pdq::flowsim {
+
+namespace {
+std::uint64_t dir_key(net::NodeId a, net::NodeId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+}  // namespace
+
+struct FlowLevelSimulator::Active {
+  net::FlowSpec spec;
+  double remaining_bits = 0;
+  std::vector<std::size_t> links;  // directed link indices along the path
+  double nic_bps = 0;
+  double rate_bps = 0;
+  bool done = false;
+  bool terminated = false;
+  sim::Time finish = sim::kTimeInfinity;
+
+  sim::Time deadline_abs() const { return spec.absolute_deadline(); }
+};
+
+double FlowSimResult::mean_fct_ms() const {
+  double s = 0;
+  std::size_t n = 0;
+  for (const auto& f : flows) {
+    if (f.outcome == net::FlowOutcome::kCompleted) {
+      s += sim::to_millis(f.completion_time());
+      ++n;
+    }
+  }
+  return n ? s / static_cast<double>(n) : 0.0;
+}
+
+double FlowSimResult::max_fct_ms() const {
+  double m = 0;
+  for (const auto& f : flows)
+    if (f.outcome == net::FlowOutcome::kCompleted)
+      m = std::max(m, sim::to_millis(f.completion_time()));
+  return m;
+}
+
+double FlowSimResult::application_throughput() const {
+  std::size_t dl = 0;
+  std::size_t met = 0;
+  for (const auto& f : flows) {
+    if (!f.spec.has_deadline()) continue;
+    ++dl;
+    if (f.deadline_met()) ++met;
+  }
+  return dl == 0 ? 100.0
+                 : 100.0 * static_cast<double>(met) / static_cast<double>(dl);
+}
+
+std::size_t FlowSimResult::completed() const {
+  std::size_t n = 0;
+  for (const auto& f : flows)
+    if (f.outcome == net::FlowOutcome::kCompleted) ++n;
+  return n;
+}
+
+FlowLevelSimulator::FlowLevelSimulator(net::Topology& topo, Options opts)
+    : topo_(topo), opts_(opts) {
+  capacity_.reserve(topo_.links().size());
+  for (const auto& l : topo_.links())
+    capacity_.push_back(l->rate_bps * opts_.goodput_factor);
+}
+
+FlowSimResult FlowLevelSimulator::run(const std::vector<net::FlowSpec>& specs) {
+  // Directed (from,to) -> link index.
+  std::unordered_map<std::uint64_t, std::size_t> link_of;
+  for (std::size_t i = 0; i < topo_.links().size(); ++i) {
+    const auto& l = topo_.links()[i];
+    link_of[dir_key(l->from, l->to)] = i;
+  }
+
+  std::vector<Active> flows;
+  flows.reserve(specs.size());
+  for (const auto& s : specs) {
+    Active a;
+    a.spec = s;
+    a.remaining_bits = static_cast<double>(s.size_bytes) * 8.0;
+    const auto path = topo_.ecmp_path(s.id, s.src, s.dst);
+    for (std::size_t h = 0; h + 1 < path.size(); ++h)
+      a.links.push_back(link_of.at(dir_key(path[h], path[h + 1])));
+    a.nic_bps = topo_.host(s.src).nic_rate_bps() * opts_.goodput_factor;
+    flows.push_back(std::move(a));
+  }
+
+  std::size_t open = flows.size();
+  std::vector<double> residual(capacity_.size());
+
+  // Arrivals, terminations and rate recomputation happen on the 1 ms
+  // grid; *within* a step the loop advances completion-by-completion so
+  // that capacity freed by a finishing flow is immediately reusable
+  // (otherwise serialized schedules like PDQ's would lose the tail of
+  // every step).
+  for (sim::Time now = 0; now < opts_.horizon && open > 0;
+       now += opts_.step) {
+    std::vector<Active*> active;
+    for (auto& f : flows) {
+      if (f.done) continue;
+      // Early termination / quenching for deadline flows.
+      if (opts_.early_termination && f.spec.has_deadline()) {
+        const sim::Time eta =
+            now + sim::from_seconds(f.remaining_bits / f.nic_bps);
+        if (now > f.deadline_abs() || eta > f.deadline_abs()) {
+          f.done = true;
+          f.terminated = true;
+          f.finish = now;
+          --open;
+          continue;
+        }
+      }
+      if (f.spec.start_time + opts_.init_latency <= now) active.push_back(&f);
+    }
+    if (active.empty()) continue;
+
+    sim::Time t = now;
+    const sim::Time step_end = now + opts_.step;
+    while (t < step_end && !active.empty()) {
+      residual = capacity_;
+      switch (opts_.model) {
+        case Model::kPdq:
+          allocate_pdq(active, t, residual);
+          break;
+        case Model::kRcp:
+          allocate_maxmin(active, residual);
+          break;
+        case Model::kD3:
+          allocate_d3(active, t, residual);
+          break;
+      }
+
+      // Advance to the earliest completion inside this step, or to the
+      // step boundary.
+      sim::Time dt = step_end - t;
+      for (Active* f : active) {
+        if (f->rate_bps > 0) {
+          dt = std::min(dt,
+                        sim::from_seconds(f->remaining_bits / f->rate_bps));
+        }
+      }
+      dt = std::max<sim::Time>(dt, 1);
+      const double dt_s = sim::to_seconds(dt);
+
+      std::vector<Active*> still;
+      for (Active* f : active) {
+        if (f->rate_bps <= 0) {
+          still.push_back(f);
+          continue;
+        }
+        const double sent = f->rate_bps * dt_s;
+        if (sent >= f->remaining_bits - 1e-6) {
+          f->finish = t + dt;
+          f->remaining_bits = 0;
+          f->done = true;
+          --open;
+        } else {
+          f->remaining_bits -= sent;
+          still.push_back(f);
+        }
+      }
+      active.swap(still);
+      t += dt;
+    }
+  }
+
+  FlowSimResult out;
+  sim::Time end = 0;
+  for (const auto& f : flows) {
+    net::FlowResult r;
+    r.spec = f.spec;
+    if (f.done && !f.terminated) {
+      r.outcome = net::FlowOutcome::kCompleted;
+      r.finish_time = f.finish;
+      r.bytes_acked = f.spec.size_bytes;
+      end = std::max(end, f.finish);
+    } else if (f.terminated) {
+      r.outcome = net::FlowOutcome::kTerminated;
+      r.finish_time = f.finish;
+    }
+    out.flows.push_back(r);
+  }
+  out.end_time = end;
+  return out;
+}
+
+void FlowLevelSimulator::allocate_pdq(std::vector<Active*>& active,
+                                      sim::Time now,
+                                      std::vector<double>& residual) {
+  // Criticality order: (deadline, expected transmission time, id), with
+  // optional aging on the no-deadline T term (Fig 12).
+  auto criticality = [&](const Active* f) {
+    double t_term = f->remaining_bits / f->nic_bps;
+    if (opts_.aging_alpha > 0.0) {
+      const double waited =
+          static_cast<double>(now - f->spec.start_time) /
+          static_cast<double>(opts_.aging_unit);
+      t_term /= std::pow(2.0, opts_.aging_alpha * waited);
+    }
+    return std::tuple<sim::Time, double, net::FlowId>(f->deadline_abs(),
+                                                      t_term, f->spec.id);
+  };
+  std::sort(active.begin(), active.end(),
+            [&](const Active* a, const Active* b) {
+              return criticality(a) < criticality(b);
+            });
+  for (Active* f : active) {
+    double r = f->nic_bps;
+    for (auto l : f->links) r = std::min(r, residual[l]);
+    if (r < opts_.min_grant_bps) r = 0;
+    f->rate_bps = r;
+    if (r > 0)
+      for (auto l : f->links) residual[l] -= r;
+  }
+}
+
+void FlowLevelSimulator::allocate_maxmin(std::vector<Active*>& active,
+                                         std::vector<double>& residual) {
+  // Progressive filling. The sender NIC appears as the first path link,
+  // so per-host caps fall out naturally.
+  std::vector<int> users(residual.size(), 0);
+  for (Active* f : active) {
+    f->rate_bps = 0;
+    for (auto l : f->links) ++users[l];
+  }
+  std::vector<Active*> unfrozen = active;
+  while (!unfrozen.empty()) {
+    // Bottleneck link: smallest residual/users among used links.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (Active* f : unfrozen) {
+      for (auto l : f->links) {
+        if (users[l] > 0)
+          best_share = std::min(best_share, residual[l] / users[l]);
+      }
+    }
+    if (!std::isfinite(best_share)) break;
+    std::vector<Active*> still;
+    for (Active* f : unfrozen) {
+      bool at_bottleneck = false;
+      for (auto l : f->links) {
+        if (users[l] > 0 && residual[l] / users[l] <= best_share * (1 + 1e-9)) {
+          at_bottleneck = true;
+          break;
+        }
+      }
+      if (at_bottleneck) {
+        f->rate_bps = best_share;
+        for (auto l : f->links) {
+          residual[l] -= best_share;
+          --users[l];
+        }
+      } else {
+        still.push_back(f);
+      }
+    }
+    if (still.size() == unfrozen.size()) break;  // numerical safety
+    unfrozen.swap(still);
+  }
+}
+
+void FlowLevelSimulator::allocate_d3(std::vector<Active*>& active,
+                                     sim::Time now,
+                                     std::vector<double>& residual) {
+  // Pass 1: deadline demand r = remaining/time-to-deadline, granted
+  // greedily in arrival order (first-come first-reserved).
+  std::sort(active.begin(), active.end(),
+            [](const Active* a, const Active* b) {
+              return a->spec.start_time != b->spec.start_time
+                         ? a->spec.start_time < b->spec.start_time
+                         : a->spec.id < b->spec.id;
+            });
+  for (Active* f : active) {
+    f->rate_bps = 0;
+    if (!f->spec.has_deadline()) continue;
+    const sim::Time left = f->deadline_abs() - now;
+    double want = left > 0 ? f->remaining_bits / sim::to_seconds(left)
+                           : f->nic_bps;
+    want = std::min(want, f->nic_bps);
+    double grant = want;
+    for (auto l : f->links) grant = std::min(grant, residual[l]);
+    grant = std::max(grant, 0.0);
+    f->rate_bps = grant;
+    for (auto l : f->links) residual[l] -= grant;
+  }
+  // Pass 2: leftover capacity shared max-min across all flows (additive),
+  // each capped by its NIC headroom.
+  std::vector<int> users(residual.size(), 0);
+  for (Active* f : active)
+    for (auto l : f->links) ++users[l];
+  std::vector<Active*> unfrozen = active;
+  while (!unfrozen.empty()) {
+    double best_share = std::numeric_limits<double>::infinity();
+    for (Active* f : unfrozen)
+      for (auto l : f->links)
+        if (users[l] > 0)
+          best_share = std::min(best_share, residual[l] / users[l]);
+    if (!std::isfinite(best_share) || best_share <= 0) {
+      for (Active* f : unfrozen)
+        for (auto l : f->links) --users[l];
+      break;
+    }
+    std::vector<Active*> still;
+    for (Active* f : unfrozen) {
+      const double headroom = f->nic_bps - f->rate_bps;
+      bool freeze = headroom <= best_share;
+      if (!freeze) {
+        for (auto l : f->links) {
+          if (users[l] > 0 &&
+              residual[l] / users[l] <= best_share * (1 + 1e-9)) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        const double add = std::min(best_share, std::max(headroom, 0.0));
+        f->rate_bps += add;
+        for (auto l : f->links) {
+          residual[l] -= add;
+          --users[l];
+        }
+      } else {
+        still.push_back(f);
+      }
+    }
+    if (still.size() == unfrozen.size()) break;
+    unfrozen.swap(still);
+  }
+}
+
+}  // namespace pdq::flowsim

@@ -1,0 +1,75 @@
+// Flow-level simulator (paper S5.5): computes equilibrium flow rates on a
+// 1 ms timescale instead of simulating packets, so protocols can be
+// compared on topologies with thousands of servers.
+//
+// Protocol models:
+//  - PDQ: the centralized algorithm of S3 — flows sorted by criticality
+//    greedily take min(residual along path, NIC rate).
+//  - RCP: max-min fair sharing (progressive filling).
+//  - D3: first-come first-reserved — deadline demand granted in arrival
+//    order, leftover distributed max-min fair.
+// Protocol inefficiencies the paper keeps: 2-RTT flow initialization
+// latency and ~3% header overhead. Packet dynamics (loss, timeouts) are
+// not modelled.
+#pragma once
+
+#include <vector>
+
+#include "net/flow.h"
+#include "net/topology.h"
+#include "sim/time.h"
+
+namespace pdq::flowsim {
+
+enum class Model { kPdq, kRcp, kD3 };
+
+struct Options {
+  Model model = Model::kPdq;
+  sim::Time step = sim::kMillisecond;
+  /// TCP/IP + scheduling header overhead: effective capacity factor.
+  double goodput_factor = 0.97;
+  /// Two RTTs before a flow's first payload bit (SYN-ACK + first DATA-ACK).
+  sim::Time init_latency = 400 * sim::kMicrosecond;
+  /// PDQ Early Termination / D3 quenching for deadline flows.
+  bool early_termination = true;
+  sim::Time horizon = 60 * sim::kSecond;
+  /// Fig 12 flow aging: advertised criticality divided by 2^(alpha*wait).
+  double aging_alpha = 0.0;
+  sim::Time aging_unit = 100 * sim::kMillisecond;
+  /// Grants below this pause the flow (as in the packet-level PDQ).
+  double min_grant_bps = 1e6;
+};
+
+struct FlowSimResult {
+  std::vector<net::FlowResult> flows;
+  sim::Time end_time = 0;
+
+  double mean_fct_ms() const;
+  double max_fct_ms() const;
+  double application_throughput() const;
+  std::size_t completed() const;
+};
+
+class FlowLevelSimulator {
+ public:
+  /// `topo` provides link capacities and ECMP paths; no packet machinery
+  /// is used.
+  FlowLevelSimulator(net::Topology& topo, Options opts);
+
+  FlowSimResult run(const std::vector<net::FlowSpec>& specs);
+
+ private:
+  struct Active;
+  void allocate_pdq(std::vector<Active*>& active, sim::Time now,
+                    std::vector<double>& residual);
+  void allocate_maxmin(std::vector<Active*>& active,
+                       std::vector<double>& residual);
+  void allocate_d3(std::vector<Active*>& active, sim::Time now,
+                   std::vector<double>& residual);
+
+  net::Topology& topo_;
+  Options opts_;
+  std::vector<double> capacity_;  // per directed link, bps (after overhead)
+};
+
+}  // namespace pdq::flowsim

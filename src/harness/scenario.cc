@@ -1,0 +1,177 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdq::harness {
+
+double RunResult::mean_fct_ms() const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& f : flows) {
+    if (f.outcome == net::FlowOutcome::kCompleted) {
+      sum += sim::to_millis(f.completion_time());
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double RunResult::max_fct_ms() const {
+  double m = 0;
+  for (const auto& f : flows) {
+    if (f.outcome == net::FlowOutcome::kCompleted)
+      m = std::max(m, sim::to_millis(f.completion_time()));
+  }
+  return m;
+}
+
+double RunResult::application_throughput() const {
+  std::size_t deadline_flows = 0;
+  std::size_t met = 0;
+  for (const auto& f : flows) {
+    if (!f.spec.has_deadline()) continue;
+    ++deadline_flows;
+    if (f.deadline_met()) ++met;
+  }
+  if (deadline_flows == 0) return 100.0;
+  return 100.0 * static_cast<double>(met) /
+         static_cast<double>(deadline_flows);
+}
+
+std::size_t RunResult::completed() const {
+  std::size_t n = 0;
+  for (const auto& f : flows)
+    if (f.outcome == net::FlowOutcome::kCompleted) ++n;
+  return n;
+}
+
+const net::FlowResult* RunResult::flow(net::FlowId id) const {
+  for (const auto& f : flows)
+    if (f.spec.id == id) return &f;
+  return nullptr;
+}
+
+RunResult run_scenario(ProtocolStack& stack, const TopologyBuilder& build,
+                       const std::vector<net::FlowSpec>& flows,
+                       const RunOptions& opts) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator, opts.seed);
+  build(topo);
+  stack.install(topo);
+
+  RunResult result;
+  result.meter_bin = opts.meter_bin;
+
+  // Instrumentation on the watched link.
+  std::unique_ptr<sim::RateMeter> meter;
+  if (opts.watch_link) {
+    const auto [a, b] = *opts.watch_link;
+    net::Port* port = topo.port_on_link(a, b);
+    assert(port != nullptr);
+    meter = std::make_unique<sim::RateMeter>(opts.meter_bin,
+                                             port->link().rate_bps);
+    port->meter = meter.get();
+    port->queue_series = &result.queue_series;
+    if (opts.watch_link_drop_rate > 0.0) {
+      topo.set_link_drop_rate(a, b, opts.watch_link_drop_rate);
+    }
+  }
+
+  std::vector<std::unique_ptr<net::Agent>> agents;
+  std::vector<net::Agent*> senders;
+  std::size_t remaining = flows.size();
+
+  for (const auto& f : flows) {
+    assert(f.id != net::kInvalidFlow && f.src != f.dst);
+
+    net::AgentContext rctx;
+    rctx.topo = &topo;
+    rctx.local = &topo.host(f.dst);
+    rctx.spec = f;
+    auto receiver = stack.make_receiver(std::move(rctx));
+    topo.host(f.dst).attach_receiver(f.id, receiver.get());
+
+    net::AgentContext sctx;
+    sctx.topo = &topo;
+    sctx.local = &topo.host(f.src);
+    sctx.spec = f;
+    sctx.route = topo.ecmp_path(f.id, f.src, f.dst);
+    sctx.on_done = [&remaining, &simulator](const net::FlowResult&) {
+      if (--remaining == 0) simulator.stop();
+    };
+    auto sender = stack.make_sender(std::move(sctx));
+    topo.host(f.src).attach_sender(f.id, sender.get());
+    simulator.schedule_at(f.start_time,
+                          [a = sender.get()] { a->start(); });
+    senders.push_back(sender.get());
+
+    agents.push_back(std::move(receiver));
+    agents.push_back(std::move(sender));
+  }
+
+  // Optional per-flow goodput sampler (Fig 6/7 time-series plots).
+  auto prev = std::make_shared<std::vector<std::int64_t>>(flows.size(), 0);
+  if (opts.per_flow_series) {
+    result.flow_goodput_bps.resize(flows.size());
+    const sim::Time bin = opts.flow_series_bin;
+    auto sample = std::make_shared<std::function<void()>>();
+    *sample = [&, prev, bin, sample]() {
+      for (std::size_t i = 0; i < senders.size(); ++i) {
+        const net::FlowResult* r = senders[i]->flow_result();
+        const std::int64_t acked = r ? r->bytes_acked : 0;
+        result.flow_goodput_bps[i].push_back(
+            static_cast<double>(acked - (*prev)[i]) * 8.0 /
+            sim::to_seconds(bin));
+        (*prev)[i] = acked;
+      }
+      if (remaining > 0) simulator.schedule_in(bin, *sample);
+    };
+    simulator.schedule_in(bin, *sample);
+  }
+
+  simulator.run(opts.horizon);
+
+  // Flush the final partial bin so goodput integrates to the flow sizes.
+  if (opts.per_flow_series) {
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      const net::FlowResult* fr = senders[i]->flow_result();
+      const std::int64_t acked = fr ? fr->bytes_acked : 0;
+      result.flow_goodput_bps[i].push_back(
+          static_cast<double>(acked - (*prev)[i]) * 8.0 /
+          sim::to_seconds(opts.flow_series_bin));
+      (*prev)[i] = acked;
+    }
+  }
+
+  result.end_time = simulator.now();
+  result.queue_drops = topo.total_queue_drops();
+  result.wire_drops = topo.total_wire_drops();
+  for (net::Agent* s : senders) {
+    const net::FlowResult* r = s->flow_result();
+    assert(r != nullptr);
+    result.flows.push_back(*r);
+  }
+  if (meter) {
+    for (std::size_t i = 0; i < meter->num_bins(); ++i)
+      result.link_utilization.push_back(meter->utilization(i));
+  }
+  return result;
+}
+
+int binary_search_max(int lo, int hi, const std::function<bool(int)>& pred) {
+  if (!pred(lo)) return lo - 1;
+  int good = lo;
+  int bad = hi + 1;
+  while (bad - good > 1) {
+    const int mid = good + (bad - good) / 2;
+    if (pred(mid)) {
+      good = mid;
+    } else {
+      bad = mid;
+    }
+  }
+  return good;
+}
+
+}  // namespace pdq::harness

@@ -1,0 +1,87 @@
+// Scenario runner: wires a protocol stack onto a topology, runs a set of
+// flows, and collects the metrics the paper reports.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/builders.h"
+#include "net/flow.h"
+#include "net/paced_sender.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace pdq::harness {
+
+/// A pluggable transport: switch-side controllers + end-host agents.
+class ProtocolStack {
+ public:
+  virtual ~ProtocolStack() = default;
+  virtual std::string name() const = 0;
+  /// Installs per-link controllers (may be a no-op, e.g. TCP).
+  virtual void install(net::Topology& topo) = 0;
+  virtual std::unique_ptr<net::Agent> make_sender(net::AgentContext ctx) = 0;
+  virtual std::unique_ptr<net::Agent> make_receiver(net::AgentContext ctx) = 0;
+
+  /// Stacks that manage their own subflows (M-PDQ) override this to
+  /// register extra receiver endpoints. Returns subflow count (1 = none).
+  virtual int subflows() const { return 1; }
+};
+
+struct RunOptions {
+  sim::Time horizon = 30 * sim::kSecond;  // hard stop
+  std::uint64_t seed = 1;
+  /// Link to instrument with a utilization meter and queue series.
+  std::optional<std::pair<net::NodeId, net::NodeId>> watch_link;
+  sim::Time meter_bin = sim::kMillisecond;
+  /// Random loss rate applied to the watched link, both directions (Fig 9).
+  double watch_link_drop_rate = 0.0;
+  /// Per-flow throughput sampling for the watched flows (Fig 6/7).
+  bool per_flow_series = false;
+  sim::Time flow_series_bin = sim::kMillisecond;
+};
+
+struct RunResult {
+  std::vector<net::FlowResult> flows;
+  std::int64_t queue_drops = 0;
+  std::int64_t wire_drops = 0;
+  sim::Time end_time = 0;
+
+  // Watched-link instrumentation (when requested).
+  sim::TimeSeries queue_series;
+  std::vector<double> link_utilization;  // per meter bin
+  sim::Time meter_bin = sim::kMillisecond;
+
+  /// Per-flow acked-bytes-per-bin series (when per_flow_series).
+  std::vector<std::vector<double>> flow_goodput_bps;
+
+  // --- metric helpers ---
+  double mean_fct_ms() const;
+  double max_fct_ms() const;
+  /// Percentage of flows meeting their deadline (the paper's Application
+  /// Throughput). Counts all flows; terminated/pending = miss.
+  double application_throughput() const;
+  std::size_t completed() const;
+  const net::FlowResult* flow(net::FlowId id) const;
+};
+
+/// Builds a topology and returns the server node ids (host endpoints).
+using TopologyBuilder = std::function<std::vector<net::NodeId>(net::Topology&)>;
+
+/// Runs `flows` (src/dst are NodeIds produced by the builder) under
+/// `stack` on the topology from `build`.
+RunResult run_scenario(ProtocolStack& stack, const TopologyBuilder& build,
+                       const std::vector<net::FlowSpec>& flows,
+                       const RunOptions& opts = {});
+
+/// Binary-searches the largest `n` in [lo, hi] such that predicate(n) is
+/// true, assuming monotonicity (true for small n). Returns lo-1 when even
+/// `lo` fails. Used for the "max flows at 99% application throughput"
+/// experiments (Fig 3c, 4a, 5a).
+int binary_search_max(int lo, int hi, const std::function<bool(int)>& pred);
+
+}  // namespace pdq::harness

@@ -1,0 +1,66 @@
+#include "harness/stacks.h"
+
+#include "core/pdq_agent.h"
+#include "core/pdq_switch.h"
+
+namespace pdq::harness {
+
+void PdqStack::install(net::Topology& topo) {
+  core::install_pdq(topo, cfg_);
+}
+
+std::unique_ptr<net::Agent> PdqStack::make_sender(net::AgentContext ctx) {
+  return std::make_unique<core::PdqSender>(std::move(ctx), cfg_);
+}
+
+std::unique_ptr<net::Agent> PdqStack::make_receiver(net::AgentContext ctx) {
+  return std::make_unique<core::PdqReceiver>(std::move(ctx));
+}
+
+void MpdqStack::install(net::Topology& topo) {
+  core::install_pdq(topo, cfg_.pdq);
+}
+
+std::unique_ptr<net::Agent> MpdqStack::make_sender(net::AgentContext ctx) {
+  return std::make_unique<core::MpdqSender>(std::move(ctx), cfg_);
+}
+
+std::unique_ptr<net::Agent> MpdqStack::make_receiver(net::AgentContext ctx) {
+  // Subflow receivers are installed by the M-PDQ sender itself; the
+  // parent-flow receiver only exists so the host has a registered endpoint.
+  return std::make_unique<core::PdqReceiver>(std::move(ctx));
+}
+
+void RcpStack::install(net::Topology& topo) {
+  protocols::install_rcp(topo, cfg_);
+}
+
+std::unique_ptr<net::Agent> RcpStack::make_sender(net::AgentContext ctx) {
+  return std::make_unique<protocols::RcpSender>(std::move(ctx), cfg_);
+}
+
+std::unique_ptr<net::Agent> RcpStack::make_receiver(net::AgentContext ctx) {
+  return std::make_unique<net::EchoReceiver>(std::move(ctx));
+}
+
+void D3Stack::install(net::Topology& topo) {
+  protocols::install_d3(topo, cfg_);
+}
+
+std::unique_ptr<net::Agent> D3Stack::make_sender(net::AgentContext ctx) {
+  return std::make_unique<protocols::D3Sender>(std::move(ctx), cfg_);
+}
+
+std::unique_ptr<net::Agent> D3Stack::make_receiver(net::AgentContext ctx) {
+  return std::make_unique<net::EchoReceiver>(std::move(ctx));
+}
+
+std::unique_ptr<net::Agent> TcpStack::make_sender(net::AgentContext ctx) {
+  return std::make_unique<protocols::TcpSender>(std::move(ctx), cfg_);
+}
+
+std::unique_ptr<net::Agent> TcpStack::make_receiver(net::AgentContext ctx) {
+  return std::make_unique<protocols::TcpReceiver>(std::move(ctx));
+}
+
+}  // namespace pdq::harness

@@ -1,0 +1,90 @@
+// ProtocolStack adapters for every transport under evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/mpdq.h"
+#include "core/pdq_config.h"
+#include "harness/scenario.h"
+#include "protocols/d3.h"
+#include "protocols/rcp.h"
+#include "protocols/tcp.h"
+
+namespace pdq::harness {
+
+class PdqStack : public ProtocolStack {
+ public:
+  explicit PdqStack(core::PdqConfig cfg = core::PdqConfig::full(),
+                    std::string label = "PDQ")
+      : cfg_(cfg), label_(std::move(label)) {}
+
+  std::string name() const override { return label_; }
+  void install(net::Topology& topo) override;
+  std::unique_ptr<net::Agent> make_sender(net::AgentContext ctx) override;
+  std::unique_ptr<net::Agent> make_receiver(net::AgentContext ctx) override;
+
+  const core::PdqConfig& config() const { return cfg_; }
+
+ private:
+  core::PdqConfig cfg_;
+  std::string label_;
+};
+
+class MpdqStack : public ProtocolStack {
+ public:
+  explicit MpdqStack(core::MpdqConfig cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "M-PDQ"; }
+  void install(net::Topology& topo) override;
+  std::unique_ptr<net::Agent> make_sender(net::AgentContext ctx) override;
+  std::unique_ptr<net::Agent> make_receiver(net::AgentContext ctx) override;
+  int subflows() const override { return cfg_.num_subflows; }
+
+ private:
+  core::MpdqConfig cfg_;
+};
+
+class RcpStack : public ProtocolStack {
+ public:
+  explicit RcpStack(protocols::RcpConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "RCP"; }
+  void install(net::Topology& topo) override;
+  std::unique_ptr<net::Agent> make_sender(net::AgentContext ctx) override;
+  std::unique_ptr<net::Agent> make_receiver(net::AgentContext ctx) override;
+
+ private:
+  protocols::RcpConfig cfg_;
+};
+
+class D3Stack : public ProtocolStack {
+ public:
+  explicit D3Stack(protocols::D3Config cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "D3"; }
+  void install(net::Topology& topo) override;
+  std::unique_ptr<net::Agent> make_sender(net::AgentContext ctx) override;
+  std::unique_ptr<net::Agent> make_receiver(net::AgentContext ctx) override;
+
+ private:
+  protocols::D3Config cfg_;
+};
+
+class TcpStack : public ProtocolStack {
+ public:
+  explicit TcpStack(protocols::TcpConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "TCP"; }
+  void install(net::Topology& topo) override {}  // plain drop-tail FIFOs
+  std::unique_ptr<net::Agent> make_sender(net::AgentContext ctx) override;
+  std::unique_ptr<net::Agent> make_receiver(net::AgentContext ctx) override;
+
+ private:
+  protocols::TcpConfig cfg_;
+};
+
+/// The paper's four PDQ variants.
+inline PdqStack pdq_full() { return PdqStack(core::PdqConfig::full(), "PDQ(Full)"); }
+inline PdqStack pdq_es_et() { return PdqStack(core::PdqConfig::es_et(), "PDQ(ES+ET)"); }
+inline PdqStack pdq_es() { return PdqStack(core::PdqConfig::es(), "PDQ(ES)"); }
+inline PdqStack pdq_basic() { return PdqStack(core::PdqConfig::basic(), "PDQ(Basic)"); }
+
+}  // namespace pdq::harness

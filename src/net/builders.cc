@@ -1,0 +1,189 @@
+#include "net/builders.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "sim/random.h"
+
+namespace pdq::net {
+
+std::vector<NodeId> build_single_bottleneck(Topology& topo, int n_senders,
+                                            const LinkDefaults& d) {
+  assert(n_senders >= 1);
+  std::vector<NodeId> servers;
+  const NodeId sw = topo.add_switch();
+  for (int i = 0; i < n_senders; ++i) {
+    const NodeId h = topo.add_host();
+    topo.add_duplex_link(h, sw, d);
+    servers.push_back(h);
+  }
+  const NodeId receiver = topo.add_host();
+  topo.add_duplex_link(sw, receiver, d);
+  servers.push_back(receiver);
+  return servers;
+}
+
+std::vector<NodeId> build_single_rooted_tree(Topology& topo, int num_tors,
+                                             int servers_per_tor,
+                                             const LinkDefaults& d) {
+  std::vector<NodeId> servers;
+  const NodeId root = topo.add_switch();
+  for (int t = 0; t < num_tors; ++t) {
+    const NodeId tor = topo.add_switch();
+    topo.add_duplex_link(tor, root, d);
+    for (int s = 0; s < servers_per_tor; ++s) {
+      const NodeId h = topo.add_host();
+      topo.add_duplex_link(h, tor, d);
+      servers.push_back(h);
+    }
+  }
+  return servers;
+}
+
+std::vector<NodeId> build_fat_tree(Topology& topo, int k,
+                                   const LinkDefaults& d) {
+  assert(k >= 2 && k % 2 == 0);
+  const int half = k / 2;
+  std::vector<NodeId> servers;
+
+  // Core switches: half*half of them.
+  std::vector<NodeId> cores;
+  for (int i = 0; i < half * half; ++i) cores.push_back(topo.add_switch());
+
+  for (int p = 0; p < k; ++p) {
+    std::vector<NodeId> edges, aggs;
+    for (int i = 0; i < half; ++i) {
+      edges.push_back(topo.add_switch());
+      aggs.push_back(topo.add_switch());
+    }
+    // Full bipartite edge<->agg inside the pod.
+    for (NodeId e : edges)
+      for (NodeId a : aggs) topo.add_duplex_link(e, a, d);
+    // Agg i connects to cores [i*half, (i+1)*half).
+    for (int i = 0; i < half; ++i)
+      for (int j = 0; j < half; ++j)
+        topo.add_duplex_link(aggs[static_cast<std::size_t>(i)],
+                             cores[static_cast<std::size_t>(i * half + j)], d);
+    // Each edge switch hosts k/2 servers.
+    for (NodeId e : edges) {
+      for (int s = 0; s < half; ++s) {
+        const NodeId h = topo.add_host();
+        topo.add_duplex_link(h, e, d);
+        servers.push_back(h);
+      }
+    }
+  }
+  return servers;
+}
+
+std::vector<int> bcube_address(int server, int n, int k) {
+  std::vector<int> digits(static_cast<std::size_t>(k) + 1);
+  for (int l = 0; l <= k; ++l) {
+    digits[static_cast<std::size_t>(l)] = server % n;
+    server /= n;
+  }
+  return digits;
+}
+
+std::vector<NodeId> build_bcube(Topology& topo, int n, int k,
+                                const LinkDefaults& d) {
+  assert(n >= 2 && k >= 0);
+  int num_servers = 1;
+  for (int i = 0; i <= k; ++i) num_servers *= n;
+  const int switches_per_level = num_servers / n;
+
+  std::vector<NodeId> servers;
+  for (int s = 0; s < num_servers; ++s) servers.push_back(topo.add_host());
+
+  // Level-l switch w connects the n servers that agree with w on all
+  // address digits except digit l.
+  for (int l = 0; l <= k; ++l) {
+    for (int w = 0; w < switches_per_level; ++w) {
+      const NodeId sw = topo.add_switch();
+      // Expand w into the server index with digit l removed.
+      int low = w;
+      int pow_l = 1;
+      for (int i = 0; i < l; ++i) pow_l *= n;
+      const int below = low % pow_l;
+      const int above = low / pow_l;
+      for (int digit = 0; digit < n; ++digit) {
+        const int server = above * pow_l * n + digit * pow_l + below;
+        topo.add_duplex_link(servers[static_cast<std::size_t>(server)], sw, d);
+      }
+    }
+  }
+  return servers;
+}
+
+std::vector<NodeId> build_jellyfish(Topology& topo, int num_switches,
+                                    int ports, int net_ports,
+                                    std::uint64_t seed,
+                                    const LinkDefaults& d) {
+  assert(net_ports < ports && net_ports >= 2);
+  assert(num_switches * net_ports % 2 == 0);
+  sim::Rng rng(seed);
+
+  // Random regular graph: stub matching followed by double-edge-swap
+  // repair of self-loops and parallel edges (restart-on-conflict almost
+  // never terminates for dense graphs).
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> stubs;
+  for (int s = 0; s < num_switches; ++s)
+    for (int p = 0; p < net_ports; ++p) stubs.push_back(s);
+  rng.shuffle(stubs);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    edges.emplace_back(stubs[i], stubs[i + 1]);
+  }
+
+  auto edge_count = [&](int a, int b) {
+    int c = 0;
+    for (const auto& [x, y] : edges) {
+      if ((x == a && y == b) || (x == b && y == a)) ++c;
+    }
+    return c;
+  };
+  auto is_bad = [&](std::size_t i) {
+    const auto [a, b] = edges[i];
+    return a == b || edge_count(a, b) > 1;
+  };
+
+  bool clean = false;
+  for (int iter = 0; iter < 200'000 && !clean; ++iter) {
+    clean = true;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!is_bad(i)) continue;
+      clean = false;
+      // Swap one endpoint with a random other edge.
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(edges.size()) - 1));
+      if (j == i) continue;
+      auto& [a, b] = edges[i];
+      auto& [c, d] = edges[j];
+      // Propose (a,d) and (c,b); only apply if it does not create new
+      // conflicts at the target edges.
+      if (a == d || c == b) continue;
+      if (edge_count(a, d) > 0 || edge_count(c, b) > 0) continue;
+      std::swap(b, d);
+    }
+  }
+  assert(clean && "jellyfish repair did not converge");
+
+  std::vector<NodeId> switches;
+  for (int s = 0; s < num_switches; ++s) switches.push_back(topo.add_switch());
+  for (auto [a, b] : edges)
+    topo.add_duplex_link(switches[static_cast<std::size_t>(a)],
+                         switches[static_cast<std::size_t>(b)], d);
+
+  std::vector<NodeId> servers;
+  const int hosts_per_switch = ports - net_ports;
+  for (int s = 0; s < num_switches; ++s) {
+    for (int h = 0; h < hosts_per_switch; ++h) {
+      const NodeId host = topo.add_host();
+      topo.add_duplex_link(host, switches[static_cast<std::size_t>(s)], d);
+      servers.push_back(host);
+    }
+  }
+  return servers;
+}
+
+}  // namespace pdq::net

@@ -1,0 +1,47 @@
+// Topology builders for every network used in the paper's evaluation.
+//
+// Each builder populates `topo` and returns the server (host) node ids in a
+// deterministic order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace pdq::net {
+
+/// Fig 2b: n sender hosts -- switch -- one receiver host. The receiver is
+/// the *last* id in the returned vector; the bottleneck is the
+/// switch->receiver link.
+std::vector<NodeId> build_single_bottleneck(Topology& topo, int n_senders,
+                                            const LinkDefaults& d = {});
+
+/// Fig 2a: two-level single-rooted tree. Default 4 ToR x 3 servers = the
+/// paper's 17-node, 12-server topology.
+std::vector<NodeId> build_single_rooted_tree(Topology& topo, int num_tors = 4,
+                                             int servers_per_tor = 3,
+                                             const LinkDefaults& d = {});
+
+/// Standard k-ary fat-tree [2]: k pods, k^2/4 cores, k^3/4 servers.
+/// k must be even.
+std::vector<NodeId> build_fat_tree(Topology& topo, int k,
+                                   const LinkDefaults& d = {});
+
+/// BCube(n, k) [13]: n-port switches, k+1 levels, n^(k+1) servers with
+/// k+1 NIC ports each. Servers relay traffic (server-centric design).
+std::vector<NodeId> build_bcube(Topology& topo, int n, int k,
+                                const LinkDefaults& d = {});
+
+/// Jellyfish [17]: random r-regular graph over `num_switches` switches with
+/// `ports` ports each, `net_ports` of which interconnect switches; the
+/// remaining ports attach servers.
+std::vector<NodeId> build_jellyfish(Topology& topo, int num_switches,
+                                    int ports, int net_ports,
+                                    std::uint64_t seed = 1,
+                                    const LinkDefaults& d = {});
+
+/// BCube address of server `s` in BCube(n, k): digits a_0..a_k.
+std::vector<int> bcube_address(int server, int n, int k);
+
+}  // namespace pdq::net

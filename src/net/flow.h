@@ -1,0 +1,58 @@
+// Flow descriptors and per-flow outcome records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace pdq::net {
+
+/// A unidirectional transfer request. `deadline` is relative to
+/// `start_time`; kTimeInfinity means deadline-unconstrained.
+struct FlowSpec {
+  FlowId id = kInvalidFlow;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::int64_t size_bytes = 0;
+  sim::Time start_time = 0;
+  sim::Time deadline = sim::kTimeInfinity;
+
+  /// For M-PDQ subflows: id of the parent flow, or kInvalidFlow.
+  FlowId parent = kInvalidFlow;
+
+  bool has_deadline() const { return deadline != sim::kTimeInfinity; }
+  sim::Time absolute_deadline() const {
+    return has_deadline() ? start_time + deadline : sim::kTimeInfinity;
+  }
+};
+
+enum class FlowOutcome : std::uint8_t {
+  kPending,     // still running when the simulation ended
+  kCompleted,   // all bytes acknowledged
+  kTerminated,  // gave up (PDQ Early Termination / D3 quenching)
+};
+
+struct FlowResult {
+  FlowSpec spec;
+  FlowOutcome outcome = FlowOutcome::kPending;
+  sim::Time finish_time = sim::kTimeInfinity;
+  std::int64_t bytes_acked = 0;
+  std::int64_t packets_sent = 0;
+  std::int64_t retransmissions = 0;
+
+  sim::Time completion_time() const {
+    return finish_time == sim::kTimeInfinity ? sim::kTimeInfinity
+                                             : finish_time - spec.start_time;
+  }
+  /// A flow meets its deadline only if it completed in time; terminated or
+  /// still-pending flows count as misses.
+  bool deadline_met() const {
+    if (!spec.has_deadline()) return outcome == FlowOutcome::kCompleted;
+    return outcome == FlowOutcome::kCompleted &&
+           finish_time <= spec.absolute_deadline();
+  }
+};
+
+}  // namespace pdq::net

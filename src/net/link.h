@@ -1,0 +1,28 @@
+// Links: unidirectional (simplex) halves created in duplex pairs.
+//
+// A SimplexLink is pure wire: rate, propagation delay, and an optional
+// random drop rate (used by the Fig 9 loss-resilience experiment). The
+// transmit queue lives in the sending node's Port, not here.
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace pdq::net {
+
+struct SimplexLink {
+  LinkId id = -1;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double rate_bps = 0.0;
+  sim::Time prop_delay = 0;
+  /// Probability that a packet is lost on the wire (checked per packet at
+  /// transmit completion, so the bandwidth is still consumed).
+  double drop_rate = 0.0;
+
+  SimplexLink* reverse = nullptr;  // the paired opposite direction
+};
+
+}  // namespace pdq::net

@@ -1,0 +1,34 @@
+// Per-output-port protocol hook.
+//
+// Explicit-rate protocols (PDQ, RCP, D3) do their switch-side work per
+// *link*. Each output port of every node owns an optional LinkController:
+//  - forward-direction packets (SYN/DATA/PROBE/TERM) hit on_forward() just
+//    before being enqueued on the port;
+//  - reverse-direction packets (ACKs) hit on_reverse() at the node that
+//    owns the paired forward port, i.e. when the ACK arrives back at the
+//    upstream side of the link it describes.
+// This mirrors the paper's forward-path / reverse-path header processing.
+#pragma once
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace pdq::net {
+
+class Port;
+
+class LinkController {
+ public:
+  virtual ~LinkController() = default;
+
+  /// Called once when installed; `port` outlives the controller.
+  virtual void attach(Port& port) { port_ = &port; }
+
+  virtual void on_forward(Packet& p) = 0;
+  virtual void on_reverse(Packet& p) = 0;
+
+ protected:
+  Port* port_ = nullptr;
+};
+
+}  // namespace pdq::net

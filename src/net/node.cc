@@ -1,0 +1,131 @@
+#include "net/node.h"
+
+#include <cassert>
+
+#include "net/topology.h"
+
+namespace pdq::net {
+
+void Port::set_controller(std::unique_ptr<LinkController> c) {
+  controller_ = std::move(c);
+  if (controller_) controller_->attach(*this);
+}
+
+Node::Node(Topology& topo, NodeId id, sim::Time processing_delay)
+    : topo_(topo), id_(id), processing_delay_(processing_delay) {}
+
+Port& Node::add_port(SimplexLink& out, std::int64_t buffer_bytes) {
+  assert(out.from == id_);
+  ports_.push_back(std::make_unique<Port>(*this, out, buffer_bytes));
+  Port& p = *ports_.back();
+  port_by_neighbor_[out.to] = &p;
+  return p;
+}
+
+Port* Node::port_to(NodeId neighbor) {
+  auto it = port_by_neighbor_.find(neighbor);
+  return it == port_by_neighbor_.end() ? nullptr : it->second;
+}
+
+void Node::receive(PacketPtr p, SimplexLink* in) {
+  assert(p->route[static_cast<std::size_t>(p->hop)] == id_);
+
+  // Reverse-direction packets update the paired forward port's controller:
+  // this node is the upstream side of the link the ACK is reporting on.
+  if (in != nullptr && is_reverse(p->type)) {
+    if (Port* fwd = port_to(in->from); fwd && fwd->controller()) {
+      fwd->controller()->on_reverse(*p);
+    }
+  }
+
+  if (p->at_destination()) {
+    deliver_local(std::move(p));
+    return;
+  }
+
+  if (processing_delay_ > 0) {
+    topo_.sim().schedule_in(processing_delay_,
+                            [this, p = std::move(p)]() mutable {
+                              dispatch(std::move(p));
+                            });
+  } else {
+    dispatch(std::move(p));
+  }
+}
+
+void Node::send(PacketPtr p) {
+  assert(!p->route.empty() && p->route.front() == id_);
+  p->hop = 0;
+  dispatch(std::move(p));
+}
+
+void Node::dispatch(PacketPtr p) {
+  const NodeId next = p->next_hop();
+  assert(next != kInvalidNode && "packet has nowhere to go");
+  Port* port = port_to(next);
+  assert(port != nullptr && "route uses a non-existent link");
+  transmit_out(*port, std::move(p));
+}
+
+void Node::transmit_out(Port& port, PacketPtr p) {
+  if (is_forward(p->type) && port.controller()) {
+    port.controller()->on_forward(*p);
+  }
+  const bool accepted = port.queue().push(std::move(p));
+  if (port.queue_series) {
+    port.queue_series->record(topo_.sim().now(),
+                              static_cast<double>(port.queue().bytes()));
+  }
+  if (accepted && !port.busy_) start_tx(port);
+}
+
+void Node::start_tx(Port& port) {
+  if (port.queue().empty()) return;
+  port.busy_ = true;
+  PacketPtr p = port.queue().pop();
+  if (port.queue_series) {
+    port.queue_series->record(topo_.sim().now(),
+                              static_cast<double>(port.queue().bytes()));
+  }
+  const sim::Time tx = sim::transmission_time(p->size_bytes, port.link().rate_bps);
+  topo_.sim().schedule_in(tx, [this, &port, p = std::move(p)]() mutable {
+    if (port.meter) port.meter->on_bytes(topo_.sim().now(), p->size_bytes);
+
+    const bool lost = port.link().drop_rate > 0.0 &&
+                      topo_.rng().bernoulli(port.link().drop_rate);
+    if (lost) {
+      ++port.wire_drops;
+    } else {
+      SimplexLink* link = &port.link();
+      Node& dst = topo_.node(link->to);
+      topo_.sim().schedule_in(link->prop_delay,
+                              [&dst, link, p = std::move(p)]() mutable {
+                                ++p->hop;
+                                dst.receive(std::move(p), link);
+                              });
+    }
+    port.busy_ = false;
+    start_tx(port);
+  });
+}
+
+void Switch::deliver_local(PacketPtr p) {
+  (void)p;
+  assert(false && "switches are never packet destinations");
+}
+
+double Host::nic_rate_bps() const {
+  assert(!ports().empty());
+  return ports().front()->link().rate_bps;
+}
+
+void Host::deliver_local(PacketPtr p) {
+  // Reverse packets belong to the local sender agent, forward packets to
+  // the local receiver agent. Packets for unknown flows (e.g. a retransmit
+  // arriving after completion) are dropped silently.
+  const auto& table = is_reverse(p->type) ? senders_ : receivers_;
+  auto it = table.find(p->flow);
+  if (it != table.end()) it->second->on_packet(p);
+}
+
+}  // namespace pdq::net

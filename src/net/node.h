@@ -1,0 +1,134 @@
+// Nodes (hosts and switches) and their output ports.
+//
+// A Port bundles the outgoing simplex link, its FIFO tail-drop byte queue,
+// the transmitter state machine and an optional per-link protocol
+// controller. Forwarding is source-routed: packets carry their node path.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/link_controller.h"
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace pdq::net {
+
+class Topology;
+class Node;
+
+class Port {
+ public:
+  Port(Node& owner, SimplexLink& link, std::int64_t buffer_bytes)
+      : owner_(owner), link_(link), queue_(buffer_bytes) {}
+
+  SimplexLink& link() { return link_; }
+  const SimplexLink& link() const { return link_; }
+  DropTailQueue& queue() { return queue_; }
+  const DropTailQueue& queue() const { return queue_; }
+  Node& owner() { return owner_; }
+
+  LinkController* controller() { return controller_.get(); }
+  void set_controller(std::unique_ptr<LinkController> c);
+
+  /// Optional instrumentation, owned by the harness.
+  sim::RateMeter* meter = nullptr;
+  sim::TimeSeries* queue_series = nullptr;
+
+  std::int64_t wire_drops = 0;  // random on-the-wire losses (Fig 9)
+
+ private:
+  friend class Node;
+  Node& owner_;
+  SimplexLink& link_;
+  DropTailQueue queue_;
+  std::unique_ptr<LinkController> controller_;
+  bool busy_ = false;
+};
+
+class Node {
+ public:
+  Node(Topology& topo, NodeId id, sim::Time processing_delay);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  Topology& topo() { return topo_; }
+  sim::Time processing_delay() const { return processing_delay_; }
+
+  /// Installs an output port for `out` (called by Topology).
+  Port& add_port(SimplexLink& out, std::int64_t buffer_bytes);
+
+  Port* port_to(NodeId neighbor);
+  const std::vector<std::unique_ptr<Port>>& ports() const { return ports_; }
+
+  /// Entry point for packets arriving over `in` (hop already advanced).
+  void receive(PacketPtr p, SimplexLink* in);
+
+  /// Entry point for locally originated packets (route[0] must be id()).
+  void send(PacketPtr p);
+
+ protected:
+  /// Handles packets whose destination is this node.
+  virtual void deliver_local(PacketPtr p) = 0;
+
+  Topology& topo_;
+
+ private:
+  void dispatch(PacketPtr p);
+  void transmit_out(Port& port, PacketPtr p);
+  void start_tx(Port& port);
+
+  NodeId id_;
+  sim::Time processing_delay_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<NodeId, Port*> port_by_neighbor_;
+};
+
+class Switch : public Node {
+ public:
+  using Node::Node;
+
+ protected:
+  void deliver_local(PacketPtr p) override;
+};
+
+struct FlowResult;
+
+/// Transport endpoint installed on a Host; one per flow per direction.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  /// Sender agents: begin transmission. Receiver agents: no-op.
+  virtual void start() {}
+  virtual void on_packet(const PacketPtr& p) = 0;
+  /// Sender agents report their flow outcome here; receivers return null.
+  virtual const FlowResult* flow_result() const { return nullptr; }
+};
+
+class Host : public Node {
+ public:
+  using Node::Node;
+
+  /// NIC rate = rate of the first (usually only) outgoing link.
+  double nic_rate_bps() const;
+
+  void attach_sender(FlowId f, Agent* a) { senders_[f] = a; }
+  void attach_receiver(FlowId f, Agent* a) { receivers_[f] = a; }
+  void detach_sender(FlowId f) { senders_.erase(f); }
+  void detach_receiver(FlowId f) { receivers_.erase(f); }
+
+ protected:
+  void deliver_local(PacketPtr p) override;
+
+ private:
+  std::unordered_map<FlowId, Agent*> senders_;
+  std::unordered_map<FlowId, Agent*> receivers_;
+};
+
+}  // namespace pdq::net

@@ -1,0 +1,317 @@
+#include "net/paced_sender.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdq::net {
+
+namespace {
+constexpr sim::Time kMinRto = 2 * sim::kMillisecond;
+constexpr sim::Time kInitialRtt = 200 * sim::kMicrosecond;
+constexpr sim::Time kSynRto = 10 * sim::kMillisecond;
+constexpr std::int8_t kDupAckThreshold = 3;
+}  // namespace
+
+PacedSender::PacedSender(AgentContext ctx)
+    : ctx_(std::move(ctx)), rtt_(kInitialRtt) {
+  assert(ctx_.spec.size_bytes > 0);
+  result_.spec = ctx_.spec;
+  num_packets_ =
+      (ctx_.spec.size_bytes + kMaxPayloadBytes - 1) / kMaxPayloadBytes;
+  last_payload_ = static_cast<std::int32_t>(
+      ctx_.spec.size_bytes - (num_packets_ - 1) * kMaxPayloadBytes);
+  acked_.assign(static_cast<std::size_t>(num_packets_), false);
+  sent_at_.assign(static_cast<std::size_t>(num_packets_), sim::kTimeInfinity);
+  payload_.assign(static_cast<std::size_t>(num_packets_), kMaxPayloadBytes);
+  payload_.back() = last_payload_;
+  acks_after_.assign(static_cast<std::size_t>(num_packets_), 0);
+}
+
+void PacedSender::start() {
+  assert(!started_);
+  started_ = true;
+  send_syn();
+  sim().schedule_in(kSynRto, [this] { syn_retry(); });
+  on_start();
+}
+
+void PacedSender::syn_retry() {
+  if (finished() || got_reverse_) return;
+  send_syn();
+  sim().schedule_in(kSynRto, [this] { syn_retry(); });
+}
+
+sim::Time PacedSender::rto() const {
+  const sim::Time base = rtt_valid_ ? 4 * rtt_ : 10 * sim::kMillisecond;
+  return std::max(base, kMinRto);
+}
+
+std::int64_t PacedSender::bytes_unacked() const {
+  return ctx_.spec.size_bytes - result_.bytes_acked;
+}
+
+std::int64_t PacedSender::remaining_bytes() const { return bytes_unacked(); }
+
+PacketPtr PacedSender::make_forward(PacketType type) {
+  auto p = std::make_shared<Packet>();
+  p->flow = ctx_.spec.id;
+  p->type = type;
+  p->src = ctx_.spec.src;
+  p->dst = ctx_.spec.dst;
+  p->route = ctx_.route;
+  p->hop = 0;
+  p->sent_time = now();
+  p->size_bytes = kControlBytes;
+  return p;
+}
+
+void PacedSender::send_syn() { send_control(PacketType::kSyn); }
+
+void PacedSender::send_control(PacketType type) {
+  auto p = make_forward(type);
+  decorate(*p);
+  ++result_.packets_sent;
+  ctx_.local->send(std::move(p));
+}
+
+void PacedSender::set_rate(double bps) {
+  const double old = rate_bps_;
+  rate_bps_ = bps;
+  if (finished() || !started_) return;
+  if (bps <= 0.0) {
+    if (pace_pending_) {
+      sim().cancel(pace_event_);
+      pace_pending_ = false;
+    }
+    return;
+  }
+  if (pace_pending_ && old == bps) return;
+  // Re-pace the pending transmission at the new rate: a large rate jump
+  // must not wait out a gap computed at the old (possibly tiny) rate.
+  kick_pacer();
+}
+
+void PacedSender::kick_pacer() {
+  if (finished() || !started_ || rate_bps_ <= 0.0) return;
+  if (pace_pending_) {
+    sim().cancel(pace_event_);
+    pace_pending_ = false;
+  }
+  const sim::Time gap = sim::transmission_time(kMtuBytes, rate_bps_);
+  const sim::Time at = std::max(now(), last_data_sent_ + gap);
+  pace_pending_ = true;
+  pace_event_ = sim().schedule_at(at, [this] {
+    pace_pending_ = false;
+    pace_next();
+  });
+}
+
+int PacedSender::pick_packet_to_send() {
+  // Prefer the lowest-index expired unacked packet; otherwise the next
+  // never-sent packet.
+  const sim::Time deadline = now() - rto();
+  for (std::int64_t i = 0; i < next_new_; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!acked_[idx] && sent_at_[idx] != sim::kTimeInfinity &&
+        sent_at_[idx] <= deadline) {
+      return static_cast<int>(i);
+    }
+  }
+  if (next_new_ < num_packets_) return static_cast<int>(next_new_++);
+  return -1;
+}
+
+void PacedSender::pace_next() {
+  if (finished() || rate_bps_ <= 0.0) return;
+  const int idx = pick_packet_to_send();
+  if (idx >= 0) {
+    send_data_packet(static_cast<std::size_t>(idx));
+    const auto& sent = sent_at_[static_cast<std::size_t>(idx)];
+    (void)sent;
+    // Pace the next transmission one serialization time later.
+    const std::int32_t on_wire =
+        payload_[static_cast<std::size_t>(idx)] + kHeaderBytes;
+    const sim::Time gap = sim::transmission_time(on_wire, rate_bps_);
+    pace_pending_ = true;
+    pace_event_ = sim().schedule_in(gap, [this] {
+      pace_pending_ = false;
+      pace_next();
+    });
+    return;
+  }
+  // Everything is in flight: wake up at the earliest possible expiry.
+  sim::Time earliest = sim::kTimeInfinity;
+  for (std::size_t i = 0; i < acked_.size(); ++i) {
+    if (!acked_[i] && sent_at_[i] != sim::kTimeInfinity)
+      earliest = std::min(earliest, sent_at_[i] + rto());
+  }
+  if (earliest == sim::kTimeInfinity) return;  // all acked; complete() imminent
+  pace_pending_ = true;
+  pace_event_ =
+      sim().schedule_in(std::max<sim::Time>(earliest - now(), 0), [this] {
+        pace_pending_ = false;
+        pace_next();
+      });
+}
+
+void PacedSender::send_data_packet(std::size_t idx) {
+  auto p = make_forward(PacketType::kData);
+  p->seq = static_cast<std::int64_t>(idx) * kMaxPayloadBytes;
+  p->payload = payload_[idx];
+  p->size_bytes = p->payload + kHeaderBytes;
+  decorate(*p);
+  if (sent_at_[idx] != sim::kTimeInfinity) ++result_.retransmissions;
+  sent_at_[idx] = now();
+  acks_after_[idx] = 0;
+  last_data_sent_ = now();
+  ++result_.packets_sent;
+  ctx_.local->send(std::move(p));
+}
+
+void PacedSender::update_rtt(const Packet& p) {
+  // sent_time is echoed per packet, so the sample is valid even for
+  // retransmitted segments.
+  const sim::Time sample = now() - p.sent_time;
+  if (sample <= 0) return;
+  if (!rtt_valid_) {
+    rtt_ = sample;
+    rtt_valid_ = true;
+  } else {
+    rtt_ = (7 * rtt_ + sample) / 8;
+  }
+}
+
+void PacedSender::record_ack(const Packet& p) {
+  if (p.type != PacketType::kAck) return;
+  const auto idx = static_cast<std::size_t>(p.seq / kMaxPayloadBytes);
+  if (idx >= acked_.size() || acked_[idx]) return;
+  acked_[idx] = true;
+  ++acked_count_;
+  result_.bytes_acked += payload_[idx];
+  // Fast retransmit: an unacked packet overtaken by three later acks is
+  // considered lost (forced to expiry so the pacer resends it next).
+  bool forced = false;
+  for (std::size_t j = 0; j < idx; ++j) {
+    if (acked_[j] || sent_at_[j] == sim::kTimeInfinity) continue;
+    if (acks_after_[j] < kDupAckThreshold) {
+      if (++acks_after_[j] == kDupAckThreshold) {
+        sent_at_[j] = std::min(sent_at_[j], now() - rto());
+        forced = true;
+      }
+    }
+  }
+  if (forced) kick_pacer();
+}
+
+void PacedSender::on_packet(const PacketPtr& p) {
+  if (finished()) return;
+  got_reverse_ = true;
+  update_rtt(*p);
+  record_ack(*p);
+  on_reverse(p);
+  if (!finished() && acked_count_ == num_packets_) {
+    complete(FlowOutcome::kCompleted);
+  }
+}
+
+std::int64_t PacedSender::unsent_tail_bytes() const {
+  std::int64_t total = 0;
+  for (std::int64_t i = next_new_; i < num_packets_; ++i)
+    total += payload_[static_cast<std::size_t>(i)];
+  return total;
+}
+
+std::int64_t PacedSender::shrink_tail(std::int64_t bytes) {
+  std::int64_t removed = 0;
+  while (bytes > removed && num_packets_ > next_new_) {
+    removed += payload_.back();
+    payload_.pop_back();
+    acked_.pop_back();
+    sent_at_.pop_back();
+    acks_after_.pop_back();
+    --num_packets_;
+  }
+  if (removed == 0) return 0;
+  last_payload_ = payload_.empty() ? 0 : payload_.back();
+  ctx_.spec.size_bytes -= removed;
+  result_.spec.size_bytes = ctx_.spec.size_bytes;
+  // Everything left may already be acknowledged.
+  if (!finished() && started_ && acked_count_ == num_packets_) {
+    complete(FlowOutcome::kCompleted);
+  }
+  return removed;
+}
+
+bool PacedSender::extend_tail(std::int64_t bytes) {
+  if (finished() || bytes <= 0) return false;
+  // Top up the final packet if it is partial and not yet on the wire.
+  if (num_packets_ > next_new_ && payload_.back() < kMaxPayloadBytes) {
+    const std::int32_t add = static_cast<std::int32_t>(std::min<std::int64_t>(
+        kMaxPayloadBytes - payload_.back(), bytes));
+    payload_.back() += add;
+    bytes -= add;
+  }
+  while (bytes > 0) {
+    const auto add = static_cast<std::int32_t>(
+        std::min<std::int64_t>(kMaxPayloadBytes, bytes));
+    payload_.push_back(add);
+    acked_.push_back(false);
+    sent_at_.push_back(sim::kTimeInfinity);
+    acks_after_.push_back(0);
+    ++num_packets_;
+    bytes -= add;
+  }
+  last_payload_ = payload_.back();
+  std::int64_t total = 0;
+  for (auto pb : payload_) total += pb;
+  ctx_.spec.size_bytes = total;
+  result_.spec.size_bytes = total;
+  // Wake the pacer: it may be sleeping on an RTO-scale retry.
+  kick_pacer();
+  return true;
+}
+
+void PacedSender::complete(FlowOutcome outcome) {
+  assert(outcome != FlowOutcome::kPending);
+  if (finished()) return;
+  result_.outcome = outcome;
+  result_.finish_time = now();
+  if (pace_pending_) {
+    sim().cancel(pace_event_);
+    pace_pending_ = false;
+  }
+  rate_bps_ = 0.0;
+  if (send_term_on_complete()) send_control(PacketType::kTerm);
+  if (ctx_.on_done) ctx_.on_done(result_);
+}
+
+void EchoReceiver::on_packet(const PacketPtr& p) {
+  PacketType reply_type;
+  switch (p->type) {
+    case PacketType::kSyn:
+      reply_type = PacketType::kSynAck;
+      break;
+    case PacketType::kData:
+      bytes_received_ += p->payload;
+      reply_type = PacketType::kAck;
+      break;
+    case PacketType::kProbe:
+      reply_type = PacketType::kProbeAck;
+      break;
+    case PacketType::kTerm:
+      reply_type = PacketType::kTermAck;
+      break;
+    default:
+      return;  // reverse packets are not for the receiver
+  }
+  auto reply = make_reply(*p, reply_type);
+  decorate_reply(*reply, *p);
+  ctx_.local->send(std::move(reply));
+}
+
+void EchoReceiver::decorate_reply(Packet& reply, const Packet& data) {
+  (void)reply;
+  (void)data;
+}
+
+}  // namespace pdq::net

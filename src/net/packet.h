@@ -1,0 +1,116 @@
+// In-simulator packet representation.
+//
+// One Packet struct carries the union of all protocol headers under test
+// (PDQ scheduling header, RCP rate header, D3 allocation header). A packet
+// is source-routed: the full node path is computed at flow start and the
+// `hop` index advances as it is forwarded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace pdq::net {
+
+enum class PacketType : std::uint8_t {
+  kSyn,       // flow initialization (forward)
+  kSynAck,    // init acknowledgment (reverse)
+  kData,      // payload (forward)
+  kAck,       // per-packet data ack (reverse)
+  kProbe,     // PDQ rate probe, header only (forward)
+  kProbeAck,  // probe echo (reverse)
+  kTerm,      // flow termination / early termination (forward)
+  kTermAck,   // termination echo (reverse)
+};
+
+/// True for packets travelling sender -> receiver.
+constexpr bool is_forward(PacketType t) {
+  return t == PacketType::kSyn || t == PacketType::kData ||
+         t == PacketType::kProbe || t == PacketType::kTerm;
+}
+constexpr bool is_reverse(PacketType t) { return !is_forward(t); }
+
+/// PDQ scheduling header (paper S3). Field names mirror the paper's
+/// subscript-H variables.
+struct PdqHeader {
+  double rate_bps = 0.0;                 // R_H: allocated / requested rate
+  NodeId pause_by = kInvalidNode;        // P_H: switch that paused the flow
+  sim::Time deadline = sim::kTimeInfinity;  // D_H: absolute deadline
+  sim::Time expected_tx = 0;             // T_H: expected transmission time
+  sim::Time rtt = 0;                     // RTT_H: sender-measured RTT
+  double inter_probe_rtts = 0.0;         // I_H: inter-probe time, in RTTs
+};
+
+/// RCP rate header: switches stamp min(fair share) along the path.
+struct RcpHeader {
+  double rate_bps = -1.0;  // -1 = unset; switches take the running min
+  sim::Time rtt = 0;
+};
+
+/// D3 allocation header. Each switch on the forward path appends its grant
+/// to `alloc`; the sender echoes last round's vector in `prev_alloc` so the
+/// switch can release it without per-flow state (as in the D3 paper).
+struct D3Header {
+  double desired_rate_bps = 0.0;
+  bool has_deadline = false;
+  bool is_request = false;  // set on one packet per RTT by the sender
+  std::vector<double> alloc;
+  std::vector<double> prev_alloc;
+  std::int32_t alloc_idx = 0;  // hop cursor into alloc/prev_alloc
+};
+
+struct Packet {
+  FlowId flow = kInvalidFlow;
+  PacketType type = PacketType::kData;
+  NodeId src = kInvalidNode;  // original sender of the *flow* direction
+  NodeId dst = kInvalidNode;  // this packet's destination
+
+  std::int64_t seq = 0;        // first payload byte (forward), echo (reverse)
+  std::int32_t payload = 0;    // payload bytes (0 for control)
+  std::int64_t ack = 0;        // cumulative ack (TCP) or echoed seq
+  std::int32_t size_bytes = kControlBytes;  // total on-wire size
+
+  std::vector<NodeId> route;  // node path including endpoints
+  std::int32_t hop = 0;       // index of the node currently holding it
+
+  sim::Time sent_time = 0;  // stamped by the sender, echoed for RTT
+
+  PdqHeader pdq;
+  RcpHeader rcp;
+  D3Header d3;
+
+  NodeId next_hop() const {
+    const auto next = static_cast<std::size_t>(hop) + 1;
+    return next < route.size() ? route[next] : kInvalidNode;
+  }
+  bool at_destination() const {
+    return !route.empty() && route[static_cast<std::size_t>(hop)] == dst;
+  }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+/// Builds the reverse-direction reply skeleton for `p` (route reversed,
+/// headers copied, hop reset). The caller sets type/seq/sizes.
+inline PacketPtr make_reply(const Packet& p, PacketType type) {
+  auto r = std::make_shared<Packet>();
+  r->flow = p.flow;
+  r->type = type;
+  r->src = p.src;
+  r->dst = p.route.empty() ? p.src : p.route.front();
+  r->route.assign(p.route.rbegin(), p.route.rend());
+  r->hop = 0;
+  r->seq = p.seq;
+  r->payload = 0;
+  r->size_bytes = kControlBytes;
+  r->sent_time = p.sent_time;
+  r->pdq = p.pdq;
+  r->rcp = p.rcp;
+  r->d3 = p.d3;
+  return r;
+}
+
+}  // namespace pdq::net

@@ -1,0 +1,51 @@
+// Byte-capacity FIFO tail-drop queue — the only queueing discipline PDQ
+// requires of switches (paper S2.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.h"
+
+namespace pdq::net {
+
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::int64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Returns false (and counts a drop) when the packet does not fit.
+  bool push(PacketPtr p) {
+    if (bytes_ + p->size_bytes > capacity_bytes_) {
+      ++drops_;
+      dropped_bytes_ += p->size_bytes;
+      return false;
+    }
+    bytes_ += p->size_bytes;
+    q_.push_back(std::move(p));
+    return true;
+  }
+
+  PacketPtr pop() {
+    PacketPtr p = std::move(q_.front());
+    q_.pop_front();
+    bytes_ -= p->size_bytes;
+    return p;
+  }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t packets() const { return q_.size(); }
+  std::int64_t bytes() const { return bytes_; }
+  std::int64_t capacity() const { return capacity_bytes_; }
+  std::int64_t drops() const { return drops_; }
+  std::int64_t dropped_bytes() const { return dropped_bytes_; }
+
+ private:
+  std::int64_t capacity_bytes_;
+  std::int64_t bytes_ = 0;
+  std::int64_t drops_ = 0;
+  std::int64_t dropped_bytes_ = 0;
+  std::deque<PacketPtr> q_;
+};
+
+}  // namespace pdq::net

@@ -1,0 +1,116 @@
+// The network container: nodes, links, routing.
+//
+// Paths are computed on demand (BFS shortest-path DAG, then bounded
+// enumeration of equal-cost paths) and cached per (src, dst). ECMP selects
+// among the cached paths by hashing the flow id, which matches the paper's
+// flow-level ECMP assumption.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "net/types.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace pdq::net {
+
+/// Default parameters from the paper's evaluation setup (Fig 2).
+struct LinkDefaults {
+  double rate_bps = 1e9;                         // 1 Gbps
+  sim::Time prop_delay = sim::from_micros(0.1);  // 0.1 us per hop
+  std::int64_t buffer_bytes = 4 << 20;           // 4 MByte switch buffer
+};
+
+inline constexpr sim::Time kDefaultProcessingDelay = 25 * sim::kMicrosecond;
+
+class Topology {
+ public:
+  explicit Topology(sim::Simulator& sim, std::uint64_t seed = 1)
+      : sim_(sim), rng_(seed) {}
+
+  NodeId add_host(sim::Time processing_delay = 0);
+  NodeId add_switch(sim::Time processing_delay = kDefaultProcessingDelay);
+
+  /// Adds a duplex link (two simplex halves) between a and b.
+  void add_duplex_link(NodeId a, NodeId b, const LinkDefaults& d);
+  void add_duplex_link(NodeId a, NodeId b) {
+    add_duplex_link(a, b, LinkDefaults{});
+  }
+
+  Node& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  Host& host(NodeId id);
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<NodeId>& host_ids() const { return host_ids_; }
+  const std::vector<NodeId>& switch_ids() const { return switch_ids_; }
+  std::vector<std::unique_ptr<SimplexLink>>& links() { return links_; }
+
+  bool is_host(NodeId id) const;
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Rng& rng() { return rng_; }
+
+  /// All equal-cost shortest node paths from src to dst, capped at
+  /// kMaxEcmpPaths, in a deterministic order. Cached.
+  const std::vector<std::vector<NodeId>>& shortest_paths(NodeId src,
+                                                         NodeId dst);
+
+  /// Deterministic ECMP choice among shortest paths; `salt` lets M-PDQ
+  /// subflows pick distinct paths.
+  std::vector<NodeId> ecmp_path(FlowId flow, NodeId src, NodeId dst,
+                                std::uint64_t salt = 0);
+
+  /// Up to `k` link-disjoint paths (shortest first, greedy). In BCube this
+  /// recovers the parallel paths through the server's multiple NICs that
+  /// M-PDQ stripes subflows across. Cached.
+  const std::vector<std::vector<NodeId>>& disjoint_paths(NodeId src,
+                                                         NodeId dst,
+                                                         int k = 8);
+
+  /// Installs a fresh controller on every output port of every node.
+  /// The factory may return nullptr to leave a port uncontrolled.
+  template <typename Factory>
+  void install_controllers(Factory&& make) {
+    for (auto& n : nodes_) {
+      for (auto& port : n->ports()) {
+        auto c = make(*port);
+        port->set_controller(std::move(c));
+      }
+    }
+  }
+
+  /// Finds the port owning the link a->b (for instrumentation).
+  Port* port_on_link(NodeId a, NodeId b) { return node(a).port_to(b); }
+
+  /// Sets a random loss rate on both directions of the a<->b link.
+  void set_link_drop_rate(NodeId a, NodeId b, double rate);
+
+  std::int64_t total_queue_drops() const;
+  std::int64_t total_wire_drops() const;
+
+  static constexpr std::size_t kMaxEcmpPaths = 32;
+
+ private:
+  std::vector<std::vector<NodeId>> compute_shortest_paths(NodeId src,
+                                                          NodeId dst) const;
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<SimplexLink>> links_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<NodeId> host_ids_;
+  std::vector<NodeId> switch_ids_;
+  std::vector<bool> is_host_;
+  std::unordered_map<std::uint64_t, std::vector<std::vector<NodeId>>>
+      path_cache_;
+  std::unordered_map<std::uint64_t, std::vector<std::vector<NodeId>>>
+      disjoint_cache_;
+};
+
+}  // namespace pdq::net

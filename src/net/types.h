@@ -1,0 +1,24 @@
+// Shared identifiers and wire-format constants for the packet substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace pdq::net {
+
+using NodeId = std::int32_t;
+using FlowId = std::int64_t;
+using LinkId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr FlowId kInvalidFlow = -1;
+
+/// Ethernet-ish framing used throughout the paper's experiments.
+inline constexpr std::int32_t kMtuBytes = 1500;
+inline constexpr std::int32_t kHeaderBytes = 40;   // TCP/IP headers
+inline constexpr std::int32_t kMaxPayloadBytes = kMtuBytes - kHeaderBytes;
+/// PDQ adds a 16-byte scheduling header (4 x 4-byte fields, see paper S7).
+inline constexpr std::int32_t kSchedulingHeaderBytes = 16;
+/// Control packets (SYN/ACK/probe/TERM) carry headers only.
+inline constexpr std::int32_t kControlBytes = kHeaderBytes;
+
+}  // namespace pdq::net

@@ -1,0 +1,182 @@
+#include "protocols/d3.h"
+
+#include <algorithm>
+
+#include "net/topology.h"
+
+namespace pdq::protocols {
+
+namespace {
+}  // namespace
+
+void D3LinkController::attach(net::Port& port) {
+  net::LinkController::attach(port);
+  capacity_bps_ = port.link().rate_bps;
+  fair_share_bps_ = capacity_bps_;
+  port.owner().topo().sim().schedule_in(cfg_.default_rtt,
+                                        [this] { tick(); });
+}
+
+void D3LinkController::on_forward(net::Packet& p) {
+  if (p.flow == net::kInvalidFlow) return;
+  auto& sim = port_->owner().topo().sim();
+  bytes_window_ += p.size_bytes;
+
+  const auto hop = static_cast<std::size_t>(p.d3.alloc_idx);
+
+  if (p.type == net::PacketType::kTerm) {
+    // Release this flow's reservation on the way out.
+    if (hop < p.d3.prev_alloc.size()) {
+      allocated_bps_ = std::max(0.0, allocated_bps_ - p.d3.prev_alloc[hop]);
+    }
+    ++p.d3.alloc_idx;
+    flows_.erase(p.flow);
+    return;
+  }
+
+  flows_[p.flow].last_seen = sim.now();
+
+  if (!p.d3.is_request) return;
+
+  ++requests_window_;
+  demand_window_bps_ += p.d3.desired_rate_bps;
+
+  // Release last round's grant, then allocate greedily in arrival order.
+  if (hop < p.d3.prev_alloc.size()) {
+    allocated_bps_ = std::max(0.0, allocated_bps_ - p.d3.prev_alloc[hop]);
+  }
+  const double left = std::max(0.0, capacity_bps_ - allocated_bps_);
+  const double want =
+      (p.d3.has_deadline ? p.d3.desired_rate_bps : 0.0) + fair_share_bps_;
+  // Every flow keeps at least the base rate so its requests keep flowing
+  // (as in D3); the base rate may transiently overcommit the link.
+  const double grant = std::max(std::min(want, left), cfg_.min_rate_bps);
+  allocated_bps_ += grant;
+  flows_[p.flow].last_grant = grant;
+
+  p.d3.alloc.push_back(grant);
+  ++p.d3.alloc_idx;
+}
+
+void D3LinkController::on_reverse(net::Packet& p) { (void)p; }
+
+void D3LinkController::tick() {
+  auto& sim = port_->owner().topo().sim();
+  const sim::Time interval = cfg_.default_rtt;
+
+  const double y =
+      static_cast<double>(bytes_window_) * 8.0 / sim::to_seconds(interval);
+  bytes_window_ = 0;
+  // Demand is EWMA-smoothed (requests arrive once per *flow* RTT, which
+  // does not line up with our tick window); the flow count is exact.
+  demand_bps_ = 0.5 * demand_bps_ + 0.5 * demand_window_bps_;
+  flow_count_est_ = std::max<double>(1.0, static_cast<double>(flows_.size()));
+  demand_window_bps_ = 0.0;
+  requests_window_ = 0;
+
+  // Fair share of capacity left after deadline demand, RCP-style: spare
+  // headroom scaled by alpha, queue backlog drained with gain beta. The
+  // max(0, .) clamp is the paper's fix to the original D3 formula.
+  const double q_bits = static_cast<double>(port_->queue().bytes()) * 8.0;
+  const double spare = capacity_bps_ - demand_bps_ +
+                       cfg_.alpha * (capacity_bps_ - y) -
+                       cfg_.beta * q_bits / sim::to_seconds(interval);
+  fair_share_bps_ = std::clamp(spare / flow_count_est_, 0.0, capacity_bps_);
+
+  // GC flows that vanished without a TERM (lost packet, quenched sender).
+  const sim::Time cutoff = sim.now() - cfg_.gc_timeout;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.last_seen < cutoff) {
+      allocated_bps_ = std::max(0.0, allocated_bps_ - it->second.last_grant);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  sim.schedule_in(interval, [this] { tick(); });
+}
+
+D3Sender::D3Sender(net::AgentContext ctx, D3Config cfg)
+    : net::PacedSender(std::move(ctx)), cfg_(cfg) {
+  rmax_ = nic_rate_bps();
+}
+
+void D3Sender::on_start() { tick(); }
+
+double D3Sender::desired_rate_bps() {
+  if (!ctx().spec.has_deadline()) return 0.0;
+  const sim::Time left = ctx().spec.absolute_deadline() - now();
+  if (left <= 0) return rmax_;
+  return std::min(
+      rmax_, static_cast<double>(remaining_bytes()) * 8.0 /
+                 sim::to_seconds(left));
+}
+
+bool D3Sender::check_quenching() {
+  if (!cfg_.quenching || finished() || !ctx().spec.has_deadline())
+    return false;
+  const sim::Time deadline = ctx().spec.absolute_deadline();
+  const bool past = now() > deadline;
+  const bool hopeless = now() + expected_tx_time(rmax_) > deadline;
+  if (past || hopeless) {
+    complete(net::FlowOutcome::kTerminated);
+    return true;
+  }
+  return false;
+}
+
+void D3Sender::decorate(net::Packet& p) {
+  auto& h = p.d3;
+  h.has_deadline = ctx().spec.has_deadline();
+  h.desired_rate_bps = desired_rate_bps();
+  h.alloc_idx = 0;
+  if (p.type == net::PacketType::kTerm) {
+    h.prev_alloc = prev_alloc_;  // switches release the reservation
+    return;
+  }
+  const bool due = now() >= next_request_at_ && !request_outstanding_;
+  if (p.type == net::PacketType::kSyn || due) {
+    h.is_request = true;
+    h.prev_alloc = prev_alloc_;
+    request_outstanding_ = true;
+    next_request_at_ = now() + rtt_estimate();
+  }
+}
+
+void D3Sender::on_reverse(const net::PacketPtr& p) {
+  got_feedback_ = true;
+  if (check_quenching()) return;
+  if (!p->d3.is_request) return;
+  request_outstanding_ = false;
+  prev_alloc_ = p->d3.alloc;
+  double rate = rmax_;
+  for (double g : prev_alloc_) rate = std::min(rate, g);
+  set_rate(std::max(rate, cfg_.min_rate_bps));
+}
+
+void D3Sender::tick() {
+  if (finished()) return;
+  if (check_quenching()) return;
+  // If the request got lost, allow a new one after an RTO.
+  if (request_outstanding_ && now() > next_request_at_ + rto()) {
+    request_outstanding_ = false;
+  }
+  // At low rates data packets are too sparse to carry the per-RTT rate
+  // request; send it on a header-only packet instead (D3's rate request
+  // packets are independent of the data stream).
+  if (got_feedback_ && !request_outstanding_ && now() >= next_request_at_ &&
+      rate_bps() < 10e6) {
+    send_control(net::PacketType::kProbe);
+  }
+  sim().schedule_in(std::max(rtt_estimate(), 100 * sim::kMicrosecond),
+                    [this] { tick(); });
+}
+
+void install_d3(net::Topology& topo, const D3Config& cfg) {
+  topo.install_controllers([&](net::Port&) {
+    return std::make_unique<D3LinkController>(cfg);
+  });
+}
+
+}  // namespace pdq::protocols

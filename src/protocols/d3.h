@@ -1,0 +1,95 @@
+// D3 baseline [19]: deadline-aware explicit-rate allocation, first-come
+// first-reserved.
+//
+// Once per RTT each sender piggybacks a rate request on a data packet:
+// desired rate r = remaining_size / time_to_deadline (0 for flows without
+// deadlines) plus the allocation vector it was granted last round. Each
+// switch on the path releases the old grant, then greedily allocates
+//   grant = min(r + fs, capacity - allocated)
+// in arrival order, where fs is the fair share of capacity left after all
+// deadline demand. As in the paper's reimplementation, fs is clamped to be
+// non-negative (the original formula can go negative under congestion and
+// makes flows return reserved bandwidth, hurting D3).
+//
+// The sender transmits at min(grants along path) and applies the quenching
+// rule: a deadline flow that can no longer make its deadline terminates.
+// With no deadline flows, the allocation degenerates to exact-count fair
+// sharing, i.e. RCP (the two are reported together in the paper's
+// deadline-unconstrained plots).
+#pragma once
+
+#include <unordered_map>
+
+#include "net/link_controller.h"
+#include "net/node.h"
+#include "net/paced_sender.h"
+
+namespace pdq::protocols {
+
+struct D3Config {
+  double alpha = 0.1;  // headroom gain on spare capacity (paper's alpha)
+  double beta = 1.0;   // queue drain gain (paper's beta)
+  sim::Time default_rtt = 200 * sim::kMicrosecond;
+  double min_rate_bps = 1e6;  // base rate so paused flows keep probing
+  sim::Time gc_timeout = 100 * sim::kMillisecond;
+  bool quenching = true;
+};
+
+class D3LinkController : public net::LinkController {
+ public:
+  explicit D3LinkController(D3Config cfg) : cfg_(cfg) {}
+
+  void attach(net::Port& port) override;
+  void on_forward(net::Packet& p) override;
+  void on_reverse(net::Packet& p) override;
+
+  double allocated_bps() const { return allocated_bps_; }
+  std::size_t flow_count() const { return flows_.size(); }
+  double fair_share_bps() const { return fair_share_bps_; }
+
+ private:
+  void tick();
+
+  D3Config cfg_;
+  double capacity_bps_ = 0.0;
+  double allocated_bps_ = 0.0;   // sum of outstanding grants on this link
+  double fair_share_bps_ = 0.0;  // fs, recomputed every interval
+  // Demand/count accumulated during the current interval.
+  double demand_window_bps_ = 0.0;
+  std::int64_t requests_window_ = 0;
+  double demand_bps_ = 0.0;
+  double flow_count_est_ = 1.0;
+  std::int64_t bytes_window_ = 0;  // measured arrival for alpha term
+
+  struct GrantInfo {
+    sim::Time last_seen = 0;
+    double last_grant = 0.0;
+  };
+  std::unordered_map<net::FlowId, GrantInfo> flows_;
+};
+
+class D3Sender : public net::PacedSender {
+ public:
+  D3Sender(net::AgentContext ctx, D3Config cfg);
+
+ protected:
+  void on_start() override;
+  void decorate(net::Packet& p) override;
+  void on_reverse(const net::PacketPtr& p) override;
+
+ private:
+  void tick();
+  double desired_rate_bps();
+  bool check_quenching();
+
+  D3Config cfg_;
+  double rmax_ = 0.0;
+  bool got_feedback_ = false;
+  sim::Time next_request_at_ = 0;
+  std::vector<double> prev_alloc_;  // grants from the last request round
+  bool request_outstanding_ = false;
+};
+
+void install_d3(net::Topology& topo, const D3Config& cfg);
+
+}  // namespace pdq::protocols

@@ -1,0 +1,118 @@
+#include "protocols/rcp.h"
+
+#include <algorithm>
+
+#include "net/topology.h"
+
+namespace pdq::protocols {
+
+void RcpLinkController::attach(net::Port& port) {
+  net::LinkController::attach(port);
+  capacity_bps_ = port.link().rate_bps;
+  fair_rate_bps_ = capacity_bps_;  // optimistic until the first count
+  avg_rtt_ = cfg_.default_rtt;
+  port.owner().topo().sim().schedule_in(
+      static_cast<sim::Time>(cfg_.interval_rtts *
+                             static_cast<double>(avg_rtt_)),
+      [this] { tick(); });
+}
+
+void RcpLinkController::on_forward(net::Packet& p) {
+  if (p.flow == net::kInvalidFlow) return;
+  auto& sim = port_->owner().topo().sim();
+  if (p.type == net::PacketType::kTerm) {
+    if (flows_.erase(p.flow) > 0) recompute();
+    return;
+  }
+  const bool is_new = flows_.find(p.flow) == flows_.end();
+  flows_[p.flow] = sim.now();
+  // Exact flow counting (the paper's optimization): a new flow lowers the
+  // advertised rate immediately, so a sudden influx cannot be handed the
+  // full line rate on stale information.
+  if (is_new) recompute();
+  if (p.rcp.rtt > 0) {
+    rtt_sum_ += static_cast<double>(p.rcp.rtt);
+    ++rtt_samples_;
+  }
+  // Stamp the running minimum of per-link fair rates along the path.
+  if (p.rcp.rate_bps < 0.0 || p.rcp.rate_bps > fair_rate_bps_) {
+    p.rcp.rate_bps = fair_rate_bps_;
+  }
+}
+
+void RcpLinkController::on_reverse(net::Packet& p) { (void)p; }
+
+void RcpLinkController::recompute() {
+  const double n = std::max<double>(1.0, static_cast<double>(flows_.size()));
+  const double q_bits = static_cast<double>(port_->queue().bytes()) * 8.0;
+  const double drain =
+      q_bits / (cfg_.interval_rtts * sim::to_seconds(std::max<sim::Time>(
+                                         avg_rtt_, sim::kMicrosecond)));
+  fair_rate_bps_ =
+      std::max(cfg_.min_rate_bps, (capacity_bps_ - drain) / n);
+}
+
+void RcpLinkController::tick() {
+  auto& sim = port_->owner().topo().sim();
+
+  if (rtt_samples_ > 0) {
+    avg_rtt_ = static_cast<sim::Time>(rtt_sum_ /
+                                      static_cast<double>(rtt_samples_));
+    rtt_sum_ = 0.0;
+    rtt_samples_ = 0;
+  }
+
+  const sim::Time cutoff = sim.now() - cfg_.gc_timeout;
+  std::erase_if(flows_, [&](const auto& kv) { return kv.second < cutoff; });
+
+  recompute();
+
+  sim.schedule_in(
+      static_cast<sim::Time>(cfg_.interval_rtts *
+                             static_cast<double>(std::max<sim::Time>(
+                                 avg_rtt_, 10 * sim::kMicrosecond))),
+      [this] { tick(); });
+}
+
+namespace {
+// Below this rate, data packets are too sparse to carry timely feedback.
+constexpr double kProbeRateThreshold = 10e6;
+}
+
+RcpSender::RcpSender(net::AgentContext ctx, RcpConfig cfg)
+    : net::PacedSender(std::move(ctx)), cfg_(cfg) {
+  rmax_ = nic_rate_bps();
+}
+
+void RcpSender::on_start() { tick(); }
+
+void RcpSender::tick() {
+  if (finished()) return;
+  // At very low rates data packets are minutes apart in feedback terms;
+  // keep the rate feedback loop alive with header-only probes.
+  if (got_feedback_ && rate_bps() < kProbeRateThreshold) {
+    send_control(net::PacketType::kProbe);
+  }
+  sim().schedule_in(std::max(rtt_estimate(), 100 * sim::kMicrosecond),
+                    [this] { tick(); });
+}
+
+void RcpSender::decorate(net::Packet& p) {
+  p.rcp.rate_bps = rmax_;  // switches take the min along the path
+  p.rcp.rtt = rtt_estimate();
+}
+
+void RcpSender::on_reverse(const net::PacketPtr& p) {
+  got_feedback_ = true;
+  if (p->rcp.rate_bps >= 0.0) {
+    set_rate(std::min(p->rcp.rate_bps, rmax_));
+  }
+}
+
+void install_rcp(net::Topology& topo, const RcpConfig& cfg) {
+  topo.install_controllers([&](net::Port&) {
+    return std::make_unique<RcpLinkController>(cfg);
+  });
+}
+
+}  // namespace pdq::protocols

@@ -1,0 +1,73 @@
+// RCP (Rate Control Protocol) baseline [10], with the optimization the
+// paper applies: switches count the exact number of active flows rather
+// than estimating it, which converges to the fair rate much faster and
+// avoids drops on large flow influxes.
+//
+// Each link advertises R = max(0, (C - queue-drain) / N); senders transmit
+// at the minimum advertised rate along their path. With no deadlines this
+// is exactly the paper's D3-equivalent fair-sharing baseline.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/link_controller.h"
+#include "net/node.h"
+#include "net/paced_sender.h"
+
+namespace pdq::protocols {
+
+struct RcpConfig {
+  /// Control interval and queue-drain horizon, in units of the average
+  /// RTT (estimated from packet headers).
+  double interval_rtts = 2.0;
+  sim::Time default_rtt = 200 * sim::kMicrosecond;
+  /// Never advertise less than this (keeps flows probing).
+  double min_rate_bps = 1e6;
+  /// Flow entries idle longer than this are dropped from the exact count.
+  sim::Time gc_timeout = 100 * sim::kMillisecond;
+};
+
+class RcpLinkController : public net::LinkController {
+ public:
+  explicit RcpLinkController(RcpConfig cfg) : cfg_(cfg) {}
+
+  void attach(net::Port& port) override;
+  void on_forward(net::Packet& p) override;
+  void on_reverse(net::Packet& p) override;
+
+  double fair_rate_bps() const { return fair_rate_bps_; }
+  std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  void tick();
+  void recompute();
+
+  RcpConfig cfg_;
+  double capacity_bps_ = 0.0;
+  double fair_rate_bps_ = 0.0;
+  std::unordered_map<net::FlowId, sim::Time> flows_;  // id -> last seen
+  double rtt_sum_ = 0.0;
+  std::int64_t rtt_samples_ = 0;
+  sim::Time avg_rtt_ = 0;
+};
+
+class RcpSender : public net::PacedSender {
+ public:
+  RcpSender(net::AgentContext ctx, RcpConfig cfg);
+
+ protected:
+  void on_start() override;
+  void decorate(net::Packet& p) override;
+  void on_reverse(const net::PacketPtr& p) override;
+
+ private:
+  void tick();
+
+  RcpConfig cfg_;
+  double rmax_ = 0.0;
+  bool got_feedback_ = false;
+};
+
+void install_rcp(net::Topology& topo, const RcpConfig& cfg);
+
+}  // namespace pdq::protocols

@@ -1,0 +1,208 @@
+#include "protocols/tcp.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/topology.h"
+
+namespace pdq::protocols {
+
+using net::kMaxPayloadBytes;
+
+TcpSender::TcpSender(net::AgentContext ctx, TcpConfig cfg)
+    : ctx_(std::move(ctx)), cfg_(cfg) {
+  size_ = ctx_.spec.size_bytes;
+  result_.spec = ctx_.spec;
+  cwnd_ = cfg_.initial_cwnd_pkts;
+  ssthresh_ = cfg_.ssthresh_pkts;
+  const auto segs = (size_ + kMaxPayloadBytes - 1) / kMaxPayloadBytes;
+  retransmitted_.assign(static_cast<std::size_t>(segs), false);
+}
+
+sim::Time TcpSender::now() const { return ctx_.topo->sim().now(); }
+
+sim::Time TcpSender::rto() const {
+  sim::Time base = rtt_valid_ ? srtt_ + 4 * rttvar_ : 10 * sim::kMillisecond;
+  base = std::max(base, cfg_.rto_min);
+  for (int i = 0; i < backoff_; ++i) base = std::min(base * 2, cfg_.rto_max);
+  return std::min(base, cfg_.rto_max);
+}
+
+void TcpSender::start() {
+  assert(!started_);
+  started_ = true;
+  try_send();
+}
+
+std::int64_t TcpSender::segment_payload(std::int64_t seq) const {
+  return std::min<std::int64_t>(kMaxPayloadBytes, size_ - seq);
+}
+
+void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
+  auto p = std::make_shared<net::Packet>();
+  p->flow = ctx_.spec.id;
+  p->type = net::PacketType::kData;
+  p->src = ctx_.spec.src;
+  p->dst = ctx_.spec.dst;
+  p->route = ctx_.route;
+  p->seq = seq;
+  p->payload = static_cast<std::int32_t>(segment_payload(seq));
+  p->size_bytes = p->payload + net::kHeaderBytes;
+  p->sent_time = now();
+  ++result_.packets_sent;
+  if (is_retx) {
+    ++result_.retransmissions;
+    retransmitted_[static_cast<std::size_t>(seq / kMaxPayloadBytes)] = true;
+  }
+  ctx_.local->send(std::move(p));
+}
+
+void TcpSender::try_send() {
+  const auto window_bytes =
+      static_cast<std::int64_t>(cwnd_ * kMaxPayloadBytes);
+  while (snd_nxt_ < size_ && snd_nxt_ - snd_una_ < window_bytes) {
+    send_segment(snd_nxt_, false);
+    snd_nxt_ += segment_payload(snd_nxt_);
+  }
+  if (snd_una_ < snd_nxt_ && !timer_armed_) arm_timer();
+}
+
+void TcpSender::arm_timer() {
+  if (timer_armed_) ctx_.topo->sim().cancel(timer_);
+  timer_armed_ = true;
+  timer_ = ctx_.topo->sim().schedule_in(rto(), [this] {
+    timer_armed_ = false;
+    on_timeout();
+  });
+}
+
+void TcpSender::on_timeout() {
+  if (result_.outcome != net::FlowOutcome::kPending) return;
+  if (snd_una_ >= size_) return;
+  const double flight = static_cast<double>(snd_nxt_ - snd_una_) /
+                        kMaxPayloadBytes;
+  ssthresh_ = std::max(flight / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  ++backoff_;
+  snd_nxt_ = snd_una_;  // go-back-N from the hole
+  send_segment(snd_una_, true);
+  snd_nxt_ = snd_una_ + segment_payload(snd_una_);
+  arm_timer();
+}
+
+void TcpSender::enter_fast_retransmit() {
+  const double flight = static_cast<double>(snd_nxt_ - snd_una_) /
+                        kMaxPayloadBytes;
+  ssthresh_ = std::max(flight / 2.0, 2.0);
+  cwnd_ = ssthresh_ + static_cast<double>(cfg_.dupack_threshold);
+  in_recovery_ = true;
+  recover_ = snd_nxt_;
+  send_segment(snd_una_, true);
+  arm_timer();
+}
+
+void TcpSender::on_ack(std::int64_t ack, const net::Packet& p) {
+  if (ack > snd_una_) {
+    // RTT sample (Karn's rule: skip echoes of retransmitted segments).
+    const auto seg = static_cast<std::size_t>(p.seq / kMaxPayloadBytes);
+    if (seg < retransmitted_.size() && !retransmitted_[seg]) {
+      const sim::Time sample = now() - p.sent_time;
+      if (sample > 0) {
+        if (!rtt_valid_) {
+          srtt_ = sample;
+          rttvar_ = sample / 2;
+          rtt_valid_ = true;
+        } else {
+          const sim::Time err =
+              sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+          rttvar_ = (3 * rttvar_ + err) / 4;
+          srtt_ = (7 * srtt_ + sample) / 8;
+        }
+      }
+    }
+    backoff_ = 0;
+
+    if (in_recovery_) {
+      if (ack >= recover_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+        dupacks_ = 0;
+      } else {
+        // Partial ack: retransmit the next hole immediately.
+        snd_una_ = ack;
+        send_segment(snd_una_, true);
+        arm_timer();
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+    }
+
+    snd_una_ = ack;
+    snd_nxt_ = std::max(snd_nxt_, snd_una_);
+    if (!in_recovery_) dupacks_ = 0;
+
+    result_.bytes_acked = snd_una_;
+    if (snd_una_ >= size_) {
+      complete();
+      return;
+    }
+    arm_timer();
+    try_send();
+  } else if (ack == snd_una_ && snd_nxt_ > snd_una_) {
+    ++dupacks_;
+    if (in_recovery_) {
+      cwnd_ += 1.0;  // window inflation per extra dupack
+      try_send();
+    } else if (dupacks_ == cfg_.dupack_threshold) {
+      enter_fast_retransmit();
+    }
+  }
+}
+
+void TcpSender::on_packet(const net::PacketPtr& p) {
+  if (result_.outcome != net::FlowOutcome::kPending) return;
+  if (p->type != net::PacketType::kAck) return;
+  on_ack(p->ack, *p);
+}
+
+void TcpSender::complete() {
+  result_.outcome = net::FlowOutcome::kCompleted;
+  result_.finish_time = now();
+  result_.bytes_acked = size_;
+  if (timer_armed_) {
+    ctx_.topo->sim().cancel(timer_);
+    timer_armed_ = false;
+  }
+  if (ctx_.on_done) ctx_.on_done(result_);
+}
+
+TcpReceiver::TcpReceiver(net::AgentContext ctx) : ctx_(std::move(ctx)) {
+  num_segments_ =
+      (ctx_.spec.size_bytes + kMaxPayloadBytes - 1) / kMaxPayloadBytes;
+  received_.assign(static_cast<std::size_t>(num_segments_), false);
+}
+
+void TcpReceiver::on_packet(const net::PacketPtr& p) {
+  if (p->type != net::PacketType::kData) return;
+  const auto seg = static_cast<std::size_t>(p->seq / kMaxPayloadBytes);
+  if (seg < received_.size()) received_[seg] = true;
+
+  // Advance the in-order marker over contiguously received segments.
+  auto next = static_cast<std::size_t>(in_order_ / kMaxPayloadBytes);
+  while (next < received_.size() && received_[next]) {
+    in_order_ = std::min<std::int64_t>(
+        ctx_.spec.size_bytes,
+        static_cast<std::int64_t>(next + 1) * kMaxPayloadBytes);
+    ++next;
+  }
+
+  auto ack = net::make_reply(*p, net::PacketType::kAck);
+  ack->ack = in_order_;
+  ctx_.local->send(std::move(ack));
+}
+
+}  // namespace pdq::protocols

@@ -1,0 +1,90 @@
+// TCP Reno baseline with a small RTO_min, the paper's incast-tuned TCP
+// (per Vasudevan et al. [18]).
+//
+// Window-based: slow start, congestion avoidance, fast retransmit on three
+// duplicate ACKs, fast recovery, exponential RTO backoff. The receiver
+// returns cumulative ACKs. Switches need no controller — plain FIFO
+// tail-drop queues provide the loss signal.
+#pragma once
+
+#include <vector>
+
+#include "net/flow.h"
+#include "net/node.h"
+#include "net/paced_sender.h"  // for AgentContext
+
+namespace pdq::protocols {
+
+struct TcpConfig {
+  double initial_cwnd_pkts = 2.0;
+  double ssthresh_pkts = 64.0;
+  sim::Time rto_min = sim::kMillisecond;  // "small RTO_min" tuning
+  sim::Time rto_max = 200 * sim::kMillisecond;
+  std::int32_t dupack_threshold = 3;
+};
+
+class TcpSender : public net::Agent {
+ public:
+  TcpSender(net::AgentContext ctx, TcpConfig cfg);
+
+  void start() override;
+  void on_packet(const net::PacketPtr& p) override;
+  const net::FlowResult* flow_result() const override { return &result_; }
+  const net::FlowResult& result() const { return result_; }
+
+  double cwnd_pkts() const { return cwnd_; }
+  sim::Time rto() const;
+
+ private:
+  void try_send();
+  void send_segment(std::int64_t seq, bool is_retx);
+  void on_ack(std::int64_t ack_bytes, const net::Packet& p);
+  void enter_fast_retransmit();
+  void on_timeout();
+  void arm_timer();
+  void complete();
+  sim::Time now() const;
+
+  std::int64_t segment_payload(std::int64_t seq) const;
+
+  net::AgentContext ctx_;
+  net::FlowResult result_;
+  TcpConfig cfg_;
+
+  std::int64_t size_ = 0;
+  std::int64_t snd_nxt_ = 0;   // next new byte to send
+  std::int64_t snd_una_ = 0;   // lowest unacked byte
+  double cwnd_ = 2.0;          // in segments
+  double ssthresh_ = 64.0;
+  std::int32_t dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;  // highest byte sent when loss detected
+
+  // RTT estimation (RFC 6298 style).
+  bool rtt_valid_ = false;
+  sim::Time srtt_ = 0;
+  sim::Time rttvar_ = 0;
+  std::int32_t backoff_ = 0;
+
+  sim::EventId timer_ = 0;
+  bool timer_armed_ = false;
+  std::vector<bool> retransmitted_;  // per segment, for Karn's rule
+  bool started_ = false;
+};
+
+/// Cumulative-ACK receiver.
+class TcpReceiver : public net::Agent {
+ public:
+  explicit TcpReceiver(net::AgentContext ctx);
+
+  void on_packet(const net::PacketPtr& p) override;
+  std::int64_t bytes_in_order() const { return in_order_; }
+
+ private:
+  net::AgentContext ctx_;
+  std::int64_t in_order_ = 0;
+  std::vector<bool> received_;  // per segment
+  std::int64_t num_segments_ = 0;
+};
+
+}  // namespace pdq::protocols

@@ -1,0 +1,230 @@
+#include "sched/fluid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace pdq::sched {
+
+namespace {
+
+constexpr double kBitsPerByte = 8.0;
+
+double job_bits(const Job& j) {
+  return static_cast<double>(j.size_bytes) * kBitsPerByte;
+}
+
+/// Event-driven fluid engine: `pick` selects which released, unfinished
+/// jobs get bandwidth (equal split among the returned set).
+template <typename PickFn>
+std::vector<sim::Time> run_fluid(const std::vector<Job>& jobs,
+                                 double rate_bps, PickFn pick) {
+  const std::size_t n = jobs.size();
+  std::vector<double> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = job_bits(jobs[i]);
+  std::vector<sim::Time> done(n, sim::kTimeInfinity);
+
+  // Release events in time order.
+  std::vector<std::size_t> by_release(n);
+  std::iota(by_release.begin(), by_release.end(), 0);
+  std::sort(by_release.begin(), by_release.end(), [&](auto a, auto b) {
+    return jobs[a].release < jobs[b].release;
+  });
+
+  std::size_t next_release = 0;
+  std::size_t finished = 0;
+  double now_s = 0.0;
+
+  while (finished < n) {
+    // Admit releases up to now.
+    while (next_release < n &&
+           sim::to_seconds(jobs[by_release[next_release]].release) <=
+               now_s + 1e-15) {
+      ++next_release;
+    }
+    std::vector<std::size_t> active;
+    for (std::size_t k = 0; k < next_release; ++k) {
+      const auto i = by_release[k];
+      if (done[i] == sim::kTimeInfinity && remaining[i] > 0) active.push_back(i);
+    }
+
+    const double next_rel_s =
+        next_release < n
+            ? sim::to_seconds(jobs[by_release[next_release]].release)
+            : std::numeric_limits<double>::infinity();
+
+    if (active.empty()) {
+      assert(next_release < n);
+      now_s = next_rel_s;
+      continue;
+    }
+
+    const std::vector<std::size_t> served = pick(active, remaining);
+    assert(!served.empty());
+    const double per_job = rate_bps / static_cast<double>(served.size());
+
+    // Next event: earliest completion among served jobs, or next release.
+    double dt = next_rel_s - now_s;
+    for (auto i : served) dt = std::min(dt, remaining[i] / per_job);
+
+    for (auto i : served) {
+      remaining[i] -= per_job * dt;
+      if (remaining[i] <= 1e-9) {
+        remaining[i] = 0;
+        done[i] = sim::from_seconds(now_s + dt);
+        ++finished;
+      }
+    }
+    now_s += dt;
+  }
+  return done;
+}
+
+}  // namespace
+
+double Schedule::mean_fct_ms(const std::vector<Job>& jobs) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (completion[i] == sim::kTimeInfinity) continue;
+    sum += sim::to_millis(completion[i] - jobs[i].release);
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double Schedule::max_fct_ms(const std::vector<Job>& jobs) const {
+  double m = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (completion[i] == sim::kTimeInfinity) continue;
+    m = std::max(m, sim::to_millis(completion[i] - jobs[i].release));
+  }
+  return m;
+}
+
+double Schedule::on_time_percent(const std::vector<Job>& jobs) const {
+  std::size_t with_deadline = 0;
+  std::size_t met = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].deadline == sim::kTimeInfinity) continue;
+    ++with_deadline;
+    if (completion[i] != sim::kTimeInfinity &&
+        completion[i] <= jobs[i].deadline) {
+      ++met;
+    }
+  }
+  return with_deadline == 0
+             ? 100.0
+             : 100.0 * static_cast<double>(met) /
+                   static_cast<double>(with_deadline);
+}
+
+Schedule fair_sharing(const std::vector<Job>& jobs, double rate_bps) {
+  Schedule s;
+  s.completion = run_fluid(jobs, rate_bps,
+                           [](const std::vector<std::size_t>& active,
+                              const std::vector<double>&) { return active; });
+  return s;
+}
+
+Schedule srpt(const std::vector<Job>& jobs, double rate_bps) {
+  Schedule s;
+  s.completion = run_fluid(
+      jobs, rate_bps,
+      [&](const std::vector<std::size_t>& active,
+          const std::vector<double>& remaining) {
+        std::size_t best = active.front();
+        for (auto i : active) {
+          if (remaining[i] < remaining[best] ||
+              (remaining[i] == remaining[best] && jobs[i].id < jobs[best].id))
+            best = i;
+        }
+        return std::vector<std::size_t>{best};
+      });
+  return s;
+}
+
+Schedule edf(const std::vector<Job>& jobs, double rate_bps) {
+  Schedule s;
+  s.completion = run_fluid(
+      jobs, rate_bps,
+      [&](const std::vector<std::size_t>& active,
+          const std::vector<double>& remaining) {
+        std::size_t best = active.front();
+        for (auto i : active) {
+          const auto da = jobs[i].deadline;
+          const auto db = jobs[best].deadline;
+          if (da < db ||
+              (da == db && remaining[i] < remaining[best]) ||
+              (da == db && remaining[i] == remaining[best] &&
+               jobs[i].id < jobs[best].id))
+            best = i;
+        }
+        return std::vector<std::size_t>{best};
+      });
+  return s;
+}
+
+Schedule edf_max_ontime(const std::vector<Job>& jobs, double rate_bps) {
+  // Moore-Hodgson on the deadline jobs (all released together): process in
+  // EDF order, keep a running schedule, and whenever the current job would
+  // finish late evict the largest job selected so far.
+  const std::size_t n = jobs.size();
+  std::vector<std::size_t> deadline_jobs;
+  for (std::size_t i = 0; i < n; ++i)
+    if (jobs[i].deadline != sim::kTimeInfinity) deadline_jobs.push_back(i);
+  std::sort(deadline_jobs.begin(), deadline_jobs.end(), [&](auto a, auto b) {
+    return jobs[a].deadline != jobs[b].deadline
+               ? jobs[a].deadline < jobs[b].deadline
+               : jobs[a].size_bytes < jobs[b].size_bytes;
+  });
+
+  std::vector<std::size_t> selected;
+  double t_s = 0.0;
+  for (auto i : deadline_jobs) {
+    selected.push_back(i);
+    t_s += job_bits(jobs[i]) / rate_bps;
+    if (t_s > sim::to_seconds(jobs[i].deadline)) {
+      auto worst = std::max_element(
+          selected.begin(), selected.end(), [&](auto a, auto b) {
+            return jobs[a].size_bytes < jobs[b].size_bytes;
+          });
+      t_s -= job_bits(jobs[*worst]) / rate_bps;
+      selected.erase(worst);
+    }
+  }
+
+  Schedule s;
+  s.completion.assign(n, sim::kTimeInfinity);
+  double t = 0.0;
+  for (auto i : selected) {
+    t += job_bits(jobs[i]) / rate_bps;
+    s.completion[i] = sim::from_seconds(t);
+  }
+  // Discarded deadline jobs stay at infinity; no-deadline jobs run
+  // afterwards in SRPT order.
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < n; ++i)
+    if (jobs[i].deadline == sim::kTimeInfinity) rest.push_back(i);
+  std::sort(rest.begin(), rest.end(), [&](auto a, auto b) {
+    return jobs[a].size_bytes < jobs[b].size_bytes;
+  });
+  for (auto i : rest) {
+    t += job_bits(jobs[i]) / rate_bps;
+    s.completion[i] = sim::from_seconds(t);
+  }
+  return s;
+}
+
+double optimal_application_throughput(const std::vector<Job>& jobs,
+                                      double rate_bps) {
+  return edf_max_ontime(jobs, rate_bps).on_time_percent(jobs);
+}
+
+double optimal_mean_fct_ms(const std::vector<Job>& jobs, double rate_bps) {
+  return srpt(jobs, rate_bps).mean_fct_ms(jobs);
+}
+
+}  // namespace pdq::sched

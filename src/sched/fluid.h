@@ -1,0 +1,62 @@
+// Centralized fluid-model schedulers on a single bottleneck link.
+//
+// These are the paper's reference disciplines: fair sharing (Fig 1b),
+// SJF/SRPT and EDF (Fig 1c), and the omniscient "Optimal" used throughout
+// S5: sort by EDF, then discard the minimum number of flows that cannot
+// meet their deadlines (Moore-Hodgson, "Algorithm 3.3.1 in Pinedo").
+//
+// The fluid model transmits infinitesimal units: no packetization, no
+// feedback delay. Completion times are therefore lower bounds for any
+// real protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pdq::sched {
+
+struct Job {
+  std::int64_t size_bytes = 0;
+  sim::Time release = 0;                    // arrival time
+  sim::Time deadline = sim::kTimeInfinity;  // absolute; infinity = none
+  int id = 0;
+};
+
+struct Schedule {
+  /// Completion time per job (same order as input); kTimeInfinity for
+  /// jobs that were discarded (Moore-Hodgson only).
+  std::vector<sim::Time> completion;
+
+  double mean_fct_ms(const std::vector<Job>& jobs) const;
+  double max_fct_ms(const std::vector<Job>& jobs) const;
+  /// Fraction (%) of deadline jobs finishing by their deadline.
+  double on_time_percent(const std::vector<Job>& jobs) const;
+};
+
+/// Processor sharing: every active job gets rate C/n (Fig 1b).
+Schedule fair_sharing(const std::vector<Job>& jobs, double rate_bps);
+
+/// Preemptive shortest-remaining-processing-time; optimal mean FCT on a
+/// single link (reduces to SJF when all jobs are released together).
+Schedule srpt(const std::vector<Job>& jobs, double rate_bps);
+
+/// Preemptive earliest-deadline-first.
+Schedule edf(const std::vector<Job>& jobs, double rate_bps);
+
+/// EDF + Moore-Hodgson: maximizes the number of on-time jobs for jobs
+/// released together; discarded jobs get completion = kTimeInfinity.
+/// Jobs without deadlines are scheduled after all deadline jobs (SRPT
+/// among themselves).
+Schedule edf_max_ontime(const std::vector<Job>& jobs, double rate_bps);
+
+/// Convenience: the paper's Optimal application throughput (%) for a set
+/// of simultaneously-released deadline jobs on one bottleneck.
+double optimal_application_throughput(const std::vector<Job>& jobs,
+                                      double rate_bps);
+
+/// Convenience: the paper's Optimal mean flow completion time (ms).
+double optimal_mean_fct_ms(const std::vector<Job>& jobs, double rate_bps);
+
+}  // namespace pdq::sched

@@ -1,0 +1,92 @@
+// A deterministic discrete-event queue.
+//
+// Events are (time, sequence, callback) triples kept in a binary heap.
+// The monotonically increasing sequence number breaks ties between events
+// scheduled for the same instant, so two runs with the same inputs always
+// execute events in the same order. Cancellation is lazy: cancelled ids go
+// into a hash set and are skipped when they reach the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pdq::sim {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at absolute time `at`. Returns an id usable with
+  /// cancel().
+  EventId schedule(Time at, EventFn fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id, std::move(fn)});
+    return id;
+  }
+
+  /// Lazily cancels a pending event. Cancelling an id that already ran is a
+  /// harmless no-op (ids are never reused).
+  void cancel(EventId id) {
+    if (id < next_id_) cancelled_.insert(id);
+  }
+
+  bool empty() {
+    skip_cancelled();
+    return heap_.empty();
+  }
+
+  /// Number of events still scheduled, including not-yet-skipped cancelled
+  /// entries buried in the heap (an upper bound).
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the next runnable event, or kTimeInfinity when empty.
+  Time next_time() {
+    skip_cancelled();
+    return heap_.empty() ? kTimeInfinity : heap_.top().at;
+  }
+
+  struct Popped {
+    Time at;
+    EventFn fn;
+  };
+
+  /// Pops and returns the next runnable event. Precondition: !empty().
+  Popped pop() {
+    skip_cancelled();
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    return Popped{top.at, std::move(top.fn)};
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    EventFn fn;
+    bool operator>(const Entry& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  void skip_cancelled() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 0;
+};
+
+}  // namespace pdq::sim

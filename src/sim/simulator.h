@@ -1,0 +1,61 @@
+// The simulation executive: owns the clock and the event queue.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace pdq::sim {
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at `delay` nanoseconds from now (delay >= 0).
+  EventId schedule_in(Time delay, EventFn fn) {
+    assert(delay >= 0);
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `at` (>= now).
+  EventId schedule_at(Time at, EventFn fn) {
+    assert(at >= now_);
+    return queue_.schedule(at, std::move(fn));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the queue drains or the clock passes `until`.
+  /// Returns the number of events executed.
+  std::uint64_t run(Time until = kTimeInfinity) {
+    std::uint64_t executed = 0;
+    while (!stopped_ && !queue_.empty()) {
+      if (queue_.next_time() > until) break;
+      auto ev = queue_.pop();
+      assert(ev.at >= now_);
+      now_ = ev.at;
+      ev.fn();
+      ++executed;
+    }
+    if (until != kTimeInfinity && now_ < until) now_ = until;
+    stopped_ = false;
+    return executed;
+  }
+
+  /// Stops the current run() after the in-flight event returns.
+  void stop() { stopped_ = true; }
+
+  bool idle() { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace pdq::sim

@@ -1,0 +1,50 @@
+// Simulation time: signed 64-bit nanoseconds.
+//
+// All of the simulator uses integer nanoseconds to keep event ordering
+// deterministic and free of floating-point drift. Helpers convert to and
+// from seconds/milliseconds/microseconds where a human-facing quantity is
+// needed.
+#pragma once
+
+#include <cstdint>
+
+namespace pdq::sim {
+
+using Time = std::int64_t;  // nanoseconds
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Largest representable time; used as "never".
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / kSecond; }
+constexpr double to_millis(Time t) {
+  return static_cast<double>(t) / kMillisecond;
+}
+constexpr double to_micros(Time t) {
+  return static_cast<double>(t) / kMicrosecond;
+}
+
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+constexpr Time from_millis(double ms) {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Time from_micros(double us) {
+  return static_cast<Time>(us * static_cast<double>(kMicrosecond));
+}
+
+/// Time to transmit `bytes` at `rate_bps` (bits per second), rounded up so
+/// that a transmission never finishes "early" due to integer truncation.
+constexpr Time transmission_time(std::int64_t bytes, double rate_bps) {
+  if (rate_bps <= 0) return kTimeInfinity;
+  const double ns = static_cast<double>(bytes) * 8.0 * 1e9 / rate_bps;
+  const auto t = static_cast<Time>(ns);
+  return (static_cast<double>(t) < ns) ? t + 1 : t;
+}
+
+}  // namespace pdq::sim

@@ -1,0 +1,166 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pdq::workload {
+
+SizeFn uniform_size(std::int64_t lo, std::int64_t hi) {
+  assert(lo >= 1 && hi >= lo);
+  return [lo, hi](sim::Rng& rng) { return rng.uniform_int(lo, hi); };
+}
+
+SizeFn pareto_size(double alpha, std::int64_t xm, std::int64_t cap) {
+  return [alpha, xm, cap](sim::Rng& rng) {
+    const double v = rng.pareto(alpha, static_cast<double>(xm));
+    return std::min<std::int64_t>(static_cast<std::int64_t>(v), cap);
+  };
+}
+
+namespace {
+
+/// Piecewise log-uniform sampler: P(bucket i) = weight[i], size drawn
+/// log-uniformly inside [edges[i], edges[i+1]].
+SizeFn piecewise_log_uniform(std::vector<double> weights,
+                             std::vector<double> edges) {
+  double total = 0;
+  for (double w : weights) total += w;
+  return [weights = std::move(weights), edges = std::move(edges),
+          total](sim::Rng& rng) {
+    double u = rng.uniform(0.0, total);
+    std::size_t b = 0;
+    while (b + 1 < weights.size() && u > weights[b]) {
+      u -= weights[b];
+      ++b;
+    }
+    const double lo = std::log(edges[b]);
+    const double hi = std::log(edges[b + 1]);
+    return static_cast<std::int64_t>(std::exp(rng.uniform(lo, hi)));
+  };
+}
+
+}  // namespace
+
+SizeFn vl2_size() {
+  // Mice dominate the flow count; elephants dominate the byte count —
+  // the qualitative shape of the VL2 measurement [12].
+  return piecewise_log_uniform(
+      {0.50, 0.30, 0.14, 0.05, 0.01},
+      {1e3, 1e4, 1e5, 1e6, 1e7, 1e8});
+}
+
+SizeFn edu_size() {
+  // University data center (EDU1 [6]): overwhelmingly short flows, few
+  // flows above 1 MB.
+  return piecewise_log_uniform(
+      {0.65, 0.25, 0.08, 0.02},
+      {5e2, 1e4, 1e5, 1e6, 1e7});
+}
+
+std::function<sim::Time(sim::Rng&)> exp_deadline(sim::Time mean,
+                                                 sim::Time floor) {
+  return [mean, floor](sim::Rng& rng) {
+    const double d = rng.exponential(static_cast<double>(mean));
+    return std::max(floor, static_cast<sim::Time>(d));
+  };
+}
+
+PatternFn aggregation(int aggregator) {
+  return [aggregator](int n, int flows, sim::Rng&) {
+    const int agg = aggregator < 0 ? n - 1 : aggregator;
+    std::vector<Pair> out;
+    // Round-robin flows over the other servers, as in the paper's query
+    // aggregation: each sender carries floor/ceil(f / (n-1)) flows.
+    int s = 0;
+    for (int f = 0; f < flows; ++f) {
+      if (s == agg) s = (s + 1) % n;
+      out.push_back({s, agg});
+      s = (s + 1) % n;
+    }
+    return out;
+  };
+}
+
+PatternFn stride(int stride_by) {
+  return [stride_by](int n, int flows, sim::Rng&) {
+    std::vector<Pair> out;
+    for (int f = 0; f < flows; ++f) {
+      const int src = f % n;
+      out.push_back({src, (src + stride_by) % n});
+    }
+    return out;
+  };
+}
+
+PatternFn staggered_prob(double p, int rack_size) {
+  return [p, rack_size](int n, int flows, sim::Rng& rng) {
+    std::vector<Pair> out;
+    for (int f = 0; f < flows; ++f) {
+      const int src = static_cast<int>(rng.uniform_int(0, n - 1));
+      const int rack = src / rack_size;
+      const int rack_lo = rack * rack_size;
+      const int rack_hi = std::min(n, rack_lo + rack_size) - 1;
+      int dst = src;
+      if (rng.bernoulli(p) && rack_hi > rack_lo) {
+        while (dst == src)
+          dst = static_cast<int>(rng.uniform_int(rack_lo, rack_hi));
+      } else {
+        while (dst == src || (dst >= rack_lo && dst <= rack_hi && n > rack_size))
+          dst = static_cast<int>(rng.uniform_int(0, n - 1));
+      }
+      out.push_back({src, dst});
+    }
+    return out;
+  };
+}
+
+PatternFn random_permutation() {
+  return [](int n, int flows, sim::Rng& rng) {
+    // One derangement; flows cycle over it so each server sends to a
+    // single fixed peer.
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    do {
+      rng.shuffle(perm);
+    } while ([&] {
+      for (int i = 0; i < n; ++i)
+        if (perm[static_cast<std::size_t>(i)] == i) return true;
+      return false;
+    }());
+    std::vector<Pair> out;
+    for (int f = 0; f < flows; ++f) {
+      const int src = f % n;
+      out.push_back({src, perm[static_cast<std::size_t>(src)]});
+    }
+    return out;
+  };
+}
+
+std::vector<net::FlowSpec> make_flows(const std::vector<net::NodeId>& servers,
+                                      const FlowSetOptions& opts,
+                                      sim::Rng& rng) {
+  assert(opts.size && opts.pattern && opts.num_flows > 0);
+  const int n = static_cast<int>(servers.size());
+  const auto pairs = opts.pattern(n, opts.num_flows, rng);
+
+  std::vector<net::FlowSpec> flows;
+  sim::Time clock = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    net::FlowSpec f;
+    f.id = opts.first_id + static_cast<net::FlowId>(i);
+    f.src = servers[static_cast<std::size_t>(pairs[i].src)];
+    f.dst = servers[static_cast<std::size_t>(pairs[i].dst)];
+    f.size_bytes = opts.size(rng);
+    if (opts.deadline) f.deadline = opts.deadline(rng);
+    if (opts.arrival_rate_per_sec > 0.0) {
+      clock += static_cast<sim::Time>(
+          rng.exponential(1e9 / opts.arrival_rate_per_sec));
+      f.start_time = clock;
+    }
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace pdq::workload

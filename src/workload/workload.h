@@ -1,0 +1,88 @@
+// Workload generation: flow sizes, deadlines, sending patterns, arrival
+// processes — everything S5.1/S5.3 of the paper uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/flow.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace pdq::workload {
+
+// ---------- size distributions ----------
+
+using SizeFn = std::function<std::int64_t(sim::Rng&)>;
+
+/// Uniform in [lo, hi] bytes — the paper's deadline-constrained query
+/// traffic is uniform [2 KB, 198 KB].
+SizeFn uniform_size(std::int64_t lo, std::int64_t hi);
+
+/// Pareto with tail index alpha and minimum xm bytes (Fig 10 uses 1.1).
+SizeFn pareto_size(double alpha, std::int64_t xm,
+                   std::int64_t cap = 100'000'000);
+
+/// Synthetic stand-in for the commercial cloud workload of Greenberg et
+/// al. [12]: the vast majority of flows are mice, while most delivered
+/// bytes come from a small number of elephants.
+SizeFn vl2_size();
+
+/// Synthetic stand-in for the university data center trace (EDU1 in
+/// Benson et al. [6]): short-flow heavy with a thinner elephant tail.
+SizeFn edu_size();
+
+// ---------- deadlines ----------
+
+/// Exponential deadline with the given mean, floored (the paper uses mean
+/// 20 ms, floor 3 ms).
+std::function<sim::Time(sim::Rng&)> exp_deadline(
+    sim::Time mean = 20 * sim::kMillisecond,
+    sim::Time floor = 3 * sim::kMillisecond);
+
+// ---------- sending patterns (S5.3) ----------
+
+/// (src index, dst index) pairs into a server vector.
+struct Pair {
+  int src;
+  int dst;
+};
+using PatternFn =
+    std::function<std::vector<Pair>(int num_servers, int num_flows,
+                                    sim::Rng&)>;
+
+/// All flows target server `aggregator` (default: the last server).
+PatternFn aggregation(int aggregator = -1);
+
+/// Server x sends to (x + stride) mod N; flows are distributed over
+/// senders round-robin.
+PatternFn stride(int s);
+
+/// With probability p the destination shares the sender's rack (racks of
+/// `rack_size` consecutive servers); otherwise any other server.
+PatternFn staggered_prob(double p, int rack_size);
+
+/// Random 1-to-1 permutation: every server sends to exactly one server
+/// and receives from exactly one.
+PatternFn random_permutation();
+
+// ---------- flow set assembly ----------
+
+struct FlowSetOptions {
+  int num_flows = 0;
+  SizeFn size;
+  std::function<sim::Time(sim::Rng&)> deadline;  // null = unconstrained
+  PatternFn pattern;
+  /// Poisson arrivals at this rate; 0 = all flows start at time 0.
+  double arrival_rate_per_sec = 0.0;
+  net::FlowId first_id = 1;
+};
+
+/// Materializes FlowSpecs over `servers` (NodeIds from a topology
+/// builder). src/dst of each flow are real node ids.
+std::vector<net::FlowSpec> make_flows(const std::vector<net::NodeId>& servers,
+                                      const FlowSetOptions& opts,
+                                      sim::Rng& rng);
+
+}  // namespace pdq::workload

@@ -1,0 +1,68 @@
+#include "core/criticality.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace pdq::core {
+namespace {
+
+Criticality crit(sim::Time d, sim::Time t, net::FlowId f) {
+  return Criticality{d, t, f};
+}
+
+TEST(Criticality, EarlierDeadlineWins) {
+  EXPECT_TRUE(more_critical(crit(100, 999, 5), crit(200, 1, 1)));
+}
+
+TEST(Criticality, DeadlineFlowsBeatNoDeadlineFlows) {
+  // EDF has priority over SJF (paper S3.3): any deadline beats none.
+  EXPECT_TRUE(more_critical(crit(sim::kSecond, 1'000'000, 9),
+                            crit(sim::kTimeInfinity, 1, 1)));
+}
+
+TEST(Criticality, SjfBreaksDeadlineTies) {
+  EXPECT_TRUE(more_critical(crit(100, 10, 5), crit(100, 20, 1)));
+  EXPECT_TRUE(more_critical(crit(sim::kTimeInfinity, 10, 5),
+                            crit(sim::kTimeInfinity, 20, 1)));
+}
+
+TEST(Criticality, FlowIdBreaksFullTies) {
+  EXPECT_TRUE(more_critical(crit(100, 10, 1), crit(100, 10, 2)));
+  EXPECT_FALSE(more_critical(crit(100, 10, 2), crit(100, 10, 1)));
+}
+
+TEST(Criticality, StrictWeakOrdering) {
+  const auto a = crit(100, 10, 1);
+  EXPECT_FALSE(more_critical(a, a));  // irreflexive
+  const auto b = crit(100, 20, 2);
+  const auto c = crit(200, 1, 3);
+  // transitivity on a known chain a < b < c
+  EXPECT_TRUE(more_critical(a, b));
+  EXPECT_TRUE(more_critical(b, c));
+  EXPECT_TRUE(more_critical(a, c));
+}
+
+TEST(Criticality, SortProducesEdfThenSjf) {
+  std::vector<Criticality> v{
+      crit(sim::kTimeInfinity, 5, 4), crit(300, 1, 3),
+      crit(sim::kTimeInfinity, 2, 5), crit(100, 9, 1), crit(100, 3, 2),
+  };
+  std::sort(v.begin(), v.end());
+  std::vector<net::FlowId> order;
+  for (const auto& c : v) order.push_back(c.flow);
+  EXPECT_EQ(order, (std::vector<net::FlowId>{2, 1, 3, 5, 4}));
+}
+
+TEST(Criticality, TotalOrderIsGloballyConsistent) {
+  // The comparator depends only on flow state, never on the switch —
+  // this is what makes PDQ deadlock-free (Appendix A): all switches
+  // rank any two flows identically.
+  const auto a = crit(100, 10, 1);
+  const auto b = crit(100, 10, 2);
+  EXPECT_TRUE(more_critical(a, b) != more_critical(b, a));
+}
+
+}  // namespace
+}  // namespace pdq::core

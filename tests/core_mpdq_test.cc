@@ -1,0 +1,109 @@
+// Multipath PDQ: subflow striping, load shifting, byte conservation.
+#include "core/mpdq.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/stacks.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace pdq::core {
+namespace {
+
+std::vector<net::FlowSpec> bcube_permutation_flows(int num_flows,
+                                                   std::int64_t size,
+                                                   std::uint64_t seed) {
+  sim::Simulator s0;
+  net::Topology t0(s0, 1);
+  auto servers = net::build_bcube(t0, 2, 3);
+  sim::Rng rng(seed);
+  workload::FlowSetOptions w;
+  w.num_flows = num_flows;
+  w.size = workload::uniform_size(size, size);
+  w.pattern = workload::random_permutation();
+  return workload::make_flows(servers, w, rng);
+}
+
+harness::RunResult run_bcube(harness::ProtocolStack& st,
+                             const std::vector<net::FlowSpec>& flows) {
+  auto build = [](net::Topology& t) { return net::build_bcube(t, 2, 3); };
+  harness::RunOptions opts;
+  opts.horizon = 10 * sim::kSecond;
+  return harness::run_scenario(st, build, flows, opts);
+}
+
+TEST(Mpdq, CompletesAndConservesBytes) {
+  auto flows = bcube_permutation_flows(4, 1'000'000, 3);
+  MpdqConfig cfg;
+  harness::MpdqStack stack(cfg);
+  auto r = run_bcube(stack, flows);
+  ASSERT_EQ(r.completed(), 4u);
+  for (const auto& f : r.flows) EXPECT_EQ(f.bytes_acked, 1'000'000);
+}
+
+TEST(Mpdq, BeatsSinglePathAtLightLoad) {
+  // Fig 11a: at light load M-PDQ roughly halves FCT by striping across
+  // idle parallel paths.
+  auto flows = bcube_permutation_flows(4, 1'000'000, 11);
+  harness::PdqStack single;
+  auto rs = run_bcube(single, flows);
+  MpdqConfig cfg;
+  cfg.num_subflows = 3;
+  harness::MpdqStack multi(cfg);
+  auto rm = run_bcube(multi, flows);
+  ASSERT_EQ(rs.completed(), 4u);
+  ASSERT_EQ(rm.completed(), 4u);
+  EXPECT_LT(rm.mean_fct_ms(), 0.8 * rs.mean_fct_ms());
+}
+
+TEST(Mpdq, OneSubflowDegeneratesToPdq) {
+  auto flows = bcube_permutation_flows(4, 500'000, 5);
+  MpdqConfig cfg;
+  cfg.num_subflows = 1;
+  harness::MpdqStack multi(cfg);
+  auto rm = run_bcube(multi, flows);
+  harness::PdqStack single;
+  auto rs = run_bcube(single, flows);
+  ASSERT_EQ(rm.completed(), 4u);
+  // Same ballpark (paths may differ, so allow slack).
+  EXPECT_NEAR(rm.mean_fct_ms(), rs.mean_fct_ms(),
+              0.5 * rs.mean_fct_ms() + 0.5);
+}
+
+TEST(Mpdq, DeadlineFlowsTerminateWhenInfeasible) {
+  auto flows = bcube_permutation_flows(2, 20'000'000, 7);
+  for (auto& f : flows) f.deadline = 3 * sim::kMillisecond;
+  MpdqConfig cfg;
+  harness::MpdqStack stack(cfg);
+  auto r = run_bcube(stack, flows);
+  for (const auto& f : r.flows) {
+    EXPECT_EQ(f.outcome, net::FlowOutcome::kTerminated);
+  }
+}
+
+TEST(Mpdq, FeasibleDeadlinesMet) {
+  auto flows = bcube_permutation_flows(4, 100'000, 9);
+  for (auto& f : flows) f.deadline = 30 * sim::kMillisecond;
+  MpdqConfig cfg;
+  harness::MpdqStack stack(cfg);
+  auto r = run_bcube(stack, flows);
+  EXPECT_EQ(r.application_throughput(), 100.0);
+}
+
+class MpdqSubflowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpdqSubflowSweep, AllSubflowCountsComplete) {
+  auto flows = bcube_permutation_flows(8, 400'000, 13);
+  MpdqConfig cfg;
+  cfg.num_subflows = GetParam();
+  harness::MpdqStack stack(cfg);
+  auto r = run_bcube(stack, flows);
+  EXPECT_EQ(r.completed(), 8u);
+  for (const auto& f : r.flows) EXPECT_EQ(f.bytes_acked, 400'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Subflows, MpdqSubflowSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace pdq::core

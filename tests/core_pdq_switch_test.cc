@@ -1,0 +1,306 @@
+// Unit tests for the PDQ switch flow controller (Algorithms 1-3) driven
+// with hand-crafted packets.
+#include "core/pdq_switch.h"
+
+#include <gtest/gtest.h>
+
+#include "net/builders.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace pdq::core {
+namespace {
+
+class PdqSwitchTest : public ::testing::Test {
+ protected:
+  void install(PdqConfig cfg) {
+    servers = net::build_single_bottleneck(topo, 2);
+    sw = topo.switch_ids()[0];
+    auto c = std::make_unique<PdqLinkController>(cfg);
+    ctl = c.get();
+    topo.port_on_link(sw, servers.back())->set_controller(std::move(c));
+  }
+
+  /// Forward packet as a PDQ sender would emit it.
+  net::Packet fwd(net::FlowId flow, sim::Time expected_tx,
+                  net::PacketType type = net::PacketType::kSyn,
+                  sim::Time deadline = sim::kTimeInfinity) {
+    net::Packet p;
+    p.flow = flow;
+    p.type = type;
+    p.pdq.rate_bps = 1e9;
+    p.pdq.pause_by = net::kInvalidNode;
+    p.pdq.deadline = deadline;
+    p.pdq.expected_tx = expected_tx;
+    p.pdq.rtt = 200 * sim::kMicrosecond;
+    return p;
+  }
+
+  /// Simulates the reverse pass committing the forward decision.
+  void commit(net::Packet& p, net::PacketType type = net::PacketType::kAck) {
+    p.type = type;
+    ctl->on_reverse(p);
+  }
+
+  int index_of(net::FlowId f) {
+    const auto& list = ctl->flow_list();
+    for (std::size_t i = 0; i < list.size(); ++i)
+      if (list[i].flow == f) return static_cast<int>(i);
+    return -1;
+  }
+
+  sim::Simulator simulator;
+  net::Topology topo{simulator};
+  std::vector<net::NodeId> servers;
+  net::NodeId sw = net::kInvalidNode;
+  PdqLinkController* ctl = nullptr;
+};
+
+TEST_F(PdqSwitchTest, FirstFlowAcceptedAtFullRate) {
+  install(PdqConfig::full());
+  auto p = fwd(1, 8 * sim::kMillisecond);
+  ctl->on_forward(p);
+  EXPECT_EQ(p.pdq.pause_by, net::kInvalidNode);
+  EXPECT_DOUBLE_EQ(p.pdq.rate_bps, 1e9);
+  EXPECT_EQ(ctl->flow_list().size(), 1u);
+}
+
+TEST_F(PdqSwitchTest, SecondLessCriticalFlowPausedImmediately) {
+  install(PdqConfig::full());
+  auto p1 = fwd(1, 8 * sim::kMillisecond);
+  ctl->on_forward(p1);
+  // Even before flow 1's reverse commit, the provisional grant blocks
+  // flow 2 (no double allocation during the first RTT).
+  auto p2 = fwd(2, 9 * sim::kMillisecond);
+  ctl->on_forward(p2);
+  EXPECT_EQ(p2.pdq.pause_by, sw);
+}
+
+TEST_F(PdqSwitchTest, MoreCriticalNewcomerPreempts) {
+  install(PdqConfig::full());
+  auto p1 = fwd(1, 8 * sim::kMillisecond);
+  ctl->on_forward(p1);
+  commit(p1);
+  // Flow 2 is more critical (smaller T): accepted despite flow 1 sending.
+  auto p2 = fwd(2, sim::kMillisecond);
+  ctl->on_forward(p2);
+  EXPECT_EQ(p2.pdq.pause_by, net::kInvalidNode);
+  EXPECT_GT(p2.pdq.rate_bps, 0.0);
+  // And flow 1's next packet gets paused.
+  auto p1b = fwd(1, 8 * sim::kMillisecond, net::PacketType::kData);
+  ctl->on_forward(p1b);
+  EXPECT_EQ(p1b.pdq.pause_by, sw);
+}
+
+TEST_F(PdqSwitchTest, EdfOutranksSjf) {
+  install(PdqConfig::full());
+  auto big_deadline = fwd(1, 50 * sim::kMillisecond, net::PacketType::kSyn,
+                          /*deadline=*/sim::kSecond);
+  ctl->on_forward(big_deadline);
+  commit(big_deadline);
+  auto small_nodeadline = fwd(2, sim::kMicrosecond);
+  ctl->on_forward(small_nodeadline);
+  // The deadline flow stays more critical than any no-deadline flow.
+  EXPECT_EQ(index_of(1), 0);
+  EXPECT_EQ(index_of(2), 1);
+  EXPECT_EQ(small_nodeadline.pdq.pause_by, sw);
+}
+
+TEST_F(PdqSwitchTest, PausedByOtherSwitchRemovesState) {
+  install(PdqConfig::full());
+  auto p1 = fwd(1, 8 * sim::kMillisecond);
+  ctl->on_forward(p1);
+  EXPECT_EQ(ctl->flow_list().size(), 1u);
+  auto p1b = fwd(1, 8 * sim::kMillisecond, net::PacketType::kData);
+  p1b.pdq.pause_by = 12345;  // some other switch
+  ctl->on_forward(p1b);
+  EXPECT_TRUE(ctl->flow_list().empty());
+}
+
+TEST_F(PdqSwitchTest, TermReleasesState) {
+  install(PdqConfig::full());
+  auto p1 = fwd(1, 8 * sim::kMillisecond);
+  ctl->on_forward(p1);
+  auto term = fwd(1, 0, net::PacketType::kTerm);
+  ctl->on_forward(term);
+  EXPECT_TRUE(ctl->flow_list().empty());
+}
+
+TEST_F(PdqSwitchTest, ReverseCommitWritesRateAndPause) {
+  install(PdqConfig::full());
+  auto p1 = fwd(1, 8 * sim::kMillisecond);
+  ctl->on_forward(p1);
+  ASSERT_EQ(ctl->flow_list().size(), 1u);
+  EXPECT_DOUBLE_EQ(ctl->flow_list()[0].rate_bps, 0.0);  // not yet committed
+  commit(p1);
+  EXPECT_DOUBLE_EQ(ctl->flow_list()[0].rate_bps, 1e9);
+  EXPECT_EQ(ctl->flow_list()[0].pause_by, net::kInvalidNode);
+}
+
+TEST_F(PdqSwitchTest, ReverseZeroesRateWhenPaused) {
+  install(PdqConfig::full());
+  auto p1 = fwd(1, 8 * sim::kMillisecond);
+  ctl->on_forward(p1);
+  net::Packet ack = p1;
+  ack.type = net::PacketType::kAck;
+  ack.pdq.pause_by = sw;
+  ack.pdq.rate_bps = 1e9;  // stale value; must be zeroed
+  ctl->on_reverse(ack);
+  EXPECT_DOUBLE_EQ(ack.pdq.rate_bps, 0.0);
+}
+
+TEST_F(PdqSwitchTest, SuppressedProbingRaisesInterProbeGap) {
+  install(PdqConfig::full());
+  for (net::FlowId f = 1; f <= 4; ++f) {
+    auto p = fwd(f, f * sim::kMillisecond);
+    ctl->on_forward(p);
+  }
+  // Flow 4 sits at index 3: I_H = max(I_H, 0.2 * 3).
+  auto ack = fwd(4, 4 * sim::kMillisecond);
+  ack.type = net::PacketType::kAck;
+  ack.pdq.pause_by = sw;
+  ctl->on_reverse(ack);
+  EXPECT_NEAR(ack.pdq.inter_probe_rtts, 0.6, 1e-9);
+}
+
+TEST_F(PdqSwitchTest, NoSuppressedProbingInBasicMode) {
+  install(PdqConfig::basic());
+  for (net::FlowId f = 1; f <= 4; ++f) {
+    auto p = fwd(f, f * sim::kMillisecond);
+    ctl->on_forward(p);
+  }
+  auto ack = fwd(4, 4 * sim::kMillisecond);
+  ack.type = net::PacketType::kAck;
+  ack.pdq.pause_by = sw;
+  ctl->on_reverse(ack);
+  EXPECT_DOUBLE_EQ(ack.pdq.inter_probe_rtts, 0.0);
+}
+
+TEST_F(PdqSwitchTest, EarlyStartAdmitsNextFlowWhileNearlyComplete) {
+  install(PdqConfig::full());  // K = 2
+  auto p1 = fwd(1, 8 * sim::kMillisecond);
+  ctl->on_forward(p1);
+  commit(p1);
+  // Flow 1 is nearly complete: T = 0.2 RTT < K.
+  auto p1b = fwd(1, 40 * sim::kMicrosecond, net::PacketType::kData);
+  ctl->on_forward(p1b);
+  commit(p1b);
+  // Flow 2 (less critical) is admitted concurrently under Early Start.
+  auto p2 = fwd(2, 8 * sim::kMillisecond);
+  ctl->on_forward(p2);
+  EXPECT_EQ(p2.pdq.pause_by, net::kInvalidNode);
+  EXPECT_GT(p2.pdq.rate_bps, 0.0);
+}
+
+TEST_F(PdqSwitchTest, NoEarlyStartInBasicMode) {
+  install(PdqConfig::basic());
+  auto p1 = fwd(1, 8 * sim::kMillisecond);
+  ctl->on_forward(p1);
+  commit(p1);
+  auto p1b = fwd(1, 40 * sim::kMicrosecond, net::PacketType::kData);
+  ctl->on_forward(p1b);
+  commit(p1b);
+  auto p2 = fwd(2, 8 * sim::kMillisecond);
+  ctl->on_forward(p2);
+  EXPECT_EQ(p2.pdq.pause_by, sw);
+}
+
+TEST_F(PdqSwitchTest, EarlyStartBudgetIsBounded) {
+  install(PdqConfig::full());  // K = 2: at most ~2 RTTs of drain admitted
+  // Three nearly-complete flows, each T = 1.5 RTT. Budget: first fits
+  // (X=1.5 < 2), second sees X already at 1.5 but 1.5 < 2 admits again,
+  // then X = 3.0 >= K blocks the third from the exemption.
+  for (net::FlowId f = 1; f <= 3; ++f) {
+    auto p = fwd(f, 300 * sim::kMicrosecond);  // 1.5 x 200us RTT
+    ctl->on_forward(p);
+    commit(p);
+  }
+  const double avail = ctl->avail_bw(3);
+  // Two exempted flows + one counted at its committed rate: the third
+  // flow's rate (1 Gbps) eats the whole capacity.
+  EXPECT_LE(avail, 0.0);
+}
+
+TEST_F(PdqSwitchTest, ListEvictsLeastCriticalBeyondLimit) {
+  PdqConfig cfg = PdqConfig::full();
+  cfg.max_flows_M = 8;
+  install(cfg);
+  // 8 paused flows fill the floor-sized list.
+  for (net::FlowId f = 1; f <= 8; ++f) {
+    auto p = fwd(f, f * sim::kMillisecond);
+    ctl->on_forward(p);
+  }
+  EXPECT_EQ(ctl->flow_list().size(), 8u);
+  // A more critical newcomer enters; the least critical is evicted.
+  auto p = fwd(9, sim::kMicrosecond);
+  ctl->on_forward(p);
+  EXPECT_EQ(ctl->flow_list().size(), 8u);
+  EXPECT_EQ(index_of(9), 0);
+  EXPECT_EQ(index_of(8), -1);
+}
+
+TEST_F(PdqSwitchTest, OverflowFlowGetsRcpFallback) {
+  PdqConfig cfg = PdqConfig::full();
+  cfg.max_flows_M = 8;
+  install(cfg);
+  for (net::FlowId f = 1; f <= 8; ++f) {
+    auto p = fwd(f, f * sim::kMillisecond);
+    ctl->on_forward(p);
+  }
+  // A *less* critical flow cannot enter the list; it gets the leftover
+  // fair share instead of per-flow scheduling.
+  auto p = fwd(99, sim::kSecond);
+  ctl->on_forward(p);
+  EXPECT_EQ(index_of(99), -1);
+  // Nothing is committed, so the leftover is the whole link.
+  EXPECT_EQ(p.pdq.pause_by, net::kInvalidNode);
+  EXPECT_GT(p.pdq.rate_bps, 0.0);
+}
+
+TEST_F(PdqSwitchTest, PausedFlowsUnpauseInCriticalityOrder) {
+  install(PdqConfig::full());
+  // Steps run at separated times so dampening windows expire in between.
+  simulator.schedule_at(0, [&] {
+    auto p1 = fwd(1, 8 * sim::kMillisecond);
+    ctl->on_forward(p1);
+    commit(p1);
+    auto p2 = fwd(2, 9 * sim::kMillisecond);
+    ctl->on_forward(p2);
+    commit(p2);
+    auto p3 = fwd(3, 10 * sim::kMillisecond);
+    ctl->on_forward(p3);
+    commit(p3);
+  });
+  simulator.schedule_at(2 * sim::kMillisecond, [&] {
+    // Flow 1 terminates; flow 3 probes first but must NOT leapfrog flow 2.
+    auto term = fwd(1, 0, net::PacketType::kTerm);
+    ctl->on_forward(term);
+    auto probe3 = fwd(3, 10 * sim::kMillisecond, net::PacketType::kProbe);
+    probe3.pdq.pause_by = sw;
+    ctl->on_forward(probe3);
+    EXPECT_EQ(probe3.pdq.pause_by, sw);  // still paused
+    auto probe2 = fwd(2, 9 * sim::kMillisecond, net::PacketType::kProbe);
+    probe2.pdq.pause_by = sw;
+    ctl->on_forward(probe2);
+    EXPECT_EQ(probe2.pdq.pause_by, net::kInvalidNode);  // unpaused
+  });
+  simulator.run(3 * sim::kMillisecond);
+}
+
+TEST_F(PdqSwitchTest, TinyGrantsArePauses) {
+  PdqConfig cfg = PdqConfig::full();
+  install(cfg);
+  auto p1 = fwd(1, 8 * sim::kMillisecond);
+  ctl->on_forward(p1);
+  commit(p1);
+  // Flow 2 arrives with the link fully committed: W is a hair above zero
+  // at best, which must be treated as a pause, not a micro-grant.
+  auto p2 = fwd(2, 9 * sim::kMillisecond);
+  ctl->on_forward(p2);
+  EXPECT_EQ(p2.pdq.pause_by, sw);
+  EXPECT_TRUE(p2.pdq.rate_bps == 0.0 ||
+              p2.pdq.rate_bps >= cfg.min_grant_bps);
+}
+
+}  // namespace
+}  // namespace pdq::core

@@ -1,0 +1,200 @@
+// Robustness and failure-injection tests: state garbage collection after
+// lost TERMs, the RCP fallback beyond the state cap under real traffic,
+// M-PDQ under loss, and hand-computed max-min allocations on a
+// two-bottleneck topology.
+#include <gtest/gtest.h>
+
+#include "core/mpdq.h"
+#include "core/pdq_switch.h"
+#include "flowsim/flowsim.h"
+#include "test_util.h"
+
+namespace pdq {
+namespace {
+
+TEST(PdqRobustness, GarbageCollectionUnwedgesLostTerm) {
+  // Inject a stale entry (as if a TERM was lost and the sender vanished)
+  // into the bottleneck list, more critical than everything else. A new
+  // flow must still complete: GC reclaims the zombie after gc_timeout.
+  core::PdqConfig cfg = core::PdqConfig::full();
+  cfg.gc_timeout = 20 * sim::kMillisecond;
+
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1);
+  auto servers = net::build_single_bottleneck(topo, 1);
+  core::install_pdq(topo, cfg);
+  auto* ctl = static_cast<core::PdqLinkController*>(
+      topo.port_on_link(topo.switch_ids()[0], servers[1])->controller());
+
+  // Zombie: committed at full rate, never refreshed again.
+  net::Packet z;
+  z.flow = 999;
+  z.type = net::PacketType::kSyn;
+  z.pdq.rate_bps = 1e9;
+  // A committed elephant with a small-but-not-nearly-complete T: more
+  // critical than the real flow, and NOT Early-Start exempt.
+  z.pdq.expected_tx = sim::kMillisecond;
+  z.pdq.rtt = 200 * sim::kMicrosecond;
+  ctl->on_forward(z);
+  z.type = net::PacketType::kAck;
+  ctl->on_reverse(z);
+  ASSERT_EQ(ctl->flow_list().size(), 1u);
+  ASSERT_GT(ctl->flow_list()[0].rate_bps, 0.0);
+
+  net::FlowSpec f;
+  f.id = 1;
+  f.src = servers[0];
+  f.dst = servers[1];
+  f.size_bytes = 500'000;
+  net::AgentContext rctx{&topo, &topo.host(f.dst), f, {}, nullptr};
+  auto recv = std::make_unique<core::PdqReceiver>(std::move(rctx));
+  topo.host(f.dst).attach_receiver(f.id, recv.get());
+  bool done = false;
+  net::FlowResult result;
+  net::AgentContext sctx{&topo, &topo.host(f.src), f,
+                         topo.ecmp_path(f.id, f.src, f.dst),
+                         [&](const net::FlowResult& r) {
+                           done = true;
+                           result = r;
+                         }};
+  auto snd = std::make_unique<core::PdqSender>(std::move(sctx), cfg);
+  topo.host(f.src).attach_sender(f.id, snd.get());
+  simulator.schedule_at(0, [&] { snd->start(); });
+  simulator.run(sim::kSecond);
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.outcome, net::FlowOutcome::kCompleted);
+  // The zombie blocked the link until GC: completion happens after the
+  // timeout but well before the horizon.
+  EXPECT_GT(result.finish_time, cfg.gc_timeout);
+  EXPECT_LT(sim::to_millis(result.completion_time()), 60.0);
+  // And the zombie is gone.
+  bool zombie_present = false;
+  for (const auto& e : ctl->flow_list()) zombie_present |= e.flow == 999;
+  EXPECT_FALSE(zombie_present);
+}
+
+TEST(PdqRobustness, TinyStateCapStillCompletesEveryFlow) {
+  // M = 2: only two flows of per-link state; the rest ride the RCP
+  // fallback. Everything must still finish, just less optimally.
+  core::PdqConfig cfg = core::PdqConfig::full();
+  cfg.max_flows_M = 2;
+  harness::PdqStack small(cfg, "PDQ(M=2)");
+  auto rs = testing::run_single_bottleneck(small, 12, 200'000);
+  EXPECT_EQ(rs.completed(), 12u);
+
+  harness::PdqStack big;
+  auto rb = testing::run_single_bottleneck(big, 12, 200'000);
+  // The paper's S3.3.1 claim: a small M is a partial shift toward fair
+  // sharing, not a failure. Allow it to be slower but bounded.
+  EXPECT_LE(rb.mean_fct_ms(), rs.mean_fct_ms() * 2.5 + 1.0);
+  EXPECT_LE(rs.mean_fct_ms(), rb.mean_fct_ms() * 2.5 + 1.0);
+}
+
+TEST(PdqRobustness, PeakListSizeRespectsTwoKappaRule) {
+  harness::PdqStack stack;
+  // Many paused flows: the list may hold the floor (8) or 2*kappa, never
+  // the full population.
+  auto r = testing::run_single_bottleneck(stack, 30, 100'000);
+  EXPECT_EQ(r.completed(), 30u);
+  // (peak size accessor is on the controller, which run_scenario hides;
+  // the behavioural consequence — completion — is what we assert here.)
+}
+
+TEST(MpdqRobustness, CompletesUnderLoss) {
+  // 1% loss on a BCube rack link; M-PDQ's subflows and the shared-pool
+  // rebalancer must still deliver every byte.
+  core::MpdqConfig cfg;
+  cfg.num_subflows = 3;
+  harness::MpdqStack stack(cfg);
+  std::vector<net::FlowSpec> flows;
+  net::FlowSpec f;
+  f.id = 1;
+  f.size_bytes = 2'000'000;
+  flows.push_back(f);
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_bcube(t, 2, 3);
+    flows[0].src = servers[0];
+    flows[0].dst = servers[15];
+    // Loss on one of the parallel paths' first hops.
+    t.set_link_drop_rate(servers[0], t.switch_ids()[0], 0.01);
+    return servers;
+  };
+  harness::RunOptions opts;
+  opts.horizon = 30 * sim::kSecond;
+  auto r = harness::run_scenario(stack, build, flows, opts);
+  ASSERT_EQ(r.completed(), 1u);
+  EXPECT_EQ(r.flows[0].bytes_acked, 2'000'000);
+}
+
+TEST(FlowSimMaxMin, HandComputedTwoBottleneckAllocation) {
+  // Classic max-min example: three flows.
+  //   A: h0 -> h2 (via link L1 only)
+  //   B: h1 -> h2 (via L1)
+  //   C: h1 -> h3 (via L2 only, but shares h1's NIC with B)
+  // Topology: h0,h1 -> sw -> h2 (L1 = sw->h2), sw -> h3 (L2 = sw->h3).
+  // h1's NIC carries B and C. All links 1 Gbps (x0.97 goodput in the
+  // model disabled here).
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1);
+  const auto h0 = topo.add_host();
+  const auto h1 = topo.add_host();
+  const auto sw = topo.add_switch();
+  const auto h2 = topo.add_host();
+  const auto h3 = topo.add_host();
+  for (auto h : {h0, h1, h2, h3}) topo.add_duplex_link(h, sw);
+
+  std::vector<net::FlowSpec> flows(3);
+  flows[0] = {.id = 1, .src = h0, .dst = h2, .size_bytes = 10'000'000};
+  flows[1] = {.id = 2, .src = h1, .dst = h2, .size_bytes = 10'000'000};
+  flows[2] = {.id = 3, .src = h1, .dst = h3, .size_bytes = 10'000'000};
+
+  flowsim::Options o;
+  o.model = flowsim::Model::kRcp;
+  o.goodput_factor = 1.0;
+  o.init_latency = 0;
+  flowsim::FlowLevelSimulator fs(topo, o);
+  auto r = fs.run(flows);
+  ASSERT_EQ(r.completed(), 3u);
+  // Max-min: L1 splits 500/500 between A and B; C gets h1's NIC leftover
+  // = 500 Mbps (then upgrades as flows finish). Initial phase: all at
+  // 500 Mbps -> 10 MB in ~160 ms; when A/B finish, C continues. Rough
+  // bound checks (phases shift as flows complete):
+  for (const auto& f : r.flows) {
+    EXPECT_GT(sim::to_millis(f.completion_time()), 100.0);
+    EXPECT_LT(sim::to_millis(f.completion_time()), 200.0);
+  }
+}
+
+TEST(PdqRobustness, ReverseTrafficDoesNotWedgeForwardScheduling) {
+  // Flows in both directions across the same bottleneck pair: ACK-channel
+  // contention must not break completion (the Fig 2b "reverse traffic"
+  // setup).
+  harness::PdqStack stack;
+  std::vector<net::FlowSpec> flows;
+  for (int i = 0; i < 4; ++i) {
+    net::FlowSpec f;
+    f.id = i + 1;
+    f.size_bytes = 500'000;
+    flows.push_back(f);
+  }
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_single_bottleneck(t, 3);
+    // Forward: senders 0..2 -> receiver. Reverse: receiver -> sender 0.
+    for (int i = 0; i < 3; ++i) {
+      flows[static_cast<std::size_t>(i)].src =
+          servers[static_cast<std::size_t>(i)];
+      flows[static_cast<std::size_t>(i)].dst = servers.back();
+    }
+    flows[3].src = servers.back();
+    flows[3].dst = servers[0];
+    return servers;
+  };
+  harness::RunOptions opts;
+  opts.horizon = 10 * sim::kSecond;
+  auto r = harness::run_scenario(stack, build, flows, opts);
+  EXPECT_EQ(r.completed(), 4u);
+}
+
+}  // namespace
+}  // namespace pdq

@@ -1,0 +1,134 @@
+// Harness: scenario runner metrics, instrumentation, binary search.
+#include "harness/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pdq::harness {
+namespace {
+
+using pdq::testing::run_single_bottleneck;
+
+TEST(BinarySearchMax, FindsBoundary) {
+  auto pred = [](int n) { return n <= 37; };
+  EXPECT_EQ(binary_search_max(1, 100, pred), 37);
+}
+
+TEST(BinarySearchMax, AllTrueReturnsHi) {
+  EXPECT_EQ(binary_search_max(1, 64, [](int) { return true; }), 64);
+}
+
+TEST(BinarySearchMax, NoneTrueReturnsLoMinusOne) {
+  EXPECT_EQ(binary_search_max(5, 64, [](int) { return false; }), 4);
+}
+
+TEST(BinarySearchMax, CallsAreMonotoneEfficient) {
+  int calls = 0;
+  auto pred = [&](int n) {
+    ++calls;
+    return n <= 1000;
+  };
+  EXPECT_EQ(binary_search_max(1, 1 << 20, pred), 1000);
+  EXPECT_LT(calls, 25);  // logarithmic
+}
+
+TEST(RunResult, MetricsComputed) {
+  PdqStack stack;
+  auto r = run_single_bottleneck(stack, 3, 100'000, 20 * sim::kMillisecond);
+  EXPECT_EQ(r.completed(), 3u);
+  EXPECT_EQ(r.application_throughput(), 100.0);
+  EXPECT_GT(r.mean_fct_ms(), 0.0);
+  EXPECT_GE(r.max_fct_ms(), r.mean_fct_ms());
+  EXPECT_NE(r.flow(1), nullptr);
+  EXPECT_EQ(r.flow(999), nullptr);
+}
+
+TEST(RunResult, AppThroughputCountsTerminationsAsMisses) {
+  PdqStack stack;
+  // One feasible + one infeasible deadline flow.
+  std::vector<net::FlowSpec> flows(2);
+  flows[0].id = 1;
+  flows[0].size_bytes = 50'000;
+  flows[0].deadline = 20 * sim::kMillisecond;
+  flows[1].id = 2;
+  flows[1].size_bytes = 20'000'000;
+  flows[1].deadline = 5 * sim::kMillisecond;
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_single_bottleneck(t, 2);
+    flows[0].src = servers[0];
+    flows[1].src = servers[1];
+    flows[0].dst = flows[1].dst = servers.back();
+    return servers;
+  };
+  RunOptions opts;
+  opts.horizon = sim::kSecond;
+  auto r = run_scenario(stack, build, flows, opts);
+  EXPECT_EQ(r.application_throughput(), 50.0);
+}
+
+TEST(RunScenario, WatchLinkProducesUtilizationAndQueueSeries) {
+  PdqStack stack;
+  RunOptions opts;
+  opts.horizon = sim::kSecond;
+  opts.watch_link = std::make_pair(net::NodeId{0}, net::NodeId{4});
+  auto r = run_single_bottleneck(stack, 3, 500'000, sim::kTimeInfinity, opts);
+  EXPECT_FALSE(r.link_utilization.empty());
+  EXPECT_FALSE(r.queue_series.empty());
+  // Utilization during the busy period is high.
+  double peak = 0;
+  for (double u : r.link_utilization) peak = std::max(peak, u);
+  EXPECT_GT(peak, 0.9);
+}
+
+TEST(RunScenario, PerFlowSeriesTracksGoodput) {
+  PdqStack stack;
+  RunOptions opts;
+  opts.horizon = sim::kSecond;
+  opts.per_flow_series = true;
+  auto r = run_single_bottleneck(stack, 2, 500'000, sim::kTimeInfinity, opts);
+  ASSERT_EQ(r.flow_goodput_bps.size(), 2u);
+  // Total goodput integrates to the flow sizes.
+  for (const auto& series : r.flow_goodput_bps) {
+    double bytes = 0;
+    for (double bps : series) {
+      bytes += bps / 8.0 * sim::to_seconds(opts.flow_series_bin);
+    }
+    EXPECT_NEAR(bytes, 500'000, 25'000);
+  }
+}
+
+TEST(RunScenario, HorizonCapsRuntime) {
+  PdqStack stack;
+  RunOptions opts;
+  opts.horizon = 2 * sim::kMillisecond;  // too short for 10 MB
+  auto r = run_single_bottleneck(stack, 1, 10'000'000, sim::kTimeInfinity,
+                                 opts);
+  EXPECT_EQ(r.completed(), 0u);
+  EXPECT_EQ(r.flows[0].outcome, net::FlowOutcome::kPending);
+  EXPECT_LE(r.end_time, 2 * sim::kMillisecond + sim::kMicrosecond);
+}
+
+TEST(RunScenario, DeterministicAcrossRuns) {
+  PdqStack a;
+  auto ra = run_single_bottleneck(a, 4, 300'000);
+  PdqStack b;
+  auto rb = run_single_bottleneck(b, 4, 300'000);
+  ASSERT_EQ(ra.flows.size(), rb.flows.size());
+  for (std::size_t i = 0; i < ra.flows.size(); ++i) {
+    EXPECT_EQ(ra.flows[i].finish_time, rb.flows[i].finish_time);
+  }
+}
+
+TEST(Stacks, NamesAreStable) {
+  EXPECT_EQ(pdq_full().name(), "PDQ(Full)");
+  EXPECT_EQ(pdq_es_et().name(), "PDQ(ES+ET)");
+  EXPECT_EQ(pdq_es().name(), "PDQ(ES)");
+  EXPECT_EQ(pdq_basic().name(), "PDQ(Basic)");
+  EXPECT_EQ(RcpStack().name(), "RCP");
+  EXPECT_EQ(D3Stack().name(), "D3");
+  EXPECT_EQ(TcpStack().name(), "TCP");
+}
+
+}  // namespace
+}  // namespace pdq::harness

@@ -1,0 +1,76 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace pdq::net {
+namespace {
+
+TEST(Packet, DirectionClassification) {
+  EXPECT_TRUE(is_forward(PacketType::kSyn));
+  EXPECT_TRUE(is_forward(PacketType::kData));
+  EXPECT_TRUE(is_forward(PacketType::kProbe));
+  EXPECT_TRUE(is_forward(PacketType::kTerm));
+  EXPECT_TRUE(is_reverse(PacketType::kSynAck));
+  EXPECT_TRUE(is_reverse(PacketType::kAck));
+  EXPECT_TRUE(is_reverse(PacketType::kProbeAck));
+  EXPECT_TRUE(is_reverse(PacketType::kTermAck));
+}
+
+TEST(Packet, NextHopWalksRoute) {
+  Packet p;
+  p.route = {10, 20, 30};
+  p.hop = 0;
+  EXPECT_EQ(p.next_hop(), 20);
+  p.hop = 1;
+  EXPECT_EQ(p.next_hop(), 30);
+  p.hop = 2;
+  EXPECT_EQ(p.next_hop(), kInvalidNode);
+}
+
+TEST(Packet, AtDestination) {
+  Packet p;
+  p.route = {1, 2, 3};
+  p.dst = 3;
+  p.hop = 1;
+  EXPECT_FALSE(p.at_destination());
+  p.hop = 2;
+  EXPECT_TRUE(p.at_destination());
+}
+
+TEST(MakeReply, ReversesRouteAndEchoesHeaders) {
+  Packet p;
+  p.flow = 77;
+  p.type = PacketType::kData;
+  p.src = 1;
+  p.dst = 3;
+  p.route = {1, 2, 3};
+  p.hop = 2;
+  p.seq = 4380;
+  p.payload = 1460;
+  p.sent_time = 12345;
+  p.pdq.rate_bps = 5e8;
+  p.pdq.pause_by = 2;
+  p.rcp.rate_bps = 1e8;
+
+  auto r = make_reply(p, PacketType::kAck);
+  EXPECT_EQ(r->flow, 77);
+  EXPECT_EQ(r->type, PacketType::kAck);
+  EXPECT_EQ(r->route, (std::vector<NodeId>{3, 2, 1}));
+  EXPECT_EQ(r->hop, 0);
+  EXPECT_EQ(r->dst, 1);  // back to the sender
+  EXPECT_EQ(r->seq, 4380);
+  EXPECT_EQ(r->payload, 0);
+  EXPECT_EQ(r->size_bytes, kControlBytes);
+  EXPECT_EQ(r->sent_time, 12345);
+  EXPECT_DOUBLE_EQ(r->pdq.rate_bps, 5e8);
+  EXPECT_EQ(r->pdq.pause_by, 2);
+  EXPECT_DOUBLE_EQ(r->rcp.rate_bps, 1e8);
+}
+
+TEST(Constants, FramingAddsUp) {
+  EXPECT_EQ(kMaxPayloadBytes + kHeaderBytes, kMtuBytes);
+  EXPECT_EQ(kSchedulingHeaderBytes, 16);  // 4 fields x 4 bytes (paper S7)
+}
+
+}  // namespace
+}  // namespace pdq::net

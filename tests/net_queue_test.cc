@@ -1,0 +1,60 @@
+#include "net/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace pdq::net {
+namespace {
+
+PacketPtr make_packet(std::int32_t size) {
+  auto p = std::make_shared<Packet>();
+  p->size_bytes = size;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(10'000);
+  for (int i = 0; i < 3; ++i) {
+    auto p = make_packet(100);
+    p->seq = i;
+    EXPECT_TRUE(q.push(std::move(p)));
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.pop()->seq, i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailQueue, ByteAccounting) {
+  DropTailQueue q(10'000);
+  q.push(make_packet(1500));
+  q.push(make_packet(40));
+  EXPECT_EQ(q.bytes(), 1540);
+  EXPECT_EQ(q.packets(), 2u);
+  q.pop();
+  EXPECT_EQ(q.bytes(), 40);
+}
+
+TEST(DropTailQueue, TailDropWhenFull) {
+  DropTailQueue q(3'000);
+  EXPECT_TRUE(q.push(make_packet(1500)));
+  EXPECT_TRUE(q.push(make_packet(1500)));
+  EXPECT_FALSE(q.push(make_packet(1500)));  // would exceed capacity
+  EXPECT_EQ(q.drops(), 1);
+  EXPECT_EQ(q.dropped_bytes(), 1500);
+  EXPECT_EQ(q.packets(), 2u);
+}
+
+TEST(DropTailQueue, SmallPacketFitsAfterBigDrop) {
+  DropTailQueue q(3'100);
+  q.push(make_packet(1500));
+  q.push(make_packet(1500));
+  EXPECT_FALSE(q.push(make_packet(1500)));
+  EXPECT_TRUE(q.push(make_packet(100)));  // 100 bytes still fit
+}
+
+TEST(DropTailQueue, ExactCapacityFits) {
+  DropTailQueue q(1500);
+  EXPECT_TRUE(q.push(make_packet(1500)));
+  EXPECT_FALSE(q.push(make_packet(1)));
+}
+
+}  // namespace
+}  // namespace pdq::net

@@ -1,0 +1,155 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/builders.h"
+#include "sim/simulator.h"
+
+namespace pdq::net {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+};
+
+TEST_F(TopologyTest, SingleBottleneckShape) {
+  Topology t(simulator);
+  auto servers = build_single_bottleneck(t, 5);
+  EXPECT_EQ(servers.size(), 6u);  // 5 senders + receiver
+  EXPECT_EQ(t.host_ids().size(), 6u);
+  EXPECT_EQ(t.switch_ids().size(), 1u);
+  // Path sender -> receiver is exactly host-switch-host.
+  auto path = t.ecmp_path(1, servers[0], servers.back());
+  EXPECT_EQ(path.size(), 3u);
+}
+
+TEST_F(TopologyTest, SingleRootedTreeIsPaperTopology) {
+  Topology t(simulator);
+  auto servers = build_single_rooted_tree(t);  // defaults: 4 ToR x 3
+  EXPECT_EQ(servers.size(), 12u);
+  EXPECT_EQ(t.switch_ids().size(), 5u);  // 4 ToR + root
+  EXPECT_EQ(t.num_nodes(), 17u);         // the paper's 17-node topology
+
+  // Same-rack path: 3 nodes. Cross-rack: 5 nodes (via root).
+  EXPECT_EQ(t.ecmp_path(1, servers[0], servers[1]).size(), 3u);
+  EXPECT_EQ(t.ecmp_path(1, servers[0], servers[3]).size(), 5u);
+}
+
+TEST_F(TopologyTest, FatTreeK4Shape) {
+  Topology t(simulator);
+  auto servers = build_fat_tree(t, 4);
+  EXPECT_EQ(servers.size(), 16u);          // k^3/4
+  EXPECT_EQ(t.switch_ids().size(), 20u);   // 4 cores + 4 pods x 4
+  // Hosts under the same edge switch: 3-node path.
+  EXPECT_EQ(t.ecmp_path(1, servers[0], servers[1]).size(), 3u);
+  // Hosts in different pods: 7-node path (edge-agg-core-agg-edge).
+  EXPECT_EQ(t.ecmp_path(1, servers[0], servers[15]).size(), 7u);
+  // Cross-pod ECMP offers multiple shortest paths (k^2/4 = 4 cores).
+  EXPECT_EQ(t.shortest_paths(servers[0], servers[15]).size(), 4u);
+}
+
+TEST_F(TopologyTest, FatTreeIsRearrangeablyNonBlockingAtEdge) {
+  Topology t(simulator);
+  auto servers = build_fat_tree(t, 4);
+  // Every server has exactly one uplink.
+  for (auto s : servers) {
+    EXPECT_EQ(t.node(s).ports().size(), 1u);
+  }
+}
+
+TEST_F(TopologyTest, BCubeShape) {
+  Topology t(simulator);
+  auto servers = build_bcube(t, 2, 3);  // BCube(2,3)
+  EXPECT_EQ(servers.size(), 16u);       // n^(k+1) = 2^4
+  EXPECT_EQ(t.switch_ids().size(), 32u);  // (k+1) * n^k = 4*8
+  // Each server has k+1 = 4 NIC ports.
+  for (auto s : servers) {
+    EXPECT_EQ(t.node(s).ports().size(), 4u);
+  }
+}
+
+TEST_F(TopologyTest, BCubeAddressRoundTrip) {
+  const auto addr = bcube_address(13, 2, 3);  // 13 = 1101b
+  EXPECT_EQ(addr, (std::vector<int>{1, 0, 1, 1}));
+}
+
+TEST_F(TopologyTest, BCubeDisjointPathsUseAllNics) {
+  Topology t(simulator);
+  auto servers = build_bcube(t, 2, 3);
+  const auto& paths = t.disjoint_paths(servers[0], servers[15]);
+  // M-PDQ: one parallel path per NIC.
+  EXPECT_EQ(paths.size(), 4u);
+  // First hops are pairwise distinct (different NICs).
+  std::set<NodeId> first_hops;
+  for (const auto& p : paths) first_hops.insert(p[1]);
+  EXPECT_EQ(first_hops.size(), paths.size());
+}
+
+TEST_F(TopologyTest, JellyfishShape) {
+  Topology t(simulator);
+  // 20 switches x 8 ports, 4 net ports -> 80 servers, 4-regular graph.
+  auto servers = build_jellyfish(t, 20, 8, 4, /*seed=*/3);
+  EXPECT_EQ(servers.size(), 80u);
+  EXPECT_EQ(t.switch_ids().size(), 20u);
+  for (auto sw : t.switch_ids()) {
+    EXPECT_EQ(t.node(sw).ports().size(), 8u);
+  }
+  // Connectivity: every server can reach every other.
+  for (std::size_t i = 1; i < servers.size(); i += 17) {
+    EXPECT_FALSE(t.shortest_paths(servers[0], servers[i]).empty());
+  }
+}
+
+TEST_F(TopologyTest, EcmpIsDeterministicPerFlow) {
+  Topology t(simulator);
+  auto servers = build_fat_tree(t, 4);
+  const auto p1 = t.ecmp_path(123, servers[0], servers[15]);
+  const auto p2 = t.ecmp_path(123, servers[0], servers[15]);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST_F(TopologyTest, EcmpSpreadsFlows) {
+  Topology t(simulator);
+  auto servers = build_fat_tree(t, 4);
+  std::set<std::vector<NodeId>> distinct;
+  for (FlowId f = 0; f < 64; ++f) {
+    distinct.insert(t.ecmp_path(f, servers[0], servers[15]));
+  }
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST_F(TopologyTest, PathsNeverRelayThroughLeafHosts) {
+  Topology t(simulator);
+  auto servers = build_single_rooted_tree(t);
+  for (const auto& path : t.shortest_paths(servers[0], servers[11])) {
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      EXPECT_FALSE(t.is_host(path[i]));
+    }
+  }
+}
+
+TEST_F(TopologyTest, LinkDropRateSetOnBothDirections) {
+  Topology t(simulator);
+  auto servers = build_single_bottleneck(t, 2);
+  const NodeId sw = t.switch_ids()[0];
+  t.set_link_drop_rate(sw, servers.back(), 0.25);
+  EXPECT_DOUBLE_EQ(t.port_on_link(sw, servers.back())->link().drop_rate, 0.25);
+  EXPECT_DOUBLE_EQ(t.port_on_link(servers.back(), sw)->link().drop_rate, 0.25);
+}
+
+TEST_F(TopologyTest, ReversePointersArePaired) {
+  Topology t(simulator);
+  auto servers = build_single_bottleneck(t, 2);
+  for (auto& l : t.links()) {
+    ASSERT_NE(l->reverse, nullptr);
+    EXPECT_EQ(l->reverse->reverse, l.get());
+    EXPECT_EQ(l->from, l->reverse->to);
+    EXPECT_EQ(l->to, l->reverse->from);
+  }
+}
+
+}  // namespace
+}  // namespace pdq::net

@@ -1,0 +1,155 @@
+// RCP baseline: exact-count fair sharing with explicit rates.
+#include "protocols/rcp.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pdq::protocols {
+namespace {
+
+using pdq::testing::run_single_bottleneck;
+
+TEST(Rcp, SingleFlowGetsFullLink) {
+  harness::RcpStack stack;
+  auto r = run_single_bottleneck(stack, 1, 1'000'000);
+  ASSERT_EQ(r.completed(), 1u);
+  // 8 ms raw + handshake + header overhead.
+  EXPECT_LT(r.mean_fct_ms(), 10.0);
+}
+
+TEST(Rcp, FairSharingCompletionTimes) {
+  // n equal flows all finish together at ~n x (raw time).
+  harness::RcpStack stack;
+  auto r = run_single_bottleneck(stack, 4, 500'000);
+  ASSERT_EQ(r.completed(), 4u);
+  const double raw_ms = 4 * 4.0;  // 4 flows x 4 ms each
+  for (const auto& f : r.flows) {
+    EXPECT_NEAR(sim::to_millis(f.completion_time()), raw_ms, 3.0);
+  }
+  // Fairness: max/min spread is small.
+  EXPECT_LT(r.max_fct_ms() - raw_ms, 3.0);
+}
+
+TEST(Rcp, ExactCountAvoidsInfluxDrops) {
+  // The paper's optimization: 30 flows arriving at once must not overflow
+  // the 4 MB buffer.
+  harness::RcpStack stack;
+  auto r = run_single_bottleneck(stack, 30, 100'000);
+  EXPECT_EQ(r.completed(), 30u);
+  EXPECT_EQ(r.queue_drops, 0);
+}
+
+TEST(Rcp, ControllerCountsFlowsExactly) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator);
+  auto servers = net::build_single_bottleneck(topo, 2);
+  RcpConfig cfg;
+  auto c = std::make_unique<RcpLinkController>(cfg);
+  auto* ctl = c.get();
+  topo.port_on_link(topo.switch_ids()[0], servers.back())
+      ->set_controller(std::move(c));
+
+  net::Packet p;
+  p.flow = 1;
+  p.type = net::PacketType::kSyn;
+  p.rcp.rate_bps = 1e9;
+  ctl->on_forward(p);
+  EXPECT_EQ(ctl->flow_count(), 1u);
+  // The SYN rate already reflects the newcomer.
+  EXPECT_LE(p.rcp.rate_bps, 1e9);
+
+  net::Packet q;
+  q.flow = 2;
+  q.type = net::PacketType::kSyn;
+  q.rcp.rate_bps = 1e9;
+  ctl->on_forward(q);
+  EXPECT_EQ(ctl->flow_count(), 2u);
+  EXPECT_NEAR(q.rcp.rate_bps, 5e8, 1e7);  // half the link
+
+  net::Packet t;
+  t.flow = 1;
+  t.type = net::PacketType::kTerm;
+  ctl->on_forward(t);
+  EXPECT_EQ(ctl->flow_count(), 1u);
+}
+
+TEST(Rcp, StampsRunningMinimum) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator);
+  auto servers = net::build_single_bottleneck(topo, 2);
+  RcpConfig cfg;
+  auto c = std::make_unique<RcpLinkController>(cfg);
+  auto* ctl = c.get();
+  topo.port_on_link(topo.switch_ids()[0], servers.back())
+      ->set_controller(std::move(c));
+  net::Packet p;
+  p.flow = 7;
+  p.type = net::PacketType::kData;
+  p.rcp.rate_bps = 1e5;  // an upstream link already clamped lower
+  ctl->on_forward(p);
+  EXPECT_DOUBLE_EQ(p.rcp.rate_bps, 1e5);
+}
+
+TEST(Rcp, DeadlineAgnosticMissesTightDeadlines) {
+  // Mixed sizes with one tight deadline: fair sharing stretches the short
+  // flow, PDQ preempts. (The paper's core motivating contrast, Fig 1.)
+  harness::RcpStack rcp;
+  harness::PdqStack pdq;
+  std::vector<net::FlowSpec> flows;
+  for (int i = 0; i < 8; ++i) {
+    net::FlowSpec f;
+    f.id = i + 1;
+    f.size_bytes = 1'000'000;
+    flows.push_back(f);
+  }
+  net::FlowSpec urgent;
+  urgent.id = 9;
+  urgent.size_bytes = 500'000;
+  urgent.deadline = 10 * sim::kMillisecond;
+  flows.push_back(urgent);
+
+  auto make_build = [&](std::vector<net::FlowSpec>& fl) {
+    return [&fl](net::Topology& t) {
+      auto servers = net::build_single_bottleneck(
+          t, static_cast<int>(fl.size()));
+      for (std::size_t i = 0; i < fl.size(); ++i) {
+        fl[i].src = servers[i];
+        fl[i].dst = servers.back();
+      }
+      return servers;
+    };
+  };
+  harness::RunOptions opts;
+  opts.horizon = 10 * sim::kSecond;
+  auto flows_rcp = flows;
+  auto rr = harness::run_scenario(rcp, make_build(flows_rcp), flows_rcp, opts);
+  auto flows_pdq = flows;
+  auto rp = harness::run_scenario(pdq, make_build(flows_pdq), flows_pdq, opts);
+  EXPECT_FALSE(rr.flow(9)->deadline_met());  // 9-way fair share: ~36 ms
+  EXPECT_TRUE(rp.flow(9)->deadline_met());   // EDF head-of-line: ~4.5 ms
+}
+
+class RcpFairnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RcpFairnessSweep, JainIndexNearOne) {
+  const int n = GetParam();
+  harness::RcpStack stack;
+  auto r = run_single_bottleneck(stack, n, 300'000);
+  ASSERT_EQ(r.completed(), static_cast<std::size_t>(n));
+  // Jain's fairness index over completion times.
+  double sum = 0, sum2 = 0;
+  for (const auto& f : r.flows) {
+    const double x = sim::to_millis(f.completion_time());
+    sum += x;
+    sum2 += x * x;
+  }
+  const double jain = sum * sum / (n * sum2);
+  EXPECT_GT(jain, 0.97);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, RcpFairnessSweep,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace pdq::protocols

@@ -1,0 +1,158 @@
+// TCP Reno baseline: window dynamics, loss recovery, incast behaviour.
+#include "protocols/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pdq::protocols {
+namespace {
+
+using pdq::testing::run_single_bottleneck;
+
+TEST(Tcp, SingleFlowCompletes) {
+  harness::TcpStack stack;
+  auto r = run_single_bottleneck(stack, 1, 1'000'000);
+  ASSERT_EQ(r.completed(), 1u);
+  // Slow start costs a few RTTs; still well under 2x raw time.
+  EXPECT_LT(r.mean_fct_ms(), 16.0);
+}
+
+TEST(Tcp, TinyFlowFinishesInFewRtts) {
+  harness::TcpStack stack;
+  auto r = run_single_bottleneck(stack, 1, 2'920);  // 2 segments
+  ASSERT_EQ(r.completed(), 1u);
+  EXPECT_LT(r.mean_fct_ms(), 1.0);
+}
+
+TEST(Tcp, ByteConservation) {
+  harness::TcpStack stack;
+  auto r = run_single_bottleneck(stack, 3, 777'777);
+  ASSERT_EQ(r.completed(), 3u);
+  for (const auto& f : r.flows) EXPECT_EQ(f.bytes_acked, 777'777);
+}
+
+TEST(Tcp, SharesBandwidthRoughlyFairly) {
+  harness::TcpStack stack;
+  auto r = run_single_bottleneck(stack, 4, 2'000'000);
+  ASSERT_EQ(r.completed(), 4u);
+  // All four finish within ~75% of each other (TCP fairness is rough).
+  EXPECT_LT(r.max_fct_ms(), 2.0 * r.mean_fct_ms());
+}
+
+TEST(Tcp, RecoversFromWireLoss) {
+  harness::TcpStack stack;
+  harness::RunOptions opts;
+  opts.horizon = 30 * sim::kSecond;
+  opts.watch_link = std::make_pair(net::NodeId{0}, net::NodeId{2});
+  opts.watch_link_drop_rate = 0.01;
+  auto r = run_single_bottleneck(stack, 1, 1'000'000, sim::kTimeInfinity,
+                                 opts);
+  ASSERT_EQ(r.completed(), 1u);
+  EXPECT_GT(r.flows[0].retransmissions, 0);
+  EXPECT_EQ(r.flows[0].bytes_acked, 1'000'000);
+}
+
+TEST(Tcp, SurvivesHeavyLoss) {
+  harness::TcpStack stack;
+  harness::RunOptions opts;
+  opts.horizon = 60 * sim::kSecond;
+  opts.watch_link = std::make_pair(net::NodeId{0}, net::NodeId{2});
+  opts.watch_link_drop_rate = 0.05;
+  auto r = run_single_bottleneck(stack, 1, 300'000, sim::kTimeInfinity, opts);
+  EXPECT_EQ(r.completed(), 1u);
+}
+
+TEST(Tcp, IncastDegradesShortFlowLatency) {
+  // Many synchronized senders into one receiver: some flows suffer
+  // timeouts; mean FCT is far above the raw serial time. (The incast
+  // problem PDQ's pausing avoids.)
+  harness::TcpStack tcp;
+  auto rt = run_single_bottleneck(tcp, 32, 50'000);
+  EXPECT_EQ(rt.completed(), 32u);
+  harness::PdqStack pdq;
+  auto rp = run_single_bottleneck(pdq, 32, 50'000);
+  EXPECT_EQ(rp.completed(), 32u);
+  EXPECT_LT(rp.mean_fct_ms(), rt.mean_fct_ms() * 1.05);
+}
+
+TEST(Tcp, SmallRtoMinBeatsLargeUnderIncast) {
+  // The paper tunes RTO_min down per [18]; verify the tuning matters.
+  TcpConfig small;
+  small.rto_min = sim::kMillisecond;
+  TcpConfig large;
+  large.rto_min = 200 * sim::kMillisecond;
+  harness::TcpStack fast(small);
+  harness::TcpStack slow(large);
+  harness::RunOptions opts;
+  opts.horizon = 60 * sim::kSecond;
+  // Small buffer to force incast drops.
+  std::vector<net::FlowSpec> flows;
+  for (int i = 0; i < 24; ++i) {
+    net::FlowSpec f;
+    f.id = i + 1;
+    f.size_bytes = 100'000;
+    flows.push_back(f);
+  }
+  auto build = [&](net::Topology& t) {
+    net::LinkDefaults d;
+    d.buffer_bytes = 64 << 10;  // 64 KB: classic incast setting
+    auto servers = net::build_single_bottleneck(t, 24, d);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      flows[i].src = servers[i];
+      flows[i].dst = servers.back();
+    }
+    return servers;
+  };
+  auto flows2 = flows;
+  auto rf = harness::run_scenario(fast, build, flows, opts);
+  auto build2 = [&](net::Topology& t) {
+    net::LinkDefaults d;
+    d.buffer_bytes = 64 << 10;
+    auto servers = net::build_single_bottleneck(t, 24, d);
+    for (std::size_t i = 0; i < flows2.size(); ++i) {
+      flows2[i].src = servers[i];
+      flows2[i].dst = servers.back();
+    }
+    return servers;
+  };
+  auto rs = harness::run_scenario(slow, build2, flows2, opts);
+  EXPECT_EQ(rf.completed(), 24u);
+  EXPECT_EQ(rs.completed(), 24u);
+  EXPECT_LT(rf.mean_fct_ms(), rs.mean_fct_ms());
+}
+
+TEST(Tcp, SlowStartDoublesWindow) {
+  // Unit-level: feed a TcpSender acks and watch cwnd.
+  sim::Simulator simulator;
+  net::Topology topo(simulator);
+  auto servers = net::build_single_bottleneck(topo, 1);
+  net::FlowSpec f;
+  f.id = 1;
+  f.src = servers[0];
+  f.dst = servers[1];
+  f.size_bytes = 1'000'000;
+  net::AgentContext ctx;
+  ctx.topo = &topo;
+  ctx.local = &topo.host(f.src);
+  ctx.spec = f;
+  ctx.route = topo.ecmp_path(1, f.src, f.dst);
+  TcpConfig cfg;
+  TcpSender snd(std::move(ctx), cfg);
+  EXPECT_DOUBLE_EQ(snd.cwnd_pkts(), cfg.initial_cwnd_pkts);
+  snd.start();
+  // Ack the first two segments one by one: +1 cwnd per ack in slow start.
+  for (int i = 1; i <= 2; ++i) {
+    auto ack = std::make_shared<net::Packet>();
+    ack->flow = 1;
+    ack->type = net::PacketType::kAck;
+    ack->seq = (i - 1) * net::kMaxPayloadBytes;
+    ack->ack = i * net::kMaxPayloadBytes;
+    ack->sent_time = 0;
+    snd.on_packet(ack);
+  }
+  EXPECT_DOUBLE_EQ(snd.cwnd_pkts(), cfg.initial_cwnd_pkts + 2);
+}
+
+}  // namespace
+}  // namespace pdq::protocols

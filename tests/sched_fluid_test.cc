@@ -1,0 +1,192 @@
+// Centralized fluid schedulers, including the paper's Fig 1 worked example
+// verified number-for-number.
+#include "sched/fluid.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace pdq::sched {
+namespace {
+
+/// The paper's Fig 1 flows on a unit-rate link: sizes 1,2,3 "bytes" with
+/// deadlines 1,4,6 "seconds". We scale to 1 MB units on a 8 Mbps link so
+/// 1 unit of size = 1 second.
+std::vector<Job> fig1_jobs() {
+  const std::int64_t unit = 1'000'000;
+  std::vector<Job> jobs(3);
+  jobs[0] = {1 * unit, 0, sim::from_seconds(1.0), 0};  // fA
+  jobs[1] = {2 * unit, 0, sim::from_seconds(4.0), 1};  // fB
+  jobs[2] = {3 * unit, 0, sim::from_seconds(6.0), 2};  // fC
+  return jobs;
+}
+constexpr double kFig1Rate = 8e6;  // 1 size-unit per second
+
+TEST(Fig1, FairSharingCompletionTimes) {
+  // Paper: [fA,fB,fC] finish at [3,5,6]; mean 4.67.
+  auto s = fair_sharing(fig1_jobs(), kFig1Rate);
+  EXPECT_NEAR(sim::to_seconds(s.completion[0]), 3.0, 1e-6);
+  EXPECT_NEAR(sim::to_seconds(s.completion[1]), 5.0, 1e-6);
+  EXPECT_NEAR(sim::to_seconds(s.completion[2]), 6.0, 1e-6);
+  EXPECT_NEAR(s.mean_fct_ms(fig1_jobs()), 4666.67, 1.0);
+}
+
+TEST(Fig1, FairSharingMissesTwoDeadlines) {
+  auto s = fair_sharing(fig1_jobs(), kFig1Rate);
+  // fA (deadline 1) and fB (deadline 4) miss; fC meets.
+  EXPECT_NEAR(s.on_time_percent(fig1_jobs()), 100.0 / 3.0, 0.1);
+}
+
+TEST(Fig1, SjfCompletionTimes) {
+  // Paper: SJF finishes at [1,3,6]; mean 3.33 -- ~29% better than fair.
+  auto s = srpt(fig1_jobs(), kFig1Rate);
+  EXPECT_NEAR(sim::to_seconds(s.completion[0]), 1.0, 1e-6);
+  EXPECT_NEAR(sim::to_seconds(s.completion[1]), 3.0, 1e-6);
+  EXPECT_NEAR(sim::to_seconds(s.completion[2]), 6.0, 1e-6);
+  EXPECT_NEAR(s.mean_fct_ms(fig1_jobs()), 3333.33, 1.0);
+}
+
+TEST(Fig1, EdfMeetsEveryDeadline) {
+  auto s = edf(fig1_jobs(), kFig1Rate);
+  EXPECT_NEAR(s.on_time_percent(fig1_jobs()), 100.0, 1e-9);
+}
+
+TEST(Fig1, OptimalKeepsAllThree) {
+  EXPECT_NEAR(optimal_application_throughput(fig1_jobs(), kFig1Rate), 100.0,
+              1e-9);
+}
+
+TEST(Srpt, PreemptsForShorterJob) {
+  // Long job released at 0, short at 1s: SRPT preempts, short finishes
+  // at 1.5s, long at 3.5s.
+  std::vector<Job> jobs(2);
+  jobs[0] = {3'000'000, 0, sim::kTimeInfinity, 0};
+  jobs[1] = {500'000, sim::from_seconds(1.0), sim::kTimeInfinity, 1};
+  auto s = srpt(jobs, 8e6);
+  EXPECT_NEAR(sim::to_seconds(s.completion[1]), 1.5, 1e-6);
+  EXPECT_NEAR(sim::to_seconds(s.completion[0]), 3.5, 1e-6);
+}
+
+TEST(FairSharing, RateSplitsWithArrivals) {
+  // Job A alone for 1s (1 unit done), then shares with B: A's remaining
+  // 1 unit takes 2s -> A at 3s; B's 2 units: 1 at half rate (2s) + 1 at
+  // full rate (1s) -> B at 4s.
+  std::vector<Job> jobs(2);
+  jobs[0] = {2'000'000, 0, sim::kTimeInfinity, 0};
+  jobs[1] = {2'000'000, sim::from_seconds(1.0), sim::kTimeInfinity, 1};
+  auto s = fair_sharing(jobs, 8e6);
+  EXPECT_NEAR(sim::to_seconds(s.completion[0]), 3.0, 1e-6);
+  EXPECT_NEAR(sim::to_seconds(s.completion[1]), 4.0, 1e-6);
+}
+
+TEST(MooreHodgson, DiscardsMinimumNumberOfJobs) {
+  // Four unit jobs, deadlines tight enough that only three fit.
+  const std::int64_t u = 1'000'000;
+  std::vector<Job> jobs(4);
+  jobs[0] = {1 * u, 0, sim::from_seconds(1.0), 0};
+  jobs[1] = {1 * u, 0, sim::from_seconds(2.0), 1};
+  jobs[2] = {1 * u, 0, sim::from_seconds(3.0), 2};
+  jobs[3] = {1 * u, 0, sim::from_seconds(3.0), 3};
+  auto s = edf_max_ontime(jobs, 8e6);
+  EXPECT_NEAR(s.on_time_percent(jobs), 75.0, 1e-9);
+}
+
+TEST(MooreHodgson, DropsLargestWhenInfeasible) {
+  // One huge early-deadline job would block two small ones; dropping the
+  // big job keeps both small jobs on time.
+  const std::int64_t u = 1'000'000;
+  std::vector<Job> jobs(3);
+  jobs[0] = {5 * u, 0, sim::from_seconds(5.0), 0};   // big
+  jobs[1] = {1 * u, 0, sim::from_seconds(5.5), 1};   // small
+  jobs[2] = {1 * u, 0, sim::from_seconds(6.0), 2};   // small
+  auto s = edf_max_ontime(jobs, 8e6);
+  EXPECT_NEAR(s.on_time_percent(jobs), 200.0 / 3.0, 0.1);
+  EXPECT_EQ(s.completion[0], sim::kTimeInfinity);  // the big one dropped
+}
+
+TEST(MooreHodgson, AllFeasibleKeepsAll) {
+  const std::int64_t u = 1'000'000;
+  std::vector<Job> jobs;
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back({u, 0, sim::from_seconds(i + 1.0), i});
+  }
+  EXPECT_NEAR(optimal_application_throughput(jobs, 8e6), 100.0, 1e-9);
+}
+
+TEST(MooreHodgson, NoDeadlineJobsScheduledAfter) {
+  const std::int64_t u = 1'000'000;
+  std::vector<Job> jobs(2);
+  jobs[0] = {u, 0, sim::kTimeInfinity, 0};
+  jobs[1] = {u, 0, sim::from_seconds(1.0), 1};
+  auto s = edf_max_ontime(jobs, 8e6);
+  EXPECT_GT(s.completion[0], s.completion[1]);
+}
+
+// ---- property tests ----
+
+std::vector<Job> random_jobs(sim::Rng& rng, int n, bool deadlines) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < n; ++i) {
+    Job j;
+    j.size_bytes = rng.uniform_int(2'000, 198'000);
+    j.release = 0;
+    if (deadlines) {
+      j.deadline = std::max<sim::Time>(
+          3 * sim::kMillisecond,
+          static_cast<sim::Time>(rng.exponential(20.0 * sim::kMillisecond)));
+    }
+    j.id = i;
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+class FluidProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidProperty, SrptMeanNeverWorseThanFairSharing) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto jobs = random_jobs(rng, 20, false);
+  const double fair = fair_sharing(jobs, 1e9).mean_fct_ms(jobs);
+  const double best = srpt(jobs, 1e9).mean_fct_ms(jobs);
+  EXPECT_LE(best, fair + 1e-9);
+}
+
+TEST_P(FluidProperty, SrptDominatesPerFlowForEqualRelease) {
+  // The paper's S2.1 claim: with simultaneous arrivals, *every* flow
+  // completes no later under SJF than under fair sharing.
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  auto jobs = random_jobs(rng, 12, false);
+  auto fair = fair_sharing(jobs, 1e9);
+  auto best = srpt(jobs, 1e9);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_LE(best.completion[i], fair.completion[i] + 1);
+  }
+}
+
+TEST_P(FluidProperty, OptimalOnTimeAtLeastEdfAndFair) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  auto jobs = random_jobs(rng, 25, true);
+  const double opt = optimal_application_throughput(jobs, 1e9);
+  EXPECT_GE(opt + 1e-9, edf(jobs, 1e9).on_time_percent(jobs));
+  EXPECT_GE(opt + 1e-9, fair_sharing(jobs, 1e9).on_time_percent(jobs));
+}
+
+TEST_P(FluidProperty, WorkConservation) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  auto jobs = random_jobs(rng, 15, false);
+  double total_bits = 0;
+  for (const auto& j : jobs) total_bits += 8.0 * j.size_bytes;
+  const double makespan_s = total_bits / 1e9;
+  for (auto* sched : {&srpt, &fair_sharing, &edf}) {
+    auto s = (*sched)(jobs, 1e9);
+    sim::Time last = 0;
+    for (auto c : s.completion) last = std::max(last, c);
+    EXPECT_NEAR(sim::to_seconds(last), makespan_s, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace pdq::sched

@@ -1,0 +1,94 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace pdq::sim {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 32; ++i) {
+    if (a.uniform(0, 1) != b.uniform(0, 1)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.uniform(3.0, 5.0);
+    EXPECT_GE(v, 3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = r.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 1;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(20.0);
+  EXPECT_NEAR(sum / n, 20.0, 0.3);
+}
+
+TEST(Rng, ParetoMinimumRespected) {
+  Rng r(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(r.pareto(1.1, 1000.0), 1000.0);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Rng r(5);
+  // With alpha=1.1 a sample of 100k should contain values far above the
+  // minimum (the mean barely exists).
+  double mx = 0;
+  for (int i = 0; i < 100'000; ++i) mx = std::max(mx, r.pareto(1.1, 1.0));
+  EXPECT_GT(mx, 1000.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(3);
+  int heads = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) heads += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(9);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  r.shuffle(v);
+  EXPECT_NE(v, orig);  // overwhelmingly likely
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace pdq::sim

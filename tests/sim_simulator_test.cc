@@ -1,0 +1,82 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace pdq::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator s;
+  Time seen = -1;
+  s.schedule_at(100, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  Time seen = -1;
+  s.schedule_at(50, [&] {
+    s.schedule_in(25, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(Simulator, RunUntilStopsClock) {
+  Simulator s;
+  int ran = 0;
+  s.schedule_at(10, [&] { ++ran; });
+  s.schedule_at(1000, [&] { ++ran; });
+  s.run(/*until=*/500);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.now(), 500);  // clock parked at the horizon
+  s.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, StopBreaksRun) {
+  Simulator s;
+  int ran = 0;
+  s.schedule_at(1, [&] {
+    ++ran;
+    s.stop();
+  });
+  s.schedule_at(2, [&] { ++ran; });
+  s.run();
+  EXPECT_EQ(ran, 1);
+  // A subsequent run resumes.
+  s.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int ran = 0;
+  const EventId id = s.schedule_at(5, [&] { ++ran; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(Simulator, ReturnsExecutedCount) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  EXPECT_EQ(s.run(), 7u);
+}
+
+TEST(Simulator, CascadedEventsRunInOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] {
+    order.push_back(1);
+    s.schedule_in(0, [&] { order.push_back(2); });  // same instant, later seq
+  });
+  s.schedule_at(10, [&] { order.push_back(3); });  // scheduled earlier
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+}  // namespace
+}  // namespace pdq::sim

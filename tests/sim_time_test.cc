@@ -1,0 +1,54 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace pdq::sim {
+namespace {
+
+TEST(Time, UnitConstants) {
+  EXPECT_EQ(kMicrosecond, 1'000);
+  EXPECT_EQ(kMillisecond, 1'000'000);
+  EXPECT_EQ(kSecond, 1'000'000'000);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_micros(kMillisecond), 1000.0);
+  EXPECT_EQ(from_seconds(2.5), 2'500'000'000);
+  EXPECT_EQ(from_millis(1.5), 1'500'000);
+  EXPECT_EQ(from_micros(0.1), 100);
+}
+
+TEST(Time, RoundTrip) {
+  for (double v : {0.0, 1.0, 3.25, 123.456}) {
+    EXPECT_NEAR(to_millis(from_millis(v)), v, 1e-6);
+  }
+}
+
+TEST(TransmissionTime, OneMtuAtGigabit) {
+  // 1500 bytes at 1 Gbps = 12 us on the wire.
+  EXPECT_EQ(transmission_time(1500, 1e9), 12 * kMicrosecond);
+}
+
+TEST(TransmissionTime, OneMegabyteAtGigabit) {
+  EXPECT_EQ(transmission_time(1'000'000, 1e9), 8 * kMillisecond);
+}
+
+TEST(TransmissionTime, RoundsUpNeverDown) {
+  // 1 byte at 1 Gbps = 8 ns exactly; 1 byte at 3 Gbps = 2.67 ns -> 3 ns.
+  EXPECT_EQ(transmission_time(1, 1e9), 8);
+  EXPECT_EQ(transmission_time(1, 3e9), 3);
+}
+
+TEST(TransmissionTime, ZeroRateIsNever) {
+  EXPECT_EQ(transmission_time(1500, 0.0), kTimeInfinity);
+  EXPECT_EQ(transmission_time(1500, -5.0), kTimeInfinity);
+}
+
+TEST(TransmissionTime, ZeroBytesIsInstant) {
+  EXPECT_EQ(transmission_time(0, 1e9), 0);
+}
+
+}  // namespace
+}  // namespace pdq::sim

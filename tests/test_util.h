@@ -1,0 +1,41 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "harness/scenario.h"
+#include "harness/stacks.h"
+
+namespace pdq::testing {
+
+/// Builds n equal flows from distinct senders to one receiver over a
+/// single-bottleneck topology and runs them under `stack`.
+inline harness::RunResult run_single_bottleneck(
+    harness::ProtocolStack& stack, int n, std::int64_t size_bytes,
+    sim::Time deadline = sim::kTimeInfinity,
+    harness::RunOptions opts = {}) {
+  std::vector<net::FlowSpec> flows;
+  for (int i = 0; i < n; ++i) {
+    net::FlowSpec f;
+    f.id = i + 1;
+    f.size_bytes = size_bytes;
+    f.start_time = 0;
+    f.deadline = deadline;
+    flows.push_back(f);
+  }
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_single_bottleneck(t, n);
+    for (int i = 0; i < n; ++i) {
+      flows[static_cast<std::size_t>(i)].src =
+          servers[static_cast<std::size_t>(i)];
+      flows[static_cast<std::size_t>(i)].dst = servers.back();
+    }
+    return servers;
+  };
+  if (opts.horizon == harness::RunOptions{}.horizon) {
+    opts.horizon = 10 * sim::kSecond;
+  }
+  return harness::run_scenario(stack, build, flows, opts);
+}
+
+}  // namespace pdq::testing

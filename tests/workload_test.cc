@@ -1,0 +1,192 @@
+// Workload generators: distributions, patterns, arrival processes.
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace pdq::workload {
+namespace {
+
+std::vector<net::NodeId> fake_servers(int n) {
+  std::vector<net::NodeId> v;
+  for (int i = 0; i < n; ++i) v.push_back(i + 100);
+  return v;
+}
+
+TEST(Sizes, UniformRange) {
+  sim::Rng rng(1);
+  auto f = uniform_size(2'000, 198'000);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto s = f(rng);
+    EXPECT_GE(s, 2'000);
+    EXPECT_LE(s, 198'000);
+  }
+}
+
+TEST(Sizes, UniformMeanMatchesPaper) {
+  // The paper's query traffic: uniform [2 KB, 198 KB] -> mean 100 KB.
+  sim::Rng rng(2);
+  auto f = uniform_size(2'000, 198'000);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(f(rng));
+  EXPECT_NEAR(sum / n, 100'000, 1'500);
+}
+
+TEST(Sizes, ParetoTail) {
+  sim::Rng rng(3);
+  auto f = pareto_size(1.1, 1'000);
+  std::int64_t mx = 0;
+  for (int i = 0; i < 100'000; ++i) mx = std::max(mx, f(rng));
+  EXPECT_GT(mx, 1'000'000);  // heavy tail reaches far
+}
+
+TEST(Sizes, Vl2MiceDominateCountsElephantsDominateBytes) {
+  sim::Rng rng(4);
+  auto f = vl2_size();
+  int mice = 0;
+  double mice_bytes = 0, total_bytes = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = f(rng);
+    total_bytes += static_cast<double>(s);
+    if (s < 100'000) {
+      ++mice;
+      mice_bytes += static_cast<double>(s);
+    }
+  }
+  EXPECT_GT(mice, n * 3 / 4);                 // most flows are mice
+  EXPECT_LT(mice_bytes / total_bytes, 0.25);  // most bytes from elephants
+}
+
+TEST(Sizes, EduShortFlowHeavy) {
+  sim::Rng rng(5);
+  auto f = edu_size();
+  int small = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (f(rng) < 10'000) ++small;
+  }
+  EXPECT_GT(small, n / 2);
+}
+
+TEST(Deadlines, ExponentialWithFloor) {
+  sim::Rng rng(6);
+  auto f = exp_deadline(20 * sim::kMillisecond, 3 * sim::kMillisecond);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const auto d = f(rng);
+    EXPECT_GE(d, 3 * sim::kMillisecond);
+    sum += sim::to_millis(d);
+  }
+  // Floored exponential: mean slightly above 20 ms.
+  EXPECT_NEAR(sum / n, 20.9, 1.0);
+}
+
+TEST(Patterns, AggregationTargetsOneReceiver) {
+  sim::Rng rng(7);
+  auto pairs = aggregation()(12, 30, rng);
+  ASSERT_EQ(pairs.size(), 30u);
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.dst, 11);
+    EXPECT_NE(p.src, 11);
+  }
+  // Senders are spread nearly evenly: each sender carries 2-3 flows.
+  std::map<int, int> per_sender;
+  for (const auto& p : pairs) ++per_sender[p.src];
+  for (const auto& [s, c] : per_sender) {
+    EXPECT_GE(c, 2);
+    EXPECT_LE(c, 3);
+  }
+}
+
+TEST(Patterns, StrideWraps) {
+  sim::Rng rng(8);
+  auto pairs = stride(4)(12, 12, rng);
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.dst, (p.src + 4) % 12);
+  }
+}
+
+TEST(Patterns, StaggeredProbRespectsRackProbability) {
+  sim::Rng rng(9);
+  auto pairs = staggered_prob(0.7, 3)(12, 50'000, rng);
+  int local = 0;
+  for (const auto& p : pairs) {
+    EXPECT_NE(p.src, p.dst);
+    if (p.src / 3 == p.dst / 3) ++local;
+  }
+  EXPECT_NEAR(static_cast<double>(local) / 50'000, 0.7, 0.02);
+}
+
+TEST(Patterns, RandomPermutationIsDerangement) {
+  sim::Rng rng(10);
+  auto pairs = random_permutation()(16, 16, rng);
+  std::set<int> dsts;
+  for (const auto& p : pairs) {
+    EXPECT_NE(p.src, p.dst);
+    dsts.insert(p.dst);
+  }
+  EXPECT_EQ(dsts.size(), 16u);  // 1-to-1
+}
+
+TEST(MakeFlows, MapsToServerIdsAndAssignsMetadata) {
+  sim::Rng rng(11);
+  FlowSetOptions o;
+  o.num_flows = 20;
+  o.size = uniform_size(1'000, 2'000);
+  o.deadline = exp_deadline();
+  o.pattern = aggregation();
+  o.first_id = 500;
+  auto servers = fake_servers(8);
+  auto flows = make_flows(servers, o, rng);
+  ASSERT_EQ(flows.size(), 20u);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(flows[i].id, 500 + static_cast<net::FlowId>(i));
+    EXPECT_EQ(flows[i].dst, 107);  // last server id
+    EXPECT_GE(flows[i].src, 100);
+    EXPECT_TRUE(flows[i].has_deadline());
+    EXPECT_GE(flows[i].size_bytes, 1'000);
+    EXPECT_LE(flows[i].size_bytes, 2'000);
+    EXPECT_EQ(flows[i].start_time, 0);
+  }
+}
+
+TEST(MakeFlows, PoissonArrivalsAreMonotoneWithCorrectRate) {
+  sim::Rng rng(12);
+  FlowSetOptions o;
+  o.num_flows = 20'000;
+  o.size = uniform_size(1'000, 1'000);
+  o.pattern = random_permutation();
+  o.arrival_rate_per_sec = 5'000;
+  auto flows = make_flows(fake_servers(16), o, rng);
+  sim::Time prev = 0;
+  for (const auto& f : flows) {
+    EXPECT_GE(f.start_time, prev);
+    prev = f.start_time;
+  }
+  // 20k arrivals at 5k/s last about 4 seconds.
+  EXPECT_NEAR(sim::to_seconds(prev), 4.0, 0.2);
+}
+
+TEST(MakeFlows, DeterministicForSameSeed) {
+  FlowSetOptions o;
+  o.num_flows = 50;
+  o.size = vl2_size();
+  o.pattern = random_permutation();
+  sim::Rng a(42), b(42);
+  auto fa = make_flows(fake_servers(10), o, a);
+  auto fb = make_flows(fake_servers(10), o, b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].size_bytes, fb[i].size_bytes);
+    EXPECT_EQ(fa[i].src, fb[i].src);
+    EXPECT_EQ(fa[i].dst, fb[i].dst);
+  }
+}
+
+}  // namespace
+}  // namespace pdq::workload
