@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Builds every fig* benchmark and runs them all, collecting each figure's
+# table under results/.
+#
+# Usage: scripts/run_all_figs.sh [--quick] [--build-dir DIR] [--filter RE]
+#
+#   --quick       run the scaled-down sweeps (seconds per figure); the
+#                 default passes --full for the paper-scale parameters
+#   --build-dir   CMake build directory (default: build)
+#   --filter RE   only run benchmarks whose name matches the regex RE
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+QUICK=0
+FILTER='^fig'
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    --filter) FILTER="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target bench_all -j >/dev/null
+
+mkdir -p results
+
+BENCH_ARGS=(--full)
+if [[ $QUICK -eq 1 ]]; then
+  BENCH_ARGS=()
+fi
+
+shopt -s nullglob
+failures=0
+ran=0
+for bin in "$BUILD_DIR"/bench/*; do
+  name=$(basename "$bin")
+  [[ -x $bin && ! -d $bin ]] || continue
+  [[ $name =~ $FILTER ]] || continue
+  ran=$((ran + 1))
+  out="results/${name}.txt"
+  printf '=== %s ===\n' "$name"
+  start=$SECONDS
+  if "$bin" ${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"} | tee "$out"; then
+    printf -- '--- %s done in %ds -> %s\n\n' "$name" "$((SECONDS - start))" "$out"
+  else
+    printf -- '--- %s FAILED\n\n' "$name" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [[ $ran -eq 0 ]]; then
+  echo "no benchmarks matched filter '$FILTER'" >&2
+  exit 2
+fi
+echo "ran $ran benchmarks, $failures failed; outputs in results/"
+exit "$((failures > 0 ? 1 : 0))"

@@ -1,4 +1,11 @@
 // ProtocolStack adapters for every transport under evaluation.
+//
+// Ownership: a stack is a factory plus per-run switch state — construct a
+// fresh stack per run_scenario() call (benches use bench::make_stack);
+// install() wires controllers whose lifetime is managed by the Topology,
+// and make_sender/make_receiver return agents owned by the scenario
+// runner. Units follow the repo conventions (sim/time.h): time in integer
+// nanoseconds, rates in bits-per-second, sizes in bytes.
 #pragma once
 
 #include <memory>
@@ -73,7 +80,7 @@ class TcpStack : public ProtocolStack {
  public:
   explicit TcpStack(protocols::TcpConfig cfg = {}) : cfg_(cfg) {}
   std::string name() const override { return "TCP"; }
-  void install(net::Topology& topo) override {}  // plain drop-tail FIFOs
+  void install(net::Topology& /*topo*/) override {}  // plain drop-tail FIFOs
   std::unique_ptr<net::Agent> make_sender(net::AgentContext ctx) override;
   std::unique_ptr<net::Agent> make_receiver(net::AgentContext ctx) override;
 

@@ -1,5 +1,10 @@
 // Byte-capacity FIFO tail-drop queue — the only queueing discipline PDQ
 // requires of switches (paper S2.2).
+//
+// Ownership: push() transfers packet ownership into the queue on success
+// and destroys the packet on a full-queue drop; pop() hands ownership back
+// to the caller. Units: capacity and occupancy are bytes; the Link that
+// drains this queue handles all timing (ns) and rates (bps).
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,11 @@
 // scheduled for the same instant, so two runs with the same inputs always
 // execute events in the same order. Cancellation is lazy: cancelled ids go
 // into a hash set and are skipped when they reach the top of the heap.
+//
+// Ownership: the queue owns every scheduled EventFn until it is popped or
+// skipped as cancelled; EventIds are never reused, so a stale cancel() is
+// harmless. Units: event times are absolute integer nanoseconds
+// (sim::Time).
 #pragma once
 
 #include <cstdint>

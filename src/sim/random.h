@@ -2,6 +2,12 @@
 //
 // One Rng per experiment keeps runs reproducible: the same seed yields the
 // same workload regardless of protocol under test.
+//
+// Ownership: the caller owns the Rng and passes it by reference to
+// workload generators; draws mutate the engine, so sharing one Rng across
+// logically independent streams couples their sequences. Distribution
+// parameters are unitless unless noted (deadline/size generators in
+// workload/ document their own ns/bytes units).
 #pragma once
 
 #include <cmath>

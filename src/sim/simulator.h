@@ -1,4 +1,10 @@
 // The simulation executive: owns the clock and the event queue.
+//
+// Ownership: one Simulator per experiment; every other component holds a
+// non-owning Simulator& and must not outlive it. Scheduled callbacks are
+// moved into the queue and destroyed after they run (or are cancelled).
+// Units: all times are integer nanoseconds (sim::Time); `delay` is relative
+// to now(), `at` is absolute simulation time.
 #pragma once
 
 #include <cassert>

@@ -1,4 +1,10 @@
 // Small statistics helpers: scalar accumulators and time series.
+//
+// Ownership: plain value types; they copy their samples and have no link
+// back into the simulator. Units: TimeSeries/RateMeter timestamps are
+// integer nanoseconds (sim::Time), RateMeter rates are bits-per-second
+// (bps), byte counts are std::int64_t bytes. Summary samples are whatever
+// unit the caller adds (the harness uses milliseconds for FCTs).
 #pragma once
 
 #include <algorithm>

@@ -4,6 +4,10 @@
 // deterministic and free of floating-point drift. Helpers convert to and
 // from seconds/milliseconds/microseconds where a human-facing quantity is
 // needed.
+//
+// Units conventions (repo-wide): time is sim::Time in nanoseconds, link and
+// flow rates are double bits-per-second (bps), sizes are std::int64_t
+// bytes. A `Time` of kTimeInfinity means "never" / "no deadline".
 #pragma once
 
 #include <cstdint>
