@@ -4,7 +4,8 @@
 //   A) 20 short flows (20 KB) into one receiver (switching-bound);
 //   B) 10 mixed flows with deadlines (scheduling-bound).
 // Sweeps: Early Start K, Dampening window, Suppressed Probing X, the
-// per-link state cap M, and the unpause hysteresis fraction.
+// per-link state cap M, and the unpause hysteresis fraction. Each knob
+// value runs as a registry config override through the sweep pool.
 #include "bench_common.h"
 
 using namespace pdq;
@@ -12,88 +13,120 @@ using namespace pdq::bench;
 
 namespace {
 
-double short_flow_mean_fct(const core::PdqConfig& cfg, int trials) {
-  return average_over_seeds(trials, [&](std::uint64_t seed) {
-    AggregationSpec a;
-    a.num_flows = 20;
-    a.size_lo = 20'000;
-    a.size_hi = 20'000;
-    a.deadlines = false;
-    a.seed = seed;
-    harness::PdqStack stack(cfg, "PDQ");
-    return run_aggregation(stack, a).mean_fct_ms();
-  });
+harness::Scenario scenario_a() {  // 20 x 20 KB, no deadlines
+  harness::AggregationSpec a;
+  a.num_flows = 20;
+  a.size_lo = 20'000;
+  a.size_hi = 20'000;
+  a.deadlines = false;
+  return harness::aggregation_scenario(a);
 }
 
-double deadline_app_throughput(const core::PdqConfig& cfg, int trials) {
-  return average_over_seeds(trials, [&](std::uint64_t seed) {
-    AggregationSpec a;
-    a.num_flows = 10;
-    a.seed = seed;
-    harness::PdqStack stack(cfg, "PDQ");
-    return run_aggregation(stack, a).application_throughput();
-  });
+harness::Scenario scenario_b() {  // 10 mixed flows with deadlines
+  harness::AggregationSpec a;
+  a.num_flows = 10;
+  return harness::aggregation_scenario(a);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 10 : 4;
+  const BenchArgs args = parse_args(argc, argv);
+  const int trials = args.full ? 10 : 4;
+  const std::uint64_t base_seed = args.seed_or();
+
+  harness::SweepRunner runner(args.threads);
+  auto cells_for = [&](const core::PdqConfig& cfg) -> std::vector<double> {
+    harness::StackOptions options;
+    options.pdq = cfg;
+    options.label = "PDQ";
+    return {runner.average(scenario_a(),
+                           harness::stack_column("A", "PDQ(Full)", options),
+                           trials, base_seed,
+                           harness::metrics::mean_fct_ms().fn),
+            runner.average(scenario_b(),
+                           harness::stack_column("B", "PDQ(Full)", options),
+                           trials, base_seed,
+                           harness::metrics::application_throughput().fn)};
+  };
+  auto report = [&](const std::string& name, const char* axis,
+                    const std::vector<std::string>& points,
+                    const std::vector<std::vector<double>>& cells) {
+    auto results = grid_results(name, axis, "fct_ms/app_throughput",
+                                {"A: FCT", "B: appthr"}, points, cells,
+                                base_seed);
+    harness::TableSink(stdout).write(results);
+    write_outputs(results, args);
+  };
 
   std::printf("PDQ design ablations (A: 20x20KB mean FCT [ms]; "
               "B: 10-flow deadline app throughput [%%])\n\n");
 
   std::printf("-- Early Start threshold K (paper: any K in [1,2]; 0 = off)\n");
-  print_header("K", {"A: FCT", "B: appthr"});
-  for (double k : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    core::PdqConfig cfg = core::PdqConfig::full();
-    cfg.early_start = k > 0;
-    cfg.early_start_K = k;
-    print_row(std::to_string(k).substr(0, 3),
-              {short_flow_mean_fct(cfg, trials),
-               deadline_app_throughput(cfg, trials)});
+  {
+    std::vector<std::string> points;
+    std::vector<std::vector<double>> cells;
+    for (double k : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+      core::PdqConfig cfg = core::PdqConfig::full();
+      cfg.early_start = k > 0;
+      cfg.early_start_K = k;
+      points.push_back(std::to_string(k).substr(0, 3));
+      cells.push_back(cells_for(cfg));
+    }
+    report("ablation_pdq_early_start", "K", points, cells);
   }
 
   std::printf("\n-- Dampening window [us] (suppresses unpause flapping)\n");
-  print_header("window", {"A: FCT", "B: appthr"});
-  for (int us : {0, 50, 200, 1000, 5000}) {
-    core::PdqConfig cfg = core::PdqConfig::full();
-    cfg.dampening = us * sim::kMicrosecond;
-    print_row(std::to_string(us),
-              {short_flow_mean_fct(cfg, trials),
-               deadline_app_throughput(cfg, trials)});
+  {
+    std::vector<std::string> points;
+    std::vector<std::vector<double>> cells;
+    for (int us : {0, 50, 200, 1000, 5000}) {
+      core::PdqConfig cfg = core::PdqConfig::full();
+      cfg.dampening = us * sim::kMicrosecond;
+      points.push_back(std::to_string(us));
+      cells.push_back(cells_for(cfg));
+    }
+    report("ablation_pdq_dampening", "window", points, cells);
   }
 
   std::printf("\n-- Suppressed Probing X (probe gap = X * list index RTTs)\n");
-  print_header("X", {"A: FCT", "B: appthr"});
-  for (double x : {0.0, 0.1, 0.2, 0.5, 1.0}) {
-    core::PdqConfig cfg = core::PdqConfig::full();
-    cfg.suppressed_probing = x > 0;
-    cfg.probing_X = x;
-    print_row(std::to_string(x).substr(0, 3),
-              {short_flow_mean_fct(cfg, trials),
-               deadline_app_throughput(cfg, trials)});
+  {
+    std::vector<std::string> points;
+    std::vector<std::vector<double>> cells;
+    for (double x : {0.0, 0.1, 0.2, 0.5, 1.0}) {
+      core::PdqConfig cfg = core::PdqConfig::full();
+      cfg.suppressed_probing = x > 0;
+      cfg.probing_X = x;
+      points.push_back(std::to_string(x).substr(0, 3));
+      cells.push_back(cells_for(cfg));
+    }
+    report("ablation_pdq_probing", "X", points, cells);
   }
 
   std::printf("\n-- Per-link flow state cap M (RCP fallback beyond M)\n");
-  print_header("M", {"A: FCT", "B: appthr"});
-  for (int m : {2, 4, 8, 64, 1 << 14}) {
-    core::PdqConfig cfg = core::PdqConfig::full();
-    cfg.max_flows_M = m;
-    print_row(std::to_string(m),
-              {short_flow_mean_fct(cfg, trials),
-               deadline_app_throughput(cfg, trials)});
+  {
+    std::vector<std::string> points;
+    std::vector<std::vector<double>> cells;
+    for (int m : {2, 4, 8, 64, 1 << 14}) {
+      core::PdqConfig cfg = core::PdqConfig::full();
+      cfg.max_flows_M = m;
+      points.push_back(std::to_string(m));
+      cells.push_back(cells_for(cfg));
+    }
+    report("ablation_pdq_state_cap", "M", points, cells);
   }
 
   std::printf("\n-- Unpause hysteresis fraction (0 = accept any slack)\n");
-  print_header("fraction", {"A: FCT", "B: appthr"});
-  for (double f : {0.0, 0.1, 0.5, 0.9}) {
-    core::PdqConfig cfg = core::PdqConfig::full();
-    cfg.unpause_fraction = f;
-    print_row(std::to_string(f).substr(0, 3),
-              {short_flow_mean_fct(cfg, trials),
-               deadline_app_throughput(cfg, trials)});
+  {
+    std::vector<std::string> points;
+    std::vector<std::vector<double>> cells;
+    for (double f : {0.0, 0.1, 0.5, 0.9}) {
+      core::PdqConfig cfg = core::PdqConfig::full();
+      cfg.unpause_fraction = f;
+      points.push_back(std::to_string(f).substr(0, 3));
+      cells.push_back(cells_for(cfg));
+    }
+    report("ablation_pdq_hysteresis", "fraction", points, cells);
   }
 
   std::printf(

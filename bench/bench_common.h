@@ -1,138 +1,161 @@
 // Shared plumbing for the figure-reproduction benchmarks.
 //
-// Every bench binary prints the paper figure's series as an aligned text
-// table. Default parameters are scaled to finish in seconds; pass --full
-// for paper-scale sweeps.
+// Every bench binary declares its figure as one or more
+// harness::ExperimentSpec values and hands them to run_and_report(),
+// which executes the (column x point x trial) sweep over a thread pool,
+// prints the aligned text table, and persists per-trial CSV (and,
+// with --json, JSON) under results/.
+//
+// Common flags, uniform across every bench:
+//   --full         paper-scale sweeps (default: scaled-down, seconds)
+//   --seed S       base seed; trial t runs with S + 7*t (harness ladder)
+//   --threads N    SweepRunner pool size (default: hardware concurrency)
+//   --results-dir D  where CSV/JSON land (default: results)
+//   --json         also write JSON results
+//   --no-csv       skip CSV output
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "harness/experiment.h"
+#include "harness/sinks.h"
 #include "harness/stacks.h"
+#include "harness/sweep.h"
 #include "sched/fluid.h"
 #include "workload/workload.h"
 
 namespace pdq::bench {
 
-inline bool full_mode(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) return true;
+struct BenchArgs {
+  bool full = false;
+  std::optional<std::uint64_t> seed;
+  int threads = 0;  // 0 = hardware concurrency
+  std::string results_dir = "results";
+  bool json = false;
+  bool csv = true;
+
+  /// The base seed: --seed when given, else the bench's default.
+  std::uint64_t seed_or(
+      std::uint64_t dflt = harness::kDefaultBaseSeed) const {
+    return seed.value_or(dflt);
   }
-  return false;
-}
-
-/// Factory for a fresh stack by short name (stacks keep per-run state, so
-/// benches construct one per run).
-inline std::unique_ptr<harness::ProtocolStack> make_stack(
-    const std::string& name) {
-  using namespace harness;
-  if (name == "PDQ(Full)") return std::make_unique<PdqStack>(core::PdqConfig::full(), name);
-  if (name == "PDQ(ES+ET)") return std::make_unique<PdqStack>(core::PdqConfig::es_et(), name);
-  if (name == "PDQ(ES)") return std::make_unique<PdqStack>(core::PdqConfig::es(), name);
-  if (name == "PDQ(Basic)") return std::make_unique<PdqStack>(core::PdqConfig::basic(), name);
-  if (name == "D3") return std::make_unique<D3Stack>();
-  if (name == "RCP") return std::make_unique<RcpStack>();
-  if (name == "TCP") return std::make_unique<TcpStack>();
-  std::fprintf(stderr, "unknown stack %s\n", name.c_str());
-  std::abort();
-}
-
-inline const std::vector<std::string>& all_stacks() {
-  static const std::vector<std::string> v{
-      "PDQ(Full)", "PDQ(ES+ET)", "PDQ(ES)", "PDQ(Basic)",
-      "D3",        "RCP",        "TCP"};
-  return v;
-}
-
-inline const std::vector<std::string>& main_stacks() {
-  static const std::vector<std::string> v{"PDQ(Full)", "D3", "RCP", "TCP"};
-  return v;
-}
-
-/// Query-aggregation run: n deadline/no-deadline flows into one receiver
-/// over the single-bottleneck topology (the paper's S5.2 setting).
-struct AggregationSpec {
-  int num_flows = 5;
-  std::int64_t size_lo = 2'000;
-  std::int64_t size_hi = 198'000;
-  bool deadlines = true;
-  sim::Time deadline_mean = 20 * sim::kMillisecond;
-  sim::Time deadline_floor = 3 * sim::kMillisecond;
-  std::uint64_t seed = 1;
 };
 
-inline std::vector<net::FlowSpec> aggregation_flows(const AggregationSpec& a,
-                                                    int num_servers) {
-  sim::Rng rng(a.seed);
-  auto size = workload::uniform_size(a.size_lo, a.size_hi);
-  auto dl = workload::exp_deadline(a.deadline_mean, a.deadline_floor);
-  std::vector<net::FlowSpec> flows;
-  for (int i = 0; i < a.num_flows; ++i) {
-    net::FlowSpec f;
-    f.id = i + 1;
-    f.size_bytes = size(rng);
-    if (a.deadlines) f.deadline = dl(rng);
-    // src/dst filled by run_aggregation; store sender index in src.
-    f.src = i % num_servers;
-    flows.push_back(f);
-  }
-  return flows;
-}
-
-inline harness::RunResult run_aggregation(harness::ProtocolStack& stack,
-                                          const AggregationSpec& a) {
-  const int senders = std::max(1, std::min(a.num_flows, 32));
-  auto flows = aggregation_flows(a, senders);
-  auto build = [&](net::Topology& t) {
-    auto servers = net::build_single_bottleneck(t, senders);
-    for (auto& f : flows) {
-      f.src = servers[static_cast<std::size_t>(f.src)];
-      f.dst = servers.back();
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs a;
+  auto value = [&](int& i) -> const char* {
+    if (++i >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i - 1]);
+      std::exit(2);
     }
-    return servers;
+    return argv[i];
   };
-  harness::RunOptions opts;
-  opts.horizon = 30 * sim::kSecond;
-  opts.seed = a.seed;
-  return harness::run_scenario(stack, build, flows, opts);
-}
-
-/// The paper's omniscient Optimal on the same flow set: EDF +
-/// Moore-Hodgson (deadlines) or SRPT (mean FCT), on the bottleneck link.
-inline std::vector<sched::Job> to_jobs(const std::vector<net::FlowSpec>& fl) {
-  std::vector<sched::Job> jobs;
-  for (const auto& f : fl) {
-    jobs.push_back({f.size_bytes, f.start_time, f.absolute_deadline(),
-                    static_cast<int>(f.id)});
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") a.full = true;
+    else if (arg == "--seed") a.seed = static_cast<std::uint64_t>(std::strtoull(value(i), nullptr, 10));
+    else if (arg == "--threads") a.threads = std::atoi(value(i));
+    else if (arg == "--results-dir") a.results_dir = value(i);
+    else if (arg == "--json") a.json = true;
+    else if (arg == "--no-csv") a.csv = false;
+    else {
+      std::fprintf(stderr,
+                   "unknown argument %s\nusage: %s [--full] [--seed S] "
+                   "[--threads N] [--results-dir D] [--json] [--no-csv]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
   }
-  return jobs;
+  return a;
 }
 
-inline double optimal_app_throughput(const AggregationSpec& a) {
-  auto flows = aggregation_flows(a, std::max(1, std::min(a.num_flows, 32)));
-  return sched::optimal_application_throughput(to_jobs(flows), 1e9);
-}
-
-inline double optimal_mean_fct_ms(const AggregationSpec& a) {
-  auto flows = aggregation_flows(a, std::max(1, std::min(a.num_flows, 32)));
-  return sched::optimal_mean_fct_ms(to_jobs(flows), 1e9);
-}
-
-/// Averages a metric over `trials` seeds.
-inline double average_over_seeds(int trials,
-                                 const std::function<double(std::uint64_t)>& f) {
-  double total = 0;
-  for (int t = 0; t < trials; ++t) {
-    total += f(static_cast<std::uint64_t>(1000 + 7 * t));
+/// Fresh stack by registry name; exits with the registry's error message
+/// (listing the available stacks) on an unknown name.
+inline std::unique_ptr<harness::ProtocolStack> make_stack(
+    const std::string& name, const harness::StackOptions& options = {}) {
+  std::string error;
+  auto stack = harness::StackRegistry::global().make(name, options, &error);
+  if (stack == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::exit(2);
   }
-  return total / trials;
+  return stack;
 }
 
-// ---- table printing ----
+/// The paper's seven single-path transports, in figure-legend order.
+inline std::vector<std::string> all_stacks() {
+  std::vector<std::string> v;
+  for (const auto& name : harness::StackRegistry::global().names()) {
+    if (name != "M-PDQ") v.push_back(name);
+  }
+  return v;
+}
+
+inline std::vector<std::string> main_stacks() {
+  return {"PDQ(Full)", "D3", "RCP", "TCP"};
+}
+
+/// Persists CSV/JSON per the flags; returns the CSV path (empty if none).
+inline std::string write_outputs(const harness::SweepResults& results,
+                                 const BenchArgs& args) {
+  std::string csv;
+  if (args.csv) {
+    csv = harness::result_path(args.results_dir, results.name, "csv");
+    harness::CsvSink(csv).write(results);
+  }
+  if (args.json) {
+    harness::JsonSink(
+        harness::result_path(args.results_dir, results.name, "json"))
+        .write(results);
+  }
+  return csv;
+}
+
+/// Runs the spec (honoring --threads/--seed already baked into it),
+/// prints the table, persists CSV/JSON, returns the results.
+inline harness::SweepResults run_and_report(const harness::ExperimentSpec& spec,
+                                            const BenchArgs& args,
+                                            const char* cell_format = " %12.2f",
+                                            bool transpose = false) {
+  harness::SweepRunner runner(args.threads);
+  auto results = runner.run(spec);
+  harness::TableSink table(stdout, cell_format);
+  table.transpose(transpose);
+  table.write(results);
+  write_outputs(results, args);
+  return results;
+}
+
+/// Wraps an already-computed grid (e.g. from a binary search per cell,
+/// where values are not independent (point x trial) samples) as
+/// SweepResults so the sinks apply uniformly. cells[point][column].
+inline harness::SweepResults grid_results(
+    std::string name, std::string axis, std::string metric,
+    std::vector<std::string> columns, std::vector<std::string> points,
+    const std::vector<std::vector<double>>& cells, std::uint64_t base_seed) {
+  harness::SweepResults r;
+  r.name = std::move(name);
+  r.axis = std::move(axis);
+  r.metric = std::move(metric);
+  r.columns = std::move(columns);
+  r.points = std::move(points);
+  r.base_seed = base_seed;
+  r.seeds = {base_seed};
+  for (const auto& row : cells) {
+    std::vector<std::vector<double>> cols;
+    for (double v : row) cols.push_back({v});
+    r.samples.push_back(std::move(cols));
+  }
+  return r;
+}
+
+// ---- table printing for the non-sweep (time-series) benches ----
 
 inline void print_header(const char* xlabel,
                          const std::vector<std::string>& cols) {

@@ -10,75 +10,84 @@ using namespace pdq::bench;
 
 namespace {
 
-double run_mode(const char* dist, core::CriticalityMode mode, bool use_rcp,
-                int trials) {
-  return average_over_seeds(trials, [&](std::uint64_t seed) {
-    sim::Rng rng(seed);
-    std::function<std::int64_t(sim::Rng&)> size;
-    if (std::string(dist) == "uniform") {
-      size = workload::uniform_size(2'000, 198'000);
-    } else {
-      // Pareto tail index 1.1, scaled to mean ~100 KB:
-      // mean = alpha*xm/(alpha-1) => xm = mean*(alpha-1)/alpha.
-      size = workload::pareto_size(1.1, 9'090);
-    }
-    const int n = 10;
-    std::vector<net::FlowSpec> flows;
-    for (int i = 0; i < n; ++i) {
-      net::FlowSpec f;
-      f.id = i + 1;
-      f.size_bytes = size(rng);
-      flows.push_back(f);
-    }
-    auto build = [&](net::Topology& t) {
-      auto servers = net::build_single_bottleneck(t, n);
-      for (int i = 0; i < n; ++i) {
-        flows[static_cast<std::size_t>(i)].src =
-            servers[static_cast<std::size_t>(i)];
-        flows[static_cast<std::size_t>(i)].dst = servers.back();
-      }
-      return servers;
-    };
-    harness::RunOptions opts;
-    opts.horizon = 120 * sim::kSecond;
-    opts.seed = seed;
-    std::unique_ptr<harness::ProtocolStack> stack;
-    if (use_rcp) {
-      stack = std::make_unique<harness::RcpStack>();
-    } else {
-      core::PdqConfig cfg = core::PdqConfig::full();
-      cfg.criticality = mode;
-      stack = std::make_unique<harness::PdqStack>(cfg, "PDQ");
-    }
-    return harness::run_scenario(*stack, build, flows, opts).mean_fct_ms();
-  });
+constexpr int kNumFlows = 10;
+
+harness::Scenario dist_scenario(const std::string& dist) {
+  harness::Scenario s;
+  s.topology = harness::TopologySpec::single_bottleneck(kNumFlows);
+  s.workload = harness::WorkloadSpec::custom(
+      "aggregation-" + dist,
+      [dist](const std::vector<net::NodeId>& servers, sim::Rng& rng) {
+        workload::SizeFn size;
+        if (dist == "uniform") {
+          size = workload::uniform_size(2'000, 198'000);
+        } else {
+          // Pareto tail index 1.1, scaled to mean ~100 KB:
+          // mean = alpha*xm/(alpha-1) => xm = mean*(alpha-1)/alpha.
+          size = workload::pareto_size(1.1, 9'090);
+        }
+        std::vector<net::FlowSpec> flows;
+        for (int i = 0; i < kNumFlows; ++i) {
+          net::FlowSpec f;
+          f.id = i + 1;
+          f.size_bytes = size(rng);
+          f.src = servers[static_cast<std::size_t>(i)];
+          f.dst = servers.back();
+          flows.push_back(f);
+        }
+        return flows;
+      });
+  s.options.horizon = 120 * sim::kSecond;
+  return s;
+}
+
+harness::Column pdq_scheme(const char* label, core::CriticalityMode mode) {
+  harness::StackOptions options;
+  core::PdqConfig cfg = core::PdqConfig::full();
+  cfg.criticality = mode;
+  options.pdq = cfg;
+  options.label = "PDQ";
+  return harness::stack_column(label, "PDQ(Full)", options);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 100 : 48;
+  const BenchArgs args = parse_args(argc, argv);
+  const int trials = args.full ? 100 : 48;
+
+  // One sweep per size distribution; schemes are the columns.
+  std::vector<harness::SweepResults> by_dist;
+  for (const char* dist : {"uniform", "pareto"}) {
+    harness::ExperimentSpec spec;
+    spec.name = std::string("fig10_inaccurate_info_") + dist;
+    spec.axis = "scheme";
+    spec.metric = harness::metrics::mean_fct_ms();
+    spec.trials = trials;
+    spec.base_seed = args.seed_or();
+    spec.base = dist_scenario(dist);
+    spec.columns.push_back(
+        pdq_scheme("PDQ perfect", core::CriticalityMode::kExact));
+    spec.columns.push_back(
+        pdq_scheme("PDQ random", core::CriticalityMode::kRandom));
+    spec.columns.push_back(
+        pdq_scheme("PDQ estimate", core::CriticalityMode::kEstimation));
+    spec.columns.push_back(harness::stack_column("RCP"));
+    spec.points.push_back({dist, nullptr, nullptr});
+
+    harness::SweepRunner runner(args.threads);
+    by_dist.push_back(runner.run(spec));
+    write_outputs(by_dist.back(), args);
+  }
 
   std::printf(
       "Fig 10: mean FCT [ms] with inaccurate flow information\n"
       "(10 flows, mean size 100 KB, query aggregation; flow criticality\n"
       "re-estimated every 50 KB in Estimation mode)\n\n");
   print_header("scheme", {"Uniform", "Pareto(1.1)"});
-  struct Row {
-    const char* name;
-    core::CriticalityMode mode;
-    bool rcp;
-  };
-  const Row rows[] = {
-      {"PDQ perfect", core::CriticalityMode::kExact, false},
-      {"PDQ random", core::CriticalityMode::kRandom, false},
-      {"PDQ estimate", core::CriticalityMode::kEstimation, false},
-      {"RCP", core::CriticalityMode::kExact, true},
-  };
-  for (const auto& row : rows) {
-    print_row(row.name, {run_mode("uniform", row.mode, row.rcp, trials),
-                         run_mode("pareto", row.mode, row.rcp, trials)});
+  for (std::size_t c = 0; c < by_dist[0].columns.size(); ++c) {
+    print_row(by_dist[0].columns[c],
+              {by_dist[0].mean(0, c), by_dist[1].mean(0, c)});
   }
   std::printf(
       "\nExpected shape (paper): random criticality hurts badly under the\n"

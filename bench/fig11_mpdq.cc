@@ -2,6 +2,8 @@
 //  (a) mean FCT vs load (fraction of hosts sending), PDQ vs M-PDQ(3);
 //  (b) mean FCT vs number of subflows at 100% load;
 //  (c) flows at 99% application throughput vs number of subflows.
+#include <algorithm>
+
 #include "bench_common.h"
 
 using namespace pdq;
@@ -9,90 +11,105 @@ using namespace pdq::bench;
 
 namespace {
 
-std::vector<net::FlowSpec> bcube_flows(int num_flows, std::int64_t size,
-                                       bool deadlines, std::uint64_t seed) {
-  sim::Rng rng(seed);
-  sim::Simulator s0;
-  net::Topology t0(s0, 1);
-  auto servers = net::build_bcube(t0, 2, 3);
+harness::Scenario bcube_scenario(int num_flows, std::int64_t size,
+                                 bool deadlines) {
   workload::FlowSetOptions w;
   w.num_flows = num_flows;
   w.size = workload::uniform_size(size, size);
   if (deadlines) w.deadline = workload::exp_deadline(40 * sim::kMillisecond);
   w.pattern = workload::random_permutation();
-  return workload::make_flows(servers, w, rng);
+
+  harness::Scenario s;
+  s.topology = harness::TopologySpec::bcube(2, 3);
+  s.workload = harness::WorkloadSpec::flow_set(w, "bcube-perm");
+  s.options.horizon = 30 * sim::kSecond;
+  return s;
 }
 
-harness::RunResult run_bcube(harness::ProtocolStack& st,
-                             const std::vector<net::FlowSpec>& flows,
-                             std::uint64_t seed) {
-  auto build = [](net::Topology& t) { return net::build_bcube(t, 2, 3); };
-  harness::RunOptions opts;
-  opts.horizon = 30 * sim::kSecond;
-  opts.seed = seed;
-  return harness::run_scenario(st, build, flows, opts);
-}
-
-double mpdq_fct(int subflows, int num_flows, int trials) {
-  return average_over_seeds(trials, [&](std::uint64_t seed) {
-    auto flows = bcube_flows(num_flows, 1'000'000, false, seed);
-    if (subflows == 0) {
-      harness::PdqStack st;
-      return run_bcube(st, flows, seed).mean_fct_ms();
-    }
-    core::MpdqConfig cfg;
-    cfg.num_subflows = subflows;
-    harness::MpdqStack st(cfg);
-    return run_bcube(st, flows, seed).mean_fct_ms();
-  });
+harness::Column mpdq_column(const std::string& label, int subflows) {
+  if (subflows == 0) return harness::stack_column(label, "PDQ(Full)");
+  harness::StackOptions options;
+  options.subflows = subflows;
+  return harness::stack_column(label, "M-PDQ", options);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 5 : 2;
+  const BenchArgs args = parse_args(argc, argv);
+  const int trials = args.full ? 5 : 2;
+  const std::uint64_t base_seed = args.seed_or();
 
+  // --- (a) mean FCT vs load ---
   std::printf("Fig 11a: mean FCT [ms] vs load, PDQ vs M-PDQ (3 subflows)\n\n");
-  print_header("load [%hosts]", {"PDQ", "M-PDQ(3)"});
-  for (double load : {0.25, 0.5, 0.75, 1.0}) {
-    const int n = std::max(1, static_cast<int>(16 * load));
-    print_row(std::to_string(static_cast<int>(load * 100)),
-              {mpdq_fct(0, n, trials), mpdq_fct(3, n, trials)});
+  {
+    harness::ExperimentSpec spec;
+    spec.name = "fig11a_mpdq_load";
+    spec.axis = "load [%hosts]";
+    spec.metric = harness::metrics::mean_fct_ms();
+    spec.trials = trials;
+    spec.base_seed = base_seed;
+    spec.base = bcube_scenario(16, 1'000'000, false);
+    spec.columns.push_back(mpdq_column("PDQ", 0));
+    spec.columns.push_back(mpdq_column("M-PDQ(3)", 3));
+    for (double load : {0.25, 0.5, 0.75, 1.0}) {
+      const int n = std::max(1, static_cast<int>(16 * load));
+      harness::SweepPoint p;
+      p.label = std::to_string(static_cast<int>(load * 100));
+      p.apply = [n](harness::Scenario& s) {
+        s = bcube_scenario(n, 1'000'000, false);
+      };
+      spec.points.push_back(std::move(p));
+    }
+    run_and_report(spec, args);
   }
 
+  // --- (b) mean FCT vs subflow count at 100% load ---
   std::printf("\nFig 11b: mean FCT [ms] vs number of subflows (100%% load)\n\n");
-  print_header("subflows", {"mean FCT"});
-  print_row("PDQ", {mpdq_fct(0, 16, trials)});
-  for (int s : {2, 3, 4, 6, 8}) {
-    print_row(std::to_string(s), {mpdq_fct(s, 16, trials)});
+  {
+    harness::ExperimentSpec spec;
+    spec.name = "fig11b_mpdq_subflows";
+    spec.axis = "subflows";
+    spec.metric = harness::metrics::mean_fct_ms();
+    spec.trials = trials;
+    spec.base_seed = base_seed;
+    spec.base = bcube_scenario(16, 1'000'000, false);
+    spec.columns.push_back(mpdq_column("PDQ", 0));
+    for (int s : {2, 3, 4, 6, 8}) {
+      spec.columns.push_back(mpdq_column(std::to_string(s), s));
+    }
+    spec.points.push_back({"mean FCT", nullptr, nullptr});
+    run_and_report(spec, args, " %12.2f", /*transpose=*/true);
   }
 
+  // --- (c) flows at 99% application throughput vs subflows ---
   std::printf(
       "\nFig 11c: flows at 99%% application throughput vs subflows\n"
       "(deadline-constrained, exp(40 ms) deadlines)\n\n");
-  print_header("subflows", {"flows@99%"});
-  const int hi = full ? 64 : 40;
-  auto flows_at_99 = [&](int subflows) {
-    auto pred = [&](int n) {
-      return average_over_seeds(trials, [&](std::uint64_t seed) {
-               auto flows = bcube_flows(n, 100'000, true, seed);
-               if (subflows == 0) {
-                 harness::PdqStack st;
-                 return run_bcube(st, flows, seed).application_throughput();
-               }
-               core::MpdqConfig cfg;
-               cfg.num_subflows = subflows;
-               harness::MpdqStack st(cfg);
-               return run_bcube(st, flows, seed).application_throughput();
-             }) >= 99.0;
+  {
+    harness::SweepRunner runner(args.threads);
+    const int hi = args.full ? 64 : 40;
+    auto flows_at_99 = [&](int subflows) {
+      auto pred = [&](int n) {
+        return runner.average(
+                   bcube_scenario(n, 100'000, true),
+                   mpdq_column("x", subflows), trials, base_seed,
+                   harness::metrics::application_throughput().fn) >= 99.0;
+      };
+      return static_cast<double>(
+          std::max(0, harness::binary_search_max(1, hi, pred)));
     };
-    return std::max(0, harness::binary_search_max(1, hi, pred));
-  };
-  print_row("PDQ", {static_cast<double>(flows_at_99(0))}, " %12.0f");
-  for (int s : {2, 4, 8}) {
-    print_row(std::to_string(s), {static_cast<double>(flows_at_99(s))},
-              " %12.0f");
+    std::vector<std::string> points{"PDQ"};
+    std::vector<std::vector<double>> cells{{flows_at_99(0)}};
+    for (int s : {2, 4, 8}) {
+      points.push_back(std::to_string(s));
+      cells.push_back({flows_at_99(s)});
+    }
+    auto results =
+        grid_results("fig11c_mpdq_flows_at_99", "subflows", "flows_at_99",
+                     {"flows@99%"}, points, cells, base_seed);
+    harness::TableSink(stdout, " %12.0f").write(results);
+    write_outputs(results, args);
   }
   std::printf(
       "\nExpected shape (paper): ~2x FCT gain at light load shrinking as\n"

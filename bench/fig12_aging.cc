@@ -11,71 +11,90 @@ using namespace pdq::bench;
 
 namespace {
 
-struct AgingResult {
-  double mean_ms;
-  double max_ms;
-};
-
-AgingResult run_aging(double alpha, bool rcp, int k, int flows_per_server,
-                      std::uint64_t seed) {
-  sim::Simulator simulator;
-  net::Topology topo(simulator, seed);
-  auto servers = net::build_fat_tree(topo, k);
-  sim::Rng rng(seed);
+harness::Scenario aging_scenario(int k, int flows_per_server) {
+  const int servers = k * k * k / 4;
   workload::FlowSetOptions w;
-  w.num_flows = static_cast<int>(servers.size()) * flows_per_server;
+  w.num_flows = servers * flows_per_server;
   // A strongly skewed mix under near-saturation load, so pure SJF keeps
   // preempting the elephants (the starvation Fig 12 is about).
   w.size = workload::pareto_size(1.25, 30'000, 30'000'000);
   w.pattern = workload::random_permutation();
-  w.arrival_rate_per_sec = 400.0 * static_cast<double>(servers.size());
-  auto flows = workload::make_flows(servers, w, rng);
+  w.arrival_rate_per_sec = 400.0 * servers;
 
-  flowsim::Options o;
-  o.model = rcp ? flowsim::Model::kRcp : flowsim::Model::kPdq;
-  o.aging_alpha = alpha;
-  flowsim::FlowLevelSimulator fs(topo, o);
-  auto r = fs.run(flows);
-  return {r.mean_fct_ms(), r.max_fct_ms()};
+  harness::Scenario s;
+  s.topology = harness::TopologySpec::fat_tree(k);
+  s.workload = harness::WorkloadSpec::flow_set(w, "aging-perm");
+  return s;
+}
+
+/// Flow-level-simulation column: runs flowsim on the scenario's topology
+/// and workload instead of the packet engine.
+harness::Column flowsim_column(const std::string& label, double alpha,
+                               bool rcp, bool want_max) {
+  harness::Column c;
+  c.label = label;
+  c.evaluate = [alpha, rcp, want_max](const harness::Scenario& sc,
+                                      std::uint64_t seed) {
+    sim::Simulator simulator;
+    net::Topology topo(simulator, seed);
+    auto servers = sc.topology.build(topo);
+    sim::Rng rng(seed);
+    auto flows = sc.workload.make(servers, rng);
+    flowsim::Options o;
+    o.model = rcp ? flowsim::Model::kRcp : flowsim::Model::kPdq;
+    o.aging_alpha = alpha;
+    flowsim::FlowLevelSimulator fs(topo, o);
+    auto r = fs.run(flows);
+    return want_max ? r.max_fct_ms() : r.mean_fct_ms();
+  };
+  return c;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int k = full ? 8 : 4;  // 128 or 16 servers
+  const BenchArgs args = parse_args(argc, argv);
+  const int k = args.full ? 8 : 4;  // 128 or 16 servers
   // Enough arrivals that the stream outlives the largest elephants --
   // starvation needs sustained competition, not a one-shot burst.
-  const int fps = full ? 600 : 300;
-  const int trials = full ? 3 : 1;
+  const int fps = args.full ? 600 : 300;
+  const int trials = args.full ? 3 : 1;
+  const std::uint64_t base_seed = args.seed_or();
 
   std::printf(
       "Fig 12: effect of the aging rate alpha on PDQ flow completion\n"
       "times (fat-tree k=%d, Pareto sizes, random permutation)\n\n",
       k);
-  print_header("alpha", {"PDQ mean", "PDQ max", "RCP mean", "RCP max"});
 
-  AgingResult rcp{0, 0};
-  {
-    double mean = 0, mx = 0;
-    for (int t = 0; t < trials; ++t) {
-      auto r = run_aging(0.0, true, k, fps, 1000 + 7u * t);
-      mean += r.mean_ms;
-      mx += r.max_ms;
-    }
-    rcp = {mean / trials, mx / trials};
+  harness::SweepRunner runner(args.threads);
+  const harness::Scenario scenario = aging_scenario(k, fps);
+  const double rcp_mean = runner.average(
+      scenario, flowsim_column("RCP mean", 0.0, true, false), trials,
+      base_seed);
+  const double rcp_max = runner.average(
+      scenario, flowsim_column("RCP max", 0.0, true, true), trials, base_seed);
+
+  std::vector<std::string> points;
+  std::vector<std::vector<double>> cells;
+  for (double alpha :
+       (args.full ? std::vector<double>{0.0, 1.0, 2.0, 4.0, 8.0, 10.0}
+                  : std::vector<double>{0.0, 2.0, 8.0})) {
+    points.push_back(std::to_string(alpha).substr(0, 4));
+    cells.push_back(
+        {runner.average(scenario,
+                        flowsim_column("PDQ mean", alpha, false, false),
+                        trials, base_seed),
+         runner.average(scenario,
+                        flowsim_column("PDQ max", alpha, false, true), trials,
+                        base_seed),
+         rcp_mean, rcp_max});
   }
-  for (double alpha : (full ? std::vector<double>{0.0, 1.0, 2.0, 4.0, 8.0, 10.0}
-                            : std::vector<double>{0.0, 2.0, 8.0})) {
-    double mean = 0, mx = 0;
-    for (int t = 0; t < trials; ++t) {
-      auto r = run_aging(alpha, false, k, fps, 1000 + 7u * t);
-      mean += r.mean_ms;
-      mx += r.max_ms;
-    }
-    print_row(std::to_string(alpha).substr(0, 4),
-              {mean / trials, mx / trials, rcp.mean_ms, rcp.max_ms});
-  }
+
+  auto results = grid_results("fig12_aging", "alpha", "fct_ms",
+                              {"PDQ mean", "PDQ max", "RCP mean", "RCP max"},
+                              points, cells, base_seed);
+  harness::TableSink(stdout).write(results);
+  write_outputs(results, args);
   std::printf(
       "\nExpected shape (paper): aging cuts PDQ's worst-case FCT by ~48%%\n"
       "while the mean rises only ~1.7%%; both stay well below RCP/D3.\n");

@@ -7,38 +7,43 @@ using namespace pdq;
 using namespace pdq::bench;
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 5 : 3;
-  std::vector<int> flow_counts = full
-                                     ? std::vector<int>{2, 5, 10, 15, 20, 25}
-                                     : std::vector<int>{2, 5, 10, 15, 20};
+  const BenchArgs args = parse_args(argc, argv);
+  const std::vector<int> flow_counts =
+      args.full ? std::vector<int>{2, 5, 10, 15, 20, 25}
+                : std::vector<int>{2, 5, 10, 15, 20};
 
-  std::printf(
-      "Fig 3a: application throughput [%%] vs number of flows\n"
-      "(query aggregation, uniform [2,198] KB, exp(20 ms) deadlines)\n\n");
-  std::vector<std::string> cols{"Optimal"};
-  for (const auto& s : all_stacks()) cols.push_back(s);
-  print_header("#flows", cols);
+  harness::ExperimentSpec spec;
+  spec.name = "fig3a_appthroughput_vs_flows";
+  spec.title =
+      "Fig 3a: application throughput [%] vs number of flows\n"
+      "(query aggregation, uniform [2,198] KB, exp(20 ms) deadlines)";
+  spec.axis = "#flows";
+  spec.metric = harness::metrics::application_throughput();
+  spec.trials = args.full ? 5 : 3;
+  spec.base_seed = args.seed_or();
+  spec.base = harness::aggregation_scenario({});
+
+  harness::Column optimal;
+  optimal.label = "Optimal";
+  optimal.metric = harness::metrics::optimal_application_throughput().fn;
+  spec.columns.push_back(optimal);
+  for (const auto& name : all_stacks()) {
+    spec.columns.push_back(harness::stack_column(name));
+  }
 
   for (int n : flow_counts) {
-    std::vector<double> cells;
-    cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
-      AggregationSpec a;
+    harness::SweepPoint p;
+    p.label = std::to_string(n);
+    p.apply = [n](harness::Scenario& s) {
+      harness::AggregationSpec a;
       a.num_flows = n;
-      a.seed = seed;
-      return optimal_app_throughput(a);
-    }));
-    for (const auto& name : all_stacks()) {
-      cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
-        AggregationSpec a;
-        a.num_flows = n;
-        a.seed = seed;
-        auto stack = make_stack(name);
-        return run_aggregation(*stack, a).application_throughput();
-      }));
-    }
-    print_row(std::to_string(n), cells, " %12.1f");
+      s = harness::aggregation_scenario(a);
+    };
+    spec.points.push_back(std::move(p));
   }
+
+  std::printf("%s\n\n", spec.title.c_str());
+  run_and_report(spec, args, " %12.1f");
   std::printf(
       "\nExpected shape (paper): PDQ(Full) tracks Optimal; PDQ(Basic) falls\n"
       "behind at high load; D3/RCP/TCP degrade sharply with more flows.\n");

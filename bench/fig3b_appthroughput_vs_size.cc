@@ -6,40 +6,44 @@ using namespace pdq;
 using namespace pdq::bench;
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 8 : 4;
-  const std::vector<int> means_kb = full
-                                        ? std::vector<int>{100, 150, 200, 250,
-                                                           300, 350}
-                                        : std::vector<int>{100, 200, 300};
+  const BenchArgs args = parse_args(argc, argv);
+  const std::vector<int> means_kb =
+      args.full ? std::vector<int>{100, 150, 200, 250, 300, 350}
+                : std::vector<int>{100, 200, 300};
 
-  std::printf(
-      "Fig 3b: application throughput [%%] vs avg flow size, 3 flows\n\n");
-  std::vector<std::string> cols{"Optimal"};
-  for (const auto& s : all_stacks()) cols.push_back(s);
-  print_header("avg size [KB]", cols);
+  harness::ExperimentSpec spec;
+  spec.name = "fig3b_appthroughput_vs_size";
+  spec.title =
+      "Fig 3b: application throughput [%] vs avg flow size, 3 flows";
+  spec.axis = "avg size [KB]";
+  spec.metric = harness::metrics::application_throughput();
+  spec.trials = args.full ? 8 : 4;
+  spec.base_seed = args.seed_or();
+  spec.base = harness::aggregation_scenario({});
+
+  harness::Column optimal;
+  optimal.label = "Optimal";
+  optimal.metric = harness::metrics::optimal_application_throughput().fn;
+  spec.columns.push_back(optimal);
+  for (const auto& name : all_stacks()) {
+    spec.columns.push_back(harness::stack_column(name));
+  }
 
   for (int kb : means_kb) {
-    AggregationSpec base;
-    base.num_flows = 3;
-    base.size_lo = (kb - 98) * 1000L;
-    base.size_hi = (kb + 98) * 1000L;
-    std::vector<double> cells;
-    cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
-      AggregationSpec a = base;
-      a.seed = seed;
-      return optimal_app_throughput(a);
-    }));
-    for (const auto& name : all_stacks()) {
-      cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
-        AggregationSpec a = base;
-        a.seed = seed;
-        auto stack = make_stack(name);
-        return run_aggregation(*stack, a).application_throughput();
-      }));
-    }
-    print_row(std::to_string(kb), cells, " %12.1f");
+    harness::SweepPoint p;
+    p.label = std::to_string(kb);
+    p.apply = [kb](harness::Scenario& s) {
+      harness::AggregationSpec a;
+      a.num_flows = 3;
+      a.size_lo = (kb - 98) * 1000L;
+      a.size_hi = (kb + 98) * 1000L;
+      s = harness::aggregation_scenario(a);
+    };
+    spec.points.push_back(std::move(p));
   }
+
+  std::printf("%s\n\n", spec.title.c_str());
+  run_and_report(spec, args, " %12.1f");
   std::printf(
       "\nExpected shape (paper): deadline-agnostic TCP/RCP degrade as flows\n"
       "grow; PDQ stays near Optimal at every size.\n");

@@ -1,70 +1,66 @@
 // Figure 3c: max number of concurrent flows a protocol supports at 99%
 // application throughput, vs mean flow deadline (binary search, as in the
-// paper).
+// paper). The seed-averaged predicate inside the search fans its trials
+// across the SweepRunner pool.
+#include <algorithm>
+
 #include "bench_common.h"
 
 using namespace pdq;
 using namespace pdq::bench;
 
-namespace {
-
-/// A protocol "supports" n flows if the average application throughput
-/// over `trials` seeds is >= 99%.
-int flows_at_99(const std::string& stack_name, sim::Time deadline_mean,
-                int trials, int hi) {
-  auto pred = [&](int n) {
-    const double at = average_over_seeds(trials, [&](std::uint64_t seed) {
-      AggregationSpec a;
-      a.num_flows = n;
-      a.deadline_mean = deadline_mean;
-      a.seed = seed;
-      auto stack = make_stack(stack_name);
-      return run_aggregation(*stack, a).application_throughput();
-    });
-    return at >= 99.0;
-  };
-  return std::max(0, harness::binary_search_max(1, hi, pred));
-}
-
-int optimal_at_99(sim::Time deadline_mean, int trials, int hi) {
-  auto pred = [&](int n) {
-    return average_over_seeds(trials, [&](std::uint64_t seed) {
-             AggregationSpec a;
-             a.num_flows = n;
-             a.deadline_mean = deadline_mean;
-             a.seed = seed;
-             return optimal_app_throughput(a);
-           }) >= 99.0;
-  };
-  return std::max(0, harness::binary_search_max(1, hi, pred));
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 5 : 2;
-  const int hi = full ? 96 : 48;
-  const std::vector<int> deadline_ms =
-      full ? std::vector<int>{20, 30, 40, 50, 60}
-           : std::vector<int>{20, 40, 60};
+  const BenchArgs args = parse_args(argc, argv);
+  const int trials = args.full ? 5 : 2;
+  const int hi = args.full ? 96 : 48;
+  const std::vector<int> deadline_ms = args.full
+                                           ? std::vector<int>{20, 30, 40, 50, 60}
+                                           : std::vector<int>{20, 40, 60};
+  const std::uint64_t base_seed = args.seed_or();
+
+  harness::SweepRunner runner(args.threads);
+  harness::Column optimal;
+  optimal.label = "Optimal";
+  optimal.metric = harness::metrics::optimal_application_throughput().fn;
+
+  /// A column "supports" n flows if its application throughput averaged
+  /// over the trial seeds is >= 99%.
+  auto flows_at_99 = [&](const harness::Column& col, sim::Time mean) {
+    auto pred = [&](int n) {
+      harness::AggregationSpec a;
+      a.num_flows = n;
+      a.deadline_mean = mean;
+      return runner.average(harness::aggregation_scenario(a), col, trials,
+                            base_seed,
+                            harness::metrics::application_throughput().fn) >=
+             99.0;
+    };
+    return static_cast<double>(
+        std::max(0, harness::binary_search_max(1, hi, pred)));
+  };
+
+  std::vector<std::string> columns{"Optimal"};
+  for (const auto& s : all_stacks()) columns.push_back(s);
+  std::vector<std::string> points;
+  std::vector<std::vector<double>> cells;
+  for (int ms : deadline_ms) {
+    const sim::Time mean = ms * sim::kMillisecond;
+    points.push_back(std::to_string(ms));
+    std::vector<double> row;
+    row.push_back(flows_at_99(optimal, mean));
+    for (const auto& name : all_stacks()) {
+      row.push_back(flows_at_99(harness::stack_column(name), mean));
+    }
+    cells.push_back(std::move(row));
+  }
 
   std::printf(
       "Fig 3c: number of flows supported at 99%% application throughput\n"
       "vs mean flow deadline\n\n");
-  std::vector<std::string> cols{"Optimal"};
-  for (const auto& s : all_stacks()) cols.push_back(s);
-  print_header("deadline [ms]", cols);
-
-  for (int ms : deadline_ms) {
-    const sim::Time mean = ms * sim::kMillisecond;
-    std::vector<double> cells;
-    cells.push_back(optimal_at_99(mean, trials, hi));
-    for (const auto& name : all_stacks()) {
-      cells.push_back(flows_at_99(name, mean, trials, hi));
-    }
-    print_row(std::to_string(ms), cells, " %12.0f");
-  }
+  auto results = grid_results("fig3c_flows_at_99", "deadline [ms]", "flows_at_99",
+                              columns, points, cells, base_seed);
+  harness::TableSink(stdout, " %12.0f").write(results);
+  write_outputs(results, args);
   std::printf(
       "\nExpected shape (paper): PDQ supports >3x the concurrent senders of\n"
       "D3 at 99%% application throughput, widening with the mean deadline.\n");

@@ -7,37 +7,41 @@ using namespace pdq;
 using namespace pdq::bench;
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 5 : 3;
+  const BenchArgs args = parse_args(argc, argv);
   const std::vector<int> flow_counts =
-      full ? std::vector<int>{1, 2, 5, 10, 15, 20, 25}
-           : std::vector<int>{1, 5, 10, 20};
+      args.full ? std::vector<int>{1, 2, 5, 10, 15, 20, 25}
+                : std::vector<int>{1, 5, 10, 20};
+
   // The paper plots PDQ variants, RCP/D3 (identical without deadlines)
   // and TCP.
-  const std::vector<std::string> stacks{"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)",
-                                        "RCP", "TCP"};
-
-  std::printf(
+  harness::ExperimentSpec spec;
+  spec.name = "fig3d_fct_vs_flows";
+  spec.title =
       "Fig 3d: mean FCT normalized to Optimal vs number of flows\n"
-      "(no deadlines, uniform sizes, mean 100 KB; RCP column = RCP/D3)\n\n");
-  print_header("#flows", stacks);
-
-  for (int n : flow_counts) {
-    std::vector<double> cells;
-    for (const auto& name : stacks) {
-      cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
-        AggregationSpec a;
-        a.num_flows = n;
-        a.deadlines = false;
-        a.seed = seed;
-        auto stack = make_stack(name);
-        const double fct = run_aggregation(*stack, a).mean_fct_ms();
-        const double opt = optimal_mean_fct_ms(a);
-        return fct / opt;
-      }));
-    }
-    print_row(std::to_string(n), cells);
+      "(no deadlines, uniform sizes, mean 100 KB; RCP column = RCP/D3)";
+  spec.axis = "#flows";
+  spec.metric = harness::metrics::mean_fct_vs_optimal();
+  spec.trials = args.full ? 5 : 3;
+  spec.base_seed = args.seed_or();
+  spec.base = harness::aggregation_scenario({});
+  for (const auto& name :
+       {"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP", "TCP"}) {
+    spec.columns.push_back(harness::stack_column(name));
   }
+  for (int n : flow_counts) {
+    harness::SweepPoint p;
+    p.label = std::to_string(n);
+    p.apply = [n](harness::Scenario& s) {
+      harness::AggregationSpec a;
+      a.num_flows = n;
+      a.deadlines = false;
+      s = harness::aggregation_scenario(a);
+    };
+    spec.points.push_back(std::move(p));
+  }
+
+  std::printf("%s\n\n", spec.title.c_str());
+  run_and_report(spec, args);
   std::printf(
       "\nExpected shape (paper): PDQ(Full) stays near 1 (largest gap at\n"
       "n=1 from flow-initialization latency); RCP/D3 grow toward the fair-\n"

@@ -6,36 +6,41 @@ using namespace pdq;
 using namespace pdq::bench;
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 8 : 4;
+  const BenchArgs args = parse_args(argc, argv);
   const std::vector<int> means_kb =
-      full ? std::vector<int>{100, 150, 200, 250, 300, 350}
-           : std::vector<int>{100, 200, 350};
-  const std::vector<std::string> stacks{"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)",
-                                        "RCP", "TCP"};
+      args.full ? std::vector<int>{100, 150, 200, 250, 300, 350}
+                : std::vector<int>{100, 200, 350};
 
-  std::printf(
+  harness::ExperimentSpec spec;
+  spec.name = "fig3e_fct_vs_size";
+  spec.title =
       "Fig 3e: mean FCT normalized to Optimal vs avg flow size (3 flows,\n"
-      "no deadlines; RCP column = RCP/D3)\n\n");
-  print_header("avg size [KB]", stacks);
-
-  for (int kb : means_kb) {
-    std::vector<double> cells;
-    for (const auto& name : stacks) {
-      cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
-        AggregationSpec a;
-        a.num_flows = 3;
-        a.deadlines = false;
-        a.size_lo = (kb - 98) * 1000L;
-        a.size_hi = (kb + 98) * 1000L;
-        a.seed = seed;
-        auto stack = make_stack(name);
-        const double fct = run_aggregation(*stack, a).mean_fct_ms();
-        return fct / optimal_mean_fct_ms(a);
-      }));
-    }
-    print_row(std::to_string(kb), cells);
+      "no deadlines; RCP column = RCP/D3)";
+  spec.axis = "avg size [KB]";
+  spec.metric = harness::metrics::mean_fct_vs_optimal();
+  spec.trials = args.full ? 8 : 4;
+  spec.base_seed = args.seed_or();
+  spec.base = harness::aggregation_scenario({});
+  for (const auto& name :
+       {"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP", "TCP"}) {
+    spec.columns.push_back(harness::stack_column(name));
   }
+  for (int kb : means_kb) {
+    harness::SweepPoint p;
+    p.label = std::to_string(kb);
+    p.apply = [kb](harness::Scenario& s) {
+      harness::AggregationSpec a;
+      a.num_flows = 3;
+      a.deadlines = false;
+      a.size_lo = (kb - 98) * 1000L;
+      a.size_hi = (kb + 98) * 1000L;
+      s = harness::aggregation_scenario(a);
+    };
+    spec.points.push_back(std::move(p));
+  }
+
+  std::printf("%s\n\n", spec.title.c_str());
+  run_and_report(spec, args);
   std::printf(
       "\nExpected shape (paper): PDQ approaches 1.0 as flows grow (protocol\n"
       "overhead amortizes); RCP/D3 sit near the fair-sharing penalty.\n");

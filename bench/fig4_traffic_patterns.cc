@@ -4,6 +4,8 @@
 //  (a) deadline-constrained: number of flows at 99% application
 //      throughput, normalized to PDQ(Full);
 //  (b) deadline-unconstrained: mean FCT normalized to PDQ(Full).
+#include <algorithm>
+
 #include "bench_common.h"
 
 using namespace pdq;
@@ -28,74 +30,83 @@ std::vector<Pattern> patterns() {
   };
 }
 
-harness::RunResult run_pattern(harness::ProtocolStack& stack,
-                               const workload::PatternFn& pattern,
-                               int num_flows, bool deadlines,
-                               std::uint64_t seed) {
-  sim::Rng rng(seed);
+harness::Scenario pattern_scenario(const workload::PatternFn& pattern,
+                                   int num_flows, bool deadlines) {
   workload::FlowSetOptions w;
   w.num_flows = num_flows;
   w.size = workload::uniform_size(2'000, 198'000);
   if (deadlines) w.deadline = workload::exp_deadline();
   w.pattern = pattern;
 
-  // Materialize against a scratch copy of the tree for server ids.
-  sim::Simulator s0;
-  net::Topology t0(s0, 1);
-  auto servers = net::build_single_rooted_tree(t0);
-  auto flows = workload::make_flows(servers, w, rng);
-
-  auto build = [](net::Topology& t) { return net::build_single_rooted_tree(t); };
-  harness::RunOptions opts;
-  opts.horizon = 30 * sim::kSecond;
-  opts.seed = seed;
-  return harness::run_scenario(stack, build, flows, opts);
+  harness::Scenario s;
+  s.topology = harness::TopologySpec::single_rooted_tree();
+  s.workload = harness::WorkloadSpec::flow_set(w);
+  s.options.horizon = 30 * sim::kSecond;
+  return s;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 4 : 2;
-  const int hi = full ? 64 : 32;
+  const BenchArgs args = parse_args(argc, argv);
+  const int trials = args.full ? 4 : 2;
+  const int hi = args.full ? 64 : 32;
+  const std::uint64_t base_seed = args.seed_or();
   const std::vector<std::string> stacks = all_stacks();
 
+  // --- (a) flows at 99% application throughput, binary search ---
   std::printf(
       "Fig 4a: flows at 99%% application throughput per sending pattern\n"
       "(absolute counts; paper normalizes to PDQ(Full))\n\n");
-  print_header("pattern", stacks);
-  for (const auto& p : patterns()) {
-    std::vector<double> cells;
-    for (const auto& name : stacks) {
-      auto pred = [&](int n) {
-        return average_over_seeds(trials, [&](std::uint64_t seed) {
-                 auto stack = make_stack(name);
-                 return run_pattern(*stack, p.fn, n, true, seed)
-                     .application_throughput();
-               }) >= 99.0;
-      };
-      cells.push_back(std::max(0, harness::binary_search_max(1, hi, pred)));
+  harness::SweepRunner runner(args.threads);
+  {
+    std::vector<std::string> points;
+    std::vector<std::vector<double>> cells;
+    for (const auto& p : patterns()) {
+      points.push_back(p.name);
+      std::vector<double> row;
+      for (const auto& name : stacks) {
+        auto pred = [&](int n) {
+          return runner.average(
+                     pattern_scenario(p.fn, n, true),
+                     harness::stack_column(name), trials, base_seed,
+                     harness::metrics::application_throughput().fn) >= 99.0;
+        };
+        row.push_back(std::max(0, harness::binary_search_max(1, hi, pred)));
+      }
+      cells.push_back(std::move(row));
     }
-    print_row(p.name, cells, " %12.0f");
+    auto results = grid_results("fig4a_traffic_patterns", "pattern",
+                                "flows_at_99", stacks, points, cells,
+                                base_seed);
+    harness::TableSink(stdout, " %12.0f").write(results);
+    write_outputs(results, args);
   }
 
+  // --- (b) mean FCT, no deadlines ---
   std::printf(
       "\nFig 4b: mean FCT per sending pattern, no deadlines (ms; paper\n"
       "normalizes to PDQ(Full))\n\n");
-  const std::vector<std::string> fct_stacks{"PDQ(Full)", "PDQ(ES)",
-                                            "PDQ(Basic)", "RCP", "TCP"};
-  print_header("pattern", fct_stacks);
-  const int n_flows = 24;
-  for (const auto& p : patterns()) {
-    std::vector<double> cells;
-    for (const auto& name : fct_stacks) {
-      cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
-        auto stack = make_stack(name);
-        return run_pattern(*stack, p.fn, n_flows, false, seed).mean_fct_ms();
-      }));
-    }
-    print_row(p.name, cells);
+  harness::ExperimentSpec spec;
+  spec.name = "fig4b_traffic_patterns";
+  spec.axis = "pattern";
+  spec.metric = harness::metrics::mean_fct_ms();
+  spec.trials = trials;
+  spec.base_seed = base_seed;
+  spec.base = pattern_scenario(workload::random_permutation(), 24, false);
+  for (const auto& name :
+       {"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP", "TCP"}) {
+    spec.columns.push_back(harness::stack_column(name));
   }
+  for (const auto& p : patterns()) {
+    harness::SweepPoint point;
+    point.label = p.name;
+    point.apply = [fn = p.fn](harness::Scenario& s) {
+      s = pattern_scenario(fn, 24, false);
+    };
+    spec.points.push_back(std::move(point));
+  }
+  run_and_report(spec, args);
   std::printf(
       "\nExpected shape (paper): PDQ wins every pattern; the gap is\n"
       "smallest for Staggered(0.7), where RTT variance is largest.\n");

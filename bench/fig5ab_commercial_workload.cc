@@ -10,47 +10,43 @@ using namespace pdq::bench;
 
 namespace {
 
-std::vector<net::FlowSpec> vl2_flows(int num_flows, double rate_per_sec,
-                                     std::uint64_t seed) {
-  sim::Rng rng(seed);
-  sim::Simulator s0;
-  net::Topology t0(s0, 1);
-  auto servers = net::build_single_rooted_tree(t0);
-
-  workload::FlowSetOptions w;
-  w.num_flows = num_flows;
-  w.size = workload::vl2_size();
-  w.pattern = workload::random_permutation();
-  w.arrival_rate_per_sec = rate_per_sec;
-  auto flows = workload::make_flows(servers, w, rng);
-  // Short flows (<40 KB) are deadline-constrained (paper S5.3).
-  auto dl = workload::exp_deadline();
-  for (auto& f : flows) {
-    if (f.size_bytes < 40'000) f.deadline = dl(rng);
-  }
-  return flows;
-}
-
-harness::RunResult run_vl2(harness::ProtocolStack& stack, int num_flows,
-                           double rate, std::uint64_t seed) {
-  auto flows = vl2_flows(num_flows, rate, seed);
-  auto build = [](net::Topology& t) { return net::build_single_rooted_tree(t); };
-  harness::RunOptions opts;
-  opts.horizon = 30 * sim::kSecond;
-  opts.seed = seed;
-  return harness::run_scenario(stack, build, flows, opts);
+harness::Scenario vl2_scenario(int num_flows, double rate_per_sec) {
+  harness::Scenario s;
+  s.topology = harness::TopologySpec::single_rooted_tree();
+  s.workload = harness::WorkloadSpec::custom(
+      "vl2/" + std::to_string(num_flows),
+      [num_flows, rate_per_sec](const std::vector<net::NodeId>& servers,
+                                sim::Rng& rng) {
+        workload::FlowSetOptions w;
+        w.num_flows = num_flows;
+        w.size = workload::vl2_size();
+        w.pattern = workload::random_permutation();
+        w.arrival_rate_per_sec = rate_per_sec;
+        auto flows = workload::make_flows(servers, w, rng);
+        // Short flows (<40 KB) are deadline-constrained (paper S5.3).
+        auto dl = workload::exp_deadline();
+        for (auto& f : flows) {
+          if (f.size_bytes < 40'000) f.deadline = dl(rng);
+        }
+        return flows;
+      });
+  s.options.horizon = 30 * sim::kSecond;
+  return s;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 3 : 2;
-  const int num_flows = full ? 600 : 200;
+  const BenchArgs args = parse_args(argc, argv);
+  const int trials = args.full ? 3 : 2;
+  const int num_flows = args.full ? 600 : 200;
+  const std::uint64_t base_seed = args.seed_or();
   // With the scaled-down default, a single missed deadline among ~100
   // deadline flows drops below 99%; use a 95% bar by default and the
   // paper's 99% bar in --full mode (which has ~10x the samples).
-  const double bar = full ? 99.0 : 95.0;
+  const double bar = args.full ? 99.0 : 95.0;
+
+  harness::SweepRunner runner(args.threads);
 
   std::printf(
       "Fig 5a: flow arrival rate [flows/s] sustained at %.0f%% application\n"
@@ -58,51 +54,64 @@ int main(int argc, char** argv) {
       bar);
   const std::vector<std::string> stacks{"PDQ(Full)", "PDQ(ES+ET)",
                                         "PDQ(Basic)", "D3", "RCP", "TCP"};
-  print_header("protocol", {"rate@bar"});
-  for (const auto& name : stacks) {
-    // Binary search over the arrival rate (geometric grid, flows/s).
+  {
+    // Walk the geometric rate grid until the bar is first missed.
     const std::vector<double> grid =
-        full ? std::vector<double>{250,  500,   1000,  2000, 4000,
-                                   8000, 12000, 16000, 24000}
-             : std::vector<double>{500, 1000, 2000, 4000, 8000, 16000};
-    double best = 0;
-    for (double rate : grid) {
-      const double at = average_over_seeds(trials, [&](std::uint64_t seed) {
-        auto stack = make_stack(name);
-        return run_vl2(*stack, num_flows, rate, seed).application_throughput();
-      });
-      if (at >= bar) {
-        best = rate;
-      } else {
-        break;
+        args.full ? std::vector<double>{250,  500,   1000,  2000, 4000,
+                                        8000, 12000, 16000, 24000}
+                  : std::vector<double>{500, 1000, 2000, 4000, 8000, 16000};
+    std::vector<std::vector<double>> cells;
+    for (const auto& name : stacks) {
+      double best = 0;
+      for (double rate : grid) {
+        const double at = runner.average(
+            vl2_scenario(num_flows, rate), harness::stack_column(name),
+            trials, base_seed,
+            harness::metrics::application_throughput().fn);
+        if (at >= bar) {
+          best = rate;
+        } else {
+          break;
+        }
       }
+      cells.push_back({best});
     }
-    print_row(name, {best}, " %12.0f");
+    auto results =
+        grid_results("fig5a_commercial_workload", "protocol", "rate_at_bar",
+                     {"rate@bar"}, stacks, cells, base_seed);
+    harness::TableSink(stdout, " %12.0f").write(results);
+    write_outputs(results, args);
   }
 
   std::printf(
       "\nFig 5b: mean FCT of long flows (>1 MB) at a moderate arrival rate\n"
       "(ms; paper normalizes to PDQ(Full))\n\n");
-  print_header("protocol", {"long FCT"});
-  const double rate = full ? 2000 : 1000;
-  for (const auto& name :
-       std::vector<std::string>{"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP",
-                                "TCP"}) {
-    const double fct = average_over_seeds(trials, [&](std::uint64_t seed) {
-      auto stack = make_stack(name);
-      auto r = run_vl2(*stack, num_flows, rate, seed);
-      double sum = 0;
-      int n = 0;
-      for (const auto& f : r.flows) {
-        if (f.spec.size_bytes > 1'000'000 &&
-            f.outcome == net::FlowOutcome::kCompleted) {
-          sum += sim::to_millis(f.completion_time());
-          ++n;
-        }
-      }
-      return n ? sum / n : 0.0;
-    });
-    print_row(name, {fct});
+  {
+    const double rate = args.full ? 2000 : 1000;
+    harness::ExperimentSpec spec;
+    spec.name = "fig5b_commercial_workload";
+    spec.axis = "protocol";
+    spec.metric = {"long_flow_fct_ms", [](const harness::RunContext& c) {
+                     double sum = 0;
+                     int n = 0;
+                     for (const auto& f : c.result->flows) {
+                       if (f.spec.size_bytes > 1'000'000 &&
+                           f.outcome == net::FlowOutcome::kCompleted) {
+                         sum += sim::to_millis(f.completion_time());
+                         ++n;
+                       }
+                     }
+                     return n ? sum / n : 0.0;
+                   }};
+    spec.trials = trials;
+    spec.base_seed = base_seed;
+    spec.base = vl2_scenario(num_flows, rate);
+    for (const auto& name :
+         {"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP", "TCP"}) {
+      spec.columns.push_back(harness::stack_column(name));
+    }
+    spec.points.push_back({"long FCT", nullptr, nullptr});
+    run_and_report(spec, args, " %12.2f", /*transpose=*/true);
   }
   std::printf(
       "\nExpected shape (paper): PDQ sustains the highest arrival rate\n"

@@ -6,51 +6,46 @@
 using namespace pdq;
 using namespace pdq::bench;
 
-namespace {
-
-harness::RunResult run_edu(harness::ProtocolStack& stack, int num_flows,
-                           double rate, std::uint64_t seed) {
-  sim::Rng rng(seed);
-  sim::Simulator s0;
-  net::Topology t0(s0, 1);
-  auto servers = net::build_single_rooted_tree(t0);
-
-  workload::FlowSetOptions w;
-  w.num_flows = num_flows;
-  w.size = workload::edu_size();
-  w.pattern = workload::random_permutation();
-  w.arrival_rate_per_sec = rate;
-  auto flows = workload::make_flows(servers, w, rng);
-
-  auto build = [](net::Topology& t) { return net::build_single_rooted_tree(t); };
-  harness::RunOptions opts;
-  opts.horizon = 60 * sim::kSecond;
-  opts.seed = seed;
-  return harness::run_scenario(stack, build, flows, opts);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 4 : 2;
-  const int num_flows = full ? 800 : 250;
-  const double rate = full ? 4000 : 2000;
+  const BenchArgs args = parse_args(argc, argv);
+  const int num_flows = args.full ? 800 : 250;
+  const double rate = args.full ? 4000 : 2000;
+
+  harness::ExperimentSpec spec;
+  spec.name = "fig5c_university_workload";
+  spec.axis = "protocol";
+  spec.metric = harness::metrics::mean_fct_ms();
+  spec.trials = args.full ? 4 : 2;
+  spec.base_seed = args.seed_or();
+  {
+    workload::FlowSetOptions w;
+    w.num_flows = num_flows;
+    w.size = workload::edu_size();
+    w.pattern = workload::random_permutation();
+    w.arrival_rate_per_sec = rate;
+    spec.base.topology = harness::TopologySpec::single_rooted_tree();
+    spec.base.workload = harness::WorkloadSpec::flow_set(w, "edu");
+    spec.base.options.horizon = 60 * sim::kSecond;
+  }
+  for (const auto& name :
+       {"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP", "TCP"}) {
+    spec.columns.push_back(harness::stack_column(name));
+  }
+  spec.points.push_back({"mean FCT", nullptr, nullptr});
 
   std::printf(
       "Fig 5c: mean FCT under the university (EDU1-style) workload\n"
       "(ms; paper normalizes to PDQ(Full))\n\n");
-  const std::vector<std::string> stacks{"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)",
-                                        "RCP", "TCP"};
+  harness::SweepRunner runner(args.threads);
+  auto results = runner.run(spec);
+  write_outputs(results, args);
+
+  // Custom table: absolute mean FCT plus the ratio to PDQ(Full).
   print_header("protocol", {"mean FCT", "vs PDQ(Full)"});
-  double base = 0;
-  for (const auto& name : stacks) {
-    const double fct = average_over_seeds(trials, [&](std::uint64_t seed) {
-      auto stack = make_stack(name);
-      return run_edu(*stack, num_flows, rate, seed).mean_fct_ms();
-    });
-    if (name == "PDQ(Full)") base = fct;
-    print_row(name, {fct, base > 0 ? fct / base : 0.0});
+  const double base = results.mean(0, 0);  // PDQ(Full) is the first column
+  for (std::size_t c = 0; c < results.columns.size(); ++c) {
+    const double fct = results.mean(0, c);
+    print_row(results.columns[c], {fct, base > 0 ? fct / base : 0.0});
   }
   std::printf(
       "\nExpected shape (paper): PDQ(Full) fastest; RCP/D3 and TCP around\n"

@@ -15,7 +15,7 @@ int main() {
     f.size_bytes = 1'000'000 + i * 1000;  // smaller index = more critical
     flows.push_back(f);
   }
-  harness::PdqStack stack;
+  auto stack = bench::make_stack("PDQ(Full)");
   auto build = [&](net::Topology& t) {
     auto servers = net::build_single_bottleneck(t, 5);
     for (int i = 0; i < 5; ++i) {
@@ -29,7 +29,7 @@ int main() {
   opts.horizon = sim::kSecond;
   opts.watch_link = std::make_pair(net::NodeId{0}, net::NodeId{6});
   opts.per_flow_series = true;
-  auto r = harness::run_scenario(stack, build, flows, opts);
+  auto r = harness::run_scenario(*stack, build, flows, opts);
 
   std::printf("Fig 6: 5 x ~1 MB flows, single 1 Gbps bottleneck\n\n");
   std::printf("%4s %7s %7s %7s %7s %7s | %8s %10s\n", "ms", "f1", "f2", "f3",

@@ -19,7 +19,7 @@ int main() {
     f.start_time = 10 * sim::kMillisecond;
     flows.push_back(f);
   }
-  harness::PdqStack stack;
+  auto stack = bench::make_stack("PDQ(Full)");
   auto build = [&](net::Topology& t) {
     auto servers = net::build_single_bottleneck(t, 51);
     for (std::size_t i = 0; i < flows.size(); ++i) {
@@ -32,7 +32,7 @@ int main() {
   opts.horizon = sim::kSecond;
   opts.watch_link = std::make_pair(net::NodeId{0}, net::NodeId{52});
   opts.per_flow_series = true;
-  auto r = harness::run_scenario(stack, build, flows, opts);
+  auto r = harness::run_scenario(*stack, build, flows, opts);
 
   std::printf(
       "Fig 7: 50 x 20 KB flows burst at t=10 ms into a long-lived flow\n\n");

@@ -4,6 +4,9 @@
 //
 // Deadline-unconstrained random-permutation traffic with multiple flows
 // per server; packet level runs the smaller sizes, flow level scales up.
+// The (topology x engine) grid is a multi-point SweepRunner sweep — the
+// default mode with >=4 threads finishes several-fold faster than serial
+// while producing identical CSV rows.
 #include <algorithm>
 
 #include "bench_common.h"
@@ -14,142 +17,148 @@ using namespace pdq::bench;
 
 namespace {
 
-struct TopoCase {
-  const char* name;
-  std::function<std::vector<net::NodeId>(net::Topology&, int size_index)>
-      build;
-  std::vector<int> sizes;  // index -> parameter meaning differs per topo
-};
-
-std::vector<net::FlowSpec> perm_flows(const std::vector<net::NodeId>& servers,
-                                      int flows_per_server,
-                                      std::uint64_t seed) {
-  sim::Rng rng(seed);
-  workload::FlowSetOptions w;
-  w.num_flows = static_cast<int>(servers.size()) * flows_per_server;
-  w.size = workload::uniform_size(2'000, 198'000);
-  w.pattern = workload::random_permutation();
-  return workload::make_flows(servers, w, rng);
+harness::WorkloadSpec perm_workload(int flows_per_server) {
+  return harness::WorkloadSpec::custom(
+      "perm/" + std::to_string(flows_per_server),
+      [flows_per_server](const std::vector<net::NodeId>& servers,
+                         sim::Rng& rng) {
+        workload::FlowSetOptions w;
+        w.num_flows = static_cast<int>(servers.size()) * flows_per_server;
+        w.size = workload::uniform_size(2'000, 198'000);
+        w.pattern = workload::random_permutation();
+        return workload::make_flows(servers, w, rng);
+      });
 }
 
-double packet_level_fct(harness::ProtocolStack& stack,
-                        const harness::TopologyBuilder& build, std::uint64_t seed) {
-  sim::Simulator s0;
-  net::Topology t0(s0, 1);
-  auto servers = build(t0);
-  auto flows = perm_flows(servers, 3, seed);
-  harness::RunOptions opts;
-  opts.horizon = 60 * sim::kSecond;
-  opts.seed = seed;
-  return harness::run_scenario(
-             stack, [&](net::Topology& t) { return build(t); }, flows, opts)
-      .mean_fct_ms();
-}
-
-double flow_level_fct(flowsim::Model model, const harness::TopologyBuilder& build,
-                      int flows_per_server, std::uint64_t seed) {
-  sim::Simulator simulator;
-  net::Topology topo(simulator, seed);
-  auto servers = build(topo);
-  auto flows = perm_flows(servers, flows_per_server, seed);
-  flowsim::Options o;
-  o.model = model;
-  flowsim::FlowLevelSimulator fs(topo, o);
-  return fs.run(flows).mean_fct_ms();
+harness::Column flowsim_fct(const std::string& label, flowsim::Model model) {
+  harness::Column c;
+  c.label = label;
+  c.evaluate = [model](const harness::Scenario& sc, std::uint64_t seed) {
+    sim::Simulator simulator;
+    net::Topology topo(simulator, seed);
+    auto servers = sc.topology.build(topo);
+    sim::Rng rng(seed);
+    auto flows = sc.workload.make(servers, rng);
+    flowsim::Options o;
+    o.model = model;
+    flowsim::FlowLevelSimulator fs(topo, o);
+    return fs.run(flows).mean_fct_ms();
+  };
+  return c;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const std::uint64_t seed = 17;
+  const BenchArgs args = parse_args(argc, argv);
+  const bool full = args.full;
+  const std::uint64_t seed = args.seed_or(17);
 
   // --- Fig 8b-d: mean FCT vs network size per topology ---
   std::printf(
       "Fig 8b-8d: mean FCT [ms], random permutation, 3 flows/server,\n"
       "no deadlines. 'pkt' = packet-level, 'flow' = flow-level.\n\n");
-  print_header("topology/size",
-               {"PDQ pkt", "PDQ flow", "RCP pkt", "RCP flow"});
+  {
+    harness::ExperimentSpec spec;
+    spec.name = "fig8bcd_scale_fct";
+    spec.axis = "topology/size";
+    spec.metric = harness::metrics::mean_fct_ms();
+    spec.trials = 1;
+    spec.base_seed = seed;
+    spec.base.workload = perm_workload(3);
+    spec.base.options.horizon = 60 * sim::kSecond;
+    spec.columns.push_back(harness::stack_column("PDQ pkt", "PDQ(Full)"));
+    spec.columns.push_back(flowsim_fct("PDQ flow", flowsim::Model::kPdq));
+    spec.columns.push_back(harness::stack_column("RCP pkt", "RCP"));
+    spec.columns.push_back(flowsim_fct("RCP flow", flowsim::Model::kRcp));
 
-  struct Case {
-    std::string label;
-    harness::TopologyBuilder build;
-    bool packet_feasible;
-  };
-  std::vector<Case> cases;
-  for (int k : std::vector<int>{4, full ? 8 : 4}) {
-    if (!cases.empty() && cases.back().label == "fat-tree/" +
-                              std::to_string(k * k * k / 4))
-      continue;
-    cases.push_back({"fat-tree/" + std::to_string(k * k * k / 4),
-                     [k](net::Topology& t) { return net::build_fat_tree(t, k); },
-                     k <= 4});
-  }
-  cases.push_back({"bcube/16",
-                   [](net::Topology& t) { return net::build_bcube(t, 2, 3); },
-                   true});
-  if (full) {
-    cases.push_back({"bcube/64",
-                     [](net::Topology& t) { return net::build_bcube(t, 4, 2); },
-                     false});
-  }
-  cases.push_back({"jellyfish/20",
-                   [](net::Topology& t) {
-                     return net::build_jellyfish(t, 10, 6, 4, 3);
-                   },
-                   true});
-  if (full) {
-    cases.push_back({"jellyfish/160",
-                     [](net::Topology& t) {
-                       return net::build_jellyfish(t, 40, 12, 8, 3);
-                     },
-                     false});
-  }
-
-  for (const auto& c : cases) {
-    std::vector<double> cells;
-    if (c.packet_feasible) {
-      harness::PdqStack pdq;
-      cells.push_back(packet_level_fct(pdq, c.build, seed));
-    } else {
-      cells.push_back(0.0);
+    struct Case {
+      harness::TopologySpec topo;
+      bool packet_feasible;
+    };
+    std::vector<Case> cases;
+    for (int k : std::vector<int>{4, full ? 8 : 4}) {
+      if (!cases.empty() &&
+          cases.back().topo.name == harness::TopologySpec::fat_tree(k).name)
+        continue;
+      cases.push_back({harness::TopologySpec::fat_tree(k), k <= 4});
     }
-    cells.push_back(flow_level_fct(flowsim::Model::kPdq, c.build, 3, seed));
-    if (c.packet_feasible) {
-      harness::RcpStack rcp;
-      cells.push_back(packet_level_fct(rcp, c.build, seed));
-    } else {
-      cells.push_back(0.0);
+    cases.push_back({harness::TopologySpec::bcube(2, 3), true});
+    if (full) cases.push_back({harness::TopologySpec::bcube(4, 2), false});
+    cases.push_back({harness::TopologySpec::jellyfish(10, 6, 4, 3), true});
+    if (full) {
+      cases.push_back({harness::TopologySpec::jellyfish(40, 12, 8, 3), false});
     }
-    cells.push_back(flow_level_fct(flowsim::Model::kRcp, c.build, 3, seed));
-    print_row(c.label, cells);
+    for (const auto& c : cases) {
+      harness::SweepPoint p;
+      p.label = c.topo.name;
+      p.apply = [topo = c.topo](harness::Scenario& s) { s.topology = topo; };
+      if (!c.packet_feasible) {
+        // Packet-level simulation is intractable at this size: blank the
+        // pkt columns rather than running for hours.
+        p.tune = [](harness::Column& col) {
+          if (col.label.find("pkt") != std::string::npos) {
+            col.stack.clear();
+            col.evaluate = [](const harness::Scenario&, std::uint64_t) {
+              return 0.0;
+            };
+          }
+        };
+      }
+      spec.points.push_back(std::move(p));
+    }
+    run_and_report(spec, args);
   }
 
   // --- Fig 8a: deadline-constrained flows at scale (flow level) ---
   std::printf(
       "\nFig 8a: application throughput [%%] on fat-trees, deadline flows,\n"
       "flow-level simulation, random permutation (fixed 3 flows/server):\n\n");
-  print_header("#servers", {"PDQ", "D3", "RCP"});
-  for (int k : full ? std::vector<int>{4, 8, 16} : std::vector<int>{4, 8}) {
-    sim::Simulator simulator;
-    net::Topology topo(simulator, seed);
-    auto servers = net::build_fat_tree(topo, k);
-    sim::Rng rng(seed);
-    workload::FlowSetOptions w;
-    w.num_flows = static_cast<int>(servers.size()) * 3;
-    w.size = workload::uniform_size(2'000, 198'000);
-    w.deadline = workload::exp_deadline();
-    w.pattern = workload::random_permutation();
-    auto flows = workload::make_flows(servers, w, rng);
-    std::vector<double> cells;
-    for (auto model : {flowsim::Model::kPdq, flowsim::Model::kD3,
-                       flowsim::Model::kRcp}) {
-      flowsim::Options o;
-      o.model = model;
-      flowsim::FlowLevelSimulator fs(topo, o);
-      cells.push_back(fs.run(flows).application_throughput());
+  {
+    harness::ExperimentSpec spec;
+    spec.name = "fig8a_scale_appthroughput";
+    spec.axis = "#servers";
+    spec.metric = harness::metrics::application_throughput();
+    spec.trials = 1;
+    spec.base_seed = seed;
+    spec.base.workload = harness::WorkloadSpec::custom(
+        "perm-deadline/3",
+        [](const std::vector<net::NodeId>& servers, sim::Rng& rng) {
+          workload::FlowSetOptions w;
+          w.num_flows = static_cast<int>(servers.size()) * 3;
+          w.size = workload::uniform_size(2'000, 198'000);
+          w.deadline = workload::exp_deadline();
+          w.pattern = workload::random_permutation();
+          return workload::make_flows(servers, w, rng);
+        });
+    auto app_throughput = [](const std::string& label, flowsim::Model model) {
+      harness::Column c;
+      c.label = label;
+      c.evaluate = [model](const harness::Scenario& sc, std::uint64_t s) {
+        sim::Simulator simulator;
+        net::Topology topo(simulator, s);
+        auto servers = sc.topology.build(topo);
+        sim::Rng rng(s);
+        auto flows = sc.workload.make(servers, rng);
+        flowsim::Options o;
+        o.model = model;
+        flowsim::FlowLevelSimulator fs(topo, o);
+        return fs.run(flows).application_throughput();
+      };
+      return c;
+    };
+    spec.columns.push_back(app_throughput("PDQ", flowsim::Model::kPdq));
+    spec.columns.push_back(app_throughput("D3", flowsim::Model::kD3));
+    spec.columns.push_back(app_throughput("RCP", flowsim::Model::kRcp));
+    for (int k : full ? std::vector<int>{4, 8, 16} : std::vector<int>{4, 8}) {
+      harness::SweepPoint p;
+      p.label = std::to_string(k * k * k / 4);
+      p.apply = [k](harness::Scenario& s) {
+        s.topology = harness::TopologySpec::fat_tree(k);
+      };
+      spec.points.push_back(std::move(p));
     }
-    print_row(std::to_string(servers.size()), cells, " %12.1f");
+    run_and_report(spec, args, " %12.1f");
   }
 
   // --- Fig 8e: CDF of RCP FCT / PDQ FCT per flow (flow level) ---
@@ -160,7 +169,8 @@ int main(int argc, char** argv) {
     sim::Simulator simulator;
     net::Topology topo(simulator, seed);
     auto servers = net::build_fat_tree(topo, 8);  // 128 servers
-    auto flows = perm_flows(servers, full ? 10 : 8, seed);
+    sim::Rng rng(seed);
+    auto flows = perm_workload(full ? 10 : 8).make(servers, rng);
     flowsim::Options op;
     op.model = flowsim::Model::kPdq;
     flowsim::FlowLevelSimulator fp(topo, op);
@@ -173,9 +183,8 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < flows.size(); ++i) {
       if (rp.flows[i].outcome == net::FlowOutcome::kCompleted &&
           rr.flows[i].outcome == net::FlowOutcome::kCompleted) {
-        ratio.push_back(
-            static_cast<double>(rr.flows[i].completion_time()) /
-            static_cast<double>(rp.flows[i].completion_time()));
+        ratio.push_back(static_cast<double>(rr.flows[i].completion_time()) /
+                        static_cast<double>(rp.flows[i].completion_time()));
       }
     }
     std::sort(ratio.begin(), ratio.end());

@@ -2,6 +2,8 @@
 // directions. (a) deadline-constrained: flows supported at 99%
 // application throughput; (b) deadline-unconstrained: mean FCT normalized
 // to loss-free PDQ.
+#include <algorithm>
+
 #include "bench_common.h"
 
 using namespace pdq;
@@ -9,98 +11,118 @@ using namespace pdq::bench;
 
 namespace {
 
-harness::RunResult run_lossy(harness::ProtocolStack& stack, int n,
-                             bool deadlines, double loss,
-                             std::uint64_t seed) {
-  AggregationSpec a;
+harness::Scenario lossy_scenario(int n, bool deadlines, double loss) {
+  harness::AggregationSpec a;
   a.num_flows = n;
   a.deadlines = deadlines;
-  a.seed = seed;
+  harness::Scenario s = harness::aggregation_scenario(a);
   const int senders = std::max(1, std::min(n, 32));
-  auto flows = aggregation_flows(a, senders);
-  auto build = [&](net::Topology& t) {
-    auto servers = net::build_single_bottleneck(t, senders);
-    for (auto& f : flows) {
-      f.src = servers[static_cast<std::size_t>(f.src)];
-      f.dst = servers.back();
-    }
-    return servers;
-  };
-  harness::RunOptions opts;
-  opts.horizon = 60 * sim::kSecond;
-  opts.seed = seed;
+  s.options.horizon = 60 * sim::kSecond;
   // The bottleneck link is switch(0) -> receiver(last host id).
-  opts.watch_link = std::make_pair(net::NodeId{0},
-                                   static_cast<net::NodeId>(senders + 1));
-  opts.watch_link_drop_rate = loss;
-  return harness::run_scenario(stack, build, flows, opts);
+  s.options.watch_link = std::make_pair(
+      net::NodeId{0}, static_cast<net::NodeId>(senders + 1));
+  s.options.watch_link_drop_rate = loss;
+  return s;
+}
+
+std::string loss_label(double loss) {
+  return std::to_string(static_cast<int>(loss * 100));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int trials = full ? 4 : 2;
+  const BenchArgs args = parse_args(argc, argv);
+  const int trials = args.full ? 4 : 2;
+  const std::uint64_t base_seed = args.seed_or();
   const std::vector<double> loss_rates{0.0, 0.01, 0.02, 0.03};
 
+  harness::SweepRunner runner(args.threads);
+
+  // --- (a) flows at 99%, binary search per (loss, stack) ---
   std::printf(
       "Fig 9a: flows at 99%% application throughput vs packet loss rate\n"
       "(loss applied in both directions at the bottleneck)\n\n");
-  print_header("loss [%]", {"PDQ", "TCP"});
-  const int hi = full ? 32 : 16;
-  for (double loss : loss_rates) {
-    std::vector<double> cells;
-    for (const char* name : {"PDQ(Full)", "TCP"}) {
-      auto pred = [&](int n) {
-        return average_over_seeds(trials, [&](std::uint64_t seed) {
-                 auto stack = make_stack(name);
-                 return run_lossy(*stack, n, true, loss, seed)
-                     .application_throughput();
-               }) >= 99.0;
-      };
-      cells.push_back(std::max(0, harness::binary_search_max(1, hi, pred)));
+  {
+    const int hi = args.full ? 32 : 16;
+    std::vector<std::string> points;
+    std::vector<std::vector<double>> cells;
+    for (double loss : loss_rates) {
+      points.push_back(loss_label(loss));
+      std::vector<double> row;
+      for (const char* name : {"PDQ(Full)", "TCP"}) {
+        auto pred = [&](int n) {
+          return runner.average(
+                     lossy_scenario(n, true, loss),
+                     harness::stack_column(name), trials, base_seed,
+                     harness::metrics::application_throughput().fn) >= 99.0;
+        };
+        row.push_back(std::max(0, harness::binary_search_max(1, hi, pred)));
+      }
+      cells.push_back(std::move(row));
     }
-    print_row(std::to_string(static_cast<int>(loss * 100)), cells,
-              " %12.0f");
+    auto results = grid_results("fig9a_loss", "loss [%]", "flows_at_99",
+                                {"PDQ", "TCP"}, points, cells, base_seed);
+    harness::TableSink(stdout, " %12.0f").write(results);
+    write_outputs(results, args);
   }
 
+  // --- (a') application throughput at a fixed 8 flows ---
   std::printf(
       "\nFig 9a': application throughput [%%] at 8 concurrent deadline\n"
       "flows vs loss rate (smoother view of the same resilience)\n\n");
-  print_header("loss [%]", {"PDQ", "TCP"});
-  for (double loss : loss_rates) {
-    std::vector<double> cells;
-    for (const char* name : {"PDQ(Full)", "TCP"}) {
-      cells.push_back(average_over_seeds(trials * 3, [&](std::uint64_t seed) {
-        auto stack = make_stack(name);
-        return run_lossy(*stack, 8, true, loss, seed)
-            .application_throughput();
-      }));
+  {
+    harness::ExperimentSpec spec;
+    spec.name = "fig9a_loss_appthroughput";
+    spec.axis = "loss [%]";
+    spec.metric = harness::metrics::application_throughput();
+    spec.trials = trials * 3;
+    spec.base_seed = base_seed;
+    spec.base = lossy_scenario(8, true, 0.0);
+    spec.columns.push_back(
+        harness::stack_column("PDQ", "PDQ(Full)"));
+    spec.columns.push_back(harness::stack_column("TCP"));
+    for (double loss : loss_rates) {
+      harness::SweepPoint p;
+      p.label = loss_label(loss);
+      p.apply = [loss](harness::Scenario& s) {
+        s = lossy_scenario(8, true, loss);
+      };
+      spec.points.push_back(std::move(p));
     }
-    print_row(std::to_string(static_cast<int>(loss * 100)), cells,
-              " %12.1f");
+    run_and_report(spec, args, " %12.1f");
   }
 
+  // --- (b) mean FCT normalized to loss-free PDQ ---
   std::printf(
       "\nFig 9b: mean FCT vs loss rate, normalized to each protocol's own\n"
       "loss-free PDQ baseline (10 flows, no deadlines)\n\n");
-  print_header("loss [%]", {"PDQ", "TCP"});
-  double pdq_base = 0;
-  std::vector<std::vector<double>> rows;
-  for (double loss : loss_rates) {
-    std::vector<double> cells;
-    for (const char* name : {"PDQ(Full)", "TCP"}) {
-      cells.push_back(average_over_seeds(trials, [&](std::uint64_t seed) {
-        auto stack = make_stack(name);
-        return run_lossy(*stack, 10, false, loss, seed).mean_fct_ms();
-      }));
+  {
+    harness::ExperimentSpec spec;
+    spec.name = "fig9b_loss_fct";
+    spec.axis = "loss [%]";
+    spec.metric = harness::metrics::mean_fct_ms();
+    spec.trials = trials;
+    spec.base_seed = base_seed;
+    spec.base = lossy_scenario(10, false, 0.0);
+    spec.columns.push_back(harness::stack_column("PDQ", "PDQ(Full)"));
+    spec.columns.push_back(harness::stack_column("TCP"));
+    for (double loss : loss_rates) {
+      harness::SweepPoint p;
+      p.label = loss_label(loss);
+      p.apply = [loss](harness::Scenario& s) {
+        s = lossy_scenario(10, false, loss);
+      };
+      spec.points.push_back(std::move(p));
     }
-    if (loss == 0.0) pdq_base = cells[0];
-    rows.push_back(cells);
-  }
-  for (std::size_t i = 0; i < loss_rates.size(); ++i) {
-    print_row(std::to_string(static_cast<int>(loss_rates[i] * 100)),
-              {rows[i][0] / pdq_base, rows[i][1] / pdq_base});
+    auto results = runner.run(spec);
+    write_outputs(results, args);  // CSV keeps the raw (unnormalized) FCTs
+    const double pdq_base = results.mean(0, 0);
+    print_header("loss [%]", {"PDQ", "TCP"});
+    for (std::size_t p = 0; p < results.points.size(); ++p) {
+      print_row(results.points[p], {results.mean(p, 0) / pdq_base,
+                                    results.mean(p, 1) / pdq_base});
+    }
   }
   std::printf(
       "\nExpected shape (paper): at 3%% loss PDQ's FCT grows ~11%% while\n"

@@ -5,12 +5,16 @@
 // entry point for trying the library without writing C++.
 //
 // Usage:
-//   pdqsim [--protocol pdq|pdq-basic|pdq-es|pdq-eset|mpdq|rcp|d3|tcp]
+//   pdqsim [--protocol NAME] [--list-protocols]
 //          [--topology bottleneck|tree|fattree|bcube|jellyfish]
 //          [--servers N] [--flows N] [--pattern agg|stride|staggered|perm]
 //          [--size-dist uniform|vl2|edu|pareto] [--mean-kb N]
 //          [--deadlines] [--deadline-ms N] [--arrival-rate R]
 //          [--subflows K] [--seed S] [--csv] [--verbose]
+//
+// --protocol accepts any name in the stack registry — canonical figure
+// names ("PDQ(Full)", "M-PDQ", ...) or CLI aliases (pdq, pdq-basic,
+// pdq-es, pdq-eset, mpdq, rcp, d3, tcp); --list-protocols prints them.
 //
 // Examples:
 //   pdqsim --protocol pdq --topology fattree --servers 16 --flows 48
@@ -22,7 +26,7 @@
 #include <memory>
 #include <string>
 
-#include "harness/stacks.h"
+#include "harness/registry.h"
 #include "workload/workload.h"
 
 using namespace pdq;
@@ -48,12 +52,28 @@ struct Args {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: pdqsim [--protocol P] [--topology T] [--servers N]\n"
+               "usage: pdqsim [--protocol P] [--list-protocols]\n"
+               "              [--topology T] [--servers N]\n"
                "              [--flows N] [--pattern P] [--size-dist D]\n"
                "              [--mean-kb N] [--deadlines] [--deadline-ms N]\n"
                "              [--arrival-rate R] [--subflows K] [--seed S]\n"
                "              [--csv] [--verbose]\n");
   std::exit(2);
+}
+
+[[noreturn]] void list_protocols() {
+  const auto& registry = harness::StackRegistry::global();
+  std::printf("%-12s %-32s %s\n", "name", "aliases", "description");
+  for (const auto& name : registry.names()) {
+    std::string aliases;
+    for (const auto& a : registry.aliases_of(name)) {
+      if (!aliases.empty()) aliases += ", ";
+      aliases += a;
+    }
+    std::printf("%-12s %-32s %s\n", name.c_str(), aliases.c_str(),
+                registry.describe(name).c_str());
+  }
+  std::exit(0);
 }
 
 Args parse(int argc, char** argv) {
@@ -78,6 +98,7 @@ Args parse(int argc, char** argv) {
     else if (arg == "--seed") a.seed = static_cast<std::uint64_t>(std::atoll(next(i)));
     else if (arg == "--csv") a.csv = true;
     else if (arg == "--verbose") a.verbose = true;
+    else if (arg == "--list-protocols") list_protocols();
     else if (arg == "--help" || arg == "-h") usage();
     else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
@@ -144,27 +165,16 @@ workload::SizeFn size_fn(const Args& a) {
 }
 
 std::unique_ptr<harness::ProtocolStack> stack_for(const Args& a) {
-  if (a.protocol == "pdq")
-    return std::make_unique<harness::PdqStack>();
-  if (a.protocol == "pdq-basic")
-    return std::make_unique<harness::PdqStack>(core::PdqConfig::basic(),
-                                               "PDQ(Basic)");
-  if (a.protocol == "pdq-es")
-    return std::make_unique<harness::PdqStack>(core::PdqConfig::es(),
-                                               "PDQ(ES)");
-  if (a.protocol == "pdq-eset")
-    return std::make_unique<harness::PdqStack>(core::PdqConfig::es_et(),
-                                               "PDQ(ES+ET)");
-  if (a.protocol == "mpdq") {
-    core::MpdqConfig cfg;
-    cfg.num_subflows = a.subflows;
-    return std::make_unique<harness::MpdqStack>(cfg);
+  harness::StackOptions options;
+  options.subflows = a.subflows;
+  std::string error;
+  auto stack =
+      harness::StackRegistry::global().make(a.protocol, options, &error);
+  if (stack == nullptr) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::exit(2);
   }
-  if (a.protocol == "rcp") return std::make_unique<harness::RcpStack>();
-  if (a.protocol == "d3") return std::make_unique<harness::D3Stack>();
-  if (a.protocol == "tcp") return std::make_unique<harness::TcpStack>();
-  std::fprintf(stderr, "unknown protocol %s\n", a.protocol.c_str());
-  usage();
+  return stack;
 }
 
 }  // namespace

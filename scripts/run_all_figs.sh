@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds every fig* benchmark and runs them all, collecting each figure's
-# table under results/.
+# text table (results/<bench>.txt) and the per-trial CSVs the benches
+# write themselves (results/<experiment>.csv).
 #
 # Usage: scripts/run_all_figs.sh [--quick] [--build-dir DIR] [--filter RE]
 #
@@ -58,5 +59,6 @@ if [[ $ran -eq 0 ]]; then
   echo "no benchmarks matched filter '$FILTER'" >&2
   exit 2
 fi
-echo "ran $ran benchmarks, $failures failed; outputs in results/"
+csvs=$(ls results/*.csv 2>/dev/null | wc -l)
+echo "ran $ran benchmarks, $failures failed; $csvs CSV files + tables in results/"
 exit "$((failures > 0 ? 1 : 0))"

@@ -1,0 +1,194 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/builders.h"
+
+namespace pdq::harness {
+
+// ---------------------------------------------------------------------------
+// TopologySpec factories
+// ---------------------------------------------------------------------------
+
+TopologySpec TopologySpec::single_bottleneck(int n_senders,
+                                             net::LinkDefaults d) {
+  return {"bottleneck/" + std::to_string(n_senders),
+          [n_senders, d](net::Topology& t) {
+            return net::build_single_bottleneck(t, n_senders, d);
+          }};
+}
+
+TopologySpec TopologySpec::single_rooted_tree(int num_tors,
+                                              int servers_per_tor) {
+  return {"tree/" + std::to_string(num_tors * servers_per_tor),
+          [num_tors, servers_per_tor](net::Topology& t) {
+            return net::build_single_rooted_tree(t, num_tors,
+                                                 servers_per_tor);
+          }};
+}
+
+TopologySpec TopologySpec::fat_tree(int k) {
+  return {"fat-tree/" + std::to_string(k * k * k / 4),
+          [k](net::Topology& t) { return net::build_fat_tree(t, k); }};
+}
+
+TopologySpec TopologySpec::bcube(int n, int k) {
+  int servers = 1;
+  for (int i = 0; i <= k; ++i) servers *= n;
+  return {"bcube/" + std::to_string(servers),
+          [n, k](net::Topology& t) { return net::build_bcube(t, n, k); }};
+}
+
+TopologySpec TopologySpec::jellyfish(int num_switches, int ports,
+                                     int net_ports, std::uint64_t seed) {
+  return {"jellyfish/" + std::to_string(num_switches * (ports - net_ports)),
+          [num_switches, ports, net_ports, seed](net::Topology& t) {
+            return net::build_jellyfish(t, num_switches, ports, net_ports,
+                                        seed);
+          }};
+}
+
+TopologySpec TopologySpec::custom(std::string name, TopologyBuilder build) {
+  return {std::move(name), std::move(build)};
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadSpec factories
+// ---------------------------------------------------------------------------
+
+WorkloadSpec WorkloadSpec::flow_set(workload::FlowSetOptions opts,
+                                    std::string name) {
+  return {std::move(name),
+          [opts](const std::vector<net::NodeId>& servers, sim::Rng& rng) {
+            return workload::make_flows(servers, opts, rng);
+          }};
+}
+
+WorkloadSpec WorkloadSpec::fixed(std::vector<net::FlowSpec> flows,
+                                 std::string name) {
+  return {std::move(name),
+          [flows](const std::vector<net::NodeId>&, sim::Rng&) {
+            return flows;
+          }};
+}
+
+WorkloadSpec WorkloadSpec::custom(std::string name, Fn make) {
+  return {std::move(name), std::move(make)};
+}
+
+// ---------------------------------------------------------------------------
+// Query aggregation
+// ---------------------------------------------------------------------------
+
+Scenario aggregation_scenario(const AggregationSpec& a) {
+  const int senders = std::max(1, std::min(a.num_flows, 32));
+  Scenario s;
+  s.topology = TopologySpec::single_bottleneck(senders);
+  // Draw order matches the historical bench_common::aggregation_flows:
+  // size then (optionally) deadline, per flow, from one stream.
+  s.workload = WorkloadSpec::custom(
+      "aggregation/" + std::to_string(a.num_flows),
+      [a, senders](const std::vector<net::NodeId>& servers, sim::Rng& rng) {
+        auto size = workload::uniform_size(a.size_lo, a.size_hi);
+        auto dl = workload::exp_deadline(a.deadline_mean, a.deadline_floor);
+        std::vector<net::FlowSpec> flows;
+        flows.reserve(static_cast<std::size_t>(a.num_flows));
+        for (int i = 0; i < a.num_flows; ++i) {
+          net::FlowSpec f;
+          f.id = i + 1;
+          f.size_bytes = size(rng);
+          if (a.deadlines) f.deadline = dl(rng);
+          f.src = servers[static_cast<std::size_t>(i % senders)];
+          f.dst = servers.back();
+          flows.push_back(f);
+        }
+        return flows;
+      });
+  s.options.horizon = 30 * sim::kSecond;
+  return s;
+}
+
+std::vector<sched::Job> to_jobs(const std::vector<net::FlowSpec>& flows) {
+  std::vector<sched::Job> jobs;
+  jobs.reserve(flows.size());
+  for (const auto& f : flows) {
+    jobs.push_back({f.size_bytes, f.start_time, f.absolute_deadline(),
+                    static_cast<int>(f.id)});
+  }
+  return jobs;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+namespace metrics {
+
+MetricSpec mean_fct_ms() {
+  return {"mean_fct_ms",
+          [](const RunContext& c) { return c.result->mean_fct_ms(); }};
+}
+
+MetricSpec max_fct_ms() {
+  return {"max_fct_ms",
+          [](const RunContext& c) { return c.result->max_fct_ms(); }};
+}
+
+MetricSpec application_throughput() {
+  return {"app_throughput",
+          [](const RunContext& c) { return c.result->application_throughput(); }};
+}
+
+MetricSpec completed() {
+  return {"completed", [](const RunContext& c) {
+            return static_cast<double>(c.result->completed());
+          }};
+}
+
+MetricSpec mean_fct_vs_optimal(double bottleneck_bps) {
+  return {"mean_fct_vs_optimal", [bottleneck_bps](const RunContext& c) {
+            return c.result->mean_fct_ms() /
+                   sched::optimal_mean_fct_ms(to_jobs(*c.flows),
+                                              bottleneck_bps);
+          }};
+}
+
+MetricSpec optimal_application_throughput(double bottleneck_bps) {
+  return {"optimal_app_throughput", [bottleneck_bps](const RunContext& c) {
+            return sched::optimal_application_throughput(to_jobs(*c.flows),
+                                                         bottleneck_bps);
+          }};
+}
+
+MetricSpec optimal_mean_fct_ms(double bottleneck_bps) {
+  return {"optimal_mean_fct_ms", [bottleneck_bps](const RunContext& c) {
+            return sched::optimal_mean_fct_ms(to_jobs(*c.flows),
+                                              bottleneck_bps);
+          }};
+}
+
+}  // namespace metrics
+
+// ---------------------------------------------------------------------------
+// Columns
+// ---------------------------------------------------------------------------
+
+Column stack_column(std::string name) {
+  Column c;
+  c.label = name;
+  c.stack = std::move(name);
+  return c;
+}
+
+Column stack_column(std::string label, std::string name, StackOptions options,
+                    MetricFn metric) {
+  Column c;
+  c.label = std::move(label);
+  c.stack = std::move(name);
+  c.options = std::move(options);
+  c.metric = std::move(metric);
+  return c;
+}
+
+}  // namespace pdq::harness

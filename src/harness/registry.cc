@@ -1,0 +1,97 @@
+#include "harness/registry.h"
+
+#include <algorithm>
+
+namespace pdq::harness {
+
+StackRegistry& StackRegistry::global() {
+  static StackRegistry* registry = [] {
+    auto* r = new StackRegistry();
+    register_builtin_stacks(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void StackRegistry::add(const std::string& name,
+                        const std::string& description, Factory factory) {
+  for (auto& e : entries_) {
+    if (e.name == name) {
+      e.description = description;
+      e.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back({name, description, std::move(factory)});
+}
+
+void StackRegistry::add_alias(const std::string& alias,
+                              const std::string& canonical) {
+  aliases_[alias] = canonical;
+}
+
+const StackRegistry::Entry* StackRegistry::find(
+    const std::string& name) const {
+  std::string key = name;
+  const auto alias = aliases_.find(name);
+  if (alias != aliases_.end()) key = alias->second;
+  for (const auto& e : entries_) {
+    if (e.name == key) return &e;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ProtocolStack> StackRegistry::make(
+    const std::string& name, const StackOptions& options,
+    std::string* error) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown stack \"" + name + "\"; available: " + available();
+    }
+    return nullptr;
+  }
+  return e->factory(options);
+}
+
+bool StackRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::string StackRegistry::resolve(const std::string& name) const {
+  const Entry* e = find(name);
+  return e == nullptr ? std::string() : e->name;
+}
+
+std::string StackRegistry::describe(const std::string& name) const {
+  const Entry* e = find(name);
+  return e == nullptr ? std::string() : e->description;
+}
+
+std::vector<std::string> StackRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::vector<std::string> StackRegistry::aliases_of(
+    const std::string& canonical) const {
+  std::vector<std::string> out;
+  for (const auto& [alias, target] : aliases_) {
+    if (target == canonical) out.push_back(alias);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string StackRegistry::available() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    if (!out.empty()) out += ", ";
+    out += e.name;
+  }
+  return out;
+}
+
+}  // namespace pdq::harness

@@ -1,0 +1,115 @@
+// StackRegistry: string-keyed, self-registering factories for every
+// ProtocolStack under evaluation.
+//
+// The registry is the single source of truth for "which transports exist"
+// — benches, pdqsim and the sweep engine all construct stacks through it,
+// so adding a protocol is one registration call instead of editing every
+// driver's switch statement. Stacks keep per-run switch state, so `make`
+// returns a *fresh* stack per call; construct one per simulation run.
+//
+// Registration: the built-in transports register themselves from
+// stacks.cc via register_builtin_stacks(), which global() calls on first
+// use. (A pure static-initializer scheme would be dropped by the linker
+// when nothing else references the registering translation unit of a
+// static library — the explicit call keeps the archive member live.)
+// External code can add stacks at runtime with add(), or at static-init
+// time with a StackRegistrar when its object file is guaranteed linked.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mpdq.h"
+#include "core/pdq_config.h"
+#include "harness/scenario.h"
+#include "protocols/d3.h"
+#include "protocols/rcp.h"
+#include "protocols/tcp.h"
+
+namespace pdq::harness {
+
+/// Per-construction overrides a factory may honor. Fields a given stack
+/// does not understand are ignored (e.g. `pdq` for TCP).
+struct StackOptions {
+  /// Display-name override. Honored by the PDQ-variant factories (whose
+  /// stacks carry a configurable label); the fixed-name stacks (D3, RCP,
+  /// TCP, M-PDQ) ignore it — label table columns via Column::label.
+  std::string label;
+  /// M-PDQ subflow count; 0 keeps the registered default.
+  int subflows = 0;
+  /// Full config overrides for the respective transports.
+  std::optional<core::PdqConfig> pdq;
+  std::optional<core::MpdqConfig> mpdq;
+  std::optional<protocols::RcpConfig> rcp;
+  std::optional<protocols::D3Config> d3;
+  std::optional<protocols::TcpConfig> tcp;
+};
+
+class StackRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<ProtocolStack>(const StackOptions&)>;
+
+  /// The process-wide registry, with all built-in transports registered.
+  static StackRegistry& global();
+
+  /// Registers `factory` under `name` (the canonical display name).
+  /// Re-registering a name replaces the factory and keeps its position.
+  void add(const std::string& name, const std::string& description,
+           Factory factory);
+
+  /// Registers `alias` as an alternate lookup key for `canonical`
+  /// (e.g. "pdq" -> "PDQ(Full)"). Aliases never appear in names().
+  void add_alias(const std::string& alias, const std::string& canonical);
+
+  /// Fresh stack by canonical name or alias. On failure returns nullptr
+  /// and, when `error` is non-null, stores a message listing the
+  /// available stacks.
+  std::unique_ptr<ProtocolStack> make(const std::string& name,
+                                      const StackOptions& options = {},
+                                      std::string* error = nullptr) const;
+
+  bool contains(const std::string& name) const;
+  /// Canonical name for `name` (resolves aliases); empty when unknown.
+  std::string resolve(const std::string& name) const;
+  /// One-line description for a canonical name or alias.
+  std::string describe(const std::string& name) const;
+  /// Canonical names, in registration order.
+  std::vector<std::string> names() const;
+  /// Aliases for one canonical name, sorted.
+  std::vector<std::string> aliases_of(const std::string& canonical) const;
+  /// "name1, name2, ..." of every canonical name — error-message helper.
+  std::string available() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string description;
+    Factory factory;
+  };
+  const Entry* find(const std::string& name) const;
+
+  std::vector<Entry> entries_;                   // registration order
+  std::map<std::string, std::string> aliases_;   // alias -> canonical
+};
+
+/// RAII registrar for translation units that are guaranteed to be linked:
+///   static StackRegistrar reg("MyProto", "...", [](const StackOptions&){...});
+class StackRegistrar {
+ public:
+  StackRegistrar(const std::string& name, const std::string& description,
+                 StackRegistry::Factory factory) {
+    StackRegistry::global().add(name, description, std::move(factory));
+  }
+};
+
+/// Registers the seven paper transports plus M-PDQ and their CLI aliases.
+/// Called by StackRegistry::global(); defined next to the stack adapters
+/// in stacks.cc. Idempotent.
+void register_builtin_stacks(StackRegistry& registry);
+
+}  // namespace pdq::harness

@@ -58,6 +58,13 @@ RunResult run_scenario(ProtocolStack& stack, const TopologyBuilder& build,
   sim::Simulator simulator;
   net::Topology topo(simulator, opts.seed);
   build(topo);
+  return run_prepared(stack, simulator, topo, flows, opts);
+}
+
+RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
+                       net::Topology& topo,
+                       const std::vector<net::FlowSpec>& flows,
+                       const RunOptions& opts) {
   stack.install(topo);
 
   RunResult result;
@@ -110,13 +117,16 @@ RunResult run_scenario(ProtocolStack& stack, const TopologyBuilder& build,
     agents.push_back(std::move(sender));
   }
 
-  // Optional per-flow goodput sampler (Fig 6/7 time-series plots).
+  // Optional per-flow goodput sampler (Fig 6/7 time-series plots). The
+  // recurring event holds a weak reference to its own closure: a shared
+  // self-capture would form an ownership cycle and leak the sampler.
   auto prev = std::make_shared<std::vector<std::int64_t>>(flows.size(), 0);
+  auto sample = std::make_shared<std::function<void()>>();
   if (opts.per_flow_series) {
     result.flow_goodput_bps.resize(flows.size());
     const sim::Time bin = opts.flow_series_bin;
-    auto sample = std::make_shared<std::function<void()>>();
-    *sample = [&, prev, bin, sample]() {
+    *sample = [&, prev, bin,
+               weak = std::weak_ptr<std::function<void()>>(sample)]() {
       for (std::size_t i = 0; i < senders.size(); ++i) {
         const net::FlowResult* r = senders[i]->flow_result();
         const std::int64_t acked = r ? r->bytes_acked : 0;
@@ -125,7 +135,9 @@ RunResult run_scenario(ProtocolStack& stack, const TopologyBuilder& build,
             sim::to_seconds(bin));
         (*prev)[i] = acked;
       }
-      if (remaining > 0) simulator.schedule_in(bin, *sample);
+      if (remaining > 0) {
+        if (auto self = weak.lock()) simulator.schedule_in(bin, *self);
+      }
     };
     simulator.schedule_in(bin, *sample);
   }

@@ -73,8 +73,20 @@ struct RunResult {
 using TopologyBuilder = std::function<std::vector<net::NodeId>(net::Topology&)>;
 
 /// Runs `flows` (src/dst are NodeIds produced by the builder) under
-/// `stack` on the topology from `build`.
+/// `stack` on the topology from `build`. Compatibility shim over
+/// run_prepared(); new code should describe experiments declaratively
+/// with ExperimentSpec (harness/experiment.h) and SweepRunner
+/// (harness/sweep.h) instead.
 RunResult run_scenario(ProtocolStack& stack, const TopologyBuilder& build,
+                       const std::vector<net::FlowSpec>& flows,
+                       const RunOptions& opts = {});
+
+/// Runs `flows` on an already-built topology (`opts.seed` is NOT applied
+/// to `topo` — the caller owns topology construction). This is the core
+/// the sweep engine drives; `simulator` must be the one `topo` was
+/// constructed with.
+RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
+                       net::Topology& topo,
                        const std::vector<net::FlowSpec>& flows,
                        const RunOptions& opts = {});
 

@@ -1,0 +1,142 @@
+#include "harness/sinks.h"
+
+#include <sys/stat.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pdq::harness {
+
+void TableSink::write(const SweepResults& r) {
+  if (with_title_ && !r.title.empty()) {
+    std::fprintf(out_, "%s\n\n", r.title.c_str());
+  }
+  const auto grid = r.means();
+  const auto& row_labels = transpose_ ? r.columns : r.points;
+  const auto& col_labels = transpose_ ? r.points : r.columns;
+
+  std::fprintf(out_, "%-14s", r.axis.c_str());
+  for (const auto& c : col_labels) std::fprintf(out_, " %12s", c.c_str());
+  std::fprintf(out_, "\n");
+  for (std::size_t row = 0; row < row_labels.size(); ++row) {
+    std::fprintf(out_, "%-14s", row_labels[row].c_str());
+    for (std::size_t col = 0; col < col_labels.size(); ++col) {
+      const double v = transpose_ ? grid[col][row] : grid[row][col];
+      std::fprintf(out_, cell_format_.c_str(), v);
+    }
+    std::fprintf(out_, "\n");
+  }
+}
+
+std::string csv_escape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char ch : field) {
+    if (ch == ',' || ch == '"' || ch == '\n' || ch == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+std::string result_path(const std::string& dir, const std::string& name,
+                        const std::string& ext) {
+  if (dir.empty()) return name + "." + ext;
+  ::mkdir(dir.c_str(), 0777);  // best effort; fopen reports real failures
+  return dir + "/" + name + "." + ext;
+}
+
+void CsvSink::write(const SweepResults& r) {
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "CsvSink: cannot open %s\n", path_.c_str());
+    return;
+  }
+  std::fprintf(f, "experiment,point,column,trial,seed,metric,value\n");
+  for (std::size_t p = 0; p < r.points.size(); ++p) {
+    for (std::size_t c = 0; c < r.columns.size(); ++c) {
+      for (std::size_t t = 0; t < r.samples[p][c].size(); ++t) {
+        std::fprintf(f, "%s,%s,%s,%zu,%" PRIu64 ",%s,%.17g\n",
+                     csv_escape(r.name).c_str(),
+                     csv_escape(r.points[p]).c_str(),
+                     csv_escape(r.columns[c]).c_str(), t,
+                     t < r.seeds.size() ? r.seeds[t] : 0,
+                     csv_escape(r.metric).c_str(), r.samples[p][c][t]);
+      }
+    }
+  }
+  std::fclose(f);
+}
+
+void JsonSink::write(const SweepResults& r) {
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonSink: cannot open %s\n", path_.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"%s\",\n", json_escape(r.name).c_str());
+  std::fprintf(f, "  \"title\": \"%s\",\n", json_escape(r.title).c_str());
+  std::fprintf(f, "  \"axis\": \"%s\",\n", json_escape(r.axis).c_str());
+  std::fprintf(f, "  \"metric\": \"%s\",\n", json_escape(r.metric).c_str());
+  std::fprintf(f, "  \"base_seed\": %" PRIu64 ",\n", r.base_seed);
+  std::fprintf(f, "  \"seeds\": [");
+  for (std::size_t t = 0; t < r.seeds.size(); ++t) {
+    std::fprintf(f, "%s%" PRIu64, t ? ", " : "", r.seeds[t]);
+  }
+  std::fprintf(f, "],\n  \"columns\": [");
+  for (std::size_t c = 0; c < r.columns.size(); ++c) {
+    std::fprintf(f, "%s\"%s\"", c ? ", " : "", json_escape(r.columns[c]).c_str());
+  }
+  std::fprintf(f, "],\n  \"points\": [");
+  for (std::size_t p = 0; p < r.points.size(); ++p) {
+    std::fprintf(f, "%s\"%s\"", p ? ", " : "", json_escape(r.points[p]).c_str());
+  }
+  std::fprintf(f, "],\n  \"samples\": [");
+  for (std::size_t p = 0; p < r.samples.size(); ++p) {
+    std::fprintf(f, "%s\n    [", p ? "," : "");
+    for (std::size_t c = 0; c < r.samples[p].size(); ++c) {
+      std::fprintf(f, "%s[", c ? ", " : "");
+      for (std::size_t t = 0; t < r.samples[p][c].size(); ++t) {
+        std::fprintf(f, "%s%.17g", t ? ", " : "", r.samples[p][c][t]);
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "]");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace pdq::harness

@@ -1,0 +1,78 @@
+// Result sinks: pluggable outputs for SweepResults.
+//
+// TableSink prints the aligned text table the bench binaries always
+// printed; CsvSink and JsonSink persist per-trial samples (one record
+// per (point, column, trial)) for downstream plotting — run_all_figs.sh
+// collects them under results/.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/sweep.h"
+
+namespace pdq::harness {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void write(const SweepResults& results) = 0;
+};
+
+/// Aligned text table of per-cell means: one row per sweep point, one
+/// column per Column (the historical bench format, byte-for-byte).
+class TableSink : public ResultSink {
+ public:
+  explicit TableSink(std::FILE* out = stdout, std::string cell_format = " %12.2f")
+      : out_(out), cell_format_(std::move(cell_format)) {}
+
+  /// Swap rows and columns (single-point specs whose natural table lists
+  /// one row per protocol).
+  TableSink& transpose(bool on = true) { transpose_ = on; return *this; }
+  /// Print the title block before the table.
+  TableSink& with_title(bool on = true) { with_title_ = on; return *this; }
+
+  void write(const SweepResults& results) override;
+
+ private:
+  std::FILE* out_;
+  std::string cell_format_;
+  bool transpose_ = false;
+  bool with_title_ = false;
+};
+
+/// results/<name>.csv with header
+/// experiment,point,column,trial,seed,metric,value — one row per sample.
+/// Rows are emitted in (point, column, trial) order, which is identical
+/// for any SweepRunner thread count.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::string path) : path_(std::move(path)) {}
+  void write(const SweepResults& results) override;
+
+ private:
+  std::string path_;
+};
+
+/// results/<name>.json: experiment metadata plus the full sample grid.
+class JsonSink : public ResultSink {
+ public:
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+  void write(const SweepResults& results) override;
+
+ private:
+  std::string path_;
+};
+
+/// RFC-4180 field escaping: quotes the field when it contains a comma,
+/// quote, CR or LF; embedded quotes are doubled.
+std::string csv_escape(const std::string& field);
+
+/// JSON string-body escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+/// `dir`/`name`.`ext`, creating `dir` (one level) if needed.
+std::string result_path(const std::string& dir, const std::string& name,
+                        const std::string& ext);
+
+}  // namespace pdq::harness

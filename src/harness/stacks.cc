@@ -2,6 +2,7 @@
 
 #include "core/pdq_agent.h"
 #include "core/pdq_switch.h"
+#include "harness/registry.h"
 
 namespace pdq::harness {
 
@@ -61,6 +62,72 @@ std::unique_ptr<net::Agent> TcpStack::make_sender(net::AgentContext ctx) {
 
 std::unique_ptr<net::Agent> TcpStack::make_receiver(net::AgentContext ctx) {
   return std::make_unique<protocols::TcpReceiver>(std::move(ctx));
+}
+
+namespace {
+
+/// Factory for the four PDQ variants: `base()` supplies the paper preset,
+/// `options.pdq` replaces it wholesale, `options.label` renames the stack.
+StackRegistry::Factory pdq_factory(core::PdqConfig (*base)(),
+                                   const char* default_label) {
+  return [base, default_label](const StackOptions& options) {
+    const core::PdqConfig cfg = options.pdq ? *options.pdq : base();
+    const std::string label =
+        options.label.empty() ? default_label : options.label;
+    return std::make_unique<PdqStack>(cfg, label);
+  };
+}
+
+}  // namespace
+
+void register_builtin_stacks(StackRegistry& r) {
+  static bool done = false;
+  if (done) return;
+  done = true;
+
+  // Canonical names match the paper's figure legends (and the historical
+  // bench::all_stacks() order); aliases match pdqsim's CLI spellings.
+  r.add("PDQ(Full)", "PDQ with Early Start, Early Termination and Suppressed Probing",
+        pdq_factory(&core::PdqConfig::full, "PDQ(Full)"));
+  r.add("PDQ(ES+ET)", "PDQ with Early Start and Early Termination",
+        pdq_factory(&core::PdqConfig::es_et, "PDQ(ES+ET)"));
+  r.add("PDQ(ES)", "PDQ with Early Start only",
+        pdq_factory(&core::PdqConfig::es, "PDQ(ES)"));
+  r.add("PDQ(Basic)", "PDQ without the optimizations of section 4",
+        pdq_factory(&core::PdqConfig::basic, "PDQ(Basic)"));
+  r.add("D3", "D3: first-come first-reserved deadline allocation",
+        [](const StackOptions& options) {
+          return std::make_unique<D3Stack>(options.d3 ? *options.d3
+                                                      : protocols::D3Config{});
+        });
+  r.add("RCP", "RCP with exact flow counting",
+        [](const StackOptions& options) {
+          return std::make_unique<RcpStack>(
+              options.rcp ? *options.rcp : protocols::RcpConfig{});
+        });
+  r.add("TCP", "incast-tuned TCP Reno on drop-tail FIFOs",
+        [](const StackOptions& options) {
+          return std::make_unique<TcpStack>(
+              options.tcp ? *options.tcp : protocols::TcpConfig{});
+        });
+  r.add("M-PDQ", "multipath PDQ: subflow striping over disjoint paths",
+        [](const StackOptions& options) {
+          core::MpdqConfig cfg =
+              options.mpdq ? *options.mpdq : core::MpdqConfig{};
+          if (options.subflows > 0) cfg.num_subflows = options.subflows;
+          if (options.pdq) cfg.pdq = *options.pdq;
+          return std::make_unique<MpdqStack>(cfg);
+        });
+
+  r.add_alias("pdq", "PDQ(Full)");
+  r.add_alias("pdq-full", "PDQ(Full)");
+  r.add_alias("pdq-eset", "PDQ(ES+ET)");
+  r.add_alias("pdq-es", "PDQ(ES)");
+  r.add_alias("pdq-basic", "PDQ(Basic)");
+  r.add_alias("d3", "D3");
+  r.add_alias("rcp", "RCP");
+  r.add_alias("tcp", "TCP");
+  r.add_alias("mpdq", "M-PDQ");
 }
 
 }  // namespace pdq::harness

@@ -1,0 +1,74 @@
+// SweepRunner: executes an ExperimentSpec's (column x point x trial)
+// cross product over a std::thread pool.
+//
+// Every run is an independent, single-threaded, deterministic simulation
+// (its own Simulator, Topology and Rng, all seeded from the documented
+// trial-seed ladder), so results are identical for any thread count —
+// only wall time changes. Workers write into pre-sized result slots;
+// no locks are held around simulation work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace pdq::harness {
+
+/// The filled-in cross product. samples[p][c][t] is the metric value of
+/// point p, column c, trial t (seed = trial_seed(base_seed, t)).
+struct SweepResults {
+  std::string name;
+  std::string title;
+  std::string axis;
+  std::string metric;
+  std::uint64_t base_seed = kDefaultBaseSeed;
+  std::vector<std::string> columns;
+  std::vector<std::string> points;
+  std::vector<std::uint64_t> seeds;  // one per trial
+  std::vector<std::vector<std::vector<double>>> samples;
+
+  double mean(std::size_t point, std::size_t column) const;
+  /// means()[p][c] — the table the text sink prints.
+  std::vector<std::vector<double>> means() const;
+  /// Column index by label; -1 when absent.
+  int column_index(const std::string& label) const;
+};
+
+class SweepRunner {
+ public:
+  /// threads <= 0 picks std::thread::hardware_concurrency().
+  explicit SweepRunner(int threads = 0);
+
+  /// Runs the full spec. Deterministic for any thread count.
+  SweepResults run(const ExperimentSpec& spec) const;
+
+  /// One sample: materializes the scenario's topology + workload with
+  /// `seed`, runs the column's stack (or analytic/custom evaluation) and
+  /// applies its metric. `fallback` supplies the metric when the column
+  /// has none.
+  static double evaluate(const Scenario& scenario, const Column& column,
+                         std::uint64_t seed, const MetricFn& fallback,
+                         const std::string& point_label = "", int trial = 0);
+
+  /// `trials` samples of one (scenario, column) cell, fanned across the
+  /// pool; used by adaptive drivers (binary search over a predicate).
+  std::vector<double> samples(const Scenario& scenario, const Column& column,
+                              int trials,
+                              std::uint64_t base_seed = kDefaultBaseSeed,
+                              const MetricFn& fallback = nullptr) const;
+
+  /// Mean of samples() — the seed-averaging helper benches build
+  /// predicates from.
+  double average(const Scenario& scenario, const Column& column, int trials,
+                 std::uint64_t base_seed = kDefaultBaseSeed,
+                 const MetricFn& fallback = nullptr) const;
+
+  int threads() const { return threads_; }
+
+ private:
+  int threads_;
+};
+
+}  // namespace pdq::harness

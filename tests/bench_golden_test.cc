@@ -1,0 +1,162 @@
+// Golden-value tests: the Experiment API v2 sweep engine must reproduce
+// the exact numbers the pre-redesign bench binaries printed for a fixed
+// seed. Values below were captured from the v1 binaries (commit
+// "PR 1: bootstrap CMake/CTest build") at the default seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flowsim/flowsim.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "net/builders.h"
+#include "sched/fluid.h"
+
+namespace pdq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fig 3d: mean FCT normalized to Optimal, quick mode (3 trials, base
+// seed 1000 -> seeds 1000/1007/1014), via the declarative sweep path.
+// ---------------------------------------------------------------------------
+
+struct Fig3dGolden {
+  int flows;
+  const char* stack;
+  double value;
+};
+
+// Captured from the v1 fig3d_fct_vs_flows binary (full double precision).
+const Fig3dGolden kFig3d[] = {
+    {1, "PDQ(Full)", 1.3419738807786963},
+    {1, "PDQ(ES)", 1.3419738807786963},
+    {1, "PDQ(Basic)", 1.3419738807786963},
+    {1, "RCP", 1.3270104159732352},
+    {1, "TCP", 1.3958605000402724},
+    {10, "PDQ(Full)", 1.4117332624941621},
+    {10, "PDQ(ES)", 1.4268268283993393},
+    {10, "PDQ(Basic)", 1.4810258662906379},
+    {10, "RCP", 2.0317036900197505},
+    {10, "TCP", 1.803023700696017},
+};
+
+TEST(GoldenFig3d, SweepEngineReproducesPreRedesignNumbers) {
+  harness::ExperimentSpec spec;
+  spec.name = "golden_fig3d";
+  spec.axis = "#flows";
+  spec.metric = harness::metrics::mean_fct_vs_optimal();
+  spec.trials = 3;
+  spec.base_seed = harness::kDefaultBaseSeed;
+  spec.base = harness::aggregation_scenario({});
+  for (const char* name :
+       {"PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "RCP", "TCP"}) {
+    spec.columns.push_back(harness::stack_column(name));
+  }
+  for (int n : {1, 10}) {
+    harness::SweepPoint p;
+    p.label = std::to_string(n);
+    p.apply = [n](harness::Scenario& s) {
+      harness::AggregationSpec a;
+      a.num_flows = n;
+      a.deadlines = false;
+      s = harness::aggregation_scenario(a);
+    };
+    spec.points.push_back(std::move(p));
+  }
+
+  const auto results = harness::SweepRunner().run(spec);
+  for (const auto& g : kFig3d) {
+    const std::size_t p = g.flows == 1 ? 0 : 1;
+    const int c = results.column_index(g.stack);
+    ASSERT_GE(c, 0) << g.stack;
+    EXPECT_DOUBLE_EQ(results.mean(p, static_cast<std::size_t>(c)), g.value)
+        << g.flows << " flows, " << g.stack;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 1: the motivating example — fluid schedules and D3 per arrival
+// order. Deterministic (no seeds involved).
+// ---------------------------------------------------------------------------
+
+const std::int64_t kUnit = 1'000'000;  // 1 "size unit" = 1 MB
+constexpr double kRate = 8e6;          // 1 unit per second
+
+std::vector<sched::Job> fig1_jobs() {
+  return {{1 * kUnit, 0, sim::from_seconds(1.0), 0},
+          {2 * kUnit, 0, sim::from_seconds(4.0), 1},
+          {3 * kUnit, 0, sim::from_seconds(6.0), 2}};
+}
+
+TEST(GoldenFig1, FluidSchedulesMatchThePaperTable) {
+  const auto fair = sched::fair_sharing(fig1_jobs(), kRate);
+  EXPECT_NEAR(sim::to_seconds(fair.completion[0]), 3.0, 1e-9);
+  EXPECT_NEAR(sim::to_seconds(fair.completion[1]), 5.0, 1e-9);
+  EXPECT_NEAR(sim::to_seconds(fair.completion[2]), 6.0, 1e-9);
+  EXPECT_NEAR(fair.on_time_percent(fig1_jobs()), 100.0 / 3.0, 0.5);
+
+  for (const auto& s :
+       {sched::srpt(fig1_jobs(), kRate), sched::edf(fig1_jobs(), kRate)}) {
+    EXPECT_NEAR(sim::to_seconds(s.completion[0]), 1.0, 1e-9);
+    EXPECT_NEAR(sim::to_seconds(s.completion[1]), 3.0, 1e-9);
+    EXPECT_NEAR(sim::to_seconds(s.completion[2]), 6.0, 1e-9);
+    EXPECT_NEAR(s.on_time_percent(fig1_jobs()), 100.0, 1e-9);
+    EXPECT_NEAR(s.mean_fct_ms(fig1_jobs()), 10000.0 / 3.0, 1.0);
+  }
+}
+
+/// D3 under a given arrival order — the same flow-level model the fig1
+/// bench uses.
+int d3_deadlines_met(const std::vector<int>& order) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1);
+  net::LinkDefaults d;
+  d.rate_bps = kRate;
+  auto servers = net::build_single_bottleneck(topo, 3, d);
+  const sim::Time deadlines[3] = {sim::from_seconds(1.0),
+                                  sim::from_seconds(4.0),
+                                  sim::from_seconds(6.0)};
+  const std::int64_t sizes[3] = {1 * kUnit, 2 * kUnit, 3 * kUnit};
+  std::vector<net::FlowSpec> flows;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const int i = order[k];
+    net::FlowSpec f;
+    f.id = i + 1;
+    f.src = servers[static_cast<std::size_t>(i)];
+    f.dst = servers.back();
+    f.size_bytes = sizes[i];
+    f.start_time = static_cast<sim::Time>(k) * sim::kMillisecond;
+    f.deadline = deadlines[i] - f.start_time;
+    flows.push_back(f);
+  }
+  flowsim::Options o;
+  o.model = flowsim::Model::kD3;
+  o.goodput_factor = 1.0;
+  o.init_latency = 0;
+  o.early_termination = false;
+  o.horizon = 20 * sim::kSecond;
+  flowsim::FlowLevelSimulator fs(topo, o);
+  auto r = fs.run(flows);
+  int met = 0;
+  for (const auto& f : r.flows) met += f.deadline_met() ? 1 : 0;
+  return met;
+}
+
+TEST(GoldenFig1, D3MeetsAllDeadlinesForExactlyOneArrivalOrder) {
+  // Captured from the v1 fig1_motivation binary: deadlines met per
+  // next_permutation order of {A,B,C}.
+  const int expected[] = {3, 2, 2, 2, 1, 1};
+  std::vector<int> order{0, 1, 2};
+  int i = 0;
+  int orders_all_met = 0;
+  do {
+    const int met = d3_deadlines_met(order);
+    EXPECT_EQ(met, expected[i]) << "order index " << i;
+    orders_all_met += (met == 3) ? 1 : 0;
+    ++i;
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(orders_all_met, 1);
+}
+
+}  // namespace
+}  // namespace pdq

@@ -1,0 +1,120 @@
+// StackRegistry: round-trips, aliases, config overrides, error paths.
+#include "harness/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/stacks.h"
+
+namespace pdq::harness {
+namespace {
+
+const char* kCanonical[] = {"PDQ(Full)", "PDQ(ES+ET)", "PDQ(ES)",
+                            "PDQ(Basic)", "D3",         "RCP",
+                            "TCP",        "M-PDQ"};
+
+TEST(StackRegistry, RoundTripsAllSevenPaperNamesPlusMpdq) {
+  auto& r = StackRegistry::global();
+  for (const char* name : kCanonical) {
+    std::string error;
+    auto stack = r.make(name, {}, &error);
+    ASSERT_NE(stack, nullptr) << error;
+    EXPECT_EQ(stack->name(), name);
+  }
+}
+
+TEST(StackRegistry, NamesPreserveRegistrationOrder) {
+  const auto names = StackRegistry::global().names();
+  ASSERT_EQ(names.size(), 8u);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], kCanonical[i]);
+  }
+}
+
+TEST(StackRegistry, UnknownNameReturnsErrorListingAvailableStacks) {
+  std::string error;
+  auto stack = StackRegistry::global().make("NotAProtocol", {}, &error);
+  EXPECT_EQ(stack, nullptr);
+  EXPECT_NE(error.find("NotAProtocol"), std::string::npos);
+  for (const char* name : kCanonical) {
+    EXPECT_NE(error.find(name), std::string::npos)
+        << "error should list " << name << ": " << error;
+  }
+}
+
+TEST(StackRegistry, NullErrorPointerIsSafe) {
+  EXPECT_EQ(StackRegistry::global().make("NotAProtocol"), nullptr);
+}
+
+TEST(StackRegistry, CliAliasesResolveToCanonicalStacks) {
+  auto& r = StackRegistry::global();
+  const std::pair<const char*, const char*> cases[] = {
+      {"pdq", "PDQ(Full)"},   {"pdq-full", "PDQ(Full)"},
+      {"pdq-eset", "PDQ(ES+ET)"}, {"pdq-es", "PDQ(ES)"},
+      {"pdq-basic", "PDQ(Basic)"}, {"d3", "D3"},
+      {"rcp", "RCP"},         {"tcp", "TCP"},
+      {"mpdq", "M-PDQ"}};
+  for (const auto& [alias, canonical] : cases) {
+    EXPECT_EQ(r.resolve(alias), canonical);
+    auto stack = r.make(alias);
+    ASSERT_NE(stack, nullptr) << alias;
+    EXPECT_EQ(stack->name(), canonical);
+  }
+  EXPECT_EQ(r.resolve("bogus"), "");
+}
+
+TEST(StackRegistry, SubflowOverrideReachesMpdq) {
+  StackOptions options;
+  options.subflows = 5;
+  auto stack = StackRegistry::global().make("mpdq", options);
+  ASSERT_NE(stack, nullptr);
+  EXPECT_EQ(stack->subflows(), 5);
+  // Default stays at the MpdqConfig default.
+  auto dflt = StackRegistry::global().make("mpdq");
+  EXPECT_EQ(dflt->subflows(), core::MpdqConfig{}.num_subflows);
+}
+
+TEST(StackRegistry, PdqConfigAndLabelOverridesApply) {
+  StackOptions options;
+  core::PdqConfig cfg = core::PdqConfig::full();
+  cfg.criticality = core::CriticalityMode::kEstimation;
+  options.pdq = cfg;
+  options.label = "PDQ estimate";
+  auto stack = StackRegistry::global().make("PDQ(Full)", options);
+  ASSERT_NE(stack, nullptr);
+  EXPECT_EQ(stack->name(), "PDQ estimate");
+  auto* pdq = dynamic_cast<PdqStack*>(stack.get());
+  ASSERT_NE(pdq, nullptr);
+  EXPECT_EQ(pdq->config().criticality, core::CriticalityMode::kEstimation);
+}
+
+TEST(StackRegistry, DescriptionsAndAliasListsAreExposed) {
+  auto& r = StackRegistry::global();
+  EXPECT_FALSE(r.describe("PDQ(Full)").empty());
+  EXPECT_EQ(r.describe("pdq"), r.describe("PDQ(Full)"));
+  const auto aliases = r.aliases_of("PDQ(Full)");
+  EXPECT_NE(std::find(aliases.begin(), aliases.end(), "pdq"), aliases.end());
+}
+
+TEST(StackRegistry, RuntimeRegistrationAndReplacement) {
+  StackRegistry local;  // isolated instance; global() stays untouched
+  int calls = 0;
+  local.add("Custom", "test stack", [&calls](const StackOptions&) {
+    ++calls;
+    return std::make_unique<TcpStack>();
+  });
+  EXPECT_TRUE(local.contains("Custom"));
+  EXPECT_NE(local.make("Custom"), nullptr);
+  EXPECT_EQ(calls, 1);
+  // Re-registering replaces in place.
+  local.add("Custom", "v2", [](const StackOptions&) {
+    return std::make_unique<RcpStack>();
+  });
+  ASSERT_EQ(local.names().size(), 1u);
+  EXPECT_EQ(local.describe("Custom"), "v2");
+  EXPECT_EQ(local.make("Custom")->name(), "RCP");
+}
+
+}  // namespace
+}  // namespace pdq::harness

@@ -1,0 +1,128 @@
+// Result sinks: CSV/JSON escaping, file layout, table formatting.
+#include "harness/sinks.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pdq::harness {
+namespace {
+
+TEST(CsvEscape, PassesPlainFieldsThrough) {
+  EXPECT_EQ(csv_escape("PDQ(Full)"), "PDQ(Full)");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("fat-tree/16"), "fat-tree/16");
+}
+
+TEST(CsvEscape, QuotesSeparatorsQuotesAndNewlines) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(csv_escape("cr\rlf"), "\"cr\rlf\"");
+  EXPECT_EQ(csv_escape(","), "\",\"");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("nl\n"), "nl\\n");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+SweepResults tiny_results() {
+  SweepResults r;
+  r.name = "unit, test";  // comma exercises escaping end to end
+  r.axis = "x";
+  r.metric = "metric \"m\"";
+  r.base_seed = 9;
+  r.columns = {"col,1", "col2"};
+  r.points = {"p1", "p\"2\""};
+  r.seeds = {9, 16};
+  r.samples = {{{1.0, 2.0}, {3.0, 4.0}}, {{5.0, 6.0}, {7.0, 8.0}}};
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvSink, WritesOneEscapedRowPerSample) {
+  const std::string path = ::testing::TempDir() + "/sink_test.csv";
+  CsvSink(path).write(tiny_results());
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("experiment,point,column,trial,seed,metric,value\n"),
+            std::string::npos);
+  // 2 points x 2 columns x 2 trials = 8 data rows.
+  EXPECT_EQ(std::count(body.begin(), body.end(), '\n'), 9);
+  EXPECT_NE(body.find("\"unit, test\",p1,\"col,1\",0,9,\"metric \"\"m\"\"\",1"),
+            std::string::npos);
+  EXPECT_NE(body.find("\"p\"\"2\"\"\""), std::string::npos);
+  EXPECT_NE(body.find(",16,"), std::string::npos);  // second trial's seed
+}
+
+TEST(JsonSink, WritesEscapedMetadataAndFullSampleGrid) {
+  const std::string path = ::testing::TempDir() + "/sink_test.json";
+  JsonSink(path).write(tiny_results());
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"experiment\": \"unit, test\""), std::string::npos);
+  EXPECT_NE(body.find("\"metric \\\"m\\\"\""), std::string::npos);
+  EXPECT_NE(body.find("\"base_seed\": 9"), std::string::npos);
+  EXPECT_NE(body.find("\"seeds\": [9, 16]"), std::string::npos);
+  EXPECT_NE(body.find("[5, 6], [7, 8]"), std::string::npos);
+}
+
+TEST(TableSink, MatchesTheHistoricalAlignedFormat) {
+  SweepResults r;
+  r.axis = "#flows";
+  r.columns = {"PDQ", "TCP"};
+  r.points = {"2", "10"};
+  r.samples = {{{1.5}, {2.5}}, {{3.25}, {4.0}}};
+  const std::string path = ::testing::TempDir() + "/table.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  TableSink(f).write(r);
+  std::fclose(f);
+  EXPECT_EQ(slurp(path),
+            "#flows                  PDQ          TCP\n"
+            "2                      1.50         2.50\n"
+            "10                     3.25         4.00\n");
+}
+
+TEST(TableSink, TransposeSwapsRowsAndColumns) {
+  SweepResults r;
+  r.axis = "protocol";
+  r.columns = {"PDQ", "TCP"};
+  r.points = {"FCT"};
+  r.samples = {{{1.5}, {2.5}}};
+  const std::string path = ::testing::TempDir() + "/table_t.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  TableSink(f).transpose().write(r);
+  std::fclose(f);
+  EXPECT_EQ(slurp(path),
+            "protocol                FCT\n"
+            "PDQ                    1.50\n"
+            "TCP                    2.50\n");
+}
+
+TEST(ResultPath, JoinsDirNameAndExtension) {
+  EXPECT_EQ(result_path("", "fig1", "csv"), "fig1.csv");
+  const std::string dir = ::testing::TempDir() + "/results_subdir";
+  const std::string path = result_path(dir, "fig1", "csv");
+  EXPECT_EQ(path, dir + "/fig1.csv");
+  // The directory now exists: a sink can open the path.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace pdq::harness

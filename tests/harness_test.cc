@@ -23,6 +23,23 @@ TEST(BinarySearchMax, NoneTrueReturnsLoMinusOne) {
   EXPECT_EQ(binary_search_max(5, 64, [](int) { return false; }), 4);
 }
 
+TEST(BinarySearchMax, EvenLoFailingStopsAfterOneProbe) {
+  // When even `lo` fails the search must return lo-1 without probing
+  // anything else (probes above a failing lo can be very expensive).
+  int calls = 0;
+  auto pred = [&calls](int) {
+    ++calls;
+    return false;
+  };
+  EXPECT_EQ(binary_search_max(1, 1 << 20, pred), 0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(BinarySearchMax, DegenerateSinglePointRange) {
+  EXPECT_EQ(binary_search_max(7, 7, [](int) { return true; }), 7);
+  EXPECT_EQ(binary_search_max(7, 7, [](int) { return false; }), 6);
+}
+
 TEST(BinarySearchMax, CallsAreMonotoneEfficient) {
   int calls = 0;
   auto pred = [&](int n) {
@@ -65,6 +82,57 @@ TEST(RunResult, AppThroughputCountsTerminationsAsMisses) {
   opts.horizon = sim::kSecond;
   auto r = run_scenario(stack, build, flows, opts);
   EXPECT_EQ(r.application_throughput(), 50.0);
+}
+
+TEST(RunResult, EmptyFlowSetYieldsNeutralMetrics) {
+  RunResult r;
+  EXPECT_EQ(r.mean_fct_ms(), 0.0);
+  EXPECT_EQ(r.max_fct_ms(), 0.0);
+  // No deadline-carrying flows at all = vacuous 100%.
+  EXPECT_EQ(r.application_throughput(), 100.0);
+  EXPECT_EQ(r.completed(), 0u);
+  EXPECT_EQ(r.flow(1), nullptr);
+}
+
+TEST(RunResult, AllFlowsTerminatedOrPending) {
+  RunResult r;
+  net::FlowResult terminated;
+  terminated.spec.id = 1;
+  terminated.spec.size_bytes = 1000;
+  terminated.spec.deadline = sim::kMillisecond;
+  terminated.outcome = net::FlowOutcome::kTerminated;
+  net::FlowResult pending;
+  pending.spec.id = 2;
+  pending.spec.size_bytes = 1000;
+  pending.spec.deadline = sim::kMillisecond;
+  pending.outcome = net::FlowOutcome::kPending;
+  r.flows = {terminated, pending};
+  // Nothing completed: FCT metrics must not divide by zero, and every
+  // deadline flow counts as a miss.
+  EXPECT_EQ(r.mean_fct_ms(), 0.0);
+  EXPECT_EQ(r.max_fct_ms(), 0.0);
+  EXPECT_EQ(r.application_throughput(), 0.0);
+  EXPECT_EQ(r.completed(), 0u);
+  ASSERT_NE(r.flow(2), nullptr);
+  EXPECT_EQ(r.flow(2)->outcome, net::FlowOutcome::kPending);
+}
+
+TEST(RunResult, MixedOutcomesOnlyCountCompletedForFct) {
+  RunResult r;
+  net::FlowResult done;
+  done.spec.id = 1;
+  done.spec.size_bytes = 1000;
+  done.outcome = net::FlowOutcome::kCompleted;
+  done.finish_time = 2 * sim::kMillisecond;
+  net::FlowResult terminated;
+  terminated.spec.id = 2;
+  terminated.spec.size_bytes = 1000;
+  terminated.outcome = net::FlowOutcome::kTerminated;
+  terminated.finish_time = 50 * sim::kMillisecond;
+  r.flows = {done, terminated};
+  EXPECT_DOUBLE_EQ(r.mean_fct_ms(), 2.0);
+  EXPECT_DOUBLE_EQ(r.max_fct_ms(), 2.0);  // terminated flow excluded
+  EXPECT_EQ(r.completed(), 1u);
 }
 
 TEST(RunScenario, WatchLinkProducesUtilizationAndQueueSeries) {
