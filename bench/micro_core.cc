@@ -1,9 +1,13 @@
 // Microbenchmarks (google-benchmark) for the simulator hot paths: event
-// queue throughput, PDQ switch packet processing, and path computation.
+// queue throughput, packet pool recycling, PDQ switch packet processing,
+// and path computation.
 #include <benchmark/benchmark.h>
+
+#include <functional>
 
 #include "core/pdq_switch.h"
 #include "net/builders.h"
+#include "net/packet_pool.h"
 #include "net/topology.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
@@ -74,6 +78,32 @@ void BM_PdqSwitchForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PdqSwitchForward)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PacketPoolAcquireRelease(benchmark::State& state) {
+  net::PacketPool pool;
+  { net::PacketPtr warm = pool.acquire(); }  // steady state: 1 free slot
+  for (auto _ : state) {
+    net::PacketPtr p = pool.acquire();
+    p->payload = 1460;
+    benchmark::DoNotOptimize(p.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketPoolAcquireRelease);
+
+void BM_FatTreeEcmpRouteFlyweight(benchmark::State& state) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator);
+  auto servers = net::build_fat_tree(topo, 8);
+  net::FlowId f = 0;
+  for (auto _ : state) {
+    auto route = topo.ecmp_route(++f, servers[0],
+                                 servers[servers.size() - 1]);
+    benchmark::DoNotOptimize(route.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FatTreeEcmpRouteFlyweight);
 
 void BM_FatTreeEcmpPath(benchmark::State& state) {
   sim::Simulator simulator;

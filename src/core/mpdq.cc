@@ -30,7 +30,7 @@ MpdqSender::MpdqSender(net::AgentContext ctx, MpdqConfig cfg)
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     const std::uint64_t h =
         mix64(static_cast<std::uint64_t>(ctx_.spec.id) * 1315423911ULL + w);
-    workers_[w].route = paths[h % paths.size()];
+    workers_[w].route = net::make_route(paths[h % paths.size()]);
   }
 }
 

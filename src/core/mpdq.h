@@ -43,7 +43,7 @@ class MpdqSender : public net::Agent {
 
  private:
   struct Worker {
-    std::vector<net::NodeId> route;
+    net::RouteRef route;
     std::unique_ptr<PdqSender> sender;
     std::unique_ptr<PdqReceiver> receiver;
     net::FlowId id = net::kInvalidFlow;

@@ -40,6 +40,11 @@ TopologySpec TopologySpec::bcube(int n, int k) {
           [n, k](net::Topology& t) { return net::build_bcube(t, n, k); }};
 }
 
+TopologySpec TopologySpec::dcell(int n, int l) {
+  return {"dcell/" + std::to_string(net::dcell_server_count(n, l)),
+          [n, l](net::Topology& t) { return net::build_dcell(t, n, l); }};
+}
+
 TopologySpec TopologySpec::jellyfish(int num_switches, int ports,
                                      int net_ports, std::uint64_t seed) {
   return {"jellyfish/" + std::to_string(num_switches * (ports - net_ports)),
@@ -165,6 +170,24 @@ MetricSpec optimal_mean_fct_ms(double bottleneck_bps) {
   return {"optimal_mean_fct_ms", [bottleneck_bps](const RunContext& c) {
             return sched::optimal_mean_fct_ms(to_jobs(*c.flows),
                                               bottleneck_bps);
+          }};
+}
+
+MetricSpec events_processed() {
+  return {"events_processed", [](const RunContext& c) {
+            return static_cast<double>(c.result->engine.events_executed);
+          }};
+}
+
+MetricSpec packet_allocs() {
+  return {"packet_allocs", [](const RunContext& c) {
+            return static_cast<double>(c.result->engine.packet_allocs);
+          }};
+}
+
+MetricSpec packet_recycle_percent() {
+  return {"packet_recycle_pct", [](const RunContext& c) {
+            return c.result->engine.recycle_percent();
           }};
 }
 

@@ -53,6 +53,7 @@ struct TopologySpec {
                                          int servers_per_tor = 3);
   static TopologySpec fat_tree(int k);
   static TopologySpec bcube(int n, int k);
+  static TopologySpec dcell(int n, int l);
   static TopologySpec jellyfish(int num_switches, int ports, int net_ports,
                                 std::uint64_t seed = 1);
   static TopologySpec custom(std::string name, TopologyBuilder build);
@@ -138,6 +139,16 @@ MetricSpec mean_fct_vs_optimal(double bottleneck_bps = 1e9);
 /// Analytic columns: fluid-model Optimal on the materialized flow set.
 MetricSpec optimal_application_throughput(double bottleneck_bps = 1e9);
 MetricSpec optimal_mean_fct_ms(double bottleneck_bps = 1e9);
+// Engine operation counters (single-core CI tracks perf by operation
+// counts, never wall time). All read RunResult::engine. Under
+// SweepRunner these are deterministic for any thread count — every
+// sample runs on a cold PacketPool (SweepRunner::run_sample); a bare
+// run_prepared() instead deltas the calling thread's pool, so
+// packet_allocs there reflects pool warmth.
+MetricSpec events_processed();
+MetricSpec packet_allocs();
+/// Fraction of packet acquires served from the pool free list, percent.
+MetricSpec packet_recycle_percent();
 }  // namespace metrics
 
 /// One table column: usually a registry stack (plus overrides), measured

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/packet_pool.h"
+
 namespace pdq::harness {
 
 double RunResult::mean_fct_ms() const {
@@ -103,7 +105,7 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     sctx.topo = &topo;
     sctx.local = &topo.host(f.src);
     sctx.spec = f;
-    sctx.route = topo.ecmp_path(f.id, f.src, f.dst);
+    sctx.route = topo.ecmp_route(f.id, f.src, f.dst);
     sctx.on_done = [&remaining, &simulator](const net::FlowResult&) {
       if (--remaining == 0) simulator.stop();
     };
@@ -142,7 +144,20 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     simulator.schedule_in(bin, *sample);
   }
 
-  simulator.run(opts.horizon);
+  const net::PacketPool& pool = net::PacketPool::local();
+  const std::uint64_t allocs_before = pool.total_allocated();
+  const std::uint64_t acquires_before = pool.total_acquires();
+  const std::uint64_t scheduled_before = simulator.events_scheduled();
+  const std::uint64_t cancelled_before = simulator.events_cancelled();
+
+  result.engine.events_executed = simulator.run(opts.horizon);
+
+  result.engine.events_scheduled =
+      simulator.events_scheduled() - scheduled_before;
+  result.engine.events_cancelled =
+      simulator.events_cancelled() - cancelled_before;
+  result.engine.packet_allocs = pool.total_allocated() - allocs_before;
+  result.engine.packet_acquires = pool.total_acquires() - acquires_before;
 
   // Flush the final partial bin so goodput integrates to the flow sizes.
   if (opts.per_flow_series) {

@@ -45,11 +45,31 @@ struct RunOptions {
   sim::Time flow_series_bin = sim::kMillisecond;
 };
 
+/// Operation-count metrics for one run — the perf currency on
+/// single-core CI, where wall time is meaningless (never asserted on).
+struct EngineCounters {
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_cancelled = 0;
+  std::uint64_t packet_allocs = 0;    // new Packet objects constructed
+  std::uint64_t packet_acquires = 0;  // pool hand-outs (allocs + reuses)
+
+  /// Percent of acquires served from the free list (0 when idle) — the
+  /// single definition behind metrics::packet_recycle_percent() and the
+  /// fig13 counters table.
+  double recycle_percent() const {
+    if (packet_acquires == 0) return 0.0;
+    return 100.0 * static_cast<double>(packet_acquires - packet_allocs) /
+           static_cast<double>(packet_acquires);
+  }
+};
+
 struct RunResult {
   std::vector<net::FlowResult> flows;
   std::int64_t queue_drops = 0;
   std::int64_t wire_drops = 0;
   sim::Time end_time = 0;
+  EngineCounters engine;
 
   // Watched-link instrumentation (when requested).
   sim::TimeSeries queue_series;

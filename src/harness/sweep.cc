@@ -8,6 +8,8 @@
 #include <functional>
 #include <thread>
 
+#include "net/packet_pool.h"
+
 namespace pdq::harness {
 
 double SweepResults::mean(std::size_t point, std::size_t column) const {
@@ -43,21 +45,42 @@ SweepRunner::SweepRunner(int threads) : threads_(threads) {
   }
 }
 
+SweepRunner::SampleRun SweepRunner::run_sample(const Scenario& scenario,
+                                               const std::string& stack,
+                                               const StackOptions& options,
+                                               std::uint64_t seed) {
+  // Each sample is a fully isolated simulation: own packet pool, own
+  // kernel, own topology (seeded for ECMP), own workload RNG. The cold
+  // ScopedPool makes the engine counters deterministic for any thread
+  // count; it must outlive the simulator (pending events at the horizon
+  // may still hold packets), hence the declaration order.
+  net::PacketPool pool;
+  net::PacketPool::ScopedPool scope(pool);
+  sim::Simulator simulator;
+  net::Topology topo(simulator, seed);
+  const std::vector<net::NodeId> servers = scenario.topology.build(topo);
+  sim::Rng rng(seed);
+  SampleRun run;
+  run.flows = scenario.workload.make(servers, rng);
+
+  std::string error;
+  auto s = StackRegistry::global().make(stack, options, &error);
+  if (s == nullptr) {
+    std::fprintf(stderr, "SweepRunner: %s\n", error.c_str());
+    std::exit(2);
+  }
+  RunOptions opts = scenario.options;
+  opts.seed = seed;
+  run.result = run_prepared(*s, simulator, topo, run.flows, opts);
+  return run;
+}
+
 double SweepRunner::evaluate(const Scenario& scenario, const Column& column,
                              std::uint64_t seed, const MetricFn& fallback,
                              const std::string& point_label, int trial) {
   if (column.evaluate) return column.evaluate(scenario, seed);
 
-  // Each sample is a fully isolated simulation: own kernel, own topology
-  // (seeded for ECMP), own workload RNG.
-  sim::Simulator simulator;
-  net::Topology topo(simulator, seed);
-  const std::vector<net::NodeId> servers = scenario.topology.build(topo);
-  sim::Rng rng(seed);
-  const std::vector<net::FlowSpec> flows = scenario.workload.make(servers, rng);
-
   RunContext ctx;
-  ctx.flows = &flows;
   ctx.scenario = &scenario;
   ctx.point = point_label;
   ctx.seed = seed;
@@ -67,20 +90,21 @@ double SweepRunner::evaluate(const Scenario& scenario, const Column& column,
   assert(metric && "column has no metric and no spec default");
 
   if (column.stack.empty()) {
-    return metric(ctx);  // analytic column: fluid model on the flow set
+    // Analytic column: fluid model on the flow set alone, no packets.
+    sim::Simulator simulator;
+    net::Topology topo(simulator, seed);
+    const std::vector<net::NodeId> servers = scenario.topology.build(topo);
+    sim::Rng rng(seed);
+    const std::vector<net::FlowSpec> flows =
+        scenario.workload.make(servers, rng);
+    ctx.flows = &flows;
+    return metric(ctx);
   }
 
-  std::string error;
-  auto stack =
-      StackRegistry::global().make(column.stack, column.options, &error);
-  if (stack == nullptr) {
-    std::fprintf(stderr, "SweepRunner: %s\n", error.c_str());
-    std::exit(2);
-  }
-  RunOptions opts = scenario.options;
-  opts.seed = seed;
-  const RunResult result = run_prepared(*stack, simulator, topo, flows, opts);
-  ctx.result = &result;
+  const SampleRun run =
+      run_sample(scenario, column.stack, column.options, seed);
+  ctx.flows = &run.flows;
+  ctx.result = &run.result;
   ctx.stack = StackRegistry::global().resolve(column.stack);
   return metric(ctx);
 }

@@ -52,6 +52,22 @@ class SweepRunner {
                          std::uint64_t seed, const MetricFn& fallback,
                          const std::string& point_label = "", int trial = 0);
 
+  /// A fully materialized simulation sample: the canonical
+  /// (scenario, stack, seed) -> RunResult recipe behind evaluate(),
+  /// also used by counter-reporting benches (fig13). Runs on a cold
+  /// PacketPool (ScopedPool), so RunResult::engine — including
+  /// packet_allocs — is a pure function of the inputs: identical for
+  /// any thread count or prior pool warmth. Exits with a registry
+  /// error message on an unknown stack name.
+  struct SampleRun {
+    RunResult result;
+    std::vector<net::FlowSpec> flows;
+  };
+  static SampleRun run_sample(const Scenario& scenario,
+                              const std::string& stack,
+                              const StackOptions& options,
+                              std::uint64_t seed);
+
   /// `trials` samples of one (scenario, column) cell, fanned across the
   /// pool; used by adaptive drivers (binary search over a predicate).
   std::vector<double> samples(const Scenario& scenario, const Column& column,

@@ -115,6 +115,60 @@ std::vector<NodeId> build_bcube(Topology& topo, int n, int k,
   return servers;
 }
 
+int dcell_server_count(int n, int l) {
+  int t = n;
+  for (int i = 1; i <= l; ++i) t = t * (t + 1);
+  return t;
+}
+
+namespace {
+
+/// Appends one DCell(n, l) to `topo`; the new servers (in address order)
+/// go into `servers`.
+void build_dcell_rec(Topology& topo, int n, int l,
+                     std::vector<NodeId>& servers, const LinkDefaults& d) {
+  if (l == 0) {
+    const NodeId sw = topo.add_switch();
+    for (int i = 0; i < n; ++i) {
+      const NodeId h = topo.add_host();
+      topo.add_duplex_link(h, sw, d);
+      servers.push_back(h);
+    }
+    return;
+  }
+  const int t_prev = dcell_server_count(n, l - 1);
+  const int cells = t_prev + 1;
+  std::vector<std::vector<NodeId>> subs;
+  subs.reserve(static_cast<std::size_t>(cells));
+  for (int c = 0; c < cells; ++c) {
+    std::vector<NodeId> sub;
+    build_dcell_rec(topo, n, l - 1, sub, d);
+    servers.insert(servers.end(), sub.begin(), sub.end());
+    subs.push_back(std::move(sub));
+  }
+  // Level-l links: sub-cell i's server (j-1) <-> sub-cell j's server i.
+  for (int i = 0; i < cells; ++i) {
+    for (int j = i + 1; j < cells; ++j) {
+      topo.add_duplex_link(subs[static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(j - 1)],
+                           subs[static_cast<std::size_t>(j)]
+                               [static_cast<std::size_t>(i)],
+                           d);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> build_dcell(Topology& topo, int n, int l,
+                                const LinkDefaults& d) {
+  assert(n >= 2 && l >= 0);
+  std::vector<NodeId> servers;
+  servers.reserve(static_cast<std::size_t>(dcell_server_count(n, l)));
+  build_dcell_rec(topo, n, l, servers, d);
+  return servers;
+}
+
 std::vector<NodeId> build_jellyfish(Topology& topo, int num_switches,
                                     int ports, int net_ports,
                                     std::uint64_t seed,

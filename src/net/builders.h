@@ -41,6 +41,18 @@ std::vector<NodeId> build_jellyfish(Topology& topo, int num_switches,
                                     std::uint64_t seed = 1,
                                     const LinkDefaults& d = {});
 
+/// DCell(n, l): the recursively defined server-centric fabric of Guo et
+/// al. DCell(n, 0) is n servers on one mini-switch; DCell(n, l) is
+/// t_{l-1}+1 copies of DCell(n, l-1) with one server-to-server link
+/// between every pair of copies (sub-cell i's server j-1 to sub-cell j's
+/// server i, for i < j). Servers relay traffic through their extra NIC
+/// ports, exactly like BCube.
+std::vector<NodeId> build_dcell(Topology& topo, int n, int l,
+                                const LinkDefaults& d = {});
+
+/// Number of servers in DCell(n, l): t_0 = n, t_l = t_{l-1} * (t_{l-1}+1).
+int dcell_server_count(int n, int l);
+
 /// BCube address of server `s` in BCube(n, k): digits a_0..a_k.
 std::vector<int> bcube_address(int server, int n, int k);
 

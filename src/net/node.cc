@@ -28,7 +28,7 @@ Port* Node::port_to(NodeId neighbor) {
 }
 
 void Node::receive(PacketPtr p, SimplexLink* in) {
-  assert(p->route[static_cast<std::size_t>(p->hop)] == id_);
+  assert(p->route()[static_cast<std::size_t>(p->hop)] == id_);
 
   // Reverse-direction packets update the paired forward port's controller:
   // this node is the upstream side of the link the ACK is reporting on.
@@ -54,7 +54,7 @@ void Node::receive(PacketPtr p, SimplexLink* in) {
 }
 
 void Node::send(PacketPtr p) {
-  assert(!p->route.empty() && p->route.front() == id_);
+  assert(!p->route().empty() && p->route().front() == id_);
   p->hop = 0;
   dispatch(std::move(p));
 }

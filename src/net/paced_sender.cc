@@ -53,12 +53,13 @@ std::int64_t PacedSender::bytes_unacked() const {
 std::int64_t PacedSender::remaining_bytes() const { return bytes_unacked(); }
 
 PacketPtr PacedSender::make_forward(PacketType type) {
-  auto p = std::make_shared<Packet>();
+  PacketPtr p = make_packet();
   p->flow = ctx_.spec.id;
   p->type = type;
   p->src = ctx_.spec.src;
   p->dst = ctx_.spec.dst;
-  p->route = ctx_.route;
+  p->path = ctx_.route;
+  p->reversed = false;
   p->hop = 0;
   p->sent_time = now();
   p->size_bytes = kControlBytes;

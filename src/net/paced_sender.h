@@ -23,7 +23,7 @@ struct AgentContext {
   Topology* topo = nullptr;
   Host* local = nullptr;
   FlowSpec spec;
-  std::vector<NodeId> route;  // forward path (sender -> receiver)
+  RouteRef route;  // shared forward+reverse path (sender -> receiver)
   std::function<void(const FlowResult&)> on_done;
 };
 

@@ -1,0 +1,34 @@
+// Flyweight source routes.
+//
+// A RoutePair holds one node path in both directions; every packet of a
+// flow (and every reply) shares the same immutable RoutePair through a
+// RouteRef instead of carrying its own std::vector copy. Topology caches
+// one RoutePair per (src, dst, ECMP choice), so the per-packet route cost
+// is one shared_ptr bump. make_reply() flips the direction bit — reply
+// routes cost nothing at all.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/types.h"
+
+namespace pdq::net {
+
+struct RoutePair {
+  std::vector<NodeId> fwd;  // src -> dst node path, endpoints included
+  std::vector<NodeId> rev;  // the same path reversed
+};
+
+using RouteRef = std::shared_ptr<const RoutePair>;
+
+/// Builds a shared route (and its reverse) from a forward node path.
+inline RouteRef make_route(std::vector<NodeId> fwd) {
+  auto r = std::make_shared<RoutePair>();
+  r->fwd = std::move(fwd);
+  r->rev.assign(r->fwd.rbegin(), r->fwd.rend());
+  return r;
+}
+
+}  // namespace pdq::net

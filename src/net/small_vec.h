@@ -1,0 +1,129 @@
+// A tiny inline vector for per-hop header fields (D3 allocation
+// vectors): the first N elements live inside the object, so copying a
+// packet header does not touch the heap for any path the paper's (or
+// fig13's) topologies produce. Longer paths spill to a heap buffer and
+// keep working.
+//
+// Restricted to trivially copyable T — growth and copies are memcpy.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace pdq::net {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for trivially copyable elements");
+
+ public:
+  SmallVec() = default;
+  ~SmallVec() { delete[] heap_; }
+
+  SmallVec(const SmallVec& o) { assign(o.data(), o.size_); }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) assign(o.data(), o.size_);
+    return *this;
+  }
+
+  SmallVec(SmallVec&& o) noexcept { steal(o); }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      delete[] heap_;
+      heap_ = nullptr;
+      steal(o);
+    }
+    return *this;
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow();
+    data()[size_++] = v;
+  }
+
+  /// Drops all elements; keeps any heap capacity for reuse.
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Inline capacity (heap spill begins beyond this).
+  static constexpr std::size_t inline_capacity() { return N; }
+  std::size_t capacity() const { return cap_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  T& back() {
+    assert(size_ > 0);
+    return data()[size_ - 1];
+  }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    // Element-wise (not memcmp): keeps std::vector semantics for
+    // doubles, where -0.0 == 0.0 and NaN != NaN.
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data()[i] == b.data()[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  void assign(const T* src, std::size_t n) {
+    if (n > cap_) {
+      // Allocate before freeing: a throwing new must leave *this valid.
+      T* bigger = new T[n];
+      delete[] heap_;
+      heap_ = bigger;
+      cap_ = n;
+    }
+    std::memcpy(data(), src, n * sizeof(T));
+    size_ = n;
+  }
+
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    T* bigger = new T[new_cap];
+    std::memcpy(bigger, data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = bigger;
+    cap_ = new_cap;
+  }
+
+  void steal(SmallVec& o) {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+    } else {
+      std::memcpy(inline_, o.inline_, o.size_ * sizeof(T));
+      cap_ = N;
+    }
+    size_ = o.size_;
+    o.size_ = 0;
+  }
+
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+  T* heap_ = nullptr;
+  T inline_[N];
+};
+
+}  // namespace pdq::net

@@ -72,7 +72,10 @@ void Topology::add_duplex_link(NodeId a, NodeId b, const LinkDefaults& d) {
   node(b).add_port(*ba, d.buffer_bytes);
   adjacency_[static_cast<std::size_t>(a)].push_back(b);
   adjacency_[static_cast<std::size_t>(b)].push_back(a);
-  path_cache_.clear();  // topology changed
+  // Topology changed: every derived path product is stale.
+  path_cache_.clear();
+  route_cache_.clear();
+  disjoint_cache_.clear();
 }
 
 const std::vector<std::vector<NodeId>>& Topology::shortest_paths(NodeId src,
@@ -159,6 +162,19 @@ std::vector<NodeId> Topology::ecmp_path(FlowId flow, NodeId src, NodeId dst,
   const std::uint64_t h =
       mix64(static_cast<std::uint64_t>(flow) * 0x9e3779b97f4a7c15ULL + salt);
   return paths[h % paths.size()];
+}
+
+RouteRef Topology::ecmp_route(FlowId flow, NodeId src, NodeId dst,
+                              std::uint64_t salt) {
+  const auto& paths = shortest_paths(src, dst);
+  assert(!paths.empty() && "no path between endpoints");
+  const std::uint64_t h =
+      mix64(static_cast<std::uint64_t>(flow) * 0x9e3779b97f4a7c15ULL + salt);
+  const std::size_t pick = h % paths.size();
+  auto& cached = route_cache_[pair_key(src, dst)];
+  if (cached.size() < paths.size()) cached.resize(paths.size());
+  if (cached[pick] == nullptr) cached[pick] = make_route(paths[pick]);
+  return cached[pick];
 }
 
 const std::vector<std::vector<NodeId>>& Topology::disjoint_paths(NodeId src,

@@ -13,6 +13,7 @@
 
 #include "net/link.h"
 #include "net/node.h"
+#include "net/route.h"
 #include "net/types.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -65,6 +66,13 @@ class Topology {
   std::vector<NodeId> ecmp_path(FlowId flow, NodeId src, NodeId dst,
                                 std::uint64_t salt = 0);
 
+  /// Same ECMP choice as ecmp_path(), but returns the shared flyweight
+  /// route (forward + reverse) cached per (src, dst, path index) — the
+  /// per-flow route cost is one shared_ptr copy instead of a vector.
+  /// Cached entries are invalidated when a link is added.
+  RouteRef ecmp_route(FlowId flow, NodeId src, NodeId dst,
+                      std::uint64_t salt = 0);
+
   /// Up to `k` link-disjoint paths (shortest first, greedy). In BCube this
   /// recovers the parallel paths through the server's multiple NICs that
   /// M-PDQ stripes subflows across. Cached.
@@ -111,6 +119,9 @@ class Topology {
       path_cache_;
   std::unordered_map<std::uint64_t, std::vector<std::vector<NodeId>>>
       disjoint_cache_;
+  /// Flyweight RoutePairs, parallel to shortest_paths(src, dst); built
+  /// lazily per chosen path index.
+  std::unordered_map<std::uint64_t, std::vector<RouteRef>> route_cache_;
 };
 
 }  // namespace pdq::net

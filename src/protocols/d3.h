@@ -86,7 +86,7 @@ class D3Sender : public net::PacedSender {
   double rmax_ = 0.0;
   bool got_feedback_ = false;
   sim::Time next_request_at_ = 0;
-  std::vector<double> prev_alloc_;  // grants from the last request round
+  net::AllocVec prev_alloc_;  // grants from the last request round
   bool request_outstanding_ = false;
 };
 

@@ -39,12 +39,13 @@ std::int64_t TcpSender::segment_payload(std::int64_t seq) const {
 }
 
 void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
-  auto p = std::make_shared<net::Packet>();
+  net::PacketPtr p = net::make_packet();
   p->flow = ctx_.spec.id;
   p->type = net::PacketType::kData;
   p->src = ctx_.spec.src;
   p->dst = ctx_.spec.dst;
-  p->route = ctx_.route;
+  p->path = ctx_.route;
+  p->reversed = false;
   p->seq = seq;
   p->payload = static_cast<std::int32_t>(segment_payload(seq));
   p->size_bytes = p->payload + net::kHeaderBytes;

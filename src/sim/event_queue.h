@@ -1,60 +1,93 @@
 // A deterministic discrete-event queue.
 //
-// Events are (time, sequence, callback) triples kept in a binary heap.
-// The monotonically increasing sequence number breaks ties between events
+// Events are (time, sequence) keys in an implicit 4-ary min-heap; the
+// monotonically increasing sequence number breaks ties between events
 // scheduled for the same instant, so two runs with the same inputs always
-// execute events in the same order. Cancellation is lazy: cancelled ids go
-// into a hash set and are skipped when they reach the top of the heap.
+// execute events in the same order. Heap entries are 24-byte PODs — the
+// callable itself lives in a slab of recycled slots, so sift operations
+// never move callables and scheduling never allocates once the slab has
+// grown to the simulation's concurrency high-water mark.
 //
-// Ownership: the queue owns every scheduled EventFn until it is popped or
-// skipped as cancelled; EventIds are never reused, so a stale cancel() is
-// harmless. Units: event times are absolute integer nanoseconds
-// (sim::Time).
+// Cancellation is O(1) and exact: an EventId encodes (slot, generation),
+// so cancel() can tell a live event from one that already ran (the slot's
+// generation has moved on) and destroy the callable immediately. The
+// entry left in the heap is a tombstone skipped when it reaches the top.
+// pending() counts exactly the events that will still run — cancelled
+// tombstones are excluded, which run()/empty() rely on.
+//
+// Ownership: the queue owns every scheduled EventFn until it is popped
+// (moved out to the caller) or cancelled (destroyed on the spot). Units:
+// event times are absolute integer nanoseconds (sim::Time).
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 
 namespace pdq::sim {
 
 using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+
+/// Captures up to this many bytes are stored inline (no heap allocation).
+inline constexpr std::size_t kEventCaptureBytes = 48;
+using EventFn = InlineFunction<kEventCaptureBytes>;
 
 class EventQueue {
  public:
-  /// Schedules `fn` to run at absolute time `at`. Returns an id usable with
-  /// cancel().
+  /// Schedules `fn` to run at absolute time `at`. Returns an id usable
+  /// with cancel().
   EventId schedule(Time at, EventFn fn) {
-    const EventId id = next_id_++;
-    heap_.push(Entry{at, id, std::move(fn)});
-    return id;
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    assert(s.state == SlotState::kFree);
+    s.state = SlotState::kPending;
+    s.fn = std::move(fn);
+    heap_push(Entry{at, next_seq_++, slot});
+    ++pending_;
+    ++scheduled_total_;
+    return make_id(s.gen, slot);
   }
 
-  /// Lazily cancels a pending event. Cancelling an id that already ran is a
-  /// harmless no-op (ids are never reused).
+  /// Cancels a pending event and destroys its callable immediately.
+  /// Cancelling an id that already ran (or was already cancelled) is a
+  /// harmless no-op: the id's generation no longer matches its slot.
   void cancel(EventId id) {
-    if (id < next_id_) cancelled_.insert(id);
+    const std::uint32_t slot = id_slot(id);
+    if (slot >= slots_.size()) return;
+    Slot& s = slots_[slot];
+    if (s.gen != id_gen(id) || s.state != SlotState::kPending) return;
+    s.state = SlotState::kCancelled;
+    s.fn.reset();
+    --pending_;
+    ++cancelled_total_;
   }
 
-  bool empty() {
-    skip_cancelled();
-    return heap_.empty();
-  }
+  bool empty() const { return pending_ == 0; }
 
-  /// Number of events still scheduled, including not-yet-skipped cancelled
-  /// entries buried in the heap (an upper bound).
-  std::size_t size() const { return heap_.size(); }
+  /// Exactly the number of events that will still run; cancelled entries
+  /// buried in the heap are not counted.
+  std::size_t pending() const { return pending_; }
+
+  /// Lifetime counters (operation-count metrics for the benches).
+  std::uint64_t scheduled_total() const { return scheduled_total_; }
+  std::uint64_t cancelled_total() const { return cancelled_total_; }
 
   /// Time of the next runnable event, or kTimeInfinity when empty.
   Time next_time() {
     skip_cancelled();
-    return heap_.empty() ? kTimeInfinity : heap_.top().at;
+    return heap_.empty() ? kTimeInfinity : heap_.front().at;
   }
 
   struct Popped {
@@ -65,33 +98,104 @@ class EventQueue {
   /// Pops and returns the next runnable event. Precondition: !empty().
   Popped pop() {
     skip_cancelled();
-    Entry top = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    return Popped{top.at, std::move(top.fn)};
+    assert(!heap_.empty());
+    const Entry top = heap_.front();
+    heap_remove_top();
+    Slot& s = slots_[top.slot];
+    assert(s.state == SlotState::kPending);
+    Popped out{top.at, std::move(s.fn)};
+    release_slot(top.slot);
+    --pending_;
+    return out;
   }
 
  private:
+  /// Heap entries are POD keys; the callable stays put in its slot.
   struct Entry {
     Time at;
-    EventId id;
-    EventFn fn;
-    bool operator>(const Entry& o) const {
-      return at != o.at ? at > o.at : id > o.id;
-    }
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
 
+  enum class SlotState : std::uint8_t { kFree, kPending, kCancelled };
+
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 0;
+    SlotState state = SlotState::kFree;
+  };
+
+  static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+  static std::uint32_t id_slot(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static std::uint32_t id_gen(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  static bool before(const Entry& a, const Entry& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.state = SlotState::kFree;
+    ++s.gen;  // invalidates outstanding EventIds for this slot
+    free_slots_.push_back(slot);
+  }
+
+  /// Drops cancelled tombstones off the top of the heap.
   void skip_cancelled() {
-    while (!heap_.empty()) {
-      auto it = cancelled_.find(heap_.top().id);
-      if (it == cancelled_.end()) return;
-      cancelled_.erase(it);
-      heap_.pop();
+    while (!heap_.empty() &&
+           slots_[heap_.front().slot].state == SlotState::kCancelled) {
+      release_slot(heap_.front().slot);
+      heap_remove_top();
     }
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 0;
+  // ---- implicit 4-ary min-heap over heap_ ----
+
+  void heap_push(Entry e) {
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void heap_remove_top() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (heap_.size() <= 1) return;
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child =
+          first_child + 4 < n ? first_child + 4 : n;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t scheduled_total_ = 0;
+  std::uint64_t cancelled_total_ = 0;
 };
 
 }  // namespace pdq::sim

@@ -9,7 +9,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <utility>
 
 #include "sim/event_queue.h"
@@ -49,19 +48,29 @@ class Simulator {
     }
     if (until != kTimeInfinity && now_ < until) now_ = until;
     stopped_ = false;
+    events_executed_ += executed;
     return executed;
   }
 
   /// Stops the current run() after the in-flight event returns.
   void stop() { stopped_ = true; }
 
-  bool idle() { return queue_.empty(); }
-  std::size_t pending_events() const { return queue_.size(); }
+  bool idle() const { return queue_.empty(); }
+  /// Exactly the number of events still scheduled to run (cancelled
+  /// entries excluded).
+  std::size_t pending_events() const { return queue_.pending(); }
+
+  // Lifetime operation counters — the perf currency of the benches on
+  // single-core CI (no wall-time assertions anywhere).
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::uint64_t events_scheduled() const { return queue_.scheduled_total(); }
+  std::uint64_t events_cancelled() const { return queue_.cancelled_total(); }
 
  private:
   EventQueue queue_;
   Time now_ = 0;
   bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
 };
 
 }  // namespace pdq::sim

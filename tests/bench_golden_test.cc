@@ -142,6 +142,107 @@ int d3_deadlines_met(const std::vector<int>& order) {
   return met;
 }
 
+// ---------------------------------------------------------------------------
+// Fig 5c / Fig 9 / Fig 11: pinned quick-mode values, captured from the
+// pre-overhaul engine at base seed 1000 (full double precision).
+// ---------------------------------------------------------------------------
+
+TEST(GoldenFig5c, UniversityWorkloadMeanFct) {
+  workload::FlowSetOptions w;
+  w.num_flows = 250;
+  w.size = workload::edu_size();
+  w.pattern = workload::random_permutation();
+  w.arrival_rate_per_sec = 2000;
+  harness::Scenario s;
+  s.topology = harness::TopologySpec::single_rooted_tree();
+  s.workload = harness::WorkloadSpec::flow_set(w, "edu");
+  s.options.horizon = 60 * sim::kSecond;
+
+  const std::pair<const char*, double> expect[] = {
+      {"PDQ(Full)", 2.3108666140000018}, {"PDQ(ES)", 2.3108666140000018},
+      {"PDQ(Basic)", 2.6914785079999985}, {"RCP", 2.701404674},
+      {"TCP", 4.0008906099999999},
+  };
+  harness::SweepRunner runner(1);
+  for (const auto& [stack, value] : expect) {
+    EXPECT_DOUBLE_EQ(
+        runner.average(s, harness::stack_column(stack), 2, 1000,
+                       harness::metrics::mean_fct_ms().fn),
+        value)
+        << stack;
+  }
+}
+
+TEST(GoldenFig9, LossResilienceAppThroughput) {
+  // 8 deadline flows into one receiver, loss on the bottleneck in both
+  // directions, 6 trials.
+  struct Case {
+    double loss;
+    const char* stack;
+    double value;
+  };
+  const Case expect[] = {
+      {0.0, "PDQ(Full)", 100.0},
+      {0.0, "TCP", 87.5},
+      {0.02, "PDQ(Full)", 95.833333333333329},
+      {0.02, "TCP", 85.416666666666671},
+  };
+  harness::SweepRunner runner(1);
+  for (const auto& c : expect) {
+    harness::AggregationSpec a;
+    a.num_flows = 8;
+    a.deadlines = true;
+    harness::Scenario s = harness::aggregation_scenario(a);
+    s.options.horizon = 60 * sim::kSecond;
+    s.options.watch_link = std::make_pair(net::NodeId{0}, net::NodeId{9});
+    s.options.watch_link_drop_rate = c.loss;
+    EXPECT_DOUBLE_EQ(
+        runner.average(s, harness::stack_column(c.stack), 6, 1000,
+                       harness::metrics::application_throughput().fn),
+        c.value)
+        << c.stack << " at loss " << c.loss;
+  }
+}
+
+TEST(GoldenFig11, MpdqBeatsSinglePathPdqOnBcube) {
+  struct Case {
+    int flows;
+    int subflows;  // 0 = single-path PDQ
+    double value;
+  };
+  const Case expect[] = {
+      {4, 0, 12.037714999999999},
+      {4, 3, 7.7201232500000003},
+      {16, 0, 12.601570000000001},
+      {16, 3, 10.708453468750001},
+  };
+  harness::SweepRunner runner(1);
+  for (const auto& c : expect) {
+    workload::FlowSetOptions w;
+    w.num_flows = c.flows;
+    w.size = workload::uniform_size(1'000'000, 1'000'000);
+    w.pattern = workload::random_permutation();
+    harness::Scenario s;
+    s.topology = harness::TopologySpec::bcube(2, 3);
+    s.workload = harness::WorkloadSpec::flow_set(w, "bcube-perm");
+    s.options.horizon = 30 * sim::kSecond;
+    harness::Column col;
+    if (c.subflows == 0) {
+      col = harness::stack_column("PDQ", "PDQ(Full)");
+    } else {
+      harness::StackOptions mp;
+      mp.subflows = c.subflows;
+      col = harness::stack_column("M-PDQ(3)", "M-PDQ", mp);
+    }
+    EXPECT_DOUBLE_EQ(runner.average(s, col, 2, 1000,
+                                    harness::metrics::mean_fct_ms().fn),
+                     c.value)
+        << c.flows << " flows, " << c.subflows << " subflows";
+  }
+  // The paper's headline: multipath wins at every load level pinned
+  // above (7.72 < 12.04, 10.71 < 12.60).
+}
+
 TEST(GoldenFig1, D3MeetsAllDeadlinesForExactlyOneArrivalOrder) {
   // Captured from the v1 fig1_motivation binary: deadlines met per
   // next_permutation order of {A,B,C}.

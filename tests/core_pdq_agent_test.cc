@@ -46,7 +46,7 @@ struct PdqRig {
     sctx.topo = &topo;
     sctx.local = &topo.host(f.src);
     sctx.spec = f;
-    sctx.route = topo.ecmp_path(f.id, f.src, f.dst);
+    sctx.route = topo.ecmp_route(f.id, f.src, f.dst);
     sctx.on_done = [this](const net::FlowResult& r) {
       done = true;
       result = r;
@@ -225,7 +225,7 @@ TEST(PdqEndToEnd, ReceiverRateCapsThroughput) {
   sctx.topo = &topo;
   sctx.local = &topo.host(f.src);
   sctx.spec = f;
-  sctx.route = topo.ecmp_path(f.id, f.src, f.dst);
+  sctx.route = topo.ecmp_route(f.id, f.src, f.dst);
   bool done = false;
   net::FlowResult result;
   sctx.on_done = [&](const net::FlowResult& r) {

@@ -52,7 +52,7 @@ TEST(PdqRobustness, GarbageCollectionUnwedgesLostTerm) {
   bool done = false;
   net::FlowResult result;
   net::AgentContext sctx{&topo, &topo.host(f.src), f,
-                         topo.ecmp_path(f.id, f.src, f.dst),
+                         topo.ecmp_route(f.id, f.src, f.dst),
                          [&](const net::FlowResult& r) {
                            done = true;
                            result = r;

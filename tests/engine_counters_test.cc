@@ -1,0 +1,169 @@
+// Engine operation counters: the exact pending()/cancelled accounting at
+// the Simulator level, and the RunResult::engine counters the fig13
+// bench reports (single-core CI tracks perf by operation counts, never
+// wall time — no timing assertions here or anywhere).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/registry.h"
+#include "harness/sweep.h"
+#include "net/packet_pool.h"
+#include "sim/simulator.h"
+
+namespace pdq {
+namespace {
+
+TEST(SimulatorCounters, PendingEventsIsExactAfterCancel) {
+  sim::Simulator s;
+  const sim::EventId a = s.schedule_in(10, [] {});
+  s.schedule_in(20, [] {});
+  s.schedule_in(30, [] {});
+  EXPECT_EQ(s.pending_events(), 3u);
+  s.cancel(a);
+  // The pre-overhaul size() kept counting the buried tombstone; the
+  // exact pending() must not.
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.run();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.events_executed(), 2u);
+  EXPECT_EQ(s.events_scheduled(), 3u);
+  EXPECT_EQ(s.events_cancelled(), 1u);
+}
+
+TEST(SimulatorCounters, ExecutedAccumulatesAcrossRuns) {
+  sim::Simulator s;
+  s.schedule_in(10, [] {});
+  s.schedule_in(20, [] {});
+  s.run(15);
+  EXPECT_EQ(s.events_executed(), 1u);
+  s.run();
+  EXPECT_EQ(s.events_executed(), 2u);
+}
+
+TEST(RunPrepared, FillsEngineCounters) {
+  harness::AggregationSpec a;
+  a.num_flows = 5;
+  a.deadlines = false;
+  const harness::Scenario sc = harness::aggregation_scenario(a);
+
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1000);
+  auto servers = sc.topology.build(topo);
+  sim::Rng rng(1000);
+  auto flows = sc.workload.make(servers, rng);
+  auto stack = harness::StackRegistry::global().make("TCP");
+  ASSERT_NE(stack, nullptr);
+  const auto result =
+      harness::run_prepared(*stack, simulator, topo, flows, sc.options);
+
+  EXPECT_EQ(result.completed(), flows.size());
+  EXPECT_GT(result.engine.events_executed, 0u);
+  EXPECT_GE(result.engine.events_scheduled, result.engine.events_executed);
+  EXPECT_GT(result.engine.packet_acquires, 0u);
+  EXPECT_LE(result.engine.packet_allocs, result.engine.packet_acquires);
+  // Every data packet is acked: acquires cover at least 2x data packets.
+  EXPECT_GE(result.engine.packet_acquires,
+            static_cast<std::uint64_t>(result.flows.size()));
+}
+
+TEST(RunPrepared, WarmPoolRecyclesInsteadOfAllocating) {
+  harness::AggregationSpec a;
+  a.num_flows = 5;
+  a.deadlines = false;
+  const harness::Scenario sc = harness::aggregation_scenario(a);
+
+  auto run_once = [&] {
+    sim::Simulator simulator;
+    net::Topology topo(simulator, 1000);
+    auto servers = sc.topology.build(topo);
+    sim::Rng rng(1000);
+    auto flows = sc.workload.make(servers, rng);
+    auto stack = harness::StackRegistry::global().make("RCP");
+    return harness::run_prepared(*stack, simulator, topo, flows,
+                                 sc.options);
+  };
+  const auto cold = run_once();
+  const auto warm = run_once();
+  // Identical simulation (same seed), but the second run draws from the
+  // free list populated by the first: it must allocate (almost) nothing
+  // new while acquiring the same number of packets.
+  EXPECT_EQ(warm.engine.packet_acquires, cold.engine.packet_acquires);
+  EXPECT_LT(warm.engine.packet_allocs, cold.engine.packet_allocs);
+  EXPECT_EQ(warm.engine.events_executed, cold.engine.events_executed);
+  // And the simulation outcome is bit-identical.
+  ASSERT_EQ(warm.flows.size(), cold.flows.size());
+  for (std::size_t i = 0; i < warm.flows.size(); ++i) {
+    EXPECT_EQ(warm.flows[i].finish_time, cold.flows[i].finish_time);
+  }
+}
+
+TEST(Metrics, EngineCounterMetricsReadRunResult) {
+  harness::RunContext ctx;
+  harness::RunResult r;
+  r.engine.events_executed = 1000;
+  r.engine.packet_allocs = 10;
+  r.engine.packet_acquires = 400;
+  ctx.result = &r;
+  EXPECT_DOUBLE_EQ(harness::metrics::events_processed().fn(ctx), 1000.0);
+  EXPECT_DOUBLE_EQ(harness::metrics::packet_allocs().fn(ctx), 10.0);
+  EXPECT_DOUBLE_EQ(harness::metrics::packet_recycle_percent().fn(ctx),
+                   97.5);
+}
+
+TEST(Metrics, CounterMetricsAreDeterministicUnderTheSweepRunner) {
+  // Every sweep sample runs on a cold pool (SweepRunner::run_sample),
+  // so packet_allocs is a pure function of (scenario, stack, seed) —
+  // repeated runs and different thread counts must agree exactly, the
+  // same byte-identical guarantee every other metric carries.
+  harness::AggregationSpec a;
+  a.num_flows = 6;
+  a.deadlines = false;
+  const harness::Scenario s = harness::aggregation_scenario(a);
+  const auto col = harness::stack_column("RCP");
+  const auto& allocs = harness::metrics::packet_allocs().fn;
+  const double first =
+      harness::SweepRunner(1).average(s, col, 2, 1000, allocs);
+  const double again =
+      harness::SweepRunner(1).average(s, col, 2, 1000, allocs);
+  const double threaded =
+      harness::SweepRunner(2).average(s, col, 2, 1000, allocs);
+  EXPECT_GT(first, 0.0);  // a cold pool really does allocate
+  EXPECT_DOUBLE_EQ(first, again);
+  EXPECT_DOUBLE_EQ(first, threaded);
+
+  const auto run1 = harness::SweepRunner::run_sample(s, "RCP", {}, 1000);
+  const auto run2 = harness::SweepRunner::run_sample(s, "RCP", {}, 1000);
+  EXPECT_EQ(run1.result.engine.packet_allocs,
+            run2.result.engine.packet_allocs);
+  EXPECT_EQ(run1.result.engine.events_executed,
+            run2.result.engine.events_executed);
+}
+
+TEST(Metrics, RecyclePercentHandlesZeroAcquires) {
+  harness::RunContext ctx;
+  harness::RunResult r;
+  ctx.result = &r;
+  EXPECT_DOUBLE_EQ(harness::metrics::packet_recycle_percent().fn(ctx), 0.0);
+}
+
+TEST(Fig13Scenario, DcellSweepPointRunsThroughTheSpecApi) {
+  // A miniature fig13 point: DCell(2,1), mice flows, spec-driven.
+  workload::FlowSetOptions w;
+  w.num_flows = 40;
+  w.size = workload::uniform_size(2'000, 30'000);
+  w.pattern = workload::staggered_prob(0.5, 4);
+  w.arrival_rate_per_sec = 5000.0;
+  harness::Scenario s;
+  s.topology = harness::TopologySpec::dcell(2, 1);
+  s.workload = harness::WorkloadSpec::flow_set(w, "dc-mice/40");
+  s.options.horizon = 120 * sim::kSecond;
+
+  harness::SweepRunner runner(1);
+  const double completed =
+      runner.average(s, harness::stack_column("TCP"), 1, 1000,
+                     harness::metrics::completed().fn);
+  EXPECT_DOUBLE_EQ(completed, 40.0);  // every flow finishes
+}
+
+}  // namespace
+}  // namespace pdq

@@ -1,0 +1,114 @@
+// DCell builder: structure, server-relay routing, and scale recurrence.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/builders.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace pdq::net {
+namespace {
+
+TEST(DCell, ServerCountRecurrence) {
+  EXPECT_EQ(dcell_server_count(2, 0), 2);
+  EXPECT_EQ(dcell_server_count(2, 1), 6);     // 2*3
+  EXPECT_EQ(dcell_server_count(2, 2), 42);    // 6*7
+  EXPECT_EQ(dcell_server_count(4, 0), 4);
+  EXPECT_EQ(dcell_server_count(4, 1), 20);    // 4*5
+  EXPECT_EQ(dcell_server_count(3, 2), 156);   // 12*13
+}
+
+TEST(DCell, Level0IsOneSwitchStar) {
+  sim::Simulator s;
+  Topology t(s);
+  auto servers = build_dcell(t, 4, 0);
+  EXPECT_EQ(servers.size(), 4u);
+  EXPECT_EQ(t.switch_ids().size(), 1u);
+  for (NodeId h : servers) {
+    EXPECT_TRUE(t.is_host(h));
+    EXPECT_EQ(t.node(h).ports().size(), 1u);
+  }
+}
+
+TEST(DCell21, StructureMatchesThePaper) {
+  sim::Simulator s;
+  Topology t(s);
+  auto servers = build_dcell(t, 2, 1);
+  // DCell(2,1): 6 servers, 3 mini-switches, 6 host-switch links + 3
+  // inter-cell server-server links = 9 duplex = 18 simplex links.
+  EXPECT_EQ(servers.size(), 6u);
+  EXPECT_EQ(t.switch_ids().size(), 3u);
+  EXPECT_EQ(t.links().size(), 18u);
+  // Every server has exactly 2 ports (1 switch NIC + 1 level-1 NIC).
+  for (NodeId h : servers) {
+    EXPECT_EQ(t.node(h).ports().size(), 2u);
+  }
+}
+
+TEST(DCell21, CrossCellPathsRelayThroughServers) {
+  sim::Simulator s;
+  Topology t(s);
+  auto servers = build_dcell(t, 2, 1);
+  // servers[0] (cell 0) -> servers[5] (cell 2): must exist, and some
+  // intermediate hop of any shortest path is a server acting as relay
+  // unless the two are directly linked.
+  const auto& paths = t.shortest_paths(servers[0], servers[5]);
+  ASSERT_FALSE(paths.empty());
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), servers[0]);
+    EXPECT_EQ(p.back(), servers[5]);
+  }
+  // All 30 ordered pairs are connected.
+  for (NodeId a : servers) {
+    for (NodeId b : servers) {
+      if (a == b) continue;
+      EXPECT_FALSE(t.shortest_paths(a, b).empty())
+          << a << " -> " << b;
+    }
+  }
+}
+
+TEST(DCell21, InterCellLinkPatternIsTheDCellRule) {
+  sim::Simulator s;
+  Topology t(s);
+  auto servers = build_dcell(t, 2, 1);
+  // Sub-cell c holds servers[2c], servers[2c+1]. Rule: cell i server
+  // (j-1) <-> cell j server i for i < j.
+  const std::set<std::pair<NodeId, NodeId>> expected = {
+      {servers[0 * 2 + 0], servers[1 * 2 + 0]},  // (0,0)-(1,0)
+      {servers[0 * 2 + 1], servers[2 * 2 + 0]},  // (0,1)-(2,0)
+      {servers[1 * 2 + 1], servers[2 * 2 + 1]},  // (1,1)-(2,1)
+  };
+  for (const auto& [a, b] : expected) {
+    EXPECT_NE(t.node(a).port_to(b), nullptr)
+        << "missing level-1 link " << a << " <-> " << b;
+  }
+}
+
+TEST(DCell, EndToEndDeliveryAcrossCells) {
+  sim::Simulator simulator;
+  Topology t(simulator);
+  auto servers = build_dcell(t, 2, 1);
+
+  class Sink : public Agent {
+   public:
+    void on_packet(const PacketPtr&) override { ++delivered; }
+    int delivered = 0;
+  };
+  Sink sink;
+  t.host(servers[5]).attach_receiver(1, &sink);
+  PacketPtr p = make_packet();
+  p->flow = 1;
+  p->src = servers[0];
+  p->dst = servers[5];
+  p->path = t.ecmp_route(1, servers[0], servers[5]);
+  p->payload = 1460;
+  p->size_bytes = 1500;
+  t.host(servers[0]).send(std::move(p));
+  simulator.run();
+  EXPECT_EQ(sink.delivered, 1);
+}
+
+}  // namespace
+}  // namespace pdq::net

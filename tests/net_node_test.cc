@@ -28,12 +28,12 @@ class CountingController : public LinkController {
 
 PacketPtr make_data(FlowId flow, NodeId src, NodeId dst,
                     std::vector<NodeId> route, std::int32_t payload) {
-  auto p = std::make_shared<Packet>();
+  PacketPtr p = make_packet();
   p->flow = flow;
   p->type = PacketType::kData;
   p->src = src;
   p->dst = dst;
-  p->route = std::move(route);
+  p->set_route(std::move(route));
   p->payload = payload;
   p->size_bytes = payload + kHeaderBytes;
   return p;
@@ -126,12 +126,12 @@ TEST_F(NodeTest, ReverseHitsPairedForwardPortController) {
   // the switch, the controller of the switch->receiver port must see it.
   SinkAgent sink;
   t.host(servers[0]).attach_sender(1, &sink);
-  auto ack = std::make_shared<Packet>();
+  PacketPtr ack = make_packet();
   ack->flow = 1;
   ack->type = PacketType::kAck;
   ack->src = servers[0];
   ack->dst = servers[0];
-  ack->route = {servers[1], sw, servers[0]};
+  ack->set_route({servers[1], sw, servers[0]});
   t.host(servers[1]).send(std::move(ack));
   simulator.run();
   EXPECT_EQ(fwd_ctl->reverses, 1);

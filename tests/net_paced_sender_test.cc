@@ -60,7 +60,7 @@ struct Rig {
     sctx.topo = &topo;
     sctx.local = &topo.host(f.src);
     sctx.spec = f;
-    sctx.route = topo.ecmp_path(f.id, f.src, f.dst);
+    sctx.route = topo.ecmp_route(f.id, f.src, f.dst);
     sctx.on_done = [this](const FlowResult& r) {
       done = true;
       done_result = r;

@@ -1,0 +1,194 @@
+// PacketPool unit tests: recycle-reset correctness (no stale header
+// fields after reuse), pool growth accounting, and leak-free teardown
+// (the ASan CI job runs this suite).
+#include "net/packet_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace pdq::net {
+namespace {
+
+TEST(PacketPool, AcquireGrowsThenRecycles) {
+  PacketPool pool;
+  EXPECT_EQ(pool.total_allocated(), 0u);
+  {
+    PacketPtr a = pool.acquire();
+    PacketPtr b = pool.acquire();
+    EXPECT_EQ(pool.total_allocated(), 2u);
+    EXPECT_EQ(pool.live_count(), 2u);
+    EXPECT_EQ(pool.free_count(), 0u);
+  }
+  EXPECT_EQ(pool.live_count(), 0u);
+  EXPECT_EQ(pool.free_count(), 2u);
+  // Steady state: reuse, no growth.
+  for (int i = 0; i < 100; ++i) {
+    PacketPtr p = pool.acquire();
+    EXPECT_EQ(pool.total_allocated(), 2u) << "iteration " << i;
+  }
+  EXPECT_EQ(pool.total_acquires(), 102u);
+}
+
+TEST(PacketPool, RecycledPacketIsFullyReset) {
+  PacketPool pool;
+  Packet* raw;
+  {
+    PacketPtr p = pool.acquire();
+    raw = p.get();
+    p->flow = 99;
+    p->type = PacketType::kTerm;
+    p->src = 1;
+    p->dst = 2;
+    p->seq = 777;
+    p->payload = 1460;
+    p->ack = 888;
+    p->size_bytes = 1500;
+    p->set_route({1, 5, 2});
+    p->hop = 2;
+    p->sent_time = 1234;
+    p->pdq.rate_bps = 1e9;
+    p->pdq.pause_by = 5;
+    p->rcp.rate_bps = 2e8;
+    p->d3.desired_rate_bps = 3e8;
+    p->d3.has_deadline = true;
+    p->d3.is_request = true;
+    p->d3.alloc.push_back(1.0);
+    p->d3.prev_alloc.push_back(2.0);
+    p->d3.alloc_idx = 1;
+  }
+  PacketPtr q = pool.acquire();
+  ASSERT_EQ(q.get(), raw);  // same object, recycled
+  EXPECT_EQ(q->flow, kInvalidFlow);
+  EXPECT_EQ(q->type, PacketType::kData);
+  EXPECT_EQ(q->src, kInvalidNode);
+  EXPECT_EQ(q->dst, kInvalidNode);
+  EXPECT_EQ(q->seq, 0);
+  EXPECT_EQ(q->payload, 0);
+  EXPECT_EQ(q->ack, 0);
+  EXPECT_EQ(q->size_bytes, kControlBytes);
+  EXPECT_EQ(q->path, nullptr);
+  EXPECT_FALSE(q->reversed);
+  EXPECT_EQ(q->hop, 0);
+  EXPECT_EQ(q->sent_time, 0);
+  EXPECT_DOUBLE_EQ(q->pdq.rate_bps, 0.0);
+  EXPECT_EQ(q->pdq.pause_by, kInvalidNode);
+  EXPECT_EQ(q->pdq.deadline, sim::kTimeInfinity);
+  EXPECT_DOUBLE_EQ(q->rcp.rate_bps, -1.0);
+  EXPECT_DOUBLE_EQ(q->d3.desired_rate_bps, 0.0);
+  EXPECT_FALSE(q->d3.has_deadline);
+  EXPECT_FALSE(q->d3.is_request);
+  EXPECT_TRUE(q->d3.alloc.empty());
+  EXPECT_TRUE(q->d3.prev_alloc.empty());
+  EXPECT_EQ(q->d3.alloc_idx, 0);
+}
+
+TEST(PacketPool, RecycleReleasesSharedRouteImmediately) {
+  PacketPool pool;
+  RouteRef route = make_route({1, 2, 3});
+  std::weak_ptr<const RoutePair> watch = route;
+  {
+    PacketPtr p = pool.acquire();
+    p->path = route;
+    route = nullptr;
+    EXPECT_FALSE(watch.expired());
+  }
+  // Recycle must drop the RouteRef at release time, not hold it hostage
+  // in the free list until the next acquire.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(PacketPool, RefcountSharesOnePacket) {
+  PacketPool pool;
+  PacketPtr a = pool.acquire();
+  PacketPtr b = a;  // copy: same packet
+  EXPECT_EQ(a.get(), b.get());
+  a = nullptr;
+  EXPECT_EQ(pool.live_count(), 1u);  // b still holds it
+  b = nullptr;
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(PacketPool, MoveTransfersWithoutRefcountChurn) {
+  PacketPool pool;
+  PacketPtr a = pool.acquire();
+  Packet* raw = a.get();
+  PacketPtr b = std::move(a);
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(a.get(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(pool.live_count(), 1u);
+}
+
+TEST(PacketPool, ValueCopiedPacketDoesNotInheritPoolIdentity) {
+  PacketPool pool;
+  PacketPtr p = pool.acquire();
+  p->flow = 7;
+  p->set_route({1, 2});
+  Packet standalone = *p;  // value copy: payload only, no pool hook
+  p = nullptr;
+  EXPECT_EQ(pool.live_count(), 0u);  // copy did not keep the pool entry
+  EXPECT_EQ(standalone.flow, 7);
+  EXPECT_EQ(standalone.route().size(), 2u);
+}
+
+TEST(PacketPool, TrimReleasesIdleMemoryButKeepsLifetimeCount) {
+  PacketPool pool;
+  PacketPtr keep = pool.acquire();
+  { std::vector<PacketPtr> burst(64, nullptr);
+    for (auto& p : burst) p = pool.acquire();
+  }
+  EXPECT_EQ(pool.free_count(), 64u);
+  EXPECT_EQ(pool.owned_count(), 65u);
+  pool.trim();
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_EQ(pool.owned_count(), 1u);  // the live packet survives
+  // total_allocated() is a lifetime counter: monotone across trim(), so
+  // before/after deltas (run_prepared's engine counters) never
+  // underflow.
+  EXPECT_EQ(pool.total_allocated(), 65u);
+  EXPECT_EQ(keep->size_bytes, kControlBytes);
+  PacketPtr p = pool.acquire();
+  EXPECT_NE(p.get(), nullptr);
+  EXPECT_EQ(pool.total_allocated(), 66u);
+}
+
+TEST(PacketPool, ScopedPoolOverridesThreadLocal) {
+  PacketPool& outer = PacketPool::local();
+  PacketPool fresh;
+  {
+    PacketPool::ScopedPool scope(fresh);
+    EXPECT_EQ(&PacketPool::local(), &fresh);
+    PacketPtr p = make_packet();
+    EXPECT_EQ(fresh.live_count(), 1u);
+  }
+  EXPECT_EQ(&PacketPool::local(), &outer);
+  EXPECT_EQ(fresh.live_count(), 0u);
+  EXPECT_EQ(fresh.total_allocated(), 1u);
+}
+
+TEST(PacketPool, ScopedPoolsNest) {
+  PacketPool a, b;
+  PacketPool::ScopedPool sa(a);
+  {
+    PacketPool::ScopedPool sb(b);
+    { PacketPtr p = make_packet(); }
+    EXPECT_EQ(b.total_allocated(), 1u);
+  }
+  { PacketPtr p = make_packet(); }
+  EXPECT_EQ(a.total_allocated(), 1u);
+  EXPECT_EQ(b.total_allocated(), 1u);
+}
+
+TEST(PacketPool, ThreadLocalPoolBacksMakePacket) {
+  PacketPool& pool = PacketPool::local();
+  const auto live_before = pool.live_count();
+  {
+    PacketPtr p = make_packet();
+    EXPECT_EQ(pool.live_count(), live_before + 1);
+  }
+  EXPECT_EQ(pool.live_count(), live_before);
+}
+
+}  // namespace
+}  // namespace pdq::net

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/packet_pool.h"
+
 namespace pdq::net {
 namespace {
 
@@ -18,7 +20,7 @@ TEST(Packet, DirectionClassification) {
 
 TEST(Packet, NextHopWalksRoute) {
   Packet p;
-  p.route = {10, 20, 30};
+  p.set_route({10, 20, 30});
   p.hop = 0;
   EXPECT_EQ(p.next_hop(), 20);
   p.hop = 1;
@@ -29,12 +31,25 @@ TEST(Packet, NextHopWalksRoute) {
 
 TEST(Packet, AtDestination) {
   Packet p;
-  p.route = {1, 2, 3};
+  p.set_route({1, 2, 3});
   p.dst = 3;
   p.hop = 1;
   EXPECT_FALSE(p.at_destination());
   p.hop = 2;
   EXPECT_TRUE(p.at_destination());
+}
+
+TEST(Packet, RouteWithoutPathIsEmpty) {
+  Packet p;
+  EXPECT_TRUE(p.route().empty());
+  EXPECT_EQ(p.next_hop(), kInvalidNode);
+  EXPECT_FALSE(p.at_destination());
+}
+
+TEST(Route, MakeRouteBuildsBothDirections) {
+  RouteRef r = make_route({4, 5, 6});
+  EXPECT_EQ(r->fwd, (std::vector<NodeId>{4, 5, 6}));
+  EXPECT_EQ(r->rev, (std::vector<NodeId>{6, 5, 4}));
 }
 
 TEST(MakeReply, ReversesRouteAndEchoesHeaders) {
@@ -43,7 +58,7 @@ TEST(MakeReply, ReversesRouteAndEchoesHeaders) {
   p.type = PacketType::kData;
   p.src = 1;
   p.dst = 3;
-  p.route = {1, 2, 3};
+  p.set_route({1, 2, 3});
   p.hop = 2;
   p.seq = 4380;
   p.payload = 1460;
@@ -55,7 +70,7 @@ TEST(MakeReply, ReversesRouteAndEchoesHeaders) {
   auto r = make_reply(p, PacketType::kAck);
   EXPECT_EQ(r->flow, 77);
   EXPECT_EQ(r->type, PacketType::kAck);
-  EXPECT_EQ(r->route, (std::vector<NodeId>{3, 2, 1}));
+  EXPECT_EQ(r->route(), (std::vector<NodeId>{3, 2, 1}));
   EXPECT_EQ(r->hop, 0);
   EXPECT_EQ(r->dst, 1);  // back to the sender
   EXPECT_EQ(r->seq, 4380);
@@ -65,6 +80,30 @@ TEST(MakeReply, ReversesRouteAndEchoesHeaders) {
   EXPECT_DOUBLE_EQ(r->pdq.rate_bps, 5e8);
   EXPECT_EQ(r->pdq.pause_by, 2);
   EXPECT_DOUBLE_EQ(r->rcp.rate_bps, 1e8);
+}
+
+TEST(MakeReply, SharesTheRouteFlyweight) {
+  Packet p;
+  p.set_route({1, 2, 3});
+  auto r = make_reply(p, PacketType::kAck);
+  EXPECT_EQ(r->path.get(), p.path.get());  // no copy, direction flipped
+  EXPECT_TRUE(r->reversed);
+  auto rr = make_reply(*r, PacketType::kData);
+  EXPECT_FALSE(rr->reversed);
+  EXPECT_EQ(rr->route(), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(MakeReply, CopiesD3AllocationVectors) {
+  Packet p;
+  p.set_route({1, 2, 3});
+  p.d3.alloc.push_back(1e9);
+  p.d3.alloc.push_back(5e8);
+  p.d3.alloc_idx = 2;
+  auto r = make_reply(p, PacketType::kAck);
+  ASSERT_EQ(r->d3.alloc.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->d3.alloc[0], 1e9);
+  EXPECT_DOUBLE_EQ(r->d3.alloc[1], 5e8);
+  EXPECT_EQ(r->d3.alloc_idx, 2);
 }
 
 TEST(Constants, FramingAddsUp) {

@@ -5,8 +5,8 @@
 namespace pdq::net {
 namespace {
 
-PacketPtr make_packet(std::int32_t size) {
-  auto p = std::make_shared<Packet>();
+PacketPtr sized_packet(std::int32_t size) {
+  PacketPtr p = make_packet();
   p->size_bytes = size;
   return p;
 }
@@ -14,7 +14,7 @@ PacketPtr make_packet(std::int32_t size) {
 TEST(DropTailQueue, FifoOrder) {
   DropTailQueue q(10'000);
   for (int i = 0; i < 3; ++i) {
-    auto p = make_packet(100);
+    auto p = sized_packet(100);
     p->seq = i;
     EXPECT_TRUE(q.push(std::move(p)));
   }
@@ -24,8 +24,8 @@ TEST(DropTailQueue, FifoOrder) {
 
 TEST(DropTailQueue, ByteAccounting) {
   DropTailQueue q(10'000);
-  q.push(make_packet(1500));
-  q.push(make_packet(40));
+  q.push(sized_packet(1500));
+  q.push(sized_packet(40));
   EXPECT_EQ(q.bytes(), 1540);
   EXPECT_EQ(q.packets(), 2u);
   q.pop();
@@ -34,9 +34,9 @@ TEST(DropTailQueue, ByteAccounting) {
 
 TEST(DropTailQueue, TailDropWhenFull) {
   DropTailQueue q(3'000);
-  EXPECT_TRUE(q.push(make_packet(1500)));
-  EXPECT_TRUE(q.push(make_packet(1500)));
-  EXPECT_FALSE(q.push(make_packet(1500)));  // would exceed capacity
+  EXPECT_TRUE(q.push(sized_packet(1500)));
+  EXPECT_TRUE(q.push(sized_packet(1500)));
+  EXPECT_FALSE(q.push(sized_packet(1500)));  // would exceed capacity
   EXPECT_EQ(q.drops(), 1);
   EXPECT_EQ(q.dropped_bytes(), 1500);
   EXPECT_EQ(q.packets(), 2u);
@@ -44,16 +44,16 @@ TEST(DropTailQueue, TailDropWhenFull) {
 
 TEST(DropTailQueue, SmallPacketFitsAfterBigDrop) {
   DropTailQueue q(3'100);
-  q.push(make_packet(1500));
-  q.push(make_packet(1500));
-  EXPECT_FALSE(q.push(make_packet(1500)));
-  EXPECT_TRUE(q.push(make_packet(100)));  // 100 bytes still fit
+  q.push(sized_packet(1500));
+  q.push(sized_packet(1500));
+  EXPECT_FALSE(q.push(sized_packet(1500)));
+  EXPECT_TRUE(q.push(sized_packet(100)));  // 100 bytes still fit
 }
 
 TEST(DropTailQueue, ExactCapacityFits) {
   DropTailQueue q(1500);
-  EXPECT_TRUE(q.push(make_packet(1500)));
-  EXPECT_FALSE(q.push(make_packet(1)));
+  EXPECT_TRUE(q.push(sized_packet(1500)));
+  EXPECT_FALSE(q.push(sized_packet(1)));
 }
 
 }  // namespace

@@ -1,0 +1,73 @@
+// Topology route cache: flyweight sharing, ECMP agreement with
+// ecmp_path(), and invalidation when the topology changes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "net/builders.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace pdq::net {
+namespace {
+
+TEST(RouteCache, AgreesWithEcmpPath) {
+  sim::Simulator s;
+  Topology t(s);
+  auto servers = build_fat_tree(t, 4);
+  for (FlowId f = 1; f <= 32; ++f) {
+    RouteRef r = t.ecmp_route(f, servers[0], servers[15]);
+    EXPECT_EQ(r->fwd, t.ecmp_path(f, servers[0], servers[15])) << f;
+    // The reverse is the exact mirror.
+    std::vector<NodeId> rev(r->fwd.rbegin(), r->fwd.rend());
+    EXPECT_EQ(r->rev, rev);
+  }
+}
+
+TEST(RouteCache, SameChoiceReturnsTheSameFlyweight) {
+  sim::Simulator s;
+  Topology t(s);
+  auto servers = build_single_bottleneck(t, 3);
+  RouteRef a = t.ecmp_route(1, servers[0], servers[3]);
+  RouteRef b = t.ecmp_route(1, servers[0], servers[3]);
+  EXPECT_EQ(a.get(), b.get());  // cached, not rebuilt
+  // Different flows hashing to the same single path share it too.
+  RouteRef c = t.ecmp_route(2, servers[0], servers[3]);
+  EXPECT_EQ(a.get(), c.get());
+}
+
+TEST(RouteCache, SaltSelectsAmongEqualCostPaths) {
+  sim::Simulator s;
+  Topology t(s);
+  auto servers = build_fat_tree(t, 4);
+  // Across many salts, a multi-path pair must see more than one route.
+  std::set<const RoutePair*> distinct;
+  for (std::uint64_t salt = 0; salt < 64; ++salt) {
+    distinct.insert(t.ecmp_route(7, servers[0], servers[15], salt).get());
+  }
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(RouteCache, InvalidatedWhenTopologyGrows) {
+  sim::Simulator s;
+  Topology t(s);
+  const NodeId a = t.add_host();
+  const NodeId sw1 = t.add_switch();
+  const NodeId sw2 = t.add_switch();
+  const NodeId b = t.add_host();
+  t.add_duplex_link(a, sw1);
+  t.add_duplex_link(sw1, sw2);
+  t.add_duplex_link(sw2, b);
+  RouteRef before = t.ecmp_route(1, a, b);
+  EXPECT_EQ(before->fwd.size(), 4u);  // a-sw1-sw2-b
+  // A shortcut link a<->sw2 shortens the path; the cache must refresh.
+  t.add_duplex_link(a, sw2);
+  RouteRef after = t.ecmp_route(1, a, b);
+  EXPECT_EQ(after->fwd.size(), 3u);  // a-sw2-b
+  // The old flyweight stays valid for packets already carrying it.
+  EXPECT_EQ(before->fwd.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pdq::net

@@ -1,0 +1,86 @@
+#include "net/small_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace pdq::net {
+namespace {
+
+using Vec = SmallVec<double, 4>;
+
+TEST(SmallVec, PushAndIndex) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 4; ++i) v.push_back(i * 1.5);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  EXPECT_DOUBLE_EQ(v.back(), 4.5);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+}
+
+TEST(SmallVec, SpillsToHeapBeyondInlineCapacity) {
+  Vec v;
+  for (int i = 0; i < 20; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_EQ(v.size(), 20u);
+  EXPECT_GE(v.capacity(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, CopyAssignBothDirections) {
+  Vec small;
+  small.push_back(1.0);
+  Vec big;
+  for (int i = 0; i < 10; ++i) big.push_back(static_cast<double>(i));
+
+  Vec v = big;  // heap -> fresh
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_DOUBLE_EQ(v[9], 9.0);
+  v = small;  // shrink; keeps working
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  v = big;  // regrow
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_TRUE(v == big);
+  EXPECT_FALSE(v == small);
+}
+
+TEST(SmallVec, SelfAssignIsNoop) {
+  Vec v;
+  v.push_back(2.5);
+  v = *&v;
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 2.5);
+}
+
+TEST(SmallVec, MoveStealsHeapBuffer) {
+  Vec big;
+  for (int i = 0; i < 10; ++i) big.push_back(static_cast<double>(i));
+  const double* data_before = big.begin();
+  Vec moved = std::move(big);
+  EXPECT_EQ(moved.begin(), data_before);  // pointer stolen, not copied
+  EXPECT_EQ(moved.size(), 10u);
+  EXPECT_EQ(big.size(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVec, ClearKeepsCapacityForReuse) {
+  Vec v;
+  for (int i = 0; i < 10; ++i) v.push_back(static_cast<double>(i));
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);  // pooled packets reuse the spill buffer
+  v.push_back(7.0);
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+}
+
+TEST(SmallVec, RangeForIteratesInOrder) {
+  Vec v;
+  for (int i = 0; i < 6; ++i) v.push_back(static_cast<double>(i));
+  double sum = 0;
+  for (double x : v) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 15.0);
+}
+
+}  // namespace
+}  // namespace pdq::net

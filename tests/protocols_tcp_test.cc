@@ -136,14 +136,14 @@ TEST(Tcp, SlowStartDoublesWindow) {
   ctx.topo = &topo;
   ctx.local = &topo.host(f.src);
   ctx.spec = f;
-  ctx.route = topo.ecmp_path(1, f.src, f.dst);
+  ctx.route = topo.ecmp_route(1, f.src, f.dst);
   TcpConfig cfg;
   TcpSender snd(std::move(ctx), cfg);
   EXPECT_DOUBLE_EQ(snd.cwnd_pkts(), cfg.initial_cwnd_pkts);
   snd.start();
   // Ack the first two segments one by one: +1 cwnd per ack in slow start.
   for (int i = 1; i <= 2; ++i) {
-    auto ack = std::make_shared<net::Packet>();
+    auto ack = net::make_packet();
     ack->flow = 1;
     ack->type = net::PacketType::kAck;
     ack->seq = (i - 1) * net::kMaxPayloadBytes;

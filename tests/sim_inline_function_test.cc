@@ -1,0 +1,97 @@
+#include "sim/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace pdq::sim {
+namespace {
+
+using Fn = InlineFunction<48>;
+
+TEST(InlineFunction, InvokesStoredCallable) {
+  int ran = 0;
+  Fn f([&ran] { ++ran; });
+  f();
+  f();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(InlineFunction, SmallCapturesStayInline) {
+  struct Small {
+    void* a;
+    void* b;
+    void operator()() {}
+  };
+  struct Big {
+    std::array<char, 64> blob;
+    void operator()() {}
+  };
+  EXPECT_TRUE(Fn::fits_inline<Small>());
+  EXPECT_FALSE(Fn::fits_inline<Big>());
+  // The hot-path simulator capture shape: this + Port& + PacketPtr.
+  struct HotPath {
+    void* self;
+    void* port;
+    void* packet;
+    void operator()() {}
+  };
+  EXPECT_TRUE(Fn::fits_inline<HotPath>());
+  // std::function fits too (scenario.cc's recurring sampler).
+  EXPECT_TRUE(Fn::fits_inline<std::function<void()>>());
+}
+
+TEST(InlineFunction, HeapFallbackStillWorks) {
+  std::array<double, 16> big{};  // 128 bytes: over budget
+  big[7] = 42.0;
+  double got = 0;
+  Fn f([big, &got] { got = big[7]; });
+  f();
+  EXPECT_DOUBLE_EQ(got, 42.0);
+}
+
+TEST(InlineFunction, MoveTransfersOwnership) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = token;
+  int got = 0;
+  Fn a([t = std::move(token), &got] { got = *t; });
+  Fn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(got, 5);
+  b.reset();
+  EXPECT_TRUE(watch.expired());  // capture destroyed with the wrapper
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousCallable) {
+  auto old_token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = old_token;
+  Fn a([t = std::move(old_token)] { (void)*t; });
+  a = Fn([] {});
+  EXPECT_TRUE(watch.expired());
+  a();  // new callable runs fine
+}
+
+TEST(InlineFunction, DestructorReleasesCapture) {
+  auto token = std::make_shared<int>(9);
+  std::weak_ptr<int> watch = token;
+  {
+    Fn f([t = std::move(token)] { (void)*t; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, EmptyIsFalsy) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  f = Fn([] {});
+  EXPECT_TRUE(static_cast<bool>(f));
+}
+
+}  // namespace
+}  // namespace pdq::sim
