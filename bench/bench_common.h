@@ -15,12 +15,16 @@
 //   --no-csv       skip CSV output
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.h"
@@ -47,6 +51,29 @@ struct BenchArgs {
   }
 };
 
+inline void print_usage(const char* prog, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [--full] [--seed S] [--threads N] [--results-dir D]\n"
+      "       [--json] [--no-csv] [--help]\n"
+      "\n"
+      "  --full           paper-scale sweeps (default: scaled-down)\n"
+      "  --seed S         base seed; trial t runs with S + 7*t\n"
+      "  --threads N      SweepRunner pool size (default: hw concurrency)\n"
+      "  --results-dir D  where CSV/JSON land (default: results)\n"
+      "  --json           also write JSON results\n"
+      "  --no-csv         skip CSV output\n"
+      "\n"
+      "Engine-counter tables (fig13 and BENCH_engine.json) report, per\n"
+      "sweep point: events (executed), ev/flow (events per completed\n"
+      "flow), coalesced (events elided by per-hop transmit coalescing),\n"
+      "scans (flow-list entries visited by the switch fast path),\n"
+      "scan/pkt (scans per packet acquire — flat when the PDQ switch is\n"
+      "O(1) amortized), pkt_allocs and recycle%%. Operation counts only;\n"
+      "wall time is never measured or asserted (single-core CI).\n",
+      prog);
+}
+
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs a;
   auto value = [&](int& i) -> const char* {
@@ -64,11 +91,12 @@ inline BenchArgs parse_args(int argc, char** argv) {
     else if (arg == "--results-dir") a.results_dir = value(i);
     else if (arg == "--json") a.json = true;
     else if (arg == "--no-csv") a.csv = false;
-    else {
-      std::fprintf(stderr,
-                   "unknown argument %s\nusage: %s [--full] [--seed S] "
-                   "[--threads N] [--results-dir D] [--json] [--no-csv]\n",
-                   arg.c_str(), argv[0]);
+    else if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0], stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+      print_usage(argv[0], stderr);
       std::exit(2);
     }
   }
@@ -130,6 +158,106 @@ inline harness::SweepResults run_and_report(const harness::ExperimentSpec& spec,
   table.write(results);
   write_outputs(results, args);
   return results;
+}
+
+// ---- engine-counter tables (fig13 and friends) ----
+
+/// One simulation per (scenario label, stack, seed), shared by all
+/// counter columns, via the canonical SweepRunner::run_sample recipe
+/// (cold PacketPool, so packet_allocs is the run's true in-flight
+/// high-water mark — deterministic for any thread count or prior pool
+/// warmth). The lock only guards the map; concurrent misses on the same
+/// key recompute the identical value.
+///
+/// CONTRACT: the label must uniquely identify the scenario — a
+/// SweepPoint that varies anything beyond topology/workload (options,
+/// parameters applied in-place) while reusing the same
+/// `topology.name + "/" + workload.name` would silently be served
+/// another point's cached counters. Encode every varied knob in one of
+/// the names (fig13 bakes the flow count into the workload name).
+struct EngineCounterSample {
+  harness::EngineCounters engine;
+  double completed = 0.0;
+};
+
+class EngineCounterCache {
+ public:
+  EngineCounterSample get(const harness::Scenario& sc,
+                          const std::string& label, std::uint64_t seed,
+                          const std::string& stack) {
+    const auto key = std::make_pair(label + "\x1f" + stack, seed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
+    const auto run = harness::SweepRunner::run_sample(sc, stack, {}, seed);
+    EngineCounterSample sample;
+    sample.engine = run.result.engine;
+    sample.completed = static_cast<double>(run.result.completed());
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_[key] = sample;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::pair<std::string, std::uint64_t>, EngineCounterSample> cache_;
+};
+
+/// The canonical engine-counter columns, shared by fig13 and any other
+/// counter-reporting bench (see --help for the column glossary). Each
+/// column evaluates from the cached sample of (scenario, seed, stack).
+inline std::vector<harness::Column> engine_counter_columns(
+    std::shared_ptr<EngineCounterCache> cache, std::string stack) {
+  struct Def {
+    const char* label;
+    double (*read)(const EngineCounterSample&);
+  };
+  static const Def kDefs[] = {
+      {"events",
+       [](const EngineCounterSample& s) {
+         return static_cast<double>(s.engine.events_executed);
+       }},
+      {"ev/flow",
+       [](const EngineCounterSample& s) {
+         return static_cast<double>(s.engine.events_executed) /
+                std::max(1.0, s.completed);
+       }},
+      {"coalesced",
+       [](const EngineCounterSample& s) {
+         return static_cast<double>(s.engine.events_coalesced);
+       }},
+      {"scans",
+       [](const EngineCounterSample& s) {
+         return static_cast<double>(s.engine.flowlist_scan_ops);
+       }},
+      {"scan/pkt",
+       [](const EngineCounterSample& s) {
+         return static_cast<double>(s.engine.flowlist_scan_ops) /
+                static_cast<double>(std::max<std::uint64_t>(
+                    1, s.engine.packet_acquires));
+       }},
+      {"pkt_allocs",
+       [](const EngineCounterSample& s) {
+         return static_cast<double>(s.engine.packet_allocs);
+       }},
+      {"recycle%",
+       [](const EngineCounterSample& s) {
+         return s.engine.recycle_percent();
+       }},
+  };
+  std::vector<harness::Column> columns;
+  for (const auto& def : kDefs) {
+    harness::Column c;
+    c.label = def.label;
+    c.evaluate = [cache, stack, read = def.read](const harness::Scenario& sc,
+                                                 std::uint64_t seed) {
+      return read(cache->get(
+          sc, sc.topology.name + "/" + sc.workload.name, seed, stack));
+    };
+    columns.push_back(std::move(c));
+  }
+  return columns;
 }
 
 /// Wraps an already-computed grid (e.g. from a binary search per cell,

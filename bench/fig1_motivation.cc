@@ -6,6 +6,7 @@
 #include "bench_common.h"
 #include "flowsim/flowsim.h"
 #include "net/builders.h"
+#include <string_view>
 
 using namespace pdq;
 
@@ -59,7 +60,21 @@ int d3_deadlines_met(const std::vector<int>& order) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--help" ||
+        std::string_view(argv[i]) == "-h") {
+      std::printf(
+          "usage: %s\n\nFixed fluid-model motivation table (Figure 1); "
+          "takes no tuning flags.\nSee a sweep bench's --help for the "
+          "shared flags and the engine-counter\ncolumn glossary "
+          "(events, ev/flow, coalesced, scans, scan/pkt, pkt_allocs,\n"
+          "recycle%%).\n",
+          argv[0]);
+      return 0;
+    }
+  }  // other flags are accepted and ignored (fixed scenario)
+
   std::printf("Figure 1: fA=(1,d=1) fB=(2,d=4) fC=(3,d=6), unit-rate link\n\n");
   std::printf("(b/c) centralized fluid schedules:\n");
   std::printf("%-14s %6s %6s %6s %10s %9s\n", "discipline", "fA", "fB", "fC",

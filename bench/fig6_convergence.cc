@@ -3,11 +3,25 @@
 // per-millisecond series behind Fig 6a (per-flow throughput), 6b
 // (bottleneck utilization) and 6c (queue, normalized to data packets).
 #include "bench_common.h"
+#include <string_view>
 
 using namespace pdq;
 using namespace pdq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--help" ||
+        std::string_view(argv[i]) == "-h") {
+      std::printf(
+          "usage: %s\n\nFixed five-flow convergence time series "
+          "(Figure 6); takes no tuning\nflags. See a sweep bench's "
+          "--help for the shared flags and the\nengine-counter column "
+          "glossary.\n",
+          argv[0]);
+      return 0;
+    }
+  }  // other flags are accepted and ignored (fixed scenario)
+
   std::vector<net::FlowSpec> flows;
   for (int i = 0; i < 5; ++i) {
     net::FlowSpec f;

@@ -2,11 +2,24 @@
 // t=0; 50 short (~20 KB) flows all arrive at t=10 ms. PDQ preempts the
 // long flow, drains the burst near line rate, and resumes.
 #include "bench_common.h"
+#include <string_view>
 
 using namespace pdq;
 using namespace pdq::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--help" ||
+        std::string_view(argv[i]) == "-h") {
+      std::printf(
+          "usage: %s\n\nFixed burst-tolerance time series (Figure 7); "
+          "takes no tuning flags.\nSee a sweep bench's --help for the "
+          "shared flags and the engine-counter\ncolumn glossary.\n",
+          argv[0]);
+      return 0;
+    }
+  }  // other flags are accepted and ignored (fixed scenario)
+
   std::vector<net::FlowSpec> flows;
   net::FlowSpec longf;
   longf.id = 1;

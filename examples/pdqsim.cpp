@@ -10,7 +10,12 @@
 //          [--servers N] [--flows N] [--pattern agg|stride|staggered|perm]
 //          [--size-dist uniform|vl2|edu|pareto] [--mean-kb N]
 //          [--deadlines] [--deadline-ms N] [--arrival-rate R]
-//          [--subflows K] [--seed S] [--csv] [--verbose]
+//          [--subflows K] [--seed S] [--csv] [--verbose] [--counters]
+//
+// --counters appends the engine operation counters (events processed /
+// coalesced, flow-list scan ops, packet allocs, pool recycle rate) — the
+// same columns the fig13 bench tabulates; operation counts, never wall
+// time.
 //
 // --protocol accepts any name in the stack registry — canonical figure
 // names ("PDQ(Full)", "M-PDQ", ...) or CLI aliases (pdq, pdq-basic,
@@ -48,6 +53,7 @@ struct Args {
   std::uint64_t seed = 1;
   bool csv = false;
   bool verbose = false;
+  bool counters = false;
 };
 
 [[noreturn]] void usage() {
@@ -57,7 +63,11 @@ struct Args {
                "              [--flows N] [--pattern P] [--size-dist D]\n"
                "              [--mean-kb N] [--deadlines] [--deadline-ms N]\n"
                "              [--arrival-rate R] [--subflows K] [--seed S]\n"
-               "              [--csv] [--verbose]\n");
+               "              [--csv] [--verbose] [--counters]\n"
+               "\n"
+               "--counters appends engine operation counters (events\n"
+               "processed / coalesced, flowlist_scan_ops, packet allocs,\n"
+               "recycle%%) — the fig13 counter-table columns.\n");
   std::exit(2);
 }
 
@@ -73,6 +83,11 @@ struct Args {
     std::printf("%-12s %-32s %s\n", name.c_str(), aliases.c_str(),
                 registry.describe(name).c_str());
   }
+  std::printf(
+      "\nEvery protocol reports engine counters (pdqsim --counters, fig13\n"
+      "tables, BENCH_engine.json): events_processed, events_coalesced,\n"
+      "flowlist_scan_ops, packet_allocs, recycle%% — operation counts,\n"
+      "never wall time.\n");
   std::exit(0);
 }
 
@@ -98,6 +113,7 @@ Args parse(int argc, char** argv) {
     else if (arg == "--seed") a.seed = static_cast<std::uint64_t>(std::atoll(next(i)));
     else if (arg == "--csv") a.csv = true;
     else if (arg == "--verbose") a.verbose = true;
+    else if (arg == "--counters") a.counters = true;
     else if (arg == "--list-protocols") list_protocols();
     else if (arg == "--help" || arg == "-h") usage();
     else {
@@ -246,5 +262,18 @@ int main(int argc, char** argv) {
   }
   std::printf("queue drops:           %lld\n",
               static_cast<long long>(r.queue_drops));
+  if (a.counters) {
+    const auto& e = r.engine;
+    std::printf("\nengine counters (operation counts, never wall time):\n");
+    std::printf("events processed:      %llu\n",
+                static_cast<unsigned long long>(e.events_executed));
+    std::printf("events coalesced:      %llu\n",
+                static_cast<unsigned long long>(e.events_coalesced));
+    std::printf("flowlist scan ops:     %llu\n",
+                static_cast<unsigned long long>(e.flowlist_scan_ops));
+    std::printf("packet allocs:         %llu\n",
+                static_cast<unsigned long long>(e.packet_allocs));
+    std::printf("pool recycle:          %.1f %%\n", e.recycle_percent());
+  }
   return 0;
 }

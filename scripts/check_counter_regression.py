@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI counter-regression gate.
+
+Compares a freshly produced fig13_engine_counters.json (JsonSink format)
+against the committed BENCH_engine.json baseline and fails when a gated
+counter regressed by more than the tolerance. Gated counters are
+*operation counts* (events processed, packet allocations) — never wall
+time: this repository's CI runners are single-core and wall-time-noisy,
+so timing is not measured anywhere.
+
+Usage:
+  scripts/check_counter_regression.py <fresh_fig13_engine_counters.json> \
+      [--baseline BENCH_engine.json] [--tolerance 0.05]
+
+Exit status: 0 ok, 1 regression, 2 usage/format error.
+"""
+
+import argparse
+import json
+import sys
+
+# Counters gated on: more of these = the engine does more work per run.
+# Ratio-style columns (recycle%, scan/pkt) and derived ev/flow are
+# reported but not gated, to keep the gate signal crisp.
+GATED = ("events", "pkt_allocs")
+
+
+def load_fresh(path):
+    """JsonSink output -> {point: {column: value}}."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for p, point in enumerate(doc["points"]):
+        out[point] = {
+            col: doc["samples"][p][c][0]
+            for c, col in enumerate(doc["columns"])
+        }
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh", help="fig13_engine_counters.json from this run")
+    ap.add_argument("--baseline", default="BENCH_engine.json")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed relative increase (default 5%%)")
+    args = ap.parse_args()
+
+    try:
+        fresh = load_fresh(args.fresh)
+        with open(args.baseline) as f:
+            base = json.load(f)["fig13_engine_counters"]
+    except (OSError, KeyError, json.JSONDecodeError) as e:
+        print(f"counter gate: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    checked = 0
+    for point, base_cols in sorted(base.items()):
+        if point not in fresh:
+            print(f"counter gate: point {point!r} missing from fresh run "
+                  "(sweep shape changed?) — skipping", file=sys.stderr)
+            continue
+        for col in GATED:
+            if col not in base_cols or col not in fresh[point]:
+                continue
+            b, f_ = base_cols[col], fresh[point][col]
+            checked += 1
+            limit = b * (1.0 + args.tolerance)
+            status = "OK"
+            if f_ > limit and f_ - b > 0.5:  # absolute slack for tiny counts
+                status = "REGRESSION"
+                failures.append((point, col, b, f_))
+            print(f"  {point:>14} {col:>12}: baseline {b:>14.1f} "
+                  f"fresh {f_:>14.1f}  {status}")
+
+    if checked == 0:
+        print("counter gate: nothing compared — baseline/fresh shape "
+              "mismatch", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\ncounter gate FAILED: {len(failures)} counter(s) regressed "
+              f"more than {args.tolerance:.0%}:", file=sys.stderr)
+        for point, col, b, f_ in failures:
+            print(f"  {point}/{col}: {b:.0f} -> {f_:.0f} "
+                  f"(+{(f_ - b) / b:.1%})", file=sys.stderr)
+        print("If the increase is intentional (new features cost events), "
+              "regenerate the baseline with scripts/record_bench.sh and "
+              "commit BENCH_engine.json.", file=sys.stderr)
+        return 1
+    print(f"counter gate passed: {checked} counters within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

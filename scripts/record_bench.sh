@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Records the engine perf trajectory in-tree: runs the hot-path
+# microbenchmarks (micro_core, if built) and the quick fig13
+# datacenter-scale sweep, then writes BENCH_engine.json at the repo root
+# with the fig13 engine counters per sweep point. Operation counts only —
+# this project never records or asserts wall time (single-core CI).
+#
+# Usage: scripts/record_bench.sh [build-dir]   (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+RESULTS="$(mktemp -d)"
+trap 'rm -rf "$RESULTS"' EXIT
+
+FIG13="$BUILD/bench/fig13_datacenter_scale"
+if [[ ! -x "$FIG13" ]]; then
+  echo "error: $FIG13 not built (cmake --build $BUILD --target fig13_datacenter_scale)" >&2
+  exit 1
+fi
+
+MICRO="$BUILD/bench/micro_core"
+if [[ -x "$MICRO" ]]; then
+  echo "== micro_core (hot-path microbenchmarks) =="
+  "$MICRO" --benchmark_format=json > "$RESULTS/micro_core.json" || {
+    echo "warning: micro_core failed; continuing without it" >&2
+    rm -f "$RESULTS/micro_core.json"
+  }
+else
+  echo "note: micro_core not built (Google Benchmark missing?); skipping" >&2
+fi
+
+echo "== fig13 quick sweep (engine counters) =="
+"$FIG13" --json --no-csv --results-dir "$RESULTS"
+
+python3 - "$RESULTS" "$ROOT/BENCH_engine.json" <<'EOF'
+import json, subprocess, sys, os
+
+results_dir, out_path = sys.argv[1], sys.argv[2]
+with open(os.path.join(results_dir, "fig13_engine_counters.json")) as f:
+    fig13 = json.load(f)
+
+# samples[point][column][trial] -> {point: {column: value}}
+counters = {}
+for p, point in enumerate(fig13["points"]):
+    counters[point] = {
+        col: fig13["samples"][p][c][0]
+        for c, col in enumerate(fig13["columns"])
+    }
+
+doc = {
+    "comment": "Engine perf trajectory: operation counts only, never wall "
+               "time (single-core CI). Regenerate with scripts/record_bench.sh; "
+               "scripts/check_counter_regression.py gates CI on it.",
+    "source": "fig13_datacenter_scale --json (quick points)",
+    "base_seed": fig13["base_seed"],
+    "git": subprocess.run(["git", "-C", os.path.dirname(out_path) or ".",
+                           "rev-parse", "--short", "HEAD"],
+                          capture_output=True, text=True).stdout.strip(),
+    "fig13_engine_counters": counters,
+}
+
+# Keep the before/after trajectory: the previous snapshot (if any) rides
+# along so counter history survives regeneration.
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        try:
+            prev = json.load(f)
+        except json.JSONDecodeError:
+            prev = None
+    if prev and "fig13_engine_counters" in prev:
+        doc["previous"] = {
+            "git": prev.get("git", ""),
+            "fig13_engine_counters": prev["fig13_engine_counters"],
+        }
+
+# micro_core ran as a smoke test above; only the benchmark *names* are
+# recorded. Its numbers (ns/op, items/s) are wall-time-derived and this
+# file's policy is operation counts only — committing them would churn
+# with machine load on every regeneration.
+micro = os.path.join(results_dir, "micro_core.json")
+if os.path.exists(micro):
+    with open(micro) as f:
+        mdoc = json.load(f)
+    doc["micro_core_benchmarks"] = sorted(
+        b["name"] for b in mdoc.get("benchmarks", []))
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF

@@ -102,11 +102,13 @@ void MpdqSender::start() {
     workers_[w].sender->start();
   }
 
-  ctx_.topo->sim().schedule_in(cfg_.rebalance_interval,
-                               [this] { rebalance(); });
+  rebalance_pending_ = true;
+  rebalance_event_ = ctx_.topo->sim().schedule_in(cfg_.rebalance_interval,
+                                                  [this] { rebalance(); });
 }
 
 void MpdqSender::rebalance() {
+  rebalance_pending_ = false;
   if (result_.outcome != net::FlowOutcome::kPending) return;
 
   // Target: the *sending* subflow with the minimal remaining load.
@@ -143,8 +145,9 @@ void MpdqSender::rebalance() {
     }
   }
 
-  ctx_.topo->sim().schedule_in(cfg_.rebalance_interval,
-                               [this] { rebalance(); });
+  rebalance_pending_ = true;
+  rebalance_event_ = ctx_.topo->sim().schedule_in(cfg_.rebalance_interval,
+                                                  [this] { rebalance(); });
 }
 
 void MpdqSender::on_subflow_done(std::size_t wi, const net::FlowResult& r) {
@@ -171,6 +174,10 @@ void MpdqSender::finish(net::FlowOutcome outcome) {
   if (result_.outcome != net::FlowOutcome::kPending) return;
   result_.outcome = outcome;
   result_.finish_time = ctx_.topo->sim().now();
+  if (rebalance_pending_) {
+    ctx_.topo->sim().cancel(rebalance_event_);
+    rebalance_pending_ = false;
+  }
   if (ctx_.on_done) ctx_.on_done(result_);
 }
 

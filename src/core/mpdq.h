@@ -59,6 +59,10 @@ class MpdqSender : public net::Agent {
   net::FlowResult result_;
   std::vector<Worker> workers_;
   bool started_ = false;
+  /// Pending rebalance timer; cancelled on finish so a completed flow
+  /// leaves no dead event behind in the queue.
+  sim::EventId rebalance_event_ = 0;
+  bool rebalance_pending_ = false;
 };
 
 }  // namespace pdq::core

@@ -191,6 +191,18 @@ MetricSpec packet_recycle_percent() {
           }};
 }
 
+MetricSpec events_coalesced() {
+  return {"events_coalesced", [](const RunContext& c) {
+            return static_cast<double>(c.result->engine.events_coalesced);
+          }};
+}
+
+MetricSpec flowlist_scan_ops() {
+  return {"flowlist_scan_ops", [](const RunContext& c) {
+            return static_cast<double>(c.result->engine.flowlist_scan_ops);
+          }};
+}
+
 }  // namespace metrics
 
 // ---------------------------------------------------------------------------

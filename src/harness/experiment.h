@@ -149,6 +149,11 @@ MetricSpec events_processed();
 MetricSpec packet_allocs();
 /// Fraction of packet acquires served from the pool free list, percent.
 MetricSpec packet_recycle_percent();
+/// Net events elided by per-hop transmit coalescing (node.cc).
+MetricSpec events_coalesced();
+/// Flow-state entries visited by switch-controller hot paths — flat per
+/// packet when the PDQ switch fast path is O(1) amortized.
+MetricSpec flowlist_scan_ops();
 }  // namespace metrics
 
 /// One table column: usually a registry stack (plus overrides), measured

@@ -149,6 +149,8 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
   const std::uint64_t acquires_before = pool.total_acquires();
   const std::uint64_t scheduled_before = simulator.events_scheduled();
   const std::uint64_t cancelled_before = simulator.events_cancelled();
+  const std::uint64_t coalesced_before = topo.total_events_coalesced();
+  const std::uint64_t scans_before = topo.total_flowlist_scan_ops();
 
   result.engine.events_executed = simulator.run(opts.horizon);
 
@@ -158,6 +160,10 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
       simulator.events_cancelled() - cancelled_before;
   result.engine.packet_allocs = pool.total_allocated() - allocs_before;
   result.engine.packet_acquires = pool.total_acquires() - acquires_before;
+  result.engine.events_coalesced =
+      topo.total_events_coalesced() - coalesced_before;
+  result.engine.flowlist_scan_ops =
+      topo.total_flowlist_scan_ops() - scans_before;
 
   // Flush the final partial bin so goodput integrates to the flow sizes.
   if (opts.per_flow_series) {

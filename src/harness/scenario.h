@@ -53,6 +53,12 @@ struct EngineCounters {
   std::uint64_t events_cancelled = 0;
   std::uint64_t packet_allocs = 0;    // new Packet objects constructed
   std::uint64_t packet_acquires = 0;  // pool hand-outs (allocs + reuses)
+  /// Net events elided by per-hop transmit coalescing (node.cc).
+  std::uint64_t events_coalesced = 0;
+  /// Flow-state entries visited by switch-controller hot paths (PDQ's
+  /// find/prefix/resort work) — flat per packet when the switch fast
+  /// path is O(1) amortized.
+  std::uint64_t flowlist_scan_ops = 0;
 
   /// Percent of acquires served from the free list (0 when idle) — the
   /// single definition behind metrics::packet_recycle_percent() and the

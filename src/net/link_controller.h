@@ -10,6 +10,8 @@
 // This mirrors the paper's forward-path / reverse-path header processing.
 #pragma once
 
+#include <cstdint>
+
 #include "net/packet.h"
 #include "sim/time.h"
 
@@ -26,6 +28,22 @@ class LinkController {
 
   virtual void on_forward(Packet& p) = 0;
   virtual void on_reverse(Packet& p) = 0;
+
+  /// Called for every packet (either direction) accepted into this port's
+  /// queue. Lets periodic controller machinery sleep on idle links and
+  /// re-arm when traffic appears; must not mutate the packet.
+  virtual void on_enqueue() {}
+
+  /// Whether on_reverse() does any work that must run at the instant a
+  /// reverse packet arrives at the downstream node. Controllers whose
+  /// on_reverse is a no-op return false, which lets the transmitter fold
+  /// the arrival into the next-hop dispatch event (node.cc coalescing).
+  virtual bool reverse_hook() const { return true; }
+
+  /// Flow-state entries visited by this controller's hot-path operations
+  /// (lookups, prefix recomputes, resort shifts). Aggregated by
+  /// Topology::total_flowlist_scan_ops() into the fig13 counter table.
+  virtual std::uint64_t flow_scan_ops() const { return 0; }
 
  protected:
   Port* port_ = nullptr;

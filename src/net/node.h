@@ -33,6 +33,7 @@ class Port {
   Node& owner() { return owner_; }
 
   LinkController* controller() { return controller_.get(); }
+  const LinkController* controller() const { return controller_.get(); }
   void set_controller(std::unique_ptr<LinkController> c);
 
   /// Optional instrumentation, owned by the harness.
@@ -40,6 +41,9 @@ class Port {
   sim::TimeSeries* queue_series = nullptr;
 
   std::int64_t wire_drops = 0;  // random on-the-wire losses (Fig 9)
+  /// Net events saved by transmit coalescing on this port (tx-complete
+  /// and absorbed processing events avoided, minus resume events added).
+  std::uint64_t events_coalesced = 0;
 
  private:
   friend class Node;
@@ -48,6 +52,20 @@ class Port {
   DropTailQueue queue_;
   std::unique_ptr<LinkController> controller_;
   bool busy_ = false;
+  // Coalesced-transmit state: when a transmission is in flight with no
+  // tx-complete event (lossless links), busy_until_ records when the wire
+  // frees up; a resume event is scheduled lazily only if packets queue up
+  // behind the in-flight one.
+  bool coalesced_tx_ = false;
+  bool resume_scheduled_ = false;
+  sim::Time busy_until_ = 0;
+  /// When the in-flight coalesced transmission started — the instant the
+  /// chain's tx-complete event would have been scheduled — and the event
+  /// sequence number reserved there. Resume events adopt both as their
+  /// as-if tie-break key so they run exactly where the chain's
+  /// tx-complete would have.
+  sim::Time tx_started_ = 0;
+  std::uint64_t tx_seq_ = 0;
 };
 
 class Node {
@@ -83,6 +101,13 @@ class Node {
   void dispatch(PacketPtr p);
   void transmit_out(Port& port, PacketPtr p);
   void start_tx(Port& port);
+  /// Arrival entry point for coalesced transit packets: the upstream
+  /// transmitter already accounted for this node's processing delay, so
+  /// the packet goes straight to the output port.
+  void receive_dispatch(PacketPtr p);
+  /// Clears a coalesced-transmit busy marker once the wire has freed up.
+  static void settle_coalesced(Port& port, sim::Time now);
+  void resume_tx(Port& port);
 
   NodeId id_;
   sim::Time processing_delay_;

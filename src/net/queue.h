@@ -3,12 +3,20 @@
 //
 // Ownership: push() transfers packet ownership into the queue on success
 // and destroys the packet on a full-queue drop; pop() hands ownership back
-// to the caller. Units: capacity and occupancy are bytes; the Link that
-// drains this queue handles all timing (ns) and rates (bps).
+// to the caller (popping an empty queue asserts). Units: capacity and
+// occupancy are bytes; the Link that drains this queue handles all timing
+// (ns) and rates (bps).
+//
+// Storage is a small inline ring buffer (kInlineSlots packets, no heap)
+// that spills to a heap ring doubling on demand — the fig13 in-flight
+// high-water mark was 78 packets fabric-wide, so per-port queues almost
+// never leave the inline array and pushing/popping is two index updates.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "net/packet.h"
 
@@ -19,6 +27,9 @@ class DropTailQueue {
   explicit DropTailQueue(std::int64_t capacity_bytes)
       : capacity_bytes_(capacity_bytes) {}
 
+  DropTailQueue(const DropTailQueue&) = delete;
+  DropTailQueue& operator=(const DropTailQueue&) = delete;
+
   /// Returns false (and counts a drop) when the packet does not fit.
   bool push(PacketPtr p) {
     if (bytes_ + p->size_bytes > capacity_bytes_) {
@@ -27,30 +38,57 @@ class DropTailQueue {
       return false;
     }
     bytes_ += p->size_bytes;
-    q_.push_back(std::move(p));
+    if (count_ == cap_) grow();
+    ring_[(head_ + count_) & (cap_ - 1)] = std::move(p);
+    ++count_;
     return true;
   }
 
   PacketPtr pop() {
-    PacketPtr p = std::move(q_.front());
-    q_.pop_front();
+    assert(count_ > 0 && "pop() from an empty DropTailQueue");
+    PacketPtr p = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (cap_ - 1);
+    --count_;
     bytes_ -= p->size_bytes;
     return p;
   }
 
-  bool empty() const { return q_.empty(); }
-  std::size_t packets() const { return q_.size(); }
+  bool empty() const { return count_ == 0; }
+  std::size_t packets() const { return count_; }
   std::int64_t bytes() const { return bytes_; }
   std::int64_t capacity() const { return capacity_bytes_; }
   std::int64_t drops() const { return drops_; }
   std::int64_t dropped_bytes() const { return dropped_bytes_; }
 
+  /// Ring slots currently allocated (inline until first spill). Exposed
+  /// for the growth tests.
+  std::size_t slot_capacity() const { return cap_; }
+
+  static constexpr std::size_t kInlineSlots = 8;
+
  private:
+  void grow() {
+    std::vector<PacketPtr> bigger(cap_ * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(ring_[(head_ + i) & (cap_ - 1)]);
+    }
+    heap_.swap(bigger);
+    ring_ = heap_.data();
+    cap_ = heap_.size();
+    head_ = 0;
+  }
+
   std::int64_t capacity_bytes_;
   std::int64_t bytes_ = 0;
   std::int64_t drops_ = 0;
   std::int64_t dropped_bytes_ = 0;
-  std::deque<PacketPtr> q_;
+
+  std::array<PacketPtr, kInlineSlots> inline_{};
+  std::vector<PacketPtr> heap_;  // empty until the inline ring spills
+  PacketPtr* ring_ = inline_.data();
+  std::size_t cap_ = kInlineSlots;  // always a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
 };
 
 }  // namespace pdq::net

@@ -251,4 +251,19 @@ std::int64_t Topology::total_wire_drops() const {
   return total;
 }
 
+std::uint64_t Topology::total_events_coalesced() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_)
+    for (const auto& p : n->ports()) total += p->events_coalesced;
+  return total;
+}
+
+std::uint64_t Topology::total_flowlist_scan_ops() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_)
+    for (const auto& p : n->ports())
+      if (const auto* c = p->controller()) total += c->flow_scan_ops();
+  return total;
+}
+
 }  // namespace pdq::net

@@ -100,6 +100,11 @@ class Topology {
 
   std::int64_t total_queue_drops() const;
   std::int64_t total_wire_drops() const;
+  /// Net events saved by transmit coalescing (node.cc) across all ports.
+  std::uint64_t total_events_coalesced() const;
+  /// Flow-state entries visited by controller hot paths (see
+  /// LinkController::flow_scan_ops) across all ports.
+  std::uint64_t total_flowlist_scan_ops() const;
 
   static constexpr std::size_t kMaxEcmpPaths = 32;
 

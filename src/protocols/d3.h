@@ -42,6 +42,8 @@ class D3LinkController : public net::LinkController {
   void attach(net::Port& port) override;
   void on_forward(net::Packet& p) override;
   void on_reverse(net::Packet& p) override;
+  /// on_reverse is a no-op: reverse arrivals can be coalesced (node.cc).
+  bool reverse_hook() const override { return false; }
 
   double allocated_bps() const { return allocated_bps_; }
   std::size_t flow_count() const { return flows_.size(); }

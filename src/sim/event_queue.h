@@ -1,12 +1,20 @@
 // A deterministic discrete-event queue.
 //
-// Events are (time, sequence) keys in an implicit 4-ary min-heap; the
-// monotonically increasing sequence number breaks ties between events
-// scheduled for the same instant, so two runs with the same inputs always
-// execute events in the same order. Heap entries are 24-byte PODs — the
-// callable itself lives in a slab of recycled slots, so sift operations
-// never move callables and scheduling never allocates once the slab has
-// grown to the simulation's concurrency high-water mark.
+// Events are (time, virtual-insertion-time, sequence) keys in an implicit
+// 4-ary min-heap. Ties between events due at the same instant break on
+// the *virtual insertion time* first, then on the monotonically
+// increasing sequence number, so two runs with the same inputs always
+// execute events in the same order. For plain schedule() calls the
+// virtual time is the caller's clock at scheduling, which makes the
+// ordering identical to pure insertion order; schedule_as_if() lets an
+// event-coalescing caller (node.cc) stamp the instant at which the
+// replaced event chain *would* have scheduled the event, preserving the
+// chain's tie order while eliding its intermediate events.
+//
+// Heap entries are 32-byte (time, vtime, seq, slot) PODs — the callable
+// itself lives in a slab of recycled slots, so sift operations never
+// move callables and scheduling never allocates once the slab has grown
+// to the simulation's concurrency high-water mark.
 //
 // Cancellation is O(1) and exact: an EventId encodes (slot, generation),
 // so cancel() can tell a live event from one that already ran (the slot's
@@ -42,6 +50,28 @@ class EventQueue {
   /// Schedules `fn` to run at absolute time `at`. Returns an id usable
   /// with cancel().
   EventId schedule(Time at, EventFn fn) {
+    return schedule_as_if(at, 0, std::move(fn));
+  }
+
+  /// Schedules `fn` at `at` with tie-break key `vtime` (<= at): among
+  /// events due at the same instant, smaller vtime runs first, then
+  /// insertion order. Callers pass their current clock (Simulator) or the
+  /// instant an elided event chain would have scheduled this (node.cc).
+  EventId schedule_as_if(Time at, Time vtime, EventFn fn) {
+    return schedule_with_seq(at, vtime, next_seq_++, std::move(fn));
+  }
+
+  /// Claims the next sequence number without scheduling anything. An
+  /// event-coalescing caller reserves at the point where the elided chain
+  /// event would have been scheduled, then passes the reservation to
+  /// schedule_with_seq() so the replacement event inherits the chain
+  /// event's exact tie-break position.
+  std::uint64_t reserve_seq() { return next_seq_++; }
+
+  /// schedule_as_if() with a previously reserved sequence number.
+  EventId schedule_with_seq(Time at, Time vtime, std::uint64_t seq,
+                            EventFn fn) {
+    assert(vtime <= at);
     std::uint32_t slot;
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
@@ -54,7 +84,7 @@ class EventQueue {
     assert(s.state == SlotState::kFree);
     s.state = SlotState::kPending;
     s.fn = std::move(fn);
-    heap_push(Entry{at, next_seq_++, slot});
+    heap_push(Entry{at, vtime, seq, slot});
     ++pending_;
     ++scheduled_total_;
     return make_id(s.gen, slot);
@@ -92,6 +122,8 @@ class EventQueue {
 
   struct Popped {
     Time at;
+    Time vtime;
+    std::uint64_t seq;
     EventFn fn;
   };
 
@@ -103,7 +135,7 @@ class EventQueue {
     heap_remove_top();
     Slot& s = slots_[top.slot];
     assert(s.state == SlotState::kPending);
-    Popped out{top.at, std::move(s.fn)};
+    Popped out{top.at, top.vtime, top.seq, std::move(s.fn)};
     release_slot(top.slot);
     --pending_;
     return out;
@@ -113,6 +145,7 @@ class EventQueue {
   /// Heap entries are POD keys; the callable stays put in its slot.
   struct Entry {
     Time at;
+    Time vtime;  // virtual insertion time (tie-break before seq)
     std::uint64_t seq;
     std::uint32_t slot;
   };
@@ -136,7 +169,9 @@ class EventQueue {
   }
 
   static bool before(const Entry& a, const Entry& b) {
-    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+    if (a.at != b.at) return a.at < b.at;
+    if (a.vtime != b.vtime) return a.vtime < b.vtime;
+    return a.seq < b.seq;
   }
 
   void release_slot(std::uint32_t slot) {

@@ -23,13 +23,39 @@ class Simulator {
   /// Schedules `fn` at `delay` nanoseconds from now (delay >= 0).
   EventId schedule_in(Time delay, EventFn fn) {
     assert(delay >= 0);
-    return queue_.schedule(now_ + delay, std::move(fn));
+    return queue_.schedule_as_if(now_ + delay, now_, std::move(fn));
   }
 
   /// Schedules `fn` at absolute time `at` (>= now).
   EventId schedule_at(Time at, EventFn fn) {
     assert(at >= now_);
-    return queue_.schedule(at, std::move(fn));
+    return queue_.schedule_as_if(at, now_, std::move(fn));
+  }
+
+  /// Schedules `fn` at `at`, ordered among same-instant events as if it
+  /// had been scheduled at time `vtime` (<= at; may lie in the past).
+  /// Used by event coalescing to preserve the tie order of the event
+  /// chain it elides (see event_queue.h).
+  EventId schedule_at_as_if(Time at, Time vtime, EventFn fn) {
+    assert(at >= now_);
+    return queue_.schedule_as_if(at, vtime, std::move(fn));
+  }
+
+  /// Claims the next event sequence number (see EventQueue::reserve_seq).
+  std::uint64_t reserve_event_order() { return queue_.reserve_seq(); }
+
+  /// Tie-break key of the event currently executing — lets coalescing
+  /// callers decide whether an elided chain event with a reserved key
+  /// would already have run at this instant.
+  Time current_event_vtime() const { return cur_vtime_; }
+  std::uint64_t current_event_seq() const { return cur_seq_; }
+
+  /// schedule_at_as_if() with a reserved sequence number: the event takes
+  /// the exact tie-break position of the chain event reserved for.
+  EventId schedule_at_reserved(Time at, Time vtime, std::uint64_t seq,
+                               EventFn fn) {
+    assert(at >= now_);
+    return queue_.schedule_with_seq(at, vtime, seq, std::move(fn));
   }
 
   void cancel(EventId id) { queue_.cancel(id); }
@@ -43,6 +69,8 @@ class Simulator {
       auto ev = queue_.pop();
       assert(ev.at >= now_);
       now_ = ev.at;
+      cur_vtime_ = ev.vtime;
+      cur_seq_ = ev.seq;
       ev.fn();
       ++executed;
     }
@@ -69,6 +97,8 @@ class Simulator {
  private:
   EventQueue queue_;
   Time now_ = 0;
+  Time cur_vtime_ = 0;
+  std::uint64_t cur_seq_ = 0;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
 };

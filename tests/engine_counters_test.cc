@@ -103,11 +103,65 @@ TEST(Metrics, EngineCounterMetricsReadRunResult) {
   r.engine.events_executed = 1000;
   r.engine.packet_allocs = 10;
   r.engine.packet_acquires = 400;
+  r.engine.events_coalesced = 750;
+  r.engine.flowlist_scan_ops = 4200;
   ctx.result = &r;
   EXPECT_DOUBLE_EQ(harness::metrics::events_processed().fn(ctx), 1000.0);
   EXPECT_DOUBLE_EQ(harness::metrics::packet_allocs().fn(ctx), 10.0);
   EXPECT_DOUBLE_EQ(harness::metrics::packet_recycle_percent().fn(ctx),
                    97.5);
+  EXPECT_DOUBLE_EQ(harness::metrics::events_coalesced().fn(ctx), 750.0);
+  EXPECT_DOUBLE_EQ(harness::metrics::flowlist_scan_ops().fn(ctx), 4200.0);
+}
+
+TEST(RunPrepared, CoalescingAndScanCountersArePopulated) {
+  harness::AggregationSpec a;
+  a.num_flows = 5;
+  a.deadlines = false;
+  const harness::Scenario sc = harness::aggregation_scenario(a);
+
+  auto run_with = [&](const char* stack_name) {
+    sim::Simulator simulator;
+    net::Topology topo(simulator, 1000);
+    auto servers = sc.topology.build(topo);
+    sim::Rng rng(1000);
+    auto flows = sc.workload.make(servers, rng);
+    auto stack = harness::StackRegistry::global().make(stack_name);
+    return harness::run_prepared(*stack, simulator, topo, flows, sc.options);
+  };
+  // Lossless links: every hop coalesces at least the tx-complete event.
+  const auto tcp = run_with("TCP");
+  EXPECT_GT(tcp.engine.events_coalesced, 0u);
+  EXPECT_EQ(tcp.engine.flowlist_scan_ops, 0u);  // no controllers installed
+  // PDQ: the switch fast path reports its flow-list work.
+  const auto pdq = run_with("PDQ(Full)");
+  EXPECT_GT(pdq.engine.events_coalesced, 0u);
+  EXPECT_GT(pdq.engine.flowlist_scan_ops, 0u);
+  // Coalescing throws away a large share of the old per-hop event chain:
+  // saved events are a sizable fraction of the events actually executed.
+  EXPECT_GT(pdq.engine.events_coalesced, pdq.engine.events_executed / 4);
+}
+
+TEST(RunPrepared, Fig9StyleLossyLinkStillCountsWireDrops) {
+  // The coalesced fast path must not swallow the loss draw: a lossy link
+  // keeps the explicit tx-complete event and its RNG stream.
+  harness::AggregationSpec a;
+  a.num_flows = 3;
+  a.deadlines = false;
+  harness::Scenario sc = harness::aggregation_scenario(a);
+  sc.options.watch_link_drop_rate = 0.2;
+
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1000);
+  auto servers = sc.topology.build(topo);
+  sc.options.watch_link = {{topo.switch_ids()[0], servers.back()}};
+  sim::Rng rng(1000);
+  auto flows = sc.workload.make(servers, rng);
+  auto stack = harness::StackRegistry::global().make("TCP");
+  const auto result =
+      harness::run_prepared(*stack, simulator, topo, flows, sc.options);
+  EXPECT_EQ(result.completed(), flows.size());
+  EXPECT_GT(result.wire_drops, 0);
 }
 
 TEST(Metrics, CounterMetricsAreDeterministicUnderTheSweepRunner) {

@@ -56,5 +56,53 @@ TEST(DropTailQueue, ExactCapacityFits) {
   EXPECT_FALSE(q.push(sized_packet(1)));
 }
 
+TEST(DropTailQueue, StaysInlineUpToInlineSlots) {
+  DropTailQueue q(1 << 20);
+  for (std::size_t i = 0; i < DropTailQueue::kInlineSlots; ++i) {
+    EXPECT_TRUE(q.push(sized_packet(100)));
+  }
+  EXPECT_EQ(q.slot_capacity(), DropTailQueue::kInlineSlots);
+}
+
+TEST(DropTailQueue, GrowsBeyondInlineRingPreservingFifo) {
+  DropTailQueue q(1 << 20);
+  constexpr int kN = 100;  // several doublings past the inline ring
+  for (int i = 0; i < kN; ++i) {
+    auto p = sized_packet(100);
+    p->seq = i;
+    EXPECT_TRUE(q.push(std::move(p)));
+  }
+  EXPECT_GE(q.slot_capacity(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(q.packets(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(q.bytes(), 100 * kN);
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(q.pop()->seq, i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailQueue, WrapAroundUnderChurnKeepsOrderAndGrowsMidWrap) {
+  DropTailQueue q(1 << 20);
+  std::int64_t next = 0, expect = 0;
+  // Offset the head so later growth happens mid-wrap.
+  for (int i = 0; i < 5; ++i) {
+    auto p = sized_packet(10);
+    p->seq = next++;
+    q.push(std::move(p));
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.pop()->seq, expect++);
+  // Interleaved bursts force wrap-around and a ring growth with the head
+  // in the middle of the storage.
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 7; ++i) {
+      auto p = sized_packet(10);
+      p->seq = next++;
+      ASSERT_TRUE(q.push(std::move(p)));
+    }
+    for (int i = 0; i < 4; ++i) ASSERT_EQ(q.pop()->seq, expect++);
+  }
+  while (!q.empty()) ASSERT_EQ(q.pop()->seq, expect++);
+  EXPECT_EQ(expect, next);
+  EXPECT_EQ(q.bytes(), 0);
+}
+
 }  // namespace
 }  // namespace pdq::net
