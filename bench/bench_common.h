@@ -43,6 +43,12 @@ struct BenchArgs {
   std::string results_dir = "results";
   bool json = false;
   bool csv = true;
+  /// --load override for the dynamic-traffic load sweep (fig14); empty =
+  /// the bench's default points. Other benches accept and ignore it.
+  std::vector<double> loads;
+  /// --timeline preset for the dynamic-traffic benches:
+  /// both|incast|failure|none. Other benches accept and ignore it.
+  std::string timeline = "both";
 
   /// The base seed: --seed when given, else the bench's default.
   std::uint64_t seed_or(
@@ -51,27 +57,68 @@ struct BenchArgs {
   }
 };
 
+/// The single source of truth for every bench binary's --help flag block
+/// (the satellite of docs/workloads.md). One row per flag; print_usage()
+/// and the fixed-scenario help (fixed_scenario_help()) both render it.
+struct FlagDoc {
+  const char* spec;  // "--flag VALUE"
+  const char* help;
+};
+
+inline constexpr FlagDoc kFlagTable[] = {
+    {"--full", "paper-scale sweeps (default: scaled-down)"},
+    {"--seed S", "base seed; trial t runs with S + 7*t"},
+    {"--threads N", "SweepRunner pool size (default: hw concurrency)"},
+    {"--results-dir D", "where CSV/JSON land (default: results)"},
+    {"--json", "also write JSON results"},
+    {"--no-csv", "skip CSV output"},
+    {"--load L[,L...]",
+     "offered-load sweep points, rho in (0,1) (dynamic-traffic benches; "
+     "others accept and ignore)"},
+    {"--timeline T",
+     "timeline preset both|incast|failure|none (dynamic-traffic benches; "
+     "others accept and ignore)"},
+};
+
+inline constexpr const char* kCounterGlossary =
+    "Engine-counter tables (fig13/fig14 and BENCH_engine.json) report,\n"
+    "per sweep point: events (executed), ev/flow (events per completed\n"
+    "flow), coalesced (events elided by per-hop transmit coalescing),\n"
+    "scans (flow-list entries visited by the switch fast path),\n"
+    "scan/pkt (scans per packet acquire — flat when the PDQ switch is\n"
+    "O(1) amortized), pkt_allocs and recycle%. Operation counts only;\n"
+    "wall time is never measured or asserted (single-core CI).\n";
+
+inline void print_flag_block(std::FILE* out) {
+  for (const auto& f : kFlagTable) {
+    std::fprintf(out, "  %-18s %s\n", f.spec, f.help);
+  }
+}
+
 inline void print_usage(const char* prog, std::FILE* out) {
-  std::fprintf(
-      out,
-      "usage: %s [--full] [--seed S] [--threads N] [--results-dir D]\n"
-      "       [--json] [--no-csv] [--help]\n"
-      "\n"
-      "  --full           paper-scale sweeps (default: scaled-down)\n"
-      "  --seed S         base seed; trial t runs with S + 7*t\n"
-      "  --threads N      SweepRunner pool size (default: hw concurrency)\n"
-      "  --results-dir D  where CSV/JSON land (default: results)\n"
-      "  --json           also write JSON results\n"
-      "  --no-csv         skip CSV output\n"
-      "\n"
-      "Engine-counter tables (fig13 and BENCH_engine.json) report, per\n"
-      "sweep point: events (executed), ev/flow (events per completed\n"
-      "flow), coalesced (events elided by per-hop transmit coalescing),\n"
-      "scans (flow-list entries visited by the switch fast path),\n"
-      "scan/pkt (scans per packet acquire — flat when the PDQ switch is\n"
-      "O(1) amortized), pkt_allocs and recycle%%. Operation counts only;\n"
-      "wall time is never measured or asserted (single-core CI).\n",
-      prog);
+  std::fprintf(out, "usage: %s [flags]\n\n", prog);
+  print_flag_block(out);
+  std::fprintf(out, "\n%s", kCounterGlossary);
+}
+
+/// --help handling for the fixed-scenario benches (fig1/fig6/fig7):
+/// prints `what` plus the shared flag block and returns true when the
+/// caller should exit. Other flags are accepted and ignored there.
+inline bool fixed_scenario_help(int argc, char** argv, const char* what) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s\n\n%s; takes no tuning flags (the shared flags "
+          "below\napply to the sweep benches and are accepted and "
+          "ignored here).\n\n",
+          argv[0], what);
+      print_flag_block(stdout);
+      std::printf("\n%s", kCounterGlossary);
+      return true;
+    }
+  }
+  return false;
 }
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -91,7 +138,33 @@ inline BenchArgs parse_args(int argc, char** argv) {
     else if (arg == "--results-dir") a.results_dir = value(i);
     else if (arg == "--json") a.json = true;
     else if (arg == "--no-csv") a.csv = false;
-    else if (arg == "--help" || arg == "-h") {
+    else if (arg == "--load") {
+      const std::string list = value(i);
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        const double rho = std::strtod(tok.c_str(), nullptr);
+        if (!(rho > 0.0 && rho < 1.0)) {
+          std::fprintf(stderr, "--load: %s is not in (0,1)\n", tok.c_str());
+          std::exit(2);
+        }
+        a.loads.push_back(rho);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--timeline") {
+      a.timeline = value(i);
+      if (a.timeline != "both" && a.timeline != "incast" &&
+          a.timeline != "failure" && a.timeline != "none") {
+        std::fprintf(stderr,
+                     "--timeline: %s is not both|incast|failure|none\n",
+                     a.timeline.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--help" || arg == "-h") {
       print_usage(argv[0], stdout);
       std::exit(0);
     } else {

@@ -1,0 +1,204 @@
+// Figure 14 (beyond-paper): dynamic traffic under churn.
+//
+// Open-loop Poisson arrivals from the empirical web-search size CDF on a
+// fat-tree k=4, swept over offered load rho, with a scheduled scenario
+// timeline: two 12->1 incast bursts (40 KB, 10 ms deadlines) and a
+// single-link failure/recovery on a core link mid-run. This is the
+// evaluation regime the dynamic-arrival literature (inter-datacenter
+// congestion control, coflow scheduling under arrival churn) drives
+// protocols with — the first scenario class in this repo where arrival
+// order is not known at t = 0.
+//
+// Table 1 (fig14_dynamic_traffic): steady-state mean FCT per stack vs
+// offered load (timeline active; warmup trimmed).
+// Table 2 (fig14_steady_state): size-bucketed mean/p99 FCT, goodput and
+// deadline-miss detail at the highest swept load, one simulation per
+// stack (all rows read the same run).
+// Table 3 (fig14_engine_counters): engine operation counters for the
+// lead stack, exported to BENCH_engine.json by scripts/record_bench.sh
+// and gated in CI by scripts/check_counter_regression.py.
+//
+// Flags: --load L[,L...] overrides the swept loads; --timeline
+// both|incast|failure|none picks the scenario preset (see --help).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "harness/timeline.h"
+
+using namespace pdq;
+using namespace pdq::bench;
+
+namespace {
+
+constexpr std::int64_t kMiceMax = 100'000;  // mice/elephant split, bytes
+
+struct DynParams {
+  double rho = 0.5;
+  int num_flows = 120;
+  std::string preset = "both";  // both|incast|failure|none
+};
+
+/// The open-loop scenario for one load point. The timeline spans the
+/// expected arrival span T = n/rate: warmup 0.1 T, incasts at 0.3 T and
+/// 0.6 T, link failure over [0.45 T, 0.75 T] on a core-crossing link.
+harness::Scenario dyn_scenario(const DynParams& p) {
+  const workload::EmpiricalCdf cdf = workload::EmpiricalCdf::web_search();
+
+  workload::OpenLoopOptions w;
+  w.num_flows = p.num_flows;
+  w.arrivals = workload::ArrivalProcess::for_load(p.rho, cdf.mean_bytes());
+  w.size = cdf.sampler();
+  w.pattern = workload::staggered_prob(0.5, 4);
+
+  char wname[80];
+  std::snprintf(wname, sizeof wname, "ws-openloop/%s/rho%.2f/%d",
+                p.preset.c_str(), p.rho, p.num_flows);
+
+  harness::Scenario s;
+  s.topology = harness::TopologySpec::fat_tree(4);
+  s.workload = harness::WorkloadSpec::open_loop(w, wname);
+  s.options.horizon = 120 * sim::kSecond;
+
+  const double span_ns = 1e9 * p.num_flows / w.arrivals.rate_per_sec;
+  auto tl = std::make_shared<harness::TimelineSpec>();
+  tl->window(static_cast<sim::Time>(0.1 * span_ns));
+  if (p.preset == "incast" || p.preset == "both") {
+    // 12 x 40 KB into one server is ~3.9 ms of serialized arrival on the
+    // 1 Gbps edge link; a 10 ms budget forces real scheduling pressure.
+    tl->incast(static_cast<sim::Time>(0.3 * span_ns), 12, 40'000, -1,
+               10 * sim::kMillisecond);
+    tl->incast(static_cast<sim::Time>(0.6 * span_ns), 12, 40'000, -1,
+               10 * sim::kMillisecond);
+  }
+  if (p.preset == "failure" || p.preset == "both") {
+    // Servers 0 and 12 sit in different pods, so the selected path
+    // crosses the core; the middle link is an aggregation<->core hop.
+    tl->link_failure(static_cast<sim::Time>(0.45 * span_ns),
+                     static_cast<sim::Time>(0.75 * span_ns),
+                     harness::link_on_path(0, 12));
+  }
+  s.options.timeline = std::move(tl);  // window applies even for "none"
+  return s;
+}
+
+std::string rho_label(double rho) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.2f", rho);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  const std::uint64_t base_seed = args.seed_or();
+
+  std::vector<double> loads = args.loads;
+  if (loads.empty()) {
+    loads = args.full ? std::vector<double>{0.1, 0.2, 0.4, 0.6, 0.8}
+                      : std::vector<double>{0.1, 0.4, 0.8};
+  }
+  const int num_flows = args.full ? 600 : 120;
+
+  // --- Table 1: steady-state mean FCT vs offered load ---
+  std::printf(
+      "Fig 14: dynamic traffic — open-loop Poisson arrivals (web-search\n"
+      "size CDF) on fat-tree k=4; timeline preset \"%s\" (incast bursts\n"
+      "and/or a core-link failure mid-run). Steady-state mean FCT (ms),\n"
+      "warmup trimmed.\n\n",
+      args.timeline.c_str());
+  harness::ExperimentSpec spec;
+  spec.name = "fig14_dynamic_traffic";
+  spec.axis = "load rho";
+  spec.metric = harness::metrics::windowed_mean_fct_ms();
+  spec.trials = 1;
+  spec.base_seed = base_seed;
+  spec.base = dyn_scenario({loads.front(), num_flows, args.timeline});
+  for (const auto& name : main_stacks()) {
+    spec.columns.push_back(harness::stack_column(name));
+  }
+  for (double rho : loads) {
+    harness::SweepPoint pt;
+    pt.label = rho_label(rho);
+    pt.apply = [rho, num_flows, preset = args.timeline](harness::Scenario& s) {
+      s = dyn_scenario({rho, num_flows, preset});
+    };
+    spec.points.push_back(std::move(pt));
+  }
+  run_and_report(spec, args);
+
+  // --- Table 2: steady-state detail at the highest swept load ---
+  // One simulation per stack; every row reads the same run.
+  const double rho_detail = loads.back();
+  std::printf(
+      "\nFig 14 steady-state detail at rho=%.2f (mice = flows < 100 KB):\n\n",
+      rho_detail);
+  const harness::Scenario detail =
+      dyn_scenario({rho_detail, num_flows, args.timeline});
+  const std::vector<std::string> stacks = main_stacks();
+  const std::vector<std::pair<std::string, harness::MetricSpec>> rows = {
+      {"mean_fct_ms", harness::metrics::windowed_mean_fct_ms()},
+      {"p99_fct_ms", harness::metrics::windowed_p99_fct_ms()},
+      {"mice_mean_fct", harness::metrics::windowed_mean_fct_ms(0, kMiceMax)},
+      {"eleph_mean_fct", harness::metrics::windowed_mean_fct_ms(kMiceMax)},
+      {"goodput_gbps", harness::metrics::goodput_gbps()},
+      {"deadline_miss%", harness::metrics::deadline_miss_percent()},
+  };
+  std::vector<std::vector<double>> cells(
+      rows.size(), std::vector<double>(stacks.size(), 0.0));
+  for (std::size_t c = 0; c < stacks.size(); ++c) {
+    const auto run =
+        harness::SweepRunner::run_sample(detail, stacks[c], {}, base_seed);
+    harness::RunContext ctx;
+    ctx.result = &run.result;
+    ctx.flows = &run.flows;
+    ctx.scenario = &detail;
+    ctx.stack = stacks[c];
+    ctx.seed = base_seed;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      cells[r][c] = rows[r].second.fn(ctx);
+    }
+  }
+  std::vector<std::string> row_labels;
+  for (const auto& r : rows) row_labels.push_back(r.first);
+  auto detail_results =
+      grid_results("fig14_steady_state", "metric", "value", stacks,
+                   row_labels, cells, base_seed);
+  harness::TableSink(stdout, " %12.2f").write(detail_results);
+  write_outputs(detail_results, args);
+
+  // --- Table 3: engine counters, lead stack (CI gate via record_bench) ---
+  std::printf(
+      "\nFig 14 engine counters (PDQ(Full)): operation counts under churn\n"
+      "(timeline events, reroutes and injections included).\n\n");
+  auto cache = std::make_shared<EngineCounterCache>();
+  harness::ExperimentSpec counters;
+  counters.name = "fig14_engine_counters";
+  counters.axis = "load rho";
+  counters.metric = harness::metrics::events_processed();
+  counters.trials = 1;
+  counters.base_seed = base_seed;
+  counters.base = spec.base;
+  counters.columns = engine_counter_columns(cache, "PDQ(Full)");
+  for (double rho : loads) {
+    harness::SweepPoint pt;
+    pt.label = rho_label(rho);
+    pt.apply = [rho, num_flows, preset = args.timeline](harness::Scenario& s) {
+      s = dyn_scenario({rho, num_flows, preset});
+    };
+    counters.points.push_back(std::move(pt));
+  }
+  run_and_report(counters, args, " %12.1f");
+  std::printf(
+      "\nExpected shape: mean/p99 FCT grow with rho (queueing); PDQ holds\n"
+      "the lowest FCT across loads, with the largest margin on elephants.\n"
+      "Identically-deadlined same-size incast flows are PDQ's worst case\n"
+      "(serial EDF handoffs gain nothing over finishing together), so\n"
+      "when the second burst overlaps the link-failure window PDQ's last\n"
+      "ranks can miss where D3/RCP rate-sharing meets every deadline.\n"
+      "Engine counters stay proportional to delivered bytes — reroutes\n"
+      "and injections add no per-packet overhead.\n");
+  return 0;
+}

@@ -61,18 +61,9 @@ int d3_deadlines_met(const std::vector<int>& order) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--help" ||
-        std::string_view(argv[i]) == "-h") {
-      std::printf(
-          "usage: %s\n\nFixed fluid-model motivation table (Figure 1); "
-          "takes no tuning flags.\nSee a sweep bench's --help for the "
-          "shared flags and the engine-counter\ncolumn glossary "
-          "(events, ev/flow, coalesced, scans, scan/pkt, pkt_allocs,\n"
-          "recycle%%).\n",
-          argv[0]);
-      return 0;
-    }
+  if (pdq::bench::fixed_scenario_help(argc, argv,
+                          "Fixed fluid-model motivation table (Figure 1)")) {
+    return 0;
   }  // other flags are accepted and ignored (fixed scenario)
 
   std::printf("Figure 1: fA=(1,d=1) fB=(2,d=4) fC=(3,d=6), unit-rate link\n\n");

@@ -9,17 +9,9 @@ using namespace pdq;
 using namespace pdq::bench;
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--help" ||
-        std::string_view(argv[i]) == "-h") {
-      std::printf(
-          "usage: %s\n\nFixed five-flow convergence time series "
-          "(Figure 6); takes no tuning\nflags. See a sweep bench's "
-          "--help for the shared flags and the\nengine-counter column "
-          "glossary.\n",
-          argv[0]);
-      return 0;
-    }
+  if (fixed_scenario_help(
+          argc, argv, "Fixed five-flow convergence time series (Figure 6)")) {
+    return 0;
   }  // other flags are accepted and ignored (fixed scenario)
 
   std::vector<net::FlowSpec> flows;

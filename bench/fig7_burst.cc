@@ -8,16 +8,9 @@ using namespace pdq;
 using namespace pdq::bench;
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--help" ||
-        std::string_view(argv[i]) == "-h") {
-      std::printf(
-          "usage: %s\n\nFixed burst-tolerance time series (Figure 7); "
-          "takes no tuning flags.\nSee a sweep bench's --help for the "
-          "shared flags and the engine-counter\ncolumn glossary.\n",
-          argv[0]);
-      return 0;
-    }
+  if (fixed_scenario_help(argc, argv,
+                          "Fixed burst-tolerance time series (Figure 7)")) {
+    return 0;
   }  // other flags are accepted and ignored (fixed scenario)
 
   std::vector<net::FlowSpec> flows;

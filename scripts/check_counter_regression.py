@@ -1,22 +1,32 @@
 #!/usr/bin/env python3
 """CI counter-regression gate.
 
-Compares a freshly produced fig13_engine_counters.json (JsonSink format)
-against the committed BENCH_engine.json baseline and fails when a gated
-counter regressed by more than the tolerance. Gated counters are
-*operation counts* (events processed, packet allocations) — never wall
-time: this repository's CI runners are single-core and wall-time-noisy,
-so timing is not measured anywhere.
+Compares freshly produced engine-counter JSON files (JsonSink format,
+e.g. fig13_engine_counters.json / fig14_engine_counters.json) against
+the committed BENCH_engine.json baseline and fails when a gated counter
+regressed by more than the tolerance. Gated counters are *operation
+counts* (events processed, packet allocations) — never wall time: this
+repository's CI runners are single-core and wall-time-noisy, so timing
+is not measured anywhere.
+
+The baseline is read from git (`git show <ref>:BENCH_engine.json`,
+default ref HEAD) so the gate explicitly compares against the last
+*committed* baseline — a regenerated-but-uncommitted working-tree
+BENCH_engine.json cannot weaken the gate. Pass --baseline-ref '' to
+read the working-tree file instead (local experimentation).
 
 Usage:
-  scripts/check_counter_regression.py <fresh_fig13_engine_counters.json> \
-      [--baseline BENCH_engine.json] [--tolerance 0.05]
+  scripts/check_counter_regression.py <fresh.json> [<fresh.json>...] \
+      [--baseline BENCH_engine.json] [--baseline-ref HEAD] \
+      [--tolerance 0.05]
 
 Exit status: 0 ok, 1 regression, 2 usage/format error.
 """
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 
 # Counters gated on: more of these = the engine does more work per run.
@@ -26,7 +36,7 @@ GATED = ("events", "pkt_allocs")
 
 
 def load_fresh(path):
-    """JsonSink output -> {point: {column: value}}."""
+    """JsonSink output -> (experiment name, {point: {column: value}})."""
     with open(path) as f:
         doc = json.load(f)
     out = {}
@@ -35,44 +45,83 @@ def load_fresh(path):
             col: doc["samples"][p][c][0]
             for c, col in enumerate(doc["columns"])
         }
-    return out
+    return doc.get("experiment", "fig13_engine_counters"), out
+
+
+def load_baseline(path, ref):
+    """The committed baseline document, falling back to the working tree
+    when ref is empty or git cannot serve it. The git path is anchored
+    at the baseline file's own directory (`git -C dir show ref:./name`),
+    so the gate works from any cwd."""
+    if ref:
+        dirname = os.path.dirname(os.path.abspath(path)) or "."
+        name = os.path.basename(path)
+        proc = subprocess.run(
+            ["git", "-C", dirname, "show", f"{ref}:./{name}"],
+            capture_output=True, text=True)
+        if proc.returncode == 0:
+            return json.loads(proc.stdout), f"{ref}:./{name}"
+        print(f"counter gate: git show {ref}:./{name} failed "
+              f"({proc.stderr.strip() or 'unknown error'}); falling back "
+              "to the working-tree baseline", file=sys.stderr)
+    with open(path) as f:
+        return json.load(f), path
 
 
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("fresh", help="fig13_engine_counters.json from this run")
+    ap.add_argument("fresh", nargs="+",
+                    help="engine-counter JSON file(s) from this run")
     ap.add_argument("--baseline", default="BENCH_engine.json")
+    ap.add_argument("--baseline-ref", default="HEAD",
+                    help="git ref holding the committed baseline "
+                         "('' = working tree)")
     ap.add_argument("--tolerance", type=float, default=0.05,
                     help="allowed relative increase (default 5%%)")
     args = ap.parse_args()
 
     try:
-        fresh = load_fresh(args.fresh)
-        with open(args.baseline) as f:
-            base = json.load(f)["fig13_engine_counters"]
-    except (OSError, KeyError, json.JSONDecodeError) as e:
-        print(f"counter gate: cannot load inputs: {e}", file=sys.stderr)
+        baseline, source = load_baseline(args.baseline, args.baseline_ref)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"counter gate: cannot load baseline: {e}", file=sys.stderr)
         return 2
+    print(f"counter gate: baseline {source}")
 
     failures = []
     checked = 0
-    for point, base_cols in sorted(base.items()):
-        if point not in fresh:
-            print(f"counter gate: point {point!r} missing from fresh run "
-                  "(sweep shape changed?) — skipping", file=sys.stderr)
+    for fresh_path in args.fresh:
+        try:
+            key, fresh = load_fresh(fresh_path)
+        except (OSError, KeyError, json.JSONDecodeError) as e:
+            print(f"counter gate: cannot load {fresh_path}: {e}",
+                  file=sys.stderr)
+            return 2
+        base = baseline.get(key)
+        if base is None:
+            print(f"counter gate: baseline has no {key!r} section "
+                  f"(new bench?) — skipping {fresh_path}; regenerate the "
+                  "baseline with scripts/record_bench.sh to start gating "
+                  "it", file=sys.stderr)
             continue
-        for col in GATED:
-            if col not in base_cols or col not in fresh[point]:
+        print(f"  [{key}]")
+        for point, base_cols in sorted(base.items()):
+            if point not in fresh:
+                print(f"counter gate: point {point!r} missing from fresh "
+                      "run (sweep shape changed?) — skipping",
+                      file=sys.stderr)
                 continue
-            b, f_ = base_cols[col], fresh[point][col]
-            checked += 1
-            limit = b * (1.0 + args.tolerance)
-            status = "OK"
-            if f_ > limit and f_ - b > 0.5:  # absolute slack for tiny counts
-                status = "REGRESSION"
-                failures.append((point, col, b, f_))
-            print(f"  {point:>14} {col:>12}: baseline {b:>14.1f} "
-                  f"fresh {f_:>14.1f}  {status}")
+            for col in GATED:
+                if col not in base_cols or col not in fresh[point]:
+                    continue
+                b, f_ = base_cols[col], fresh[point][col]
+                checked += 1
+                limit = b * (1.0 + args.tolerance)
+                status = "OK"
+                if f_ > limit and f_ - b > 0.5:  # absolute slack, tiny counts
+                    status = "REGRESSION"
+                    failures.append((key, point, col, b, f_))
+                print(f"  {point:>14} {col:>12}: baseline {b:>14.1f} "
+                      f"fresh {f_:>14.1f}  {status}")
 
     if checked == 0:
         print("counter gate: nothing compared — baseline/fresh shape "
@@ -81,8 +130,8 @@ def main():
     if failures:
         print(f"\ncounter gate FAILED: {len(failures)} counter(s) regressed "
               f"more than {args.tolerance:.0%}:", file=sys.stderr)
-        for point, col, b, f_ in failures:
-            print(f"  {point}/{col}: {b:.0f} -> {f_:.0f} "
+        for key, point, col, b, f_ in failures:
+            print(f"  {key}/{point}/{col}: {b:.0f} -> {f_:.0f} "
                   f"(+{(f_ - b) / b:.1%})", file=sys.stderr)
         print("If the increase is intentional (new features cost events), "
               "regenerate the baseline with scripts/record_bench.sh and "

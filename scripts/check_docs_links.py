@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fails on broken intra-repo markdown links.
+
+Scans every tracked *.md file (repo root, docs/, .github/) for inline
+markdown links `[text](target)` and reference definitions
+`[label]: target`, resolves relative targets against the linking file,
+and reports targets that do not exist. External links (http/https/
+mailto) and pure in-page anchors (#...) are skipped; a `path#anchor`
+target only checks the path.
+
+Usage: scripts/check_docs_links.py [root]   (default: repo root)
+Exit status: 0 ok, 1 broken links found.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target up to the first unescaped ')'; tolerates
+# titles like (file.md "Title"). Images (![alt](src)) match too, which
+# is what we want.
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [label]: target reference definitions at line start.
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in (".git", "build", "build-asan", "results")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Fenced code blocks routinely contain [x](y)-shaped non-links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    broken = []
+    targets = INLINE.findall(text) + REFDEF.findall(text)
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if rel.startswith("/"):
+            resolved = os.path.join(root, rel.lstrip("/"))
+        else:
+            resolved = os.path.join(os.path.dirname(path), rel)
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), ".."))
+    failures = 0
+    checked = 0
+    for path in sorted(md_files(root)):
+        checked += 1
+        for target, resolved in check_file(path, root):
+            print(f"{os.path.relpath(path, root)}: broken link "
+                  f"'{target}' -> {os.path.relpath(resolved, root)}",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"\ndocs link check FAILED: {failures} broken link(s)",
+              file=sys.stderr)
+        return 1
+    print(f"docs link check passed: {checked} markdown files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Records the engine perf trajectory in-tree: runs the hot-path
-# microbenchmarks (micro_core, if built) and the quick fig13
-# datacenter-scale sweep, then writes BENCH_engine.json at the repo root
-# with the fig13 engine counters per sweep point. Operation counts only —
-# this project never records or asserts wall time (single-core CI).
+# microbenchmarks (micro_core, if built) and the quick fig13/fig14
+# engine-counter sweeps, then writes BENCH_engine.json at the repo root.
+# Operation counts only — this project never records or asserts wall
+# time (single-core CI).
+#
+# History: the snapshot recorded for a *different* commit than the one
+# being regenerated is appended to a dated `history` list before the
+# current counters are replaced. Regenerating twice without an
+# intervening commit only replaces the current counters — it never
+# consumes or overwrites a history entry.
 #
 # Usage: scripts/record_bench.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -33,46 +39,89 @@ fi
 echo "== fig13 quick sweep (engine counters) =="
 "$FIG13" --json --no-csv --results-dir "$RESULTS"
 
+FIG14="$BUILD/bench/fig14_dynamic_traffic"
+if [[ -x "$FIG14" ]]; then
+  echo "== fig14 quick sweep (dynamic-traffic engine counters) =="
+  "$FIG14" --json --no-csv --results-dir "$RESULTS"
+else
+  echo "note: fig14_dynamic_traffic not built; skipping its counters" >&2
+fi
+
 python3 - "$RESULTS" "$ROOT/BENCH_engine.json" <<'EOF'
+import datetime
 import json, subprocess, sys, os
 
 results_dir, out_path = sys.argv[1], sys.argv[2]
-with open(os.path.join(results_dir, "fig13_engine_counters.json")) as f:
-    fig13 = json.load(f)
 
-# samples[point][column][trial] -> {point: {column: value}}
-counters = {}
-for p, point in enumerate(fig13["points"]):
-    counters[point] = {
-        col: fig13["samples"][p][c][0]
-        for c, col in enumerate(fig13["columns"])
+
+def load_counters(name):
+    """JsonSink output -> {point: {column: value}}, or None if absent."""
+    path = os.path.join(results_dir, name)
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        point: {
+            col: doc["samples"][p][c][0]
+            for c, col in enumerate(doc["columns"])
+        }
+        for p, point in enumerate(doc["points"])
     }
+
+
+fig13 = load_counters("fig13_engine_counters.json")
+fig14 = load_counters("fig14_engine_counters.json")
+with open(os.path.join(results_dir, "fig13_engine_counters.json")) as f:
+    base_seed = json.load(f)["base_seed"]
+
+git = subprocess.run(["git", "-C", os.path.dirname(out_path) or ".",
+                      "rev-parse", "--short", "HEAD"],
+                     capture_output=True, text=True).stdout.strip()
 
 doc = {
     "comment": "Engine perf trajectory: operation counts only, never wall "
                "time (single-core CI). Regenerate with scripts/record_bench.sh; "
-               "scripts/check_counter_regression.py gates CI on it.",
-    "source": "fig13_datacenter_scale --json (quick points)",
-    "base_seed": fig13["base_seed"],
-    "git": subprocess.run(["git", "-C", os.path.dirname(out_path) or ".",
-                           "rev-parse", "--short", "HEAD"],
-                          capture_output=True, text=True).stdout.strip(),
-    "fig13_engine_counters": counters,
+               "scripts/check_counter_regression.py gates CI on it against "
+               "the last committed copy.",
+    "source": "fig13_datacenter_scale / fig14_dynamic_traffic --json "
+              "(quick points)",
+    "base_seed": base_seed,
+    "git": git,
+    "fig13_engine_counters": fig13,
 }
+if fig14 is not None:
+    doc["fig14_engine_counters"] = fig14
 
-# Keep the before/after trajectory: the previous snapshot (if any) rides
-# along so counter history survives regeneration.
+# Dated history: snapshots survive regeneration. The previous current
+# entry is appended only when it belongs to a different commit, so
+# running this script twice between commits never eats history.
+COUNTER_KEYS = ("fig13_engine_counters", "fig14_engine_counters")
+history = []
 if os.path.exists(out_path):
     with open(out_path) as f:
         try:
             prev = json.load(f)
         except json.JSONDecodeError:
             prev = None
-    if prev and "fig13_engine_counters" in prev:
-        doc["previous"] = {
-            "git": prev.get("git", ""),
-            "fig13_engine_counters": prev["fig13_engine_counters"],
-        }
+    if prev:
+        history = list(prev.get("history", []))
+        # Migrate the old single "previous" slot once.
+        if not history and "previous" in prev:
+            history.append({"git": prev["previous"].get("git", ""),
+                            "recorded_at": "",
+                            "fig13_engine_counters":
+                                prev["previous"].get("fig13_engine_counters")})
+        if prev.get("git") and prev.get("git") != git:
+            entry = {"git": prev["git"],
+                     "recorded_at": prev.get("recorded_at", "")}
+            for key in COUNTER_KEYS:
+                if key in prev:
+                    entry[key] = prev[key]
+            history.append(entry)
+doc["recorded_at"] = datetime.datetime.now(
+    datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+doc["history"] = history
 
 # micro_core ran as a smoke test above; only the benchmark *names* are
 # recorded. Its numbers (ns/op, items/s) are wall-time-derived and this

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Builds every fig* benchmark and runs them all, collecting each figure's
-# text table (results/<bench>.txt) and the per-trial CSVs the benches
-# write themselves (results/<experiment>.csv).
+# Builds every fig* benchmark and runs them all (fig1-fig12 paper
+# figures plus the beyond-paper fig13 scale and fig14 dynamic-traffic
+# sweeps — new fig* binaries are picked up automatically), collecting
+# each figure's text table (results/<bench>.txt) and the per-trial CSVs
+# the benches write themselves (results/<experiment>.csv).
 #
 # Usage: scripts/run_all_figs.sh [--quick] [--build-dir DIR] [--filter RE]
 #

@@ -1,8 +1,10 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "harness/timeline.h"
 #include "net/builders.h"
 
 namespace pdq::harness {
@@ -67,6 +69,14 @@ WorkloadSpec WorkloadSpec::flow_set(workload::FlowSetOptions opts,
   return {std::move(name),
           [opts](const std::vector<net::NodeId>& servers, sim::Rng& rng) {
             return workload::make_flows(servers, opts, rng);
+          }};
+}
+
+WorkloadSpec WorkloadSpec::open_loop(workload::OpenLoopOptions opts,
+                                     std::string name) {
+  return {std::move(name),
+          [opts](const std::vector<net::NodeId>& servers, sim::Rng& rng) {
+            return workload::make_open_loop_flows(servers, opts, rng);
           }};
 }
 
@@ -200,6 +210,109 @@ MetricSpec events_coalesced() {
 MetricSpec flowlist_scan_ops() {
   return {"flowlist_scan_ops", [](const RunContext& c) {
             return static_cast<double>(c.result->engine.flowlist_scan_ops);
+          }};
+}
+
+namespace {
+
+struct Window {
+  sim::Time lo = 0;
+  sim::Time hi = sim::kTimeInfinity;
+};
+
+/// The scenario timeline's measurement window; whole run when absent.
+Window metric_window(const RunContext& c) {
+  Window w;
+  if (c.scenario != nullptr && c.scenario->options.timeline != nullptr) {
+    w.lo = c.scenario->options.timeline->warmup;
+    w.hi = c.scenario->options.timeline->measure_end;
+  }
+  return w;
+}
+
+bool in_window(const net::FlowResult& f, const Window& w) {
+  return f.spec.start_time >= w.lo && f.spec.start_time < w.hi;
+}
+
+/// Sorted completion times (ms) of completed in-window flows with
+/// size_bytes in [lo, hi).
+std::vector<double> windowed_fcts_ms(const RunContext& c, std::int64_t lo,
+                                     std::int64_t hi) {
+  std::vector<double> fcts;
+  const Window w = metric_window(c);
+  for (const auto& f : c.result->flows) {
+    if (f.outcome != net::FlowOutcome::kCompleted) continue;
+    if (!in_window(f, w)) continue;
+    if (f.spec.size_bytes < lo || f.spec.size_bytes >= hi) continue;
+    fcts.push_back(sim::to_millis(f.completion_time()));
+  }
+  std::sort(fcts.begin(), fcts.end());
+  return fcts;
+}
+
+}  // namespace
+
+MetricSpec windowed_mean_fct_ms(std::int64_t bucket_lo,
+                                std::int64_t bucket_hi) {
+  return {"windowed_mean_fct_ms", [bucket_lo, bucket_hi](const RunContext& c) {
+            const auto fcts = windowed_fcts_ms(c, bucket_lo, bucket_hi);
+            if (fcts.empty()) return 0.0;
+            double sum = 0;
+            for (double v : fcts) sum += v;
+            return sum / static_cast<double>(fcts.size());
+          }};
+}
+
+MetricSpec windowed_p99_fct_ms(std::int64_t bucket_lo,
+                               std::int64_t bucket_hi) {
+  return {"windowed_p99_fct_ms", [bucket_lo, bucket_hi](const RunContext& c) {
+            const auto fcts = windowed_fcts_ms(c, bucket_lo, bucket_hi);
+            if (fcts.empty()) return 0.0;
+            // Nearest-rank percentile: ceil(0.99 n) ranked from 1.
+            const auto rank = static_cast<std::size_t>(
+                std::ceil(0.99 * static_cast<double>(fcts.size())));
+            return fcts[std::max<std::size_t>(rank, 1) - 1];
+          }};
+}
+
+MetricSpec goodput_gbps() {
+  return {"goodput_gbps", [](const RunContext& c) {
+            // Flow goodput: acked bytes of flows *starting* in the
+            // window, over the span from warmup until the last of them
+            // finished (or the run ended). The accounting span follows
+            // the flows rather than clamping at measure_end — bytes
+            // acked after the window close would otherwise be divided
+            // by a window they were not delivered in, overstating
+            // goodput (possibly beyond link capacity).
+            const Window w = metric_window(c);
+            double bytes = 0;
+            sim::Time span_end = w.lo;
+            for (const auto& f : c.result->flows) {
+              if (!in_window(f, w)) continue;
+              bytes += static_cast<double>(f.bytes_acked);
+              span_end = std::max(span_end,
+                                  f.finish_time == sim::kTimeInfinity
+                                      ? c.result->end_time
+                                      : f.finish_time);
+            }
+            if (span_end <= w.lo) return 0.0;
+            return bytes * 8.0 / sim::to_seconds(span_end - w.lo) / 1e9;
+          }};
+}
+
+MetricSpec deadline_miss_percent() {
+  return {"deadline_miss_pct", [](const RunContext& c) {
+            const Window w = metric_window(c);
+            std::size_t deadline_flows = 0;
+            std::size_t missed = 0;
+            for (const auto& f : c.result->flows) {
+              if (!f.spec.has_deadline() || !in_window(f, w)) continue;
+              ++deadline_flows;
+              if (!f.deadline_met()) ++missed;
+            }
+            if (deadline_flows == 0) return 0.0;
+            return 100.0 * static_cast<double>(missed) /
+                   static_cast<double>(deadline_flows);
           }};
 }
 

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -24,6 +25,7 @@
 #include "harness/registry.h"
 #include "harness/scenario.h"
 #include "sched/fluid.h"
+#include "workload/arrivals.h"
 #include "workload/workload.h"
 
 namespace pdq::harness {
@@ -70,6 +72,11 @@ struct WorkloadSpec {
   /// workload::make_flows over the given options.
   static WorkloadSpec flow_set(workload::FlowSetOptions opts,
                                std::string name = "flow_set");
+  /// workload::make_open_loop_flows — open-loop arrivals (Poisson /
+  /// deterministic / trace) with sizes from any SizeFn (typically an
+  /// EmpiricalCdf::sampler()).
+  static WorkloadSpec open_loop(workload::OpenLoopOptions opts,
+                                std::string name = "open_loop");
   /// A verbatim flow list (src/dst must already be node ids).
   static WorkloadSpec fixed(std::vector<net::FlowSpec> flows,
                             std::string name = "fixed");
@@ -154,6 +161,27 @@ MetricSpec events_coalesced();
 /// Flow-state entries visited by switch-controller hot paths — flat per
 /// packet when the PDQ switch fast path is O(1) amortized.
 MetricSpec flowlist_scan_ops();
+
+// Steady-state (windowed) metrics for dynamic-traffic scenarios. Only
+// flows whose start_time falls in the timeline's measurement window
+// [warmup, measure_end) count (the whole run when the scenario has no
+// timeline — see harness/timeline.h). The size-bucket variants further
+// condition on spec.size_bytes in [lo, hi).
+/// Mean FCT (ms) of completed in-window flows in the size bucket.
+MetricSpec windowed_mean_fct_ms(
+    std::int64_t bucket_lo = 0,
+    std::int64_t bucket_hi = std::numeric_limits<std::int64_t>::max());
+/// p99 FCT (ms, nearest-rank) of completed in-window flows in the bucket.
+MetricSpec windowed_p99_fct_ms(
+    std::int64_t bucket_lo = 0,
+    std::int64_t bucket_hi = std::numeric_limits<std::int64_t>::max());
+/// Flow goodput in Gbit/s: acked bytes of in-window flows over the span
+/// from warmup until the last of them finished (so bytes delivered
+/// after measure_end are never divided by a shorter window).
+MetricSpec goodput_gbps();
+/// Percent of in-window deadline flows that missed (terminated and
+/// still-pending flows count as misses); 0 when none carry deadlines.
+MetricSpec deadline_miss_percent();
 }  // namespace metrics
 
 /// One table column: usually a registry stack (plus overrides), measured

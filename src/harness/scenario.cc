@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "harness/timeline.h"
 #include "net/packet_pool.h"
 
 namespace pdq::harness {
@@ -89,10 +90,21 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
 
   std::vector<std::unique_ptr<net::Agent>> agents;
   std::vector<net::Agent*> senders;
-  std::size_t remaining = flows.size();
+  // Parallel to `senders`, for timeline link-failure rerouting: the
+  // flow's spec and its *current* route (updated on reroute).
+  std::vector<net::FlowSpec> sender_specs;
+  std::vector<net::RouteRef> sender_routes;
+  // Flows injected while a link outage disconnects their endpoints are
+  // stillborn: recorded terminated-at-injection, no agents built.
+  std::vector<net::FlowResult> stillborn;
+  std::size_t remaining = 0;  // incremented per add_flow
+  // Timeline events still to fire; the run must not stop before the
+  // last one (it may inject flows). Zero when there is no timeline.
+  std::size_t timeline_pending = 0;
 
-  for (const auto& f : flows) {
+  const auto add_flow = [&](const net::FlowSpec& f) {
     assert(f.id != net::kInvalidFlow && f.src != f.dst);
+    ++remaining;
 
     net::AgentContext rctx;
     rctx.topo = &topo;
@@ -106,9 +118,12 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     sctx.local = &topo.host(f.src);
     sctx.spec = f;
     sctx.route = topo.ecmp_route(f.id, f.src, f.dst);
-    sctx.on_done = [&remaining, &simulator](const net::FlowResult&) {
-      if (--remaining == 0) simulator.stop();
+    sctx.on_done = [&remaining, &timeline_pending,
+                    &simulator](const net::FlowResult&) {
+      if (--remaining == 0 && timeline_pending == 0) simulator.stop();
     };
+    sender_routes.push_back(sctx.route);
+    sender_specs.push_back(f);
     auto sender = stack.make_sender(std::move(sctx));
     topo.host(f.src).attach_sender(f.id, sender.get());
     simulator.schedule_at(f.start_time,
@@ -117,18 +132,28 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
 
     agents.push_back(std::move(receiver));
     agents.push_back(std::move(sender));
-  }
+  };
+  for (const auto& f : flows) add_flow(f);
 
   // Optional per-flow goodput sampler (Fig 6/7 time-series plots). The
   // recurring event holds a weak reference to its own closure: a shared
   // self-capture would form an ownership cycle and leak the sampler.
   auto prev = std::make_shared<std::vector<std::int64_t>>(flows.size(), 0);
   auto sample = std::make_shared<std::function<void()>>();
+  // Timeline injections grow the flow set mid-run; series rows join
+  // late (leading bins absent — their flows did not exist yet).
+  const auto grow_series = [&result, &senders, prev] {
+    if (prev->size() < senders.size()) {
+      prev->resize(senders.size(), 0);
+      result.flow_goodput_bps.resize(senders.size());
+    }
+  };
   if (opts.per_flow_series) {
     result.flow_goodput_bps.resize(flows.size());
     const sim::Time bin = opts.flow_series_bin;
     *sample = [&, prev, bin,
                weak = std::weak_ptr<std::function<void()>>(sample)]() {
+      grow_series();
       for (std::size_t i = 0; i < senders.size(); ++i) {
         const net::FlowResult* r = senders[i]->flow_result();
         const std::int64_t acked = r ? r->bytes_acked : 0;
@@ -142,6 +167,86 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
       }
     };
     simulator.schedule_in(bin, *sample);
+  }
+
+  // ---- scheduled scenario timeline (harness/timeline.h) ----
+  // Everything below is inert without opts.timeline: no extra events, no
+  // extra RNG draws — the pre-timeline code path byte-for-byte.
+  sim::Rng timeline_rng(opts.seed ^ kTimelineSeedSalt);
+  net::FlowId next_flow_id = 1;
+  for (const auto& f : flows) {
+    next_flow_id = std::max(next_flow_id, f.id + 1);
+  }
+
+  const auto inject = [&](std::vector<net::FlowSpec> batch) {
+    const sim::Time now = simulator.now();
+    for (net::FlowSpec f : batch) {
+      if (f.id == net::kInvalidFlow) {
+        f.id = next_flow_id++;
+      } else {
+        next_flow_id = std::max(next_flow_id, f.id + 1);
+      }
+      f.start_time += now;  // spec start times are relative to the event
+      if (topo.shortest_paths(f.src, f.dst).empty()) {
+        // Disconnected at injection time (link outage): stillborn.
+        net::FlowResult r;
+        r.spec = f;
+        r.outcome = net::FlowOutcome::kTerminated;
+        r.finish_time = now;
+        stillborn.push_back(std::move(r));
+        continue;
+      }
+      add_flow(f);
+    }
+  };
+
+  const auto set_link_state = [&](net::NodeId a, net::NodeId b, bool up) {
+    topo.set_link_state(a, b, up);
+    if (up) return;  // flows are not re-balanced onto recovered links
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      const net::FlowResult* r = senders[i]->flow_result();
+      if (r == nullptr || r->outcome != net::FlowOutcome::kPending) continue;
+      const net::RouteRef& route = sender_routes[i];
+      if (route == nullptr) continue;
+      bool crosses = false;
+      for (std::size_t h = 0; h + 1 < route->fwd.size() && !crosses; ++h) {
+        crosses = (route->fwd[h] == a && route->fwd[h + 1] == b) ||
+                  (route->fwd[h] == b && route->fwd[h + 1] == a);
+      }
+      if (!crosses) continue;
+      const net::FlowSpec& spec = sender_specs[i];
+      if (topo.shortest_paths(spec.src, spec.dst).empty()) {
+        sender_routes[i] = nullptr;
+        senders[i]->reroute(nullptr);  // no path left: terminate
+      } else {
+        sender_routes[i] = topo.ecmp_route(spec.id, spec.src, spec.dst);
+        senders[i]->reroute(sender_routes[i]);
+      }
+    }
+  };
+
+  std::unordered_map<const void*, std::pair<net::NodeId, net::NodeId>>
+      resolved_links;
+  TimelineCtx tctx{simulator,    topo,   topo.host_ids(),
+                   timeline_rng, inject, set_link_state,
+                   &resolved_links};
+  if (opts.timeline != nullptr && !opts.timeline->events.empty()) {
+    // (at, insertion)-ordered execution: stable sort, then schedule —
+    // the event queue breaks same-instant ties by scheduling order.
+    std::vector<const TimelineEvent*> ordered;
+    ordered.reserve(opts.timeline->events.size());
+    for (const auto& e : opts.timeline->events) ordered.push_back(&e);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const TimelineEvent* x, const TimelineEvent* y) {
+                       return x->at < y->at;
+                     });
+    timeline_pending = ordered.size();
+    for (const TimelineEvent* e : ordered) {
+      simulator.schedule_at(e->at, [&, e] {
+        e->action(tctx);
+        if (--timeline_pending == 0 && remaining == 0) simulator.stop();
+      });
+    }
   }
 
   const net::PacketPool& pool = net::PacketPool::local();
@@ -167,6 +272,7 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
 
   // Flush the final partial bin so goodput integrates to the flow sizes.
   if (opts.per_flow_series) {
+    grow_series();
     for (std::size_t i = 0; i < senders.size(); ++i) {
       const net::FlowResult* fr = senders[i]->flow_result();
       const std::int64_t acked = fr ? fr->bytes_acked : 0;
@@ -185,6 +291,7 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     assert(r != nullptr);
     result.flows.push_back(*r);
   }
+  for (const auto& r : stillborn) result.flows.push_back(r);
   if (meter) {
     for (std::size_t i = 0; i < meter->num_bins(); ++i)
       result.link_utilization.push_back(meter->utilization(i));

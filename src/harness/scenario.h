@@ -17,6 +17,8 @@
 
 namespace pdq::harness {
 
+struct TimelineSpec;  // harness/timeline.h
+
 /// A pluggable transport: switch-side controllers + end-host agents.
 class ProtocolStack {
  public:
@@ -43,6 +45,11 @@ struct RunOptions {
   /// Per-flow throughput sampling for the watched flows (Fig 6/7).
   bool per_flow_series = false;
   sim::Time flow_series_bin = sim::kMillisecond;
+  /// Scheduled scenario events executed while the simulation runs
+  /// (harness/timeline.h): flow-batch injection, link down/up, load
+  /// shifts, plus the steady-state measurement window. Null (the
+  /// default) runs the exact pre-timeline code path.
+  std::shared_ptr<const TimelineSpec> timeline;
 };
 
 /// Operation-count metrics for one run — the perf currency on

@@ -1,0 +1,109 @@
+#include "harness/timeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace pdq::harness {
+
+LinkSelector link_on_path(int src_server, int dst_server, int hop) {
+  return [src_server, dst_server, hop](
+             net::Topology& topo,
+             const std::vector<net::NodeId>& servers) {
+    const net::NodeId s = servers.at(static_cast<std::size_t>(src_server));
+    const net::NodeId d = servers.at(static_cast<std::size_t>(dst_server));
+    const auto& paths = topo.shortest_paths(s, d);
+    assert(!paths.empty() && "link_on_path: no path between servers");
+    const auto& path = paths.front();
+    assert(path.size() >= 2);
+    const int last = static_cast<int>(path.size()) - 2;
+    int h = hop < 0 ? static_cast<int>(path.size() / 2) - 1 : hop;
+    h = std::clamp(h, 0, last);
+    return std::make_pair(path[static_cast<std::size_t>(h)],
+                          path[static_cast<std::size_t>(h) + 1]);
+  };
+}
+
+TimelineSpec& TimelineSpec::at(sim::Time t, std::string label,
+                               std::function<void(TimelineCtx&)> action) {
+  events.push_back({t, std::move(label), std::move(action)});
+  return *this;
+}
+
+TimelineSpec& TimelineSpec::incast(sim::Time t, int fanin,
+                                   std::int64_t bytes_each, int target_server,
+                                   sim::Time deadline) {
+  assert(fanin > 0 && bytes_each > 0);
+  return at(t, "incast", [fanin, bytes_each, target_server,
+                          deadline](TimelineCtx& ctx) {
+    const int n = static_cast<int>(ctx.servers.size());
+    assert(n >= 2);
+    const int tgt = target_server < 0 ? n - 1 : target_server;
+    std::vector<net::FlowSpec> batch;
+    batch.reserve(static_cast<std::size_t>(fanin));
+    for (int i = 0; i < fanin; ++i) {
+      net::FlowSpec f;
+      // Round-robin over the other servers; never the target itself.
+      const int src = (tgt + 1 + i % (n - 1)) % n;
+      f.src = ctx.servers[static_cast<std::size_t>(src)];
+      f.dst = ctx.servers[static_cast<std::size_t>(tgt)];
+      f.size_bytes = bytes_each;
+      f.deadline = deadline;
+      f.start_time = 0;  // relative: released at the event instant
+      batch.push_back(f);
+    }
+    ctx.inject(std::move(batch));
+  });
+}
+
+TimelineSpec& TimelineSpec::link_down(sim::Time t, LinkSelector sel) {
+  return at(t, "link_down", [sel = std::move(sel)](TimelineCtx& ctx) {
+    const auto [a, b] = sel(ctx.topo, ctx.servers);
+    ctx.set_link_state(a, b, false);
+  });
+}
+
+TimelineSpec& TimelineSpec::link_up(sim::Time t, LinkSelector sel) {
+  return at(t, "link_up", [sel = std::move(sel)](TimelineCtx& ctx) {
+    const auto [a, b] = sel(ctx.topo, ctx.servers);
+    ctx.set_link_state(a, b, true);
+  });
+}
+
+TimelineSpec& TimelineSpec::link_failure(sim::Time down_at, sim::Time up_at,
+                                         LinkSelector sel) {
+  assert(down_at <= up_at);
+  // `tag` identifies this down/up pair; the resolved link itself lives
+  // in the per-run ctx.resolved_links map (the spec — and this
+  // immutable tag — may be shared by many concurrent runs).
+  auto tag = std::make_shared<char>();
+  at(down_at, "link_down",
+     [sel = std::move(sel), tag](TimelineCtx& ctx) {
+       const auto link = sel(ctx.topo, ctx.servers);
+       (*ctx.resolved_links)[tag.get()] = link;
+       ctx.set_link_state(link.first, link.second, false);
+     });
+  at(up_at, "link_up", [tag](TimelineCtx& ctx) {
+    const auto it = ctx.resolved_links->find(tag.get());
+    assert(it != ctx.resolved_links->end() && "link_up before link_down");
+    ctx.set_link_state(it->second.first, it->second.second, true);
+  });
+  return *this;
+}
+
+TimelineSpec& TimelineSpec::load_shift(sim::Time t,
+                                       workload::OpenLoopOptions burst) {
+  return at(t, "load_shift", [burst = std::move(burst)](TimelineCtx& ctx) {
+    auto flows = workload::make_open_loop_flows(ctx.servers, burst, ctx.rng);
+    for (auto& f : flows) f.id = net::kInvalidFlow;  // harness assigns
+    ctx.inject(std::move(flows));
+  });
+}
+
+TimelineSpec& TimelineSpec::window(sim::Time warmup_end, sim::Time end) {
+  warmup = warmup_end;
+  measure_end = end;
+  return *this;
+}
+
+}  // namespace pdq::harness

@@ -1,0 +1,136 @@
+// Scheduled scenario timelines: mid-run events over a running simulation.
+//
+// A TimelineSpec is a sorted list of scheduled events — flow-batch
+// injections (incast bursts, open-loop load shifts), link failures and
+// recoveries — executed by run_prepared() while the simulation runs,
+// plus the steady-state measurement window (warmup/measure_end) the
+// windowed metrics trim to. This is the first scenario class where the
+// arrival order of work is not known at t = 0: flows materialize when
+// their event fires, link failures reroute (or terminate) in-flight
+// flows deterministically.
+//
+// Attach a timeline through RunOptions::timeline
+// (scenario.options.timeline on an ExperimentSpec); a scenario without
+// one runs the exact pre-timeline code path. All timeline randomness
+// draws from a dedicated Rng seeded seed ^ kTimelineSeedSalt, so the
+// trial-seed ladder applies and the workload's draw sequence is never
+// perturbed by timeline edits.
+//
+// Server indices used by the builders below index Topology::host_ids(),
+// which matches the server list every built-in TopologySpec builder
+// returns. Known limitation: M-PDQ subflows are not rerouted on link
+// failure (MpdqSender keeps Agent's no-op reroute).
+//
+// See docs/workloads.md for the cookbook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/topology.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "workload/arrivals.h"
+
+namespace pdq::harness {
+
+/// XOR-salt applied to the run seed to derive the timeline Rng stream
+/// (documented so figures remain reproducible from (spec, base_seed)).
+inline constexpr std::uint64_t kTimelineSeedSalt = 0x7D0D11E5EEDULL;
+
+/// What a timeline event may touch while the simulation runs. The
+/// callbacks are provided by run_prepared(); actions must not keep
+/// references past their invocation.
+struct TimelineCtx {
+  sim::Simulator& sim;
+  net::Topology& topo;
+  /// Topology::host_ids() — the servers timeline indices refer to.
+  const std::vector<net::NodeId>& servers;
+  /// Dedicated timeline random stream (seed ^ kTimelineSeedSalt).
+  sim::Rng& rng;
+  /// Injects a flow batch: ids are assigned by the harness (leave
+  /// kInvalidFlow), start_time is interpreted *relative to now*.
+  std::function<void(std::vector<net::FlowSpec>)> inject;
+  /// Administratively flips a link; on `down`, in-flight flows whose
+  /// current route crosses it are rerouted via fresh ECMP lookups (or
+  /// terminated when no path remains).
+  std::function<void(net::NodeId, net::NodeId, bool up)> set_link_state;
+  /// Per-run scratch keyed by event identity (link_failure stores the
+  /// link its down event resolved so the up event restores the same
+  /// physical link). Owned by run_prepared — one map per run, so a
+  /// TimelineSpec shared across concurrent SweepRunner samples carries
+  /// no mutable run state.
+  std::unordered_map<const void*, std::pair<net::NodeId, net::NodeId>>*
+      resolved_links = nullptr;
+};
+
+/// Resolves a concrete link at run time (node ids depend on the
+/// topology builder).
+using LinkSelector = std::function<std::pair<net::NodeId, net::NodeId>(
+    net::Topology&, const std::vector<net::NodeId>& servers)>;
+
+/// The hop-th link on the first shortest path between two servers (by
+/// server index); hop < 0 selects the middle link of the path — on a
+/// fat-tree that is an aggregation<->core link.
+LinkSelector link_on_path(int src_server, int dst_server, int hop = -1);
+
+struct TimelineEvent {
+  sim::Time at = 0;
+  std::string label;
+  std::function<void(TimelineCtx&)> action;
+};
+
+struct TimelineSpec {
+  /// Executed in (at, insertion) order — ties keep insertion order.
+  std::vector<TimelineEvent> events;
+
+  /// Steady-state measurement window: windowed metrics
+  /// (metrics::windowed_* / goodput / deadline-miss) only count flows
+  /// whose start_time falls in [warmup, measure_end).
+  sim::Time warmup = 0;
+  sim::Time measure_end = sim::kTimeInfinity;
+
+  // ---- builders (chainable) ----
+
+  /// Arbitrary event.
+  TimelineSpec& at(sim::Time t, std::string label,
+                   std::function<void(TimelineCtx&)> action);
+
+  /// N->1 incast burst: `fanin` flows of `bytes_each` into
+  /// `target_server` (-1 = last server), all released at `t`. Senders
+  /// are the servers following the target round-robin. `deadline` is
+  /// per-flow relative (kTimeInfinity = none).
+  TimelineSpec& incast(sim::Time t, int fanin, std::int64_t bytes_each,
+                       int target_server = -1,
+                       sim::Time deadline = sim::kTimeInfinity);
+
+  /// Link failure / recovery at `t` of the link `sel` resolves. NOTE:
+  /// selectors resolve at *event* time, against the then-current
+  /// topology state — a link_up selector re-resolves after the failure
+  /// already changed the path set and may pick a different link. For a
+  /// down-then-up pair of the same physical link use link_failure().
+  TimelineSpec& link_down(sim::Time t, LinkSelector sel);
+  TimelineSpec& link_up(sim::Time t, LinkSelector sel);
+
+  /// Fails the link `sel` resolves at `down_at` and restores the *same
+  /// physical link* at `up_at` (the selector runs once, at down time).
+  TimelineSpec& link_failure(sim::Time down_at, sim::Time up_at,
+                             LinkSelector sel);
+
+  /// Open-loop load shift: injects a fresh open-loop batch generated at
+  /// `t` from the timeline Rng; `burst.start` and the generated arrival
+  /// times are relative to `t`.
+  TimelineSpec& load_shift(sim::Time t, workload::OpenLoopOptions burst);
+
+  /// Sets the measurement window (chainable convenience).
+  TimelineSpec& window(sim::Time warmup_end,
+                       sim::Time end = sim::kTimeInfinity);
+};
+
+}  // namespace pdq::harness

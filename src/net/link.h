@@ -21,6 +21,10 @@ struct SimplexLink {
   /// Probability that a packet is lost on the wire (checked per packet at
   /// transmit completion, so the bandwidth is still consumed).
   double drop_rate = 0.0;
+  /// Administrative state (Topology::set_link_state). Packets offered to
+  /// a down link are dropped at the transmitter (counted as wire drops);
+  /// routing skips down links. Both simplex halves flip together.
+  bool up = true;
 
   SimplexLink* reverse = nullptr;  // the paired opposite direction
 };

@@ -96,6 +96,12 @@ void Node::settle_coalesced(Port& port, sim::Time now) {
 }
 
 void Node::transmit_out(Port& port, PacketPtr p) {
+  if (!port.link().up) {
+    // Administratively-down link (scenario timelines): the packet is
+    // lost at the transmitter, before any controller sees it.
+    ++port.wire_drops;
+    return;
+  }
   settle_coalesced(port, topo_.sim().now());
   if (is_forward(p->type) && port.controller()) {
     port.controller()->on_forward(*p);

@@ -134,6 +134,12 @@ class Agent {
   virtual void on_packet(const PacketPtr& p) = 0;
   /// Sender agents report their flow outcome here; receivers return null.
   virtual const FlowResult* flow_result() const { return nullptr; }
+  /// Replaces the sender's route mid-flow (harness link-failure
+  /// timelines). A null route means no path remains — senders that can
+  /// should terminate the flow. Packets already in flight keep the old
+  /// (immutable) route; only subsequent sends use the new one. Default:
+  /// no-op (receivers follow the data packets' route automatically).
+  virtual void reroute(RouteRef route) { (void)route; }
 };
 
 class Host : public Node {

@@ -28,6 +28,10 @@ PacedSender::PacedSender(AgentContext ctx)
 }
 
 void PacedSender::start() {
+  // A timeline link failure may terminate a flow before its scheduled
+  // start event fires; starting then would emit packets for a finished
+  // flow.
+  if (finished()) return;
   assert(!started_);
   started_ = true;
   send_syn();
@@ -44,6 +48,17 @@ void PacedSender::syn_retry() {
 sim::Time PacedSender::rto() const {
   const sim::Time base = rtt_valid_ ? 4 * rtt_ : 10 * sim::kMillisecond;
   return std::max(base, kMinRto);
+}
+
+void PacedSender::reroute(RouteRef route) {
+  if (finished()) return;
+  if (route == nullptr) {
+    // No path left to the receiver: give up. The TERM control packet is
+    // offered to the old route and dropped at the down link.
+    complete(FlowOutcome::kTerminated);
+    return;
+  }
+  ctx_.route = std::move(route);
 }
 
 std::int64_t PacedSender::bytes_unacked() const {
@@ -282,7 +297,9 @@ void PacedSender::complete(FlowOutcome outcome) {
     pace_pending_ = false;
   }
   rate_bps_ = 0.0;
-  if (send_term_on_complete()) send_control(PacketType::kTerm);
+  // A never-started flow (terminated by a pre-start link failure) has
+  // no network state to release: no TERM.
+  if (started_ && send_term_on_complete()) send_control(PacketType::kTerm);
   if (ctx_.on_done) ctx_.on_done(result_);
 }
 

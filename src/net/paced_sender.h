@@ -33,6 +33,9 @@ class PacedSender : public Agent {
 
   void start() override;
   void on_packet(const PacketPtr& p) override;
+  /// Adopts the new route for all subsequent sends (retransmissions
+  /// included); a null route terminates the flow (kTerminated).
+  void reroute(RouteRef route) override;
 
   const FlowResult& result() const { return result_; }
   const FlowResult* flow_result() const override { return &result_; }

@@ -102,6 +102,9 @@ std::vector<std::vector<NodeId>> Topology::compute_shortest_paths(
     const NodeId u = bfs.front();
     bfs.pop();
     for (NodeId v : adjacency_[static_cast<std::size_t>(u)]) {
+      // Administratively-down links (both halves flip together) carry no
+      // paths.
+      if (!down_links_.empty() && down_links_.count(pair_key(u, v))) continue;
       // Hosts other than the endpoints may relay only in server-centric
       // topologies (BCube): allow transit through any multi-port host, but
       // never through single-port (leaf) hosts.
@@ -139,6 +142,9 @@ std::vector<std::vector<NodeId>> Topology::compute_shortest_paths(
     bool descended = false;
     while (f.next_idx < adj.size()) {
       const NodeId v = adj[f.next_idx++];
+      if (!down_links_.empty() && down_links_.count(pair_key(f.node, v))) {
+        continue;
+      }
       if (dist[static_cast<std::size_t>(v)] ==
           dist[static_cast<std::size_t>(f.node)] - 1) {
         stack.push_back({v, 0});
@@ -201,6 +207,9 @@ const std::vector<std::vector<NodeId>>& Topology::disjoint_paths(NodeId src,
       for (NodeId v : adjacency_[static_cast<std::size_t>(u)]) {
         if (seen[static_cast<std::size_t>(v)]) continue;
         if (used_links.count(pair_key(u, v))) continue;
+        if (!down_links_.empty() && down_links_.count(pair_key(u, v))) {
+          continue;
+        }
         if (v != src && v != dst && is_host_[static_cast<std::size_t>(v)] &&
             adjacency_[static_cast<std::size_t>(v)].size() < 2) {
           continue;
@@ -235,6 +244,45 @@ void Topology::set_link_drop_rate(NodeId a, NodeId b, double rate) {
   assert(ab && ba);
   ab->link().drop_rate = rate;
   ba->link().drop_rate = rate;
+}
+
+void Topology::set_link_state(NodeId a, NodeId b, bool up) {
+  Port* ab = node(a).port_to(b);
+  Port* ba = node(b).port_to(a);
+  assert(ab && ba && "set_link_state on a non-existent link");
+  if (ab->link().up == up) return;
+  ab->link().up = up;
+  ba->link().up = up;
+  if (up) {
+    down_links_.erase(pair_key(a, b));
+    down_links_.erase(pair_key(b, a));
+  } else {
+    down_links_.insert(pair_key(a, b));
+    down_links_.insert(pair_key(b, a));
+    // Queued packets die with the link; packets already serialized onto
+    // the wire (their arrival events are in flight) are still delivered.
+    for (Port* p : {ab, ba}) {
+      const bool flushed = !p->queue().empty();
+      while (!p->queue().empty()) {
+        p->queue().pop();  // destroying the PacketPtr recycles it
+        ++p->wire_drops;
+      }
+      if (flushed && p->queue_series) {
+        p->queue_series->record(sim_.now(),
+                                static_cast<double>(p->queue().bytes()));
+      }
+    }
+  }
+  // Same invalidation as add_duplex_link: every derived path product is
+  // stale. In-flight RouteRefs stay valid (immutable, refcounted); only
+  // new lookups recompute.
+  path_cache_.clear();
+  route_cache_.clear();
+  disjoint_cache_.clear();
+}
+
+bool Topology::link_is_up(NodeId a, NodeId b) const {
+  return down_links_.empty() || !down_links_.count(pair_key(a, b));
 }
 
 std::int64_t Topology::total_queue_drops() const {

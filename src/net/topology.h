@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/link.h"
@@ -98,6 +99,19 @@ class Topology {
   /// Sets a random loss rate on both directions of the a<->b link.
   void set_link_drop_rate(NodeId a, NodeId b, double rate);
 
+  /// Administratively brings both directions of the a<->b link down or
+  /// up (scenario timelines: failures and recoveries). Reuses the
+  /// add_duplex_link cache-invalidation path — shortest-path, route and
+  /// disjoint-path caches are cleared, so subsequent lookups route
+  /// around a down link (routes already held by in-flight packets stay
+  /// valid; they are immutable flyweights). Bringing a link down also
+  /// flushes both port queues (dropped packets count as wire drops);
+  /// packets already serialized onto the wire are still delivered.
+  void set_link_state(NodeId a, NodeId b, bool up);
+
+  /// False while the a<->b link is administratively down.
+  bool link_is_up(NodeId a, NodeId b) const;
+
   std::int64_t total_queue_drops() const;
   std::int64_t total_wire_drops() const;
   /// Net events saved by transmit coalescing (node.cc) across all ports.
@@ -120,6 +134,10 @@ class Topology {
   std::vector<NodeId> host_ids_;
   std::vector<NodeId> switch_ids_;
   std::vector<bool> is_host_;
+  /// pair_key(a, b) for every administratively-down link, both
+  /// directions. Empty (the overwhelmingly common case) short-circuits
+  /// every routing-time check.
+  std::unordered_set<std::uint64_t> down_links_;
   std::unordered_map<std::uint64_t, std::vector<std::vector<NodeId>>>
       path_cache_;
   std::unordered_map<std::uint64_t, std::vector<std::vector<NodeId>>>

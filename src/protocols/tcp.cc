@@ -29,6 +29,8 @@ sim::Time TcpSender::rto() const {
 }
 
 void TcpSender::start() {
+  // Terminated before start (timeline link failure): stay silent.
+  if (result_.outcome != net::FlowOutcome::kPending) return;
   assert(!started_);
   started_ = true;
   try_send();
@@ -170,15 +172,28 @@ void TcpSender::on_packet(const net::PacketPtr& p) {
   on_ack(p->ack, *p);
 }
 
-void TcpSender::complete() {
-  result_.outcome = net::FlowOutcome::kCompleted;
+void TcpSender::reroute(net::RouteRef route) {
+  if (result_.outcome != net::FlowOutcome::kPending) return;
+  if (route == nullptr) {
+    finish(net::FlowOutcome::kTerminated);
+    return;
+  }
+  ctx_.route = std::move(route);
+}
+
+void TcpSender::finish(net::FlowOutcome outcome) {
+  result_.outcome = outcome;
   result_.finish_time = now();
-  result_.bytes_acked = size_;
   if (timer_armed_) {
     ctx_.topo->sim().cancel(timer_);
     timer_armed_ = false;
   }
   if (ctx_.on_done) ctx_.on_done(result_);
+}
+
+void TcpSender::complete() {
+  result_.bytes_acked = size_;
+  finish(net::FlowOutcome::kCompleted);
 }
 
 TcpReceiver::TcpReceiver(net::AgentContext ctx) : ctx_(std::move(ctx)) {

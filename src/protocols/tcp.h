@@ -30,6 +30,9 @@ class TcpSender : public net::Agent {
   void start() override;
   void on_packet(const net::PacketPtr& p) override;
   const net::FlowResult* flow_result() const override { return &result_; }
+  /// Adopts the new route for subsequent (re)transmissions; a null route
+  /// terminates the flow (kTerminated).
+  void reroute(net::RouteRef route) override;
   const net::FlowResult& result() const { return result_; }
 
   double cwnd_pkts() const { return cwnd_; }
@@ -42,6 +45,8 @@ class TcpSender : public net::Agent {
   void enter_fast_retransmit();
   void on_timeout();
   void arm_timer();
+  /// Shared teardown: outcome, finish time, timer cancel, on_done.
+  void finish(net::FlowOutcome outcome);
   void complete();
   sim::Time now() const;
 

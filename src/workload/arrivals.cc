@@ -1,0 +1,282 @@
+#include "workload/arrivals.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pdq::workload {
+
+namespace {
+
+void set_error(std::string* error, std::string msg) {
+  if (error) *error = std::move(msg);
+}
+
+}  // namespace
+
+EmpiricalCdf EmpiricalCdf::from_points(std::vector<Point> pts,
+                                       std::string* error) {
+  EmpiricalCdf cdf;
+  if (pts.empty()) {
+    set_error(error, "EmpiricalCdf: no points");
+    return cdf;
+  }
+  if (pts.front().cum > 0.0) {
+    // Implicit anchor: all mass below the first listed size sits at it.
+    pts.insert(pts.begin(), {pts.front().bytes, 0.0});
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].bytes < 1.0 || pts[i].cum < 0.0 || pts[i].cum > 1.0) {
+      set_error(error, "EmpiricalCdf: point " + std::to_string(i) +
+                           " out of range (bytes >= 1, cum in [0,1])");
+      return cdf;
+    }
+    if (i > 0 && (pts[i].bytes <= pts[i - 1].bytes &&
+                  !(i == 1 && pts[i].bytes == pts[i - 1].bytes))) {
+      set_error(error, "EmpiricalCdf: bytes not strictly increasing at point " +
+                           std::to_string(i));
+      return cdf;
+    }
+    if (i > 0 && pts[i].cum < pts[i - 1].cum) {
+      set_error(error, "EmpiricalCdf: cum decreases at point " +
+                           std::to_string(i));
+      return cdf;
+    }
+  }
+  if (pts.back().cum != 1.0) {
+    set_error(error, "EmpiricalCdf: last point must have cum == 1");
+    return cdf;
+  }
+  cdf.points_ = std::move(pts);
+  return cdf;
+}
+
+EmpiricalCdf EmpiricalCdf::from_csv_text(const std::string& text,
+                                         std::string* error) {
+  std::vector<Point> pts;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    for (char& c : line) {
+      if (c == ',' || c == '\t') c = ' ';
+    }
+    std::istringstream fields(line);
+    double bytes = 0, cum = 0;
+    if (!(fields >> bytes)) continue;  // blank / comment-only line
+    if (!(fields >> cum)) {
+      set_error(error, "EmpiricalCdf: line " + std::to_string(lineno) +
+                           ": expected \"bytes,cum\"");
+      return EmpiricalCdf();
+    }
+    pts.push_back({bytes, cum});
+  }
+  return from_points(std::move(pts), error);
+}
+
+EmpiricalCdf EmpiricalCdf::from_csv(const std::string& path,
+                                    std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    set_error(error, "EmpiricalCdf: cannot open " + path);
+    return EmpiricalCdf();
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return from_csv_text(buf.str(), error);
+}
+
+EmpiricalCdf EmpiricalCdf::web_search() {
+  // Mice-dominated with a moderate elephant tail: ~53% of flows under
+  // 100 KB, the top decile spanning 2 MB - 30 MB. Qualitative shape of
+  // the search-cluster distribution in the DCTCP lineage of evaluations.
+  std::vector<Point> pts = {
+      {6'000, 0.0},      {10'000, 0.15},    {20'000, 0.20},
+      {30'000, 0.30},    {50'000, 0.40},    {80'000, 0.53},
+      {200'000, 0.60},   {1'000'000, 0.70}, {2'000'000, 0.80},
+      {5'000'000, 0.90}, {10'000'000, 0.97}, {30'000'000, 1.0},
+  };
+  return from_points(std::move(pts));
+}
+
+EmpiricalCdf EmpiricalCdf::data_mining() {
+  // Extremely mice-heavy: half the flows are sub-kilobyte scatter/gather
+  // chatter, ~80% under 10 KB, while nearly all bytes ride in rare
+  // multi-megabyte shuffles (VL2-style measurement shape).
+  std::vector<Point> pts = {
+      {100, 0.0},         {300, 0.30},        {1'000, 0.50},
+      {10'000, 0.80},     {100'000, 0.90},    {1'000'000, 0.95},
+      {10'000'000, 0.99}, {100'000'000, 1.0},
+  };
+  return from_points(std::move(pts));
+}
+
+double EmpiricalCdf::quantile(double u) const {
+  assert(!points_.empty());
+  u = std::clamp(u, 0.0, 1.0);
+  // Find the first point with cum >= u, then interpolate linearly in
+  // bytes across the segment that crosses u.
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (u <= points_[i].cum) {
+      const Point& a = points_[i - 1];
+      const Point& b = points_[i];
+      if (b.cum == a.cum) return b.bytes;
+      const double t = (u - a.cum) / (b.cum - a.cum);
+      return a.bytes + t * (b.bytes - a.bytes);
+    }
+  }
+  return points_.back().bytes;
+}
+
+double EmpiricalCdf::cdf(double bytes) const {
+  assert(!points_.empty());
+  if (bytes < points_.front().bytes) return 0.0;
+  double out = points_.front().cum;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const Point& a = points_[i - 1];
+    const Point& b = points_[i];
+    if (bytes >= b.bytes) {
+      out = b.cum;  // also covers the zero-width implicit-anchor segment
+      continue;
+    }
+    const double t = (bytes - a.bytes) / (b.bytes - a.bytes);
+    return a.cum + t * (b.cum - a.cum);
+  }
+  return out;
+}
+
+double EmpiricalCdf::mean_bytes() const {
+  assert(!points_.empty());
+  // Piecewise-linear CDF => uniform density within each segment; the
+  // segment contributes mass * midpoint.
+  double mean = 0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const Point& a = points_[i - 1];
+    const Point& b = points_[i];
+    mean += (b.cum - a.cum) * 0.5 * (a.bytes + b.bytes);
+  }
+  return mean;
+}
+
+std::int64_t EmpiricalCdf::sample(sim::Rng& rng) const {
+  assert(!points_.empty());
+  const double v = quantile(rng.uniform(0.0, 1.0));
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(v));
+}
+
+SizeFn EmpiricalCdf::sampler() const {
+  assert(!points_.empty());
+  return [cdf = *this](sim::Rng& rng) { return cdf.sample(rng); };
+}
+
+// ---------------------------------------------------------------------------
+// ArrivalProcess
+// ---------------------------------------------------------------------------
+
+ArrivalProcess ArrivalProcess::poisson(double rate_per_sec) {
+  assert(rate_per_sec > 0.0);
+  ArrivalProcess p;
+  p.kind = Kind::kPoisson;
+  p.rate_per_sec = rate_per_sec;
+  return p;
+}
+
+ArrivalProcess ArrivalProcess::deterministic(double rate_per_sec) {
+  assert(rate_per_sec > 0.0);
+  ArrivalProcess p;
+  p.kind = Kind::kDeterministic;
+  p.rate_per_sec = rate_per_sec;
+  return p;
+}
+
+ArrivalProcess ArrivalProcess::from_trace(std::vector<sim::Time> times) {
+  assert(std::is_sorted(times.begin(), times.end()));
+  ArrivalProcess p;
+  p.kind = Kind::kTrace;
+  p.trace = std::move(times);
+  return p;
+}
+
+ArrivalProcess ArrivalProcess::for_load(double rho, double mean_flow_bytes,
+                                        double link_bps) {
+  assert(rho > 0.0 && rho < 1.0 && mean_flow_bytes > 0.0 && link_bps > 0.0);
+  return poisson(rho * link_bps / (8.0 * mean_flow_bytes));
+}
+
+double ArrivalProcess::offered_load(double mean_flow_bytes,
+                                    double link_bps) const {
+  if (kind == Kind::kTrace) return 0.0;
+  return rate_per_sec * 8.0 * mean_flow_bytes / link_bps;
+}
+
+std::vector<sim::Time> ArrivalProcess::generate(int count, sim::Rng& rng,
+                                                sim::Time start) const {
+  std::vector<sim::Time> out;
+  out.reserve(static_cast<std::size_t>(std::max(0, count)));
+  switch (kind) {
+    case Kind::kPoisson: {
+      const double mean_gap_ns = 1e9 / rate_per_sec;
+      sim::Time clock = start;
+      for (int i = 0; i < count; ++i) {
+        clock += static_cast<sim::Time>(rng.exponential(mean_gap_ns));
+        out.push_back(clock);
+      }
+      break;
+    }
+    case Kind::kDeterministic: {
+      const double gap_ns = 1e9 / rate_per_sec;
+      for (int i = 0; i < count; ++i) {
+        out.push_back(start + static_cast<sim::Time>(gap_ns * (i + 1)));
+      }
+      break;
+    }
+    case Kind::kTrace: {
+      for (int i = 0; i < count; ++i) {
+        const std::size_t idx = std::min<std::size_t>(
+            static_cast<std::size_t>(i),
+            trace.empty() ? 0 : trace.size() - 1);
+        out.push_back(start + (trace.empty() ? 0 : trace[idx]));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop flow sets
+// ---------------------------------------------------------------------------
+
+std::vector<net::FlowSpec> make_open_loop_flows(
+    const std::vector<net::NodeId>& servers, const OpenLoopOptions& opts,
+    sim::Rng& rng) {
+  assert(opts.size && opts.pattern && opts.num_flows > 0);
+  const int n = static_cast<int>(servers.size());
+  // Draw order contract (docs/workloads.md): arrivals, pattern, then
+  // per-flow size/deadline — so swapping the arrival process never
+  // perturbs the sizes a given seed produces.
+  const auto arrivals = opts.arrivals.generate(opts.num_flows, rng, opts.start);
+  const auto pairs = opts.pattern(n, opts.num_flows, rng);
+
+  std::vector<net::FlowSpec> flows;
+  flows.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    net::FlowSpec f;
+    f.id = opts.first_id + static_cast<net::FlowId>(i);
+    f.src = servers[static_cast<std::size_t>(pairs[i].src)];
+    f.dst = servers[static_cast<std::size_t>(pairs[i].dst)];
+    f.size_bytes = opts.size(rng);
+    if (opts.deadline) f.deadline = opts.deadline(rng);
+    f.start_time = arrivals[i];
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace pdq::workload

@@ -1,0 +1,165 @@
+// Dynamic-traffic inputs: empirical flow-size CDFs and open-loop arrival
+// processes.
+//
+// Real datacenter evaluations drive protocols open-loop — flows arrive as
+// a Poisson (or trace-driven) process with sizes drawn from a measured
+// distribution, and the knob is the *offered load* rho on a reference
+// link, not a flow count. This header provides both halves:
+//
+//  - EmpiricalCdf: a piecewise-linear CDF over flow sizes, sampled by
+//    inverse transform. Built-ins reproduce the qualitative shape of the
+//    web-search and data-mining distributions the datacenter-transport
+//    literature evaluates against; arbitrary CDFs load from CSV.
+//  - ArrivalProcess: Poisson / deterministic / trace arrivals, with a
+//    target-load parameterization (rho in [0.1, 0.95] of a reference
+//    link) that converts to a rate via the size distribution's mean.
+//
+// Everything is seeded through the caller's sim::Rng, so the harness
+// trial-seed ladder (harness/experiment.h) applies unchanged; see
+// docs/workloads.md for the draw-order contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/flow.h"
+#include "sim/random.h"
+#include "sim/time.h"
+#include "workload/workload.h"
+
+namespace pdq::workload {
+
+// ---------------------------------------------------------------------------
+// Empirical flow-size CDFs
+// ---------------------------------------------------------------------------
+
+/// A piecewise-linear empirical CDF over flow sizes in bytes.
+///
+/// Points are (bytes, cum) with bytes strictly increasing and cum
+/// nondecreasing, ending at cum == 1. Sampling inverts the CDF with
+/// linear interpolation in bytes between adjacent points (so a two-point
+/// CDF {(a, 0), (b, 1)} is uniform on [a, b]).
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double bytes = 0;
+    double cum = 0;  // cumulative probability in [0, 1]
+  };
+
+  EmpiricalCdf() = default;
+
+  /// Validates and adopts `pts` (see class comment); `error` (optional)
+  /// receives a message and an empty CDF is returned on bad input. A
+  /// first point with cum > 0 gets an implicit (bytes, 0) anchor — i.e.
+  /// the mass below the first listed size sits *at* that size.
+  static EmpiricalCdf from_points(std::vector<Point> pts,
+                                  std::string* error = nullptr);
+
+  /// Parses "bytes,cum" lines (one point per line; '#' comments and blank
+  /// lines ignored; whitespace-separated also accepted) and validates as
+  /// from_points. Empty CDF + message on failure.
+  static EmpiricalCdf from_csv_text(const std::string& text,
+                                    std::string* error = nullptr);
+
+  /// from_csv_text over the contents of `path`.
+  static EmpiricalCdf from_csv(const std::string& path,
+                               std::string* error = nullptr);
+
+  /// Web-search workload: mice-dominated with a moderate elephant tail
+  /// (the qualitative shape of the search-cluster distribution used by
+  /// the DCTCP lineage of evaluations).
+  static EmpiricalCdf web_search();
+
+  /// Data-mining workload: extremely mice-heavy flow count with almost
+  /// all bytes in rare multi-megabyte elephants (VL2-style measurement).
+  static EmpiricalCdf data_mining();
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Inverse-transform sample (>= 1 byte).
+  std::int64_t sample(sim::Rng& rng) const;
+
+  /// The size at cumulative probability u in [0, 1].
+  double quantile(double u) const;
+
+  /// P(size <= bytes) under the piecewise-linear interpolation.
+  double cdf(double bytes) const;
+
+  /// Analytic mean of the interpolated distribution — the denominator of
+  /// the load -> arrival-rate conversion (ArrivalProcess::for_load).
+  double mean_bytes() const;
+
+  /// Adapter into the SizeFn world of workload.h.
+  SizeFn sampler() const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// ---------------------------------------------------------------------------
+// Open-loop arrival processes
+// ---------------------------------------------------------------------------
+
+/// Flow inter-arrival process. Construct via the factories; generate()
+/// materializes monotone absolute arrival times from the caller's Rng
+/// (Poisson draws one exponential per flow; deterministic and trace draw
+/// nothing).
+struct ArrivalProcess {
+  enum class Kind { kPoisson, kDeterministic, kTrace };
+
+  Kind kind = Kind::kPoisson;
+  double rate_per_sec = 0.0;      // Poisson / deterministic
+  std::vector<sim::Time> trace;   // kTrace: absolute times, sorted
+
+  /// Memoryless arrivals at `rate_per_sec` (> 0).
+  static ArrivalProcess poisson(double rate_per_sec);
+
+  /// Evenly spaced arrivals at `rate_per_sec` (> 0).
+  static ArrivalProcess deterministic(double rate_per_sec);
+
+  /// Replays the given absolute arrival times (sorted ascending).
+  static ArrivalProcess from_trace(std::vector<sim::Time> times);
+
+  /// Target-load parameterization: Poisson arrivals whose offered load on
+  /// a reference link of `link_bps` is `rho` (fraction of capacity,
+  /// sensible range [0.1, 0.95]):
+  ///   rate = rho * link_bps / (8 * mean_flow_bytes)  [flows/sec].
+  static ArrivalProcess for_load(double rho, double mean_flow_bytes,
+                                 double link_bps = 1e9);
+
+  /// The offered load this process puts on `link_bps` given the mean flow
+  /// size (inverse of for_load; 0 for traces).
+  double offered_load(double mean_flow_bytes, double link_bps = 1e9) const;
+
+  /// `count` monotone absolute arrival times starting at `start`. Traces
+  /// are truncated/cycled never — count beyond the trace reuses the last
+  /// time (and the caller should size count to the trace).
+  std::vector<sim::Time> generate(int count, sim::Rng& rng,
+                                  sim::Time start = 0) const;
+};
+
+// ---------------------------------------------------------------------------
+// Open-loop flow-set assembly
+// ---------------------------------------------------------------------------
+
+/// Everything an open-loop workload needs. Draw order per flow set (the
+/// reproducibility contract, documented in docs/workloads.md):
+/// (1) arrival times, (2) pattern pairs, (3) per-flow size then deadline.
+struct OpenLoopOptions {
+  int num_flows = 0;
+  ArrivalProcess arrivals;
+  SizeFn size;                                   // e.g. cdf.sampler()
+  std::function<sim::Time(sim::Rng&)> deadline;  // null = unconstrained
+  PatternFn pattern;                             // src/dst pair generator
+  net::FlowId first_id = 1;
+  sim::Time start = 0;  // arrival clock origin
+};
+
+/// Materializes an open-loop FlowSpec set over `servers`.
+std::vector<net::FlowSpec> make_open_loop_flows(
+    const std::vector<net::NodeId>& servers, const OpenLoopOptions& opts,
+    sim::Rng& rng);
+
+}  // namespace pdq::workload

@@ -151,5 +151,44 @@ TEST_F(TopologyTest, ReversePointersArePaired) {
   }
 }
 
+TEST_F(TopologyTest, SetLinkStateFlipsBothHalvesAndReroutesAround) {
+  Topology t(simulator);
+  auto servers = build_fat_tree(t, 4);
+  const NodeId a = servers[0];
+  const NodeId b = servers[12];  // different pod: paths cross the core
+  const auto before = t.shortest_paths(a, b);
+  ASSERT_FALSE(before.empty());
+  // Fail a link on the first path (an edge->aggregation hop).
+  const NodeId u = before.front()[1];
+  const NodeId v = before.front()[2];
+  t.set_link_state(u, v, false);
+  EXPECT_FALSE(t.link_is_up(u, v));
+  EXPECT_FALSE(t.link_is_up(v, u));
+  EXPECT_FALSE(t.port_on_link(u, v)->link().up);
+  EXPECT_FALSE(t.port_on_link(v, u)->link().up);
+  // Caches were invalidated; fresh paths avoid the down link.
+  for (const auto& path : t.shortest_paths(a, b)) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_FALSE((path[i] == u && path[i + 1] == v) ||
+                   (path[i] == v && path[i + 1] == u));
+    }
+  }
+  EXPECT_FALSE(t.shortest_paths(a, b).empty());  // fat-tree survives one cut
+  t.set_link_state(u, v, true);
+  EXPECT_TRUE(t.link_is_up(u, v));
+  EXPECT_EQ(t.shortest_paths(a, b).size(), before.size());
+}
+
+TEST_F(TopologyTest, SetLinkStateDownDisconnectsSinglePathEndpoint) {
+  Topology t(simulator);
+  auto servers = build_single_bottleneck(t, 2);
+  const NodeId receiver = t.host(servers.back()).id();
+  const NodeId sw = t.switch_ids()[0];
+  ASSERT_FALSE(t.shortest_paths(servers[0], receiver).empty());
+  t.set_link_state(sw, receiver, false);
+  EXPECT_TRUE(t.shortest_paths(servers[0], receiver).empty());
+  EXPECT_FALSE(t.shortest_paths(servers[0], servers[1]).empty());
+}
+
 }  // namespace
 }  // namespace pdq::net

@@ -1,0 +1,259 @@
+// Empirical size CDFs and open-loop arrival processes.
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdq::workload {
+namespace {
+
+std::vector<net::NodeId> fake_servers(int n) {
+  std::vector<net::NodeId> v;
+  for (int i = 0; i < n; ++i) v.push_back(i + 100);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// EmpiricalCdf
+// ---------------------------------------------------------------------------
+
+TEST(EmpiricalCdf, RejectsBadInput) {
+  std::string error;
+  EXPECT_TRUE(EmpiricalCdf::from_points({}, &error).empty());
+  EXPECT_NE(error.find("no points"), std::string::npos);
+
+  // Non-monotone bytes.
+  EXPECT_TRUE(EmpiricalCdf::from_points(
+                  {{1000, 0.0}, {500, 1.0}}, &error)
+                  .empty());
+  EXPECT_NE(error.find("increasing"), std::string::npos);
+
+  // Decreasing cum.
+  EXPECT_TRUE(EmpiricalCdf::from_points(
+                  {{100, 0.0}, {200, 0.6}, {300, 0.5}, {400, 1.0}}, &error)
+                  .empty());
+  EXPECT_NE(error.find("decreases"), std::string::npos);
+
+  // Does not end at 1.
+  EXPECT_TRUE(EmpiricalCdf::from_points({{100, 0.0}, {200, 0.9}}, &error)
+                  .empty());
+  EXPECT_NE(error.find("cum == 1"), std::string::npos);
+}
+
+TEST(EmpiricalCdf, CsvRoundTrip) {
+  std::string error;
+  const auto cdf = EmpiricalCdf::from_csv_text(
+      "# size_bytes, cumulative\n"
+      "1000, 0.0\n"
+      "10000, 0.5\n"
+      "100000, 1.0\n",
+      &error);
+  ASSERT_FALSE(cdf.empty()) << error;
+  ASSERT_EQ(cdf.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 10000.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(10000.0), 0.5);
+
+  EXPECT_TRUE(EmpiricalCdf::from_csv_text("1000\n", &error).empty());
+  EXPECT_NE(error.find("expected"), std::string::npos);
+}
+
+TEST(EmpiricalCdf, TwoPointCdfIsUniform) {
+  const auto cdf = EmpiricalCdf::from_points({{1000, 0.0}, {2000, 1.0}});
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.mean_bytes(), 1500.0);
+  sim::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = cdf.sample(rng);
+    EXPECT_GE(s, 1000);
+    EXPECT_LE(s, 2000);
+  }
+}
+
+/// KS-style round trip: the empirical CDF of a large sample must sit
+/// within epsilon of the input CDF at every input point (and between
+/// them). This is the satellite acceptance test for empirical sampling.
+void ks_round_trip(const EmpiricalCdf& cdf, std::uint64_t seed) {
+  ASSERT_FALSE(cdf.empty());
+  const int n = 200'000;
+  sim::Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    samples.push_back(static_cast<double>(cdf.sample(rng)));
+  }
+  std::sort(samples.begin(), samples.end());
+
+  // Evaluate at every CDF point and segment midpoint.
+  std::vector<double> probes;
+  for (const auto& p : cdf.points()) probes.push_back(p.bytes);
+  for (std::size_t i = 1; i < cdf.points().size(); ++i) {
+    probes.push_back(0.5 * (cdf.points()[i - 1].bytes +
+                            cdf.points()[i].bytes));
+  }
+  const double eps = 0.005;  // 200k samples: KS noise ~ sqrt(ln/2n) << eps
+  for (double x : probes) {
+    const auto it = std::upper_bound(samples.begin(), samples.end(), x);
+    const double empirical =
+        static_cast<double>(it - samples.begin()) / n;
+    EXPECT_NEAR(empirical, cdf.cdf(x), eps) << "at bytes=" << x;
+  }
+}
+
+TEST(EmpiricalCdf, KsRoundTripWebSearch) {
+  ks_round_trip(EmpiricalCdf::web_search(), 11);
+}
+
+TEST(EmpiricalCdf, KsRoundTripDataMining) {
+  ks_round_trip(EmpiricalCdf::data_mining(), 12);
+}
+
+TEST(EmpiricalCdf, KsRoundTripImplicitAnchorCsv) {
+  std::string error;
+  const auto cdf = EmpiricalCdf::from_csv_text(
+      "500,0.3\n2000,0.7\n50000,1.0\n", &error);
+  ASSERT_FALSE(cdf.empty()) << error;
+  ks_round_trip(cdf, 13);
+}
+
+TEST(EmpiricalCdf, MeanMatchesSampleMean) {
+  const auto cdf = EmpiricalCdf::web_search();
+  sim::Rng rng(21);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(cdf.sample(rng));
+  const double sample_mean = sum / n;
+  EXPECT_NEAR(sample_mean / cdf.mean_bytes(), 1.0, 0.02);
+}
+
+TEST(EmpiricalCdf, SamplerAdapterMatchesSample) {
+  const auto cdf = EmpiricalCdf::data_mining();
+  SizeFn fn = cdf.sampler();
+  sim::Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fn(a), cdf.sample(b));
+}
+
+// ---------------------------------------------------------------------------
+// ArrivalProcess
+// ---------------------------------------------------------------------------
+
+TEST(ArrivalProcess, PoissonInterArrivalMeanAndVariance) {
+  // Fixed seed: mean ~ 1/lambda and variance ~ 1/lambda^2 (the
+  // exponential signature; a deterministic process would have var 0).
+  const double rate = 5000.0;
+  const auto p = ArrivalProcess::poisson(rate);
+  sim::Rng rng(42);
+  const auto times = p.generate(100'000, rng);
+  ASSERT_EQ(times.size(), 100'000u);
+  std::vector<double> gaps;
+  sim::Time prev = 0;
+  for (sim::Time t : times) {
+    EXPECT_GE(t, prev);
+    gaps.push_back(sim::to_seconds(t - prev));
+    prev = t;
+  }
+  double mean = 0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  var /= static_cast<double>(gaps.size());
+
+  const double expect_mean = 1.0 / rate;
+  const double expect_var = expect_mean * expect_mean;
+  EXPECT_NEAR(mean / expect_mean, 1.0, 0.02);
+  EXPECT_NEAR(var / expect_var, 1.0, 0.05);
+}
+
+TEST(ArrivalProcess, DeterministicIsEvenlySpacedAndDrawsNothing) {
+  const auto p = ArrivalProcess::deterministic(1000.0);  // 1 ms apart
+  sim::Rng rng(9);
+  const auto before = rng.engine()();
+  sim::Rng rng2(9);
+  rng2.engine()();  // match the draw above
+  const auto times = p.generate(10, rng2, 5 * sim::kMillisecond);
+  (void)before;
+  ASSERT_EQ(times.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(times[static_cast<std::size_t>(i)],
+              5 * sim::kMillisecond + (i + 1) * sim::kMillisecond);
+  }
+  // No draws were consumed: the engines still agree.
+  EXPECT_EQ(rng.engine()(), rng2.engine()());
+}
+
+TEST(ArrivalProcess, TraceReplaysGivenTimes) {
+  const auto p = ArrivalProcess::from_trace(
+      {1 * sim::kMillisecond, 2 * sim::kMillisecond, 7 * sim::kMillisecond});
+  sim::Rng rng(1);
+  const auto times = p.generate(3, rng, sim::kMillisecond);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[0], 2 * sim::kMillisecond);
+  EXPECT_EQ(times[1], 3 * sim::kMillisecond);
+  EXPECT_EQ(times[2], 8 * sim::kMillisecond);
+}
+
+TEST(ArrivalProcess, ForLoadMatchesHandComputedRate) {
+  // rho * C / (8 * mean) flows/s: 0.8 * 1e9 / (8 * 1e6) = 100.
+  const auto p = ArrivalProcess::for_load(0.8, 1e6, 1e9);
+  EXPECT_DOUBLE_EQ(p.rate_per_sec, 100.0);
+  EXPECT_DOUBLE_EQ(p.offered_load(1e6, 1e9), 0.8);
+  // Round trip through the web-search CDF mean.
+  const auto cdf = EmpiricalCdf::web_search();
+  const auto q = ArrivalProcess::for_load(0.5, cdf.mean_bytes());
+  EXPECT_NEAR(q.offered_load(cdf.mean_bytes()), 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// make_open_loop_flows
+// ---------------------------------------------------------------------------
+
+TEST(OpenLoopFlows, AssemblesMonotoneSeededFlows) {
+  OpenLoopOptions o;
+  o.num_flows = 500;
+  o.arrivals = ArrivalProcess::poisson(2000.0);
+  o.size = EmpiricalCdf::web_search().sampler();
+  o.pattern = random_permutation();
+  o.first_id = 100;
+  const auto servers = fake_servers(8);
+
+  sim::Rng a(77), b(77);
+  const auto fa = make_open_loop_flows(servers, o, a);
+  const auto fb = make_open_loop_flows(servers, o, b);
+  ASSERT_EQ(fa.size(), 500u);
+  sim::Time prev = 0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].id, 100 + static_cast<net::FlowId>(i));
+    EXPECT_NE(fa[i].src, fa[i].dst);
+    EXPECT_GE(fa[i].start_time, prev);
+    prev = fa[i].start_time;
+    // Same seed => identical flows.
+    EXPECT_EQ(fa[i].size_bytes, fb[i].size_bytes);
+    EXPECT_EQ(fa[i].start_time, fb[i].start_time);
+    EXPECT_EQ(fa[i].src, fb[i].src);
+  }
+}
+
+TEST(OpenLoopFlows, SwappingArrivalProcessKeepsSizesWhenDrawCountMatches) {
+  // The documented draw order (arrivals, pattern, sizes) means switching
+  // Poisson -> deterministic (zero draws) shifts the stream, but two
+  // Poisson processes of different rates produce identical sizes.
+  OpenLoopOptions o;
+  o.num_flows = 50;
+  o.size = EmpiricalCdf::data_mining().sampler();
+  o.pattern = stride(1);
+
+  o.arrivals = ArrivalProcess::poisson(100.0);
+  sim::Rng a(3);
+  const auto fa = make_open_loop_flows(fake_servers(4), o, a);
+  o.arrivals = ArrivalProcess::poisson(9999.0);
+  sim::Rng b(3);
+  const auto fb = make_open_loop_flows(fake_servers(4), o, b);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].size_bytes, fb[i].size_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace pdq::workload
