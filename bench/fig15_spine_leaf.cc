@@ -1,0 +1,258 @@
+// Figure 15 (beyond-paper): PDQ vs the DCTCP family on a spine-leaf
+// fabric — the industry-shaped comparison every modern reader asks for.
+//
+// Open-loop Poisson arrivals on a 4-spine x 4-leaf x 4-servers-per-rack
+// non-blocking spine-leaf (net::build_spine_leaf), swept over offered
+// load rho with the web-search and data-mining empirical size CDFs, a
+// 12->1 incast burst and a leaf-uplink failure/recovery mid-run (the
+// MQ-ECN/TCN evaluation regime). DCTCP runs with marking multi-queue
+// ports installed on every switch (net/multi_queue.h): the canonical
+// single-queue config plus an MQ-ECN-scheduled 4-queue DWRR variant.
+//
+// Table 1 (fig15_spine_leaf): steady-state mean FCT per stack vs rho,
+// web-search CDF.
+// Table 2 (fig15_data_mining): the same sweep under the data-mining CDF.
+// Table 3 (fig15_steady_state): size-bucketed mean/p99 FCT, goodput and
+// deadline-miss detail at the highest swept load, one run per stack.
+// Table 4 (fig15_engine_counters): engine operation counters for the
+// DCTCP lead stack (exercising the multi-queue enqueue/mark path),
+// exported to BENCH_engine.json by scripts/record_bench.sh and gated in
+// CI by scripts/check_counter_regression.py.
+//
+// Flags: --load L[,L...] overrides the swept loads; --timeline
+// both|incast|failure|none picks the scenario preset (see --help).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/timeline.h"
+#include "protocols/dctcp.h"
+
+using namespace pdq;
+using namespace pdq::bench;
+
+namespace {
+
+constexpr std::int64_t kMiceMax = 100'000;  // mice/elephant split, bytes
+constexpr int kSpines = 4;
+constexpr int kTors = 4;
+constexpr int kServersPerRack = 4;
+
+struct SpineParams {
+  double rho = 0.5;
+  int num_flows = 120;
+  std::string cdf = "web-search";  // web-search|data-mining
+  std::string preset = "both";     // both|incast|failure|none
+};
+
+/// One load point: open-loop arrivals over the spine-leaf servers, with
+/// the timeline spanning the expected arrival span T = n/rate — warmup
+/// 0.1 T, a 12->1 incast at 0.35 T, a leaf-uplink failure over
+/// [0.5 T, 0.75 T] on the first server's spine path.
+harness::Scenario spine_scenario(const SpineParams& p) {
+  const workload::EmpiricalCdf cdf = p.cdf == "data-mining"
+                                         ? workload::EmpiricalCdf::data_mining()
+                                         : workload::EmpiricalCdf::web_search();
+
+  workload::OpenLoopOptions w;
+  w.num_flows = p.num_flows;
+  w.arrivals = workload::ArrivalProcess::for_load(p.rho, cdf.mean_bytes());
+  w.size = cdf.sampler();
+  w.pattern = workload::staggered_prob(0.5, 4);
+
+  char wname[96];
+  std::snprintf(wname, sizeof wname, "%s-openloop/%s/rho%.2f/%d",
+                p.cdf.c_str(), p.preset.c_str(), p.rho, p.num_flows);
+
+  harness::Scenario s;
+  s.topology =
+      harness::TopologySpec::spine_leaf(kSpines, kTors, kServersPerRack);
+  s.workload = harness::WorkloadSpec::open_loop(w, wname);
+  s.options.horizon = 120 * sim::kSecond;
+
+  const double span_ns = 1e9 * p.num_flows / w.arrivals.rate_per_sec;
+  auto tl = std::make_shared<harness::TimelineSpec>();
+  tl->window(static_cast<sim::Time>(0.1 * span_ns));
+  if (p.preset == "incast" || p.preset == "both") {
+    // 12 x 40 KB into the last server: ~3.9 ms serialized on the 1 Gbps
+    // edge link, so 5 ms deadlines leave ~1 ms of slack for the burst to
+    // contend with background load — real scheduling pressure, and the
+    // regime DCTCP's marking was designed for (the fabric itself is
+    // non-blocking; only the shared edge downlink can miss).
+    tl->incast(static_cast<sim::Time>(0.35 * span_ns), 12, 40'000, -1,
+               5 * sim::kMillisecond);
+  }
+  if (p.preset == "failure" || p.preset == "both") {
+    // Server 0's cross-rack path enters the spine over a leaf uplink;
+    // hop 1 is the leaf->spine link ECMP picked for flow 0 -> 12.
+    tl->link_failure(static_cast<sim::Time>(0.5 * span_ns),
+                     static_cast<sim::Time>(0.75 * span_ns),
+                     harness::link_on_path(0, 12, 1));
+  }
+  s.options.timeline = std::move(tl);  // window applies even for "none"
+  return s;
+}
+
+/// The fig15 comparison columns: PDQ vs the DCTCP family vs the
+/// rate-based and loss-based baselines. DCTCP(MQ4) runs 4-queue DWRR
+/// with MQ-ECN marking — the full multi-queue service path.
+std::vector<harness::Column> fig15_columns() {
+  std::vector<harness::Column> cols;
+  cols.push_back(harness::stack_column("PDQ(Full)"));
+  cols.push_back(harness::stack_column("DCTCP"));
+  harness::StackOptions mq4;
+  protocols::DctcpConfig cfg;
+  cfg.mq.num_queues = 4;
+  cfg.mq.service = net::MqService::kDwrr;
+  cfg.mq.ecn = net::EcnScheme::kMqEcn;
+  mq4.dctcp = cfg;
+  mq4.label = "DCTCP(MQ4)";
+  cols.push_back(harness::stack_column("DCTCP(MQ4)", "DCTCP", mq4));
+  cols.push_back(harness::stack_column("RCP"));
+  cols.push_back(harness::stack_column("TCP"));
+  return cols;
+}
+
+std::string rho_label(double rho) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.2f", rho);
+  return buf;
+}
+
+harness::ExperimentSpec load_sweep(const std::string& name,
+                                   const std::string& cdf,
+                                   const std::vector<double>& loads,
+                                   int num_flows, const BenchArgs& args) {
+  harness::ExperimentSpec spec;
+  spec.name = name;
+  spec.axis = "load rho";
+  spec.metric = harness::metrics::windowed_mean_fct_ms();
+  spec.trials = 1;
+  spec.base_seed = args.seed_or();
+  spec.base = spine_scenario({loads.front(), num_flows, cdf, args.timeline});
+  spec.columns = fig15_columns();
+  for (double rho : loads) {
+    harness::SweepPoint pt;
+    pt.label = rho_label(rho);
+    pt.apply = [rho, num_flows, cdf,
+                preset = args.timeline](harness::Scenario& s) {
+      s = spine_scenario({rho, num_flows, cdf, preset});
+    };
+    spec.points.push_back(std::move(pt));
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+  const std::uint64_t base_seed = args.seed_or();
+
+  std::vector<double> loads = args.loads;
+  if (loads.empty()) {
+    loads = args.full ? std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9}
+                      : std::vector<double>{0.1, 0.5, 0.9};
+  }
+  const int num_flows = args.full ? 400 : 120;
+
+  // --- Table 1: web-search CDF, mean FCT vs offered load ---
+  std::printf(
+      "Fig 15: PDQ vs DCTCP on spine-leaf (%d spines x %d leaves x %d\n"
+      "servers/rack, non-blocking). Open-loop Poisson arrivals, web-search\n"
+      "size CDF, timeline preset \"%s\". Steady-state mean FCT (ms),\n"
+      "warmup trimmed.\n\n",
+      kSpines, kTors, kServersPerRack, args.timeline.c_str());
+  run_and_report(
+      load_sweep("fig15_spine_leaf", "web-search", loads, num_flows, args),
+      args);
+
+  // --- Table 2: data-mining CDF (heavier tail) ---
+  std::printf("\nFig 15 under the data-mining size CDF (heavier tail):\n\n");
+  run_and_report(
+      load_sweep("fig15_data_mining", "data-mining", loads, num_flows, args),
+      args);
+
+  // --- Table 3: steady-state detail at the highest swept load ---
+  // One simulation per column; every row reads the same run.
+  const double rho_detail = loads.back();
+  std::printf(
+      "\nFig 15 steady-state detail at rho=%.2f, web-search CDF (mice =\n"
+      "flows < 100 KB):\n\n",
+      rho_detail);
+  const harness::Scenario detail =
+      spine_scenario({rho_detail, num_flows, "web-search", args.timeline});
+  const std::vector<harness::Column> cols = fig15_columns();
+  const std::vector<std::pair<std::string, harness::MetricSpec>> rows = {
+      {"mean_fct_ms", harness::metrics::windowed_mean_fct_ms()},
+      {"p99_fct_ms", harness::metrics::windowed_p99_fct_ms()},
+      {"mice_mean_fct", harness::metrics::windowed_mean_fct_ms(0, kMiceMax)},
+      {"eleph_mean_fct", harness::metrics::windowed_mean_fct_ms(kMiceMax)},
+      {"goodput_gbps", harness::metrics::goodput_gbps()},
+      {"deadline_miss%", harness::metrics::deadline_miss_percent()},
+  };
+  std::vector<std::string> col_labels;
+  for (const auto& c : cols) col_labels.push_back(c.label);
+  std::vector<std::vector<double>> cells(
+      rows.size(), std::vector<double>(cols.size(), 0.0));
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const auto run = harness::SweepRunner::run_sample(
+        detail, cols[c].stack, cols[c].options, base_seed);
+    harness::RunContext ctx;
+    ctx.result = &run.result;
+    ctx.flows = &run.flows;
+    ctx.scenario = &detail;
+    ctx.stack = cols[c].stack;
+    ctx.seed = base_seed;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      cells[r][c] = rows[r].second.fn(ctx);
+    }
+  }
+  std::vector<std::string> row_labels;
+  for (const auto& r : rows) row_labels.push_back(r.first);
+  auto detail_results =
+      grid_results("fig15_steady_state", "metric", "value", col_labels,
+                   row_labels, cells, base_seed);
+  harness::TableSink(stdout, " %12.2f").write(detail_results);
+  write_outputs(detail_results, args);
+
+  // --- Table 4: engine counters, DCTCP lead stack (CI gate) ---
+  std::printf(
+      "\nFig 15 engine counters (DCTCP): operation counts through the\n"
+      "multi-queue marking ports.\n\n");
+  auto cache = std::make_shared<EngineCounterCache>();
+  harness::ExperimentSpec counters;
+  counters.name = "fig15_engine_counters";
+  counters.axis = "load rho";
+  counters.metric = harness::metrics::events_processed();
+  counters.trials = 1;
+  counters.base_seed = base_seed;
+  counters.base = spine_scenario({loads.front(), num_flows, "web-search",
+                                  args.timeline});
+  counters.columns = engine_counter_columns(cache, "DCTCP");
+  for (double rho : loads) {
+    harness::SweepPoint pt;
+    pt.label = rho_label(rho);
+    pt.apply = [rho, num_flows,
+                preset = args.timeline](harness::Scenario& s) {
+      s = spine_scenario({rho, num_flows, "web-search", preset});
+    };
+    counters.points.push_back(std::move(pt));
+  }
+  run_and_report(counters, args, " %12.1f");
+  std::printf(
+      "\nExpected shape: at rho 0.1 the fabric is idle and every stack\n"
+      "is within noise of the no-queueing FCT; as load builds PDQ pulls\n"
+      "ahead and holds the lowest mean and p99. DCTCP tracks RCP —\n"
+      "marking caps queueing delay but cannot preempt, so elephants\n"
+      "still crowd mice — and beats TCP's deep tail-drop queues on p99.\n"
+      "The tight incast is PDQ's documented worst case (fig14):\n"
+      "identically-deadlined same-size flows gain nothing from serial\n"
+      "EDF handoffs, so PDQ's last ranks can miss where rate-sharing\n"
+      "stacks finish together just under the deadline. The MQ-ECN\n"
+      "variant trades a little mice latency for fairness across its\n"
+      "class queues.\n");
+  return 0;
+}

@@ -2,7 +2,7 @@
 """CI counter-regression gate.
 
 Compares freshly produced engine-counter JSON files (JsonSink format,
-e.g. fig13_engine_counters.json / fig14_engine_counters.json) against
+e.g. fig13/fig14/fig15_engine_counters.json) against
 the committed BENCH_engine.json baseline and fails when a gated counter
 regressed by more than the tolerance. Gated counters are *operation
 counts* (events processed, packet allocations) — never wall time: this

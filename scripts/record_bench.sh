@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Records the engine perf trajectory in-tree: runs the hot-path
-# microbenchmarks (micro_core, if built) and the quick fig13/fig14
+# microbenchmarks (micro_core, if built) and the quick fig13/fig14/fig15
 # engine-counter sweeps, then writes BENCH_engine.json at the repo root.
 # Operation counts only — this project never records or asserts wall
 # time (single-core CI).
@@ -47,6 +47,14 @@ else
   echo "note: fig14_dynamic_traffic not built; skipping its counters" >&2
 fi
 
+FIG15="$BUILD/bench/fig15_spine_leaf"
+if [[ -x "$FIG15" ]]; then
+  echo "== fig15 quick sweep (spine-leaf engine counters) =="
+  "$FIG15" --json --no-csv --results-dir "$RESULTS"
+else
+  echo "note: fig15_spine_leaf not built; skipping its counters" >&2
+fi
+
 python3 - "$RESULTS" "$ROOT/BENCH_engine.json" <<'EOF'
 import datetime
 import json, subprocess, sys, os
@@ -72,6 +80,7 @@ def load_counters(name):
 
 fig13 = load_counters("fig13_engine_counters.json")
 fig14 = load_counters("fig14_engine_counters.json")
+fig15 = load_counters("fig15_engine_counters.json")
 with open(os.path.join(results_dir, "fig13_engine_counters.json")) as f:
     base_seed = json.load(f)["base_seed"]
 
@@ -84,19 +93,22 @@ doc = {
                "time (single-core CI). Regenerate with scripts/record_bench.sh; "
                "scripts/check_counter_regression.py gates CI on it against "
                "the last committed copy.",
-    "source": "fig13_datacenter_scale / fig14_dynamic_traffic --json "
-              "(quick points)",
+    "source": "fig13_datacenter_scale / fig14_dynamic_traffic / "
+              "fig15_spine_leaf --json (quick points)",
     "base_seed": base_seed,
     "git": git,
     "fig13_engine_counters": fig13,
 }
 if fig14 is not None:
     doc["fig14_engine_counters"] = fig14
+if fig15 is not None:
+    doc["fig15_engine_counters"] = fig15
 
 # Dated history: snapshots survive regeneration. The previous current
 # entry is appended only when it belongs to a different commit, so
 # running this script twice between commits never eats history.
-COUNTER_KEYS = ("fig13_engine_counters", "fig14_engine_counters")
+COUNTER_KEYS = ("fig13_engine_counters", "fig14_engine_counters",
+                "fig15_engine_counters")
 history = []
 if os.path.exists(out_path):
     with open(out_path) as f:

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds every fig* benchmark and runs them all (fig1-fig12 paper
-# figures plus the beyond-paper fig13 scale and fig14 dynamic-traffic
-# sweeps — new fig* binaries are picked up automatically), collecting
+# figures plus the beyond-paper fig13 scale, fig14 dynamic-traffic and
+# fig15 spine-leaf sweeps — new fig* binaries are picked up
+# automatically), collecting
 # each figure's text table (results/<bench>.txt) and the per-trial CSVs
 # the benches write themselves (results/<experiment>.csv).
 #

@@ -60,7 +60,55 @@ std::int64_t MpdqSender::remaining_bytes() const {
   return rem;
 }
 
+bool MpdqSender::handle_link_down(net::NodeId a, net::NodeId b) {
+  if (result_.outcome != net::FlowOutcome::kPending) return true;
+
+  const auto crosses = [a, b](const net::RouteRef& route) {
+    if (route == nullptr) return false;
+    for (std::size_t h = 0; h + 1 < route->fwd.size(); ++h) {
+      if ((route->fwd[h] == a && route->fwd[h + 1] == b) ||
+          (route->fwd[h] == b && route->fwd[h + 1] == a)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  bool any_affected = false;
+  for (const auto& w : workers_) any_affected |= crosses(w.route);
+  if (!any_affected) return true;
+
+  if (ctx_.topo->shortest_paths(ctx_.spec.src, ctx_.spec.dst).empty()) {
+    // Receiver unreachable: terminate every live subflow; the first
+    // kTerminated completion tears down the whole flow (and a
+    // not-yet-started flow terminates directly).
+    for (auto& w : workers_) {
+      if (w.sender && !w.sender->finished()) w.sender->reroute(nullptr);
+    }
+    finish(net::FlowOutcome::kTerminated);
+    return true;
+  }
+
+  // Re-pin affected subflows onto the refreshed (post-failure)
+  // disjoint-path set with the construction-time hash, so the mapping
+  // stays deterministic across trials.
+  const auto& paths = ctx_.topo->disjoint_paths(ctx_.spec.src, ctx_.spec.dst);
+  assert(!paths.empty());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!crosses(workers_[w].route)) continue;
+    const std::uint64_t h =
+        mix64(static_cast<std::uint64_t>(ctx_.spec.id) * 1315423911ULL + w);
+    workers_[w].route = net::make_route(paths[h % paths.size()]);
+    if (workers_[w].sender && !workers_[w].sender->finished()) {
+      workers_[w].sender->reroute(workers_[w].route);
+    }
+  }
+  return true;
+}
+
 void MpdqSender::start() {
+  // Terminated before start (timeline link failure): stay silent.
+  if (result_.outcome != net::FlowOutcome::kPending) return;
   assert(!started_);
   started_ = true;
 

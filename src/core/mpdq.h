@@ -37,6 +37,12 @@ class MpdqSender : public net::Agent {
   void start() override;
   void on_packet(const net::PacketPtr&) override {}  // subflows get these
   const net::FlowResult* flow_result() const override { return &result_; }
+  /// Link failure (harness timelines): always claims the event — the
+  /// parent route does not describe the subflows' disjoint paths.
+  /// Affected subflows are re-pinned onto the refreshed disjoint-path
+  /// set (same deterministic hash as construction); when the receiver
+  /// is unreachable the whole flow terminates.
+  bool handle_link_down(net::NodeId a, net::NodeId b) override;
 
   int sending_subflows() const;
   std::int64_t remaining_bytes() const;

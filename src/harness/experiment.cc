@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "harness/timeline.h"
@@ -33,6 +34,21 @@ TopologySpec TopologySpec::single_rooted_tree(int num_tors,
 TopologySpec TopologySpec::fat_tree(int k) {
   return {"fat-tree/" + std::to_string(k * k * k / 4),
           [k](net::Topology& t) { return net::build_fat_tree(t, k); }};
+}
+
+TopologySpec TopologySpec::spine_leaf(int spines, int tors,
+                                      int servers_per_rack, double oversub) {
+  std::string name = "spine-leaf/" + std::to_string(tors * servers_per_rack);
+  if (oversub != 1.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/os%g", oversub);
+    name += buf;
+  }
+  return {std::move(name),
+          [spines, tors, servers_per_rack, oversub](net::Topology& t) {
+            return net::build_spine_leaf(t, spines, tors, servers_per_rack,
+                                         oversub);
+          }};
 }
 
 TopologySpec TopologySpec::bcube(int n, int k) {

@@ -54,6 +54,11 @@ struct TopologySpec {
   static TopologySpec single_rooted_tree(int num_tors = 4,
                                          int servers_per_tor = 3);
   static TopologySpec fat_tree(int k);
+  /// Spine-leaf fabric (net::build_spine_leaf); oversub = 1 is
+  /// non-blocking. Name: "spine-leaf/<servers>[/os<oversub>]" — the
+  /// oversubscription suffix keeps EngineCounterCache keys distinct.
+  static TopologySpec spine_leaf(int spines, int tors, int servers_per_rack,
+                                 double oversub = 1.0);
   static TopologySpec bcube(int n, int k);
   static TopologySpec dcell(int n, int l);
   static TopologySpec jellyfish(int num_switches, int ports, int net_ports,

@@ -27,6 +27,7 @@
 #include "core/pdq_config.h"
 #include "harness/scenario.h"
 #include "protocols/d3.h"
+#include "protocols/dctcp.h"
 #include "protocols/rcp.h"
 #include "protocols/tcp.h"
 
@@ -47,6 +48,7 @@ struct StackOptions {
   std::optional<protocols::RcpConfig> rcp;
   std::optional<protocols::D3Config> d3;
   std::optional<protocols::TcpConfig> tcp;
+  std::optional<protocols::DctcpConfig> dctcp;
 };
 
 class StackRegistry {
@@ -107,7 +109,8 @@ class StackRegistrar {
   }
 };
 
-/// Registers the seven paper transports plus M-PDQ and their CLI aliases.
+/// Registers the seven paper transports plus M-PDQ and DCTCP and their
+/// CLI aliases.
 /// Called by StackRegistry::global(); defined next to the stack adapters
 /// in stacks.cc. Idempotent.
 void register_builtin_stacks(StackRegistry& registry);

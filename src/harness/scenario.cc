@@ -206,6 +206,10 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     for (std::size_t i = 0; i < senders.size(); ++i) {
       const net::FlowResult* r = senders[i]->flow_result();
       if (r == nullptr || r->outcome != net::FlowOutcome::kPending) continue;
+      // Senders with private per-subflow routes (M-PDQ) claim the event
+      // and handle their own re-pinning; the parent-route check below
+      // would miss their subflow paths entirely.
+      if (senders[i]->handle_link_down(a, b)) continue;
       const net::RouteRef& route = sender_routes[i];
       if (route == nullptr) continue;
       bool crosses = false;

@@ -64,6 +64,18 @@ std::unique_ptr<net::Agent> TcpStack::make_receiver(net::AgentContext ctx) {
   return std::make_unique<protocols::TcpReceiver>(std::move(ctx));
 }
 
+void DctcpStack::install(net::Topology& topo) {
+  net::install_multi_queue(topo, cfg_.mq);
+}
+
+std::unique_ptr<net::Agent> DctcpStack::make_sender(net::AgentContext ctx) {
+  return std::make_unique<protocols::DctcpSender>(std::move(ctx), cfg_);
+}
+
+std::unique_ptr<net::Agent> DctcpStack::make_receiver(net::AgentContext ctx) {
+  return std::make_unique<protocols::DctcpReceiver>(std::move(ctx));
+}
+
 namespace {
 
 /// Factory for the four PDQ variants: `base()` supplies the paper preset,
@@ -118,6 +130,14 @@ void register_builtin_stacks(StackRegistry& r) {
           if (options.pdq) cfg.pdq = *options.pdq;
           return std::make_unique<MpdqStack>(cfg);
         });
+  r.add("DCTCP", "DCTCP: ECN marking at K, g-weighted window scaling",
+        [](const StackOptions& options) {
+          const protocols::DctcpConfig cfg =
+              options.dctcp ? *options.dctcp : protocols::DctcpConfig{};
+          const std::string label =
+              options.label.empty() ? "DCTCP" : options.label;
+          return std::make_unique<DctcpStack>(cfg, label);
+        });
 
   r.add_alias("pdq", "PDQ(Full)");
   r.add_alias("pdq-full", "PDQ(Full)");
@@ -128,6 +148,7 @@ void register_builtin_stacks(StackRegistry& r) {
   r.add_alias("rcp", "RCP");
   r.add_alias("tcp", "TCP");
   r.add_alias("mpdq", "M-PDQ");
+  r.add_alias("dctcp", "DCTCP");
 }
 
 }  // namespace pdq::harness

@@ -15,6 +15,7 @@
 #include "core/pdq_config.h"
 #include "harness/scenario.h"
 #include "protocols/d3.h"
+#include "protocols/dctcp.h"
 #include "protocols/rcp.h"
 #include "protocols/tcp.h"
 
@@ -86,6 +87,27 @@ class TcpStack : public ProtocolStack {
 
  private:
   protocols::TcpConfig cfg_;
+};
+
+/// DCTCP: install() puts marking multi-queue ports on every switch;
+/// senders/receivers are the TcpSender subclasses from
+/// protocols/dctcp.h. The label is configurable so variants ("DCTCP"
+/// vs an MQ-ECN-scheduled "DCTCP(MQ)") can share one run table.
+class DctcpStack : public ProtocolStack {
+ public:
+  explicit DctcpStack(protocols::DctcpConfig cfg = {},
+                      std::string label = "DCTCP")
+      : cfg_(cfg), label_(std::move(label)) {}
+  std::string name() const override { return label_; }
+  void install(net::Topology& topo) override;
+  std::unique_ptr<net::Agent> make_sender(net::AgentContext ctx) override;
+  std::unique_ptr<net::Agent> make_receiver(net::AgentContext ctx) override;
+
+  const protocols::DctcpConfig& config() const { return cfg_; }
+
+ private:
+  protocols::DctcpConfig cfg_;
+  std::string label_;
 };
 
 /// The paper's four PDQ variants.

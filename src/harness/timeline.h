@@ -18,8 +18,10 @@
 //
 // Server indices used by the builders below index Topology::host_ids(),
 // which matches the server list every built-in TopologySpec builder
-// returns. Known limitation: M-PDQ subflows are not rerouted on link
-// failure (MpdqSender keeps Agent's no-op reroute).
+// returns. M-PDQ subflows are rerouted too: MpdqSender claims the
+// link-down event via Agent::handle_link_down and re-pins each affected
+// subflow onto the refreshed disjoint-path set (or terminates the flow
+// when the receiver becomes unreachable).
 //
 // See docs/workloads.md for the cookbook.
 #pragma once

@@ -76,6 +76,30 @@ std::vector<NodeId> build_fat_tree(Topology& topo, int k,
   return servers;
 }
 
+std::vector<NodeId> build_spine_leaf(Topology& topo, int spines, int tors,
+                                     int servers_per_rack, double oversub,
+                                     const LinkDefaults& d) {
+  assert(spines >= 1 && tors >= 1 && servers_per_rack >= 1 && oversub > 0.0);
+  std::vector<NodeId> spine_ids;
+  for (int s = 0; s < spines; ++s) spine_ids.push_back(topo.add_switch());
+
+  LinkDefaults up = d;
+  up.rate_bps =
+      d.rate_bps * servers_per_rack / (static_cast<double>(spines) * oversub);
+
+  std::vector<NodeId> servers;
+  for (int t = 0; t < tors; ++t) {
+    const NodeId leaf = topo.add_switch();
+    for (NodeId s : spine_ids) topo.add_duplex_link(leaf, s, up);
+    for (int h = 0; h < servers_per_rack; ++h) {
+      const NodeId host = topo.add_host();
+      topo.add_duplex_link(host, leaf, d);
+      servers.push_back(host);
+    }
+  }
+  return servers;
+}
+
 std::vector<int> bcube_address(int server, int n, int k) {
   std::vector<int> digits(static_cast<std::size_t>(k) + 1);
   for (int l = 0; l <= k; ++l) {

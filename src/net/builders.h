@@ -28,6 +28,26 @@ std::vector<NodeId> build_single_rooted_tree(Topology& topo, int num_tors = 4,
 std::vector<NodeId> build_fat_tree(Topology& topo, int k,
                                    const LinkDefaults& d = {});
 
+/// Multipath selection over a fabric's equal-cost paths. kPerFlow
+/// hashes once per flow (Topology::ecmp_route, the historical
+/// behavior); kPerPacket re-hashes per segment with the segment index
+/// as extra salt — packet spraying, as in the MQ-ECN/TCN harnesses.
+/// Honored by the TCP/DCTCP-family senders (TcpConfig::multipath).
+enum class MultipathMode : std::uint8_t { kPerFlow, kPerPacket };
+
+/// Spine-leaf (leaf-spine) fabric, the shape of the MQ-ECN/TCN
+/// evaluation scripts: `tors` leaf switches, each hosting
+/// `servers_per_rack` servers on `d`-rate links and connecting to every
+/// one of the `spines` spine switches. Each leaf->spine uplink runs at
+/// d.rate_bps * servers_per_rack / (spines * oversub), so oversub = 1
+/// is a non-blocking fabric and larger values oversubscribe the leaf
+/// uplinks by that factor. Servers return rack-major; ECMP sees
+/// `spines` equal-cost paths between servers in different racks.
+std::vector<NodeId> build_spine_leaf(Topology& topo, int spines, int tors,
+                                     int servers_per_rack,
+                                     double oversub = 1.0,
+                                     const LinkDefaults& d = {});
+
 /// BCube(n, k) [13]: n-port switches, k+1 levels, n^(k+1) servers with
 /// k+1 NIC ports each. Servers relay traffic (server-centric design).
 std::vector<NodeId> build_bcube(Topology& topo, int n, int k,

@@ -1,0 +1,159 @@
+#include "net/multi_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/topology.h"
+
+namespace pdq::net {
+
+namespace {
+/// Same SplitMix64 finalizer as the topology's ECMP hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+MultiQueuePort::MultiQueuePort(MultiQueueConfig cfg,
+                               std::int64_t default_capacity)
+    : cfg_(std::move(cfg)),
+      capacity_bytes_(cfg_.capacity_bytes > 0 ? cfg_.capacity_bytes
+                                              : default_capacity) {
+  assert(cfg_.num_queues >= 1);
+  queues_.reserve(static_cast<std::size_t>(cfg_.num_queues));
+  for (int q = 0; q < cfg_.num_queues; ++q) {
+    // Per-class FIFOs get the full shared budget; admission against the
+    // *total* happens in push(), so the inner push can never reject.
+    queues_.push_back(std::make_unique<ClassQueue>(capacity_bytes_));
+    if (static_cast<std::size_t>(q) < cfg_.weights.size()) {
+      queues_.back()->weight = std::max(1, cfg_.weights[idx(q)]);
+    }
+  }
+  active_.reserve(queues_.size());
+}
+
+int MultiQueuePort::classify(const Packet& p) const {
+  int q;
+  if (cfg_.classify) {
+    q = cfg_.classify(p);
+  } else {
+    q = static_cast<int>(mix64(static_cast<std::uint64_t>(p.flow)) %
+                         queues_.size());
+  }
+  return std::clamp(q, 0, static_cast<int>(queues_.size()) - 1);
+}
+
+bool MultiQueuePort::should_mark(int q, const Packet& p) const {
+  if (!p.ecn_capable || cfg_.ecn == EcnScheme::kNone) return false;
+  const std::int64_t K = cfg_.ecn_threshold_bytes;
+  switch (cfg_.ecn) {
+    case EcnScheme::kPerQueue:
+      return queue_bytes(q) + p.size_bytes > K;
+    case EcnScheme::kPerPort:
+      return bytes_ + p.size_bytes > K;
+    case EcnScheme::kMqEcn: {
+      // Threshold share over the queues active *after* this enqueue.
+      std::int64_t active_weight = 0;
+      for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (!queues_[i]->fifo.empty() || static_cast<int>(i) == q) {
+          active_weight += queues_[i]->weight;
+        }
+      }
+      const double share =
+          static_cast<double>(queues_[idx(q)]->weight) /
+          static_cast<double>(active_weight);
+      return static_cast<double>(queue_bytes(q) + p.size_bytes) >
+             static_cast<double>(K) * share;
+    }
+    case EcnScheme::kNone:
+      break;
+  }
+  return false;
+}
+
+bool MultiQueuePort::push(PacketPtr p) {
+  if (bytes_ + p->size_bytes > capacity_bytes_) {
+    ++drops_;
+    dropped_bytes_ += p->size_bytes;
+    return false;
+  }
+  const int q = classify(*p);
+  if (should_mark(q, *p)) {
+    p->ecn_ce = true;
+    ++ecn_marks_;
+  }
+  ClassQueue& cq = *queues_[idx(q)];
+  const bool was_empty = cq.fifo.empty();
+  bytes_ += p->size_bytes;
+  ++packets_;
+  const bool ok = cq.fifo.push(std::move(p));
+  assert(ok && "class FIFO sized to the shared budget cannot reject");
+  (void)ok;
+  if (was_empty) active_.push_back(q);
+  return true;
+}
+
+PacketPtr MultiQueuePort::pop() {
+  assert(packets_ > 0 && "pop() from an empty MultiQueuePort");
+  for (;;) {
+    const int qi = active_.front();
+    ClassQueue& q = *queues_[idx(qi)];
+    assert(!q.fifo.empty() && "active ring entry with an empty queue");
+
+    if (cfg_.service == MqService::kWrr) {
+      if (q.fresh) {
+        q.credit = q.weight;
+        q.fresh = false;
+      }
+      PacketPtr p = q.fifo.pop();
+      bytes_ -= p->size_bytes;
+      --packets_;
+      --q.credit;
+      if (q.fifo.empty()) {
+        active_.erase(active_.begin());
+        q.fresh = true;
+      } else if (q.credit == 0) {
+        active_.erase(active_.begin());
+        active_.push_back(qi);
+        q.fresh = true;
+      }
+      return p;
+    }
+
+    // DWRR: grant deficit on a fresh round, serve while the head fits.
+    if (q.fresh) {
+      q.deficit += cfg_.quantum_bytes * q.weight;
+      q.fresh = false;
+    }
+    if (q.fifo.front().size_bytes <= q.deficit) {
+      PacketPtr p = q.fifo.pop();
+      bytes_ -= p->size_bytes;
+      --packets_;
+      q.deficit -= p->size_bytes;
+      if (q.fifo.empty()) {
+        active_.erase(active_.begin());
+        q.deficit = 0;
+        q.fresh = true;
+      }
+      return p;
+    }
+    // Turn exhausted: keep the residual deficit, rotate to the back.
+    active_.erase(active_.begin());
+    active_.push_back(qi);
+    q.fresh = true;
+  }
+}
+
+void install_multi_queue(Topology& topo, const MultiQueueConfig& cfg) {
+  for (NodeId sw : topo.switch_ids()) {
+    for (const auto& port : topo.node(sw).ports()) {
+      port->set_multi_queue(std::make_unique<MultiQueuePort>(
+          cfg, port->queue().capacity()));
+    }
+  }
+}
+
+}  // namespace pdq::net

@@ -1,0 +1,145 @@
+// Multi-queue output ports: N class queues per port with weighted
+// round-robin service and pluggable ECN marking — the switch model the
+// DCTCP / MQ-ECN evaluation lineage assumes.
+//
+// A MultiQueuePort is an *optional* drop-in behind Port's queue-path
+// helpers (node.h): when installed, enqueue/dequeue route through it;
+// when absent, the single drop-tail FIFO runs the historical code path
+// bit-for-bit. The port's transmitter state machine (coalescing, event
+// scheduling, timestamps) is untouched either way — this class only
+// decides admission, marking and service order.
+//
+// Semantics (mirrored verbatim by the naive model in
+// tests/net_ecn_queue_property_test.cc):
+//   * Admission: all class queues share one byte budget; a packet that
+//     does not fit the *total* is tail-dropped, exactly like
+//     DropTailQueue. With num_queues == 1 and no marking, accept
+//     decisions and FIFO order are identical to DropTailQueue.
+//   * Marking: decided at enqueue time, after admission, on the backlog
+//     *including* the arriving packet; only ECN-capable (ECT) packets
+//     are ever marked. kPerQueue compares the packet's class backlog
+//     against K; kPerPort compares the whole port backlog against K;
+//     kMqEcn scales K by the class's weight share of the queues active
+//     after this enqueue (an occupancy-based simplification of MQ-ECN's
+//     per-round service-rate scaling — stateless and deterministic).
+//   * Service: one packet per pop(). kWrr grants each queue `weight`
+//     packets per round; kDwrr grants `weight * quantum_bytes` of
+//     deficit per round and serves while the head packet fits
+//     (Shreedhar-Varghese: deficit persists across rounds while the
+//     queue is backlogged, resets to zero when it empties). Queues
+//     join the active ring in first-backlogged order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/queue.h"
+
+namespace pdq::net {
+
+class Topology;
+
+enum class EcnScheme : std::uint8_t {
+  kNone,      // no marking: pure scheduling
+  kPerQueue,  // standard ECN per class queue, threshold K
+  kPerPort,   // one threshold K on the shared buffer
+  kMqEcn,     // per-queue threshold K * weight / sum(active weights)
+};
+
+enum class MqService : std::uint8_t {
+  kWrr,   // weighted round robin, packet granularity
+  kDwrr,  // deficit weighted round robin, byte granularity
+};
+
+struct MultiQueueConfig {
+  int num_queues = 1;
+  MqService service = MqService::kDwrr;
+  /// Per-queue service weights; empty means all 1. Shorter vectors are
+  /// padded with 1, extra entries are ignored.
+  std::vector<int> weights;
+  /// DWRR deficit granted per weight unit per round (one MTU).
+  std::int64_t quantum_bytes = 1500;
+  /// Shared byte budget across all class queues; 0 adopts the port's
+  /// configured buffer size at install time.
+  std::int64_t capacity_bytes = 0;
+  EcnScheme ecn = EcnScheme::kNone;
+  /// The marking threshold K, in bytes of backlog.
+  std::int64_t ecn_threshold_bytes = 30'000;
+  /// Maps a packet to its class queue (clamped to [0, num_queues));
+  /// null hashes the flow id with the topology's ECMP mixer.
+  std::function<int(const Packet&)> classify;
+};
+
+class MultiQueuePort {
+ public:
+  /// `default_capacity` replaces cfg.capacity_bytes when that is 0.
+  MultiQueuePort(MultiQueueConfig cfg, std::int64_t default_capacity);
+
+  MultiQueuePort(const MultiQueuePort&) = delete;
+  MultiQueuePort& operator=(const MultiQueuePort&) = delete;
+
+  /// Returns false (and counts a drop) when the packet does not fit the
+  /// shared budget. May set p->ecn_ce before enqueueing.
+  bool push(PacketPtr p);
+
+  /// Next packet in WRR/DWRR service order (asserts when empty).
+  PacketPtr pop();
+
+  bool empty() const { return packets_ == 0; }
+  std::size_t packets() const { return packets_; }
+  std::int64_t bytes() const { return bytes_; }
+  std::int64_t capacity() const { return capacity_bytes_; }
+  std::int64_t drops() const { return drops_; }
+  std::int64_t dropped_bytes() const { return dropped_bytes_; }
+  /// CE marks applied by this port.
+  std::int64_t ecn_marks() const { return ecn_marks_; }
+
+  int num_queues() const { return static_cast<int>(queues_.size()); }
+  std::int64_t queue_bytes(int q) const { return queues_[idx(q)]->fifo.bytes(); }
+  std::size_t queue_packets(int q) const {
+    return queues_[idx(q)]->fifo.packets();
+  }
+  int weight(int q) const { return queues_[idx(q)]->weight; }
+  const MultiQueueConfig& config() const { return cfg_; }
+
+  /// The class queue `p` would be assigned to (classifier + clamp).
+  int classify(const Packet& p) const;
+
+ private:
+  struct ClassQueue {
+    explicit ClassQueue(std::int64_t cap) : fifo(cap) {}
+    DropTailQueue fifo;
+    int weight = 1;
+    std::int64_t deficit = 0;  // DWRR byte credit
+    int credit = 0;            // WRR packet credit
+    /// True when the queue's next service begins a fresh round (grants
+    /// new credit/deficit). Set on rotation and on leaving the ring.
+    bool fresh = true;
+  };
+
+  static std::size_t idx(int q) { return static_cast<std::size_t>(q); }
+  bool should_mark(int q, const Packet& p) const;
+
+  MultiQueueConfig cfg_;
+  std::int64_t capacity_bytes_;
+  std::vector<std::unique_ptr<ClassQueue>> queues_;
+  /// Backlogged queue indices in service order; front is served next.
+  std::vector<int> active_;
+  std::int64_t bytes_ = 0;
+  std::size_t packets_ = 0;
+  std::int64_t drops_ = 0;
+  std::int64_t dropped_bytes_ = 0;
+  std::int64_t ecn_marks_ = 0;
+};
+
+/// Installs a fresh MultiQueuePort built from `cfg` on every *switch*
+/// output port (host NICs keep their single FIFO: sender windows are
+/// self-limiting there and DCTCP marks at switches). Totals in
+/// Topology::total_queue_drops() and the set_link_state flush follow the
+/// installed discipline automatically.
+void install_multi_queue(Topology& topo, const MultiQueueConfig& cfg);
+
+}  // namespace pdq::net

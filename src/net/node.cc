@@ -106,10 +106,10 @@ void Node::transmit_out(Port& port, PacketPtr p) {
   if (is_forward(p->type) && port.controller()) {
     port.controller()->on_forward(*p);
   }
-  const bool accepted = port.queue().push(std::move(p));
+  const bool accepted = port.enqueue(std::move(p));
   if (port.queue_series) {
     port.queue_series->record(topo_.sim().now(),
-                              static_cast<double>(port.queue().bytes()));
+                              static_cast<double>(port.queued_bytes()));
   }
   if (accepted && port.controller()) port.controller()->on_enqueue();
   if (!accepted) return;
@@ -139,7 +139,7 @@ void Node::resume_tx(Port& port) {
   }
   if (!port.busy_) {
     start_tx(port);
-  } else if (port.coalesced_tx_ && !port.queue().empty()) {
+  } else if (port.coalesced_tx_ && !port.queue_empty()) {
     // Re-busied (a same-instant push restarted the transmitter first);
     // chase the new free-up time for the still-queued packets.
     port.resume_scheduled_ = true;
@@ -151,12 +151,12 @@ void Node::resume_tx(Port& port) {
 }
 
 void Node::start_tx(Port& port) {
-  if (port.queue().empty()) return;
+  if (port.queue_empty()) return;
   port.busy_ = true;
-  PacketPtr p = port.queue().pop();
+  PacketPtr p = port.dequeue();
   if (port.queue_series) {
     port.queue_series->record(topo_.sim().now(),
-                              static_cast<double>(port.queue().bytes()));
+                              static_cast<double>(port.queued_bytes()));
   }
   const sim::Time tx = sim::transmission_time(p->size_bytes, port.link().rate_bps);
 
@@ -217,7 +217,7 @@ void Node::start_tx(Port& port) {
                                          dst.receive_dispatch(std::move(p));
                                        });
     }
-    if (!port.queue().empty() && !port.resume_scheduled_) {
+    if (!port.queue_empty() && !port.resume_scheduled_) {
       port.resume_scheduled_ = true;
       --port.events_coalesced;
       topo_.sim().schedule_at_reserved(port.busy_until_, port.tx_started_,

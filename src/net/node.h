@@ -11,6 +11,7 @@
 
 #include "net/link.h"
 #include "net/link_controller.h"
+#include "net/multi_queue.h"
 #include "net/packet.h"
 #include "net/queue.h"
 #include "sim/stats.h"
@@ -36,6 +37,29 @@ class Port {
   const LinkController* controller() const { return controller_.get(); }
   void set_controller(std::unique_ptr<LinkController> c);
 
+  /// Optional multi-queue service/marking discipline (multi_queue.h).
+  /// When installed, the queue-path helpers below route through it;
+  /// when absent they fall through to the single drop-tail FIFO — the
+  /// historical code path, bit-for-bit. Install before traffic flows
+  /// (packets already sitting in the FIFO stay there).
+  MultiQueuePort* multi_queue() { return mq_.get(); }
+  const MultiQueuePort* multi_queue() const { return mq_.get(); }
+  void set_multi_queue(std::unique_ptr<MultiQueuePort> mq) {
+    mq_ = std::move(mq);
+  }
+
+  bool enqueue(PacketPtr p) {
+    return mq_ ? mq_->push(std::move(p)) : queue_.push(std::move(p));
+  }
+  PacketPtr dequeue() { return mq_ ? mq_->pop() : queue_.pop(); }
+  bool queue_empty() const { return mq_ ? mq_->empty() : queue_.empty(); }
+  std::int64_t queued_bytes() const {
+    return mq_ ? mq_->bytes() : queue_.bytes();
+  }
+  std::int64_t queue_drops() const {
+    return queue_.drops() + (mq_ ? mq_->drops() : 0);
+  }
+
   /// Optional instrumentation, owned by the harness.
   sim::RateMeter* meter = nullptr;
   sim::TimeSeries* queue_series = nullptr;
@@ -50,6 +74,7 @@ class Port {
   Node& owner_;
   SimplexLink& link_;
   DropTailQueue queue_;
+  std::unique_ptr<MultiQueuePort> mq_;
   std::unique_ptr<LinkController> controller_;
   bool busy_ = false;
   // Coalesced-transmit state: when a transmission is in flight with no
@@ -140,6 +165,16 @@ class Agent {
   /// (immutable) route; only subsequent sends use the new one. Default:
   /// no-op (receivers follow the data packets' route automatically).
   virtual void reroute(RouteRef route) { (void)route; }
+  /// Link-down notification preceding the harness's generic reroute
+  /// pass. Return true to claim the event: the harness then skips the
+  /// parent-route crossing check for this sender. M-PDQ claims it to
+  /// re-pin its per-subflow routes, which the parent route does not
+  /// describe. Default: not handled.
+  virtual bool handle_link_down(NodeId a, NodeId b) {
+    (void)a;
+    (void)b;
+    return false;
+  }
 };
 
 class Host : public Node {

@@ -95,6 +95,13 @@ struct Packet {
 
   sim::Time sent_time = 0;  // stamped by the sender, echoed for RTT
 
+  // ECN codepoints (multi-queue marking ports, net/multi_queue.h, and
+  // the DCTCP family, protocols/dctcp.h). Non-ECT packets are never
+  // marked; receivers echo CE back as ECE on the cumulative ACK.
+  bool ecn_capable = false;  // ECT: sender opted into marking
+  bool ecn_ce = false;       // CE: congestion experienced, set by a queue
+  bool ecn_echo = false;     // ECE: receiver's echo of CE (reverse dir)
+
   PdqHeader pdq;
   RcpHeader rcp;
   D3Header d3;
@@ -137,6 +144,9 @@ struct Packet {
     reversed = false;
     hop = 0;
     sent_time = 0;
+    ecn_capable = false;
+    ecn_ce = false;
+    ecn_echo = false;
     pdq = PdqHeader{};
     rcp = RcpHeader{};
     d3.desired_rate_bps = 0.0;

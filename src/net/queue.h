@@ -53,6 +53,13 @@ class DropTailQueue {
     return p;
   }
 
+  /// Head-of-line packet (asserts when empty) — DWRR service needs the
+  /// head size without dequeuing.
+  const Packet& front() const {
+    assert(count_ > 0 && "front() of an empty DropTailQueue");
+    return *ring_[head_];
+  }
+
   bool empty() const { return count_ == 0; }
   std::size_t packets() const { return count_; }
   std::int64_t bytes() const { return bytes_; }

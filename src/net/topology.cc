@@ -262,14 +262,14 @@ void Topology::set_link_state(NodeId a, NodeId b, bool up) {
     // Queued packets die with the link; packets already serialized onto
     // the wire (their arrival events are in flight) are still delivered.
     for (Port* p : {ab, ba}) {
-      const bool flushed = !p->queue().empty();
-      while (!p->queue().empty()) {
-        p->queue().pop();  // destroying the PacketPtr recycles it
+      const bool flushed = !p->queue_empty();
+      while (!p->queue_empty()) {
+        p->dequeue();  // destroying the PacketPtr recycles it
         ++p->wire_drops;
       }
       if (flushed && p->queue_series) {
         p->queue_series->record(sim_.now(),
-                                static_cast<double>(p->queue().bytes()));
+                                static_cast<double>(p->queued_bytes()));
       }
     }
   }
@@ -288,7 +288,7 @@ bool Topology::link_is_up(NodeId a, NodeId b) const {
 std::int64_t Topology::total_queue_drops() const {
   std::int64_t total = 0;
   for (const auto& n : nodes_)
-    for (const auto& p : n->ports()) total += p->queue().drops();
+    for (const auto& p : n->ports()) total += p->queue_drops();
   return total;
 }
 

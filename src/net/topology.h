@@ -93,6 +93,20 @@ class Topology {
     }
   }
 
+  /// Installs a multi-queue discipline (net/multi_queue.h) on every
+  /// output port of every node; the factory may return nullptr to leave
+  /// a port on its single drop-tail FIFO. See also
+  /// net::install_multi_queue() for the switches-only convenience.
+  template <typename Factory>
+  void install_multi_queues(Factory&& make) {
+    for (auto& n : nodes_) {
+      for (auto& port : n->ports()) {
+        auto mq = make(*port);
+        if (mq) port->set_multi_queue(std::move(mq));
+      }
+    }
+  }
+
   /// Finds the port owning the link a->b (for instrumentation).
   Port* port_on_link(NodeId a, NodeId b) { return node(a).port_to(b); }
 

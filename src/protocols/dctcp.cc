@@ -1,0 +1,49 @@
+#include "protocols/dctcp.h"
+
+#include <algorithm>
+
+namespace pdq::protocols {
+
+DctcpSender::DctcpSender(net::AgentContext ctx, DctcpConfig cfg)
+    : TcpSender(std::move(ctx), cfg.tcp), g_(cfg.g) {}
+
+void DctcpSender::on_packet(const net::PacketPtr& p) {
+  if (result_.outcome == net::FlowOutcome::kPending &&
+      p->type == net::PacketType::kAck) {
+    update_estimator(*p);
+  }
+  TcpSender::on_packet(p);
+}
+
+void DctcpSender::update_estimator(const net::Packet& ack) {
+  // Account the bytes this (possibly duplicate) ACK newly covers.
+  const std::int64_t newly_acked = std::max<std::int64_t>(0, ack.ack - snd_una_);
+  acked_bytes_win_ += newly_acked;
+  if (ack.ecn_echo) {
+    marked_bytes_win_ += newly_acked;
+    ece_seen_ = true;
+    ++marks_echoed_;
+  }
+  if (ack.ack < window_end_) return;
+
+  // Window boundary: fold the marked fraction into alpha and apply the
+  // DCTCP reduction once, if this window saw any mark. A concurrent
+  // loss episode (fast recovery) already halved the window — the Reno
+  // cut dominates, skip the alpha cut for that window.
+  const double F =
+      acked_bytes_win_ > 0 ? static_cast<double>(marked_bytes_win_) /
+                                 static_cast<double>(acked_bytes_win_)
+                           : 0.0;
+  alpha_ = (1.0 - g_) * alpha_ + g_ * F;
+  if (ece_seen_ && !in_recovery_) {
+    cwnd_ = std::max(1.0, cwnd_ * (1.0 - alpha_ / 2.0));
+    ssthresh_ = std::max(cwnd_, 2.0);
+    ++window_cuts_;
+  }
+  acked_bytes_win_ = 0;
+  marked_bytes_win_ = 0;
+  ece_seen_ = false;
+  window_end_ = std::max(snd_nxt_, ack.ack);
+}
+
+}  // namespace pdq::protocols

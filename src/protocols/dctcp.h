@@ -1,0 +1,81 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010) on top of the TCP Reno baseline.
+//
+// Data packets go out ECN-capable (ECT); multi-queue switch ports
+// (net/multi_queue.h) set CE when the backlog exceeds the marking
+// threshold K; the receiver echoes CE on every cumulative ACK (ECE —
+// per-packet ACKs make the echo exact, no delayed-ACK state machine
+// needed); the sender maintains the g-weighted EWMA of the marked-byte
+// fraction,
+//
+//     alpha <- (1 - g) * alpha + g * F,   F = marked bytes / acked bytes
+//
+// folded in once per window of data, and scales its congestion window
+// by (1 - alpha/2) when that window saw any mark. Loss handling
+// (dupacks, fast retransmit/recovery, RTO) is TcpSender's Reno
+// machinery, reused unchanged — DCTCP only changes how *marks* are
+// turned into window reductions.
+#pragma once
+
+#include "net/multi_queue.h"
+#include "protocols/tcp.h"
+
+namespace pdq::protocols {
+
+struct DctcpConfig {
+  /// Reno base: timers, loss path, initial window. `tcp.multipath`
+  /// selects per-flow ECMP vs per-packet spraying.
+  TcpConfig tcp;
+  /// Estimator gain g (the paper's recommended 1/16).
+  double g = 1.0 / 16.0;
+  /// Switch queueing + marking, installed on every switch port by
+  /// DctcpStack. The default is canonical DCTCP: one queue per port,
+  /// standard marking at K ~ 20 full-size packets (30 KB at 1 Gbps).
+  net::MultiQueueConfig mq;
+
+  DctcpConfig() {
+    mq.num_queues = 1;
+    mq.ecn = net::EcnScheme::kPerQueue;
+    mq.ecn_threshold_bytes = 30'000;
+  }
+};
+
+class DctcpSender : public TcpSender {
+ public:
+  DctcpSender(net::AgentContext ctx, DctcpConfig cfg);
+
+  void on_packet(const net::PacketPtr& p) override;
+
+  /// Estimator state, exposed for tests.
+  double alpha() const { return alpha_; }
+  std::int64_t marks_echoed() const { return marks_echoed_; }
+  std::int64_t window_cuts() const { return window_cuts_; }
+
+ protected:
+  void decorate_data(net::Packet& p) override { p.ecn_capable = true; }
+
+ private:
+  void update_estimator(const net::Packet& ack);
+
+  double g_;
+  double alpha_ = 0.0;
+  std::int64_t acked_bytes_win_ = 0;   // bytes newly acked this window
+  std::int64_t marked_bytes_win_ = 0;  // of those, acked by ECE ACKs
+  bool ece_seen_ = false;              // any ECE this window
+  std::int64_t window_end_ = 0;        // snd_nxt at the last boundary
+  std::int64_t marks_echoed_ = 0;      // ECE ACKs seen, lifetime
+  std::int64_t window_cuts_ = 0;       // alpha-scaled reductions applied
+};
+
+/// TcpReceiver that echoes the CE codepoint as ECE on every ACK.
+class DctcpReceiver : public TcpReceiver {
+ public:
+  using TcpReceiver::TcpReceiver;
+
+ protected:
+  void decorate_ack(const net::Packet& data, net::Packet& ack) override {
+    ack.ecn_capable = data.ecn_capable;
+    ack.ecn_echo = data.ecn_ce;
+  }
+};
+
+}  // namespace pdq::protocols

@@ -47,11 +47,20 @@ void TcpSender::send_segment(std::int64_t seq, bool is_retx) {
   p->src = ctx_.spec.src;
   p->dst = ctx_.spec.dst;
   p->path = ctx_.route;
+  if (cfg_.multipath == net::MultipathMode::kPerPacket) {
+    // Packet spraying: re-hash the ECMP choice per segment. Salt 0 is
+    // the flow's own hash, so segment 0 rides the per-flow path.
+    net::RouteRef sprayed = ctx_.topo->ecmp_route(
+        ctx_.spec.id, ctx_.spec.src, ctx_.spec.dst,
+        static_cast<std::uint64_t>(seq / kMaxPayloadBytes));
+    if (sprayed != nullptr) p->path = std::move(sprayed);
+  }
   p->reversed = false;
   p->seq = seq;
   p->payload = static_cast<std::int32_t>(segment_payload(seq));
   p->size_bytes = p->payload + net::kHeaderBytes;
   p->sent_time = now();
+  decorate_data(*p);
   ++result_.packets_sent;
   if (is_retx) {
     ++result_.retransmissions;
@@ -218,6 +227,7 @@ void TcpReceiver::on_packet(const net::PacketPtr& p) {
 
   auto ack = net::make_reply(*p, net::PacketType::kAck);
   ack->ack = in_order_;
+  decorate_ack(*p, *ack);
   ctx_.local->send(std::move(ack));
 }
 

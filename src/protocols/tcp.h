@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "net/builders.h"  // for MultipathMode
 #include "net/flow.h"
 #include "net/node.h"
 #include "net/paced_sender.h"  // for AgentContext
@@ -21,6 +22,11 @@ struct TcpConfig {
   sim::Time rto_min = sim::kMillisecond;  // "small RTO_min" tuning
   sim::Time rto_max = 200 * sim::kMillisecond;
   std::int32_t dupack_threshold = 3;
+  /// Path selection on ECMP fabrics. kPerFlow keeps the historical
+  /// single-path behavior bit-for-bit; kPerPacket sprays segments over
+  /// the equal-cost paths (segment index as ECMP salt; segment 0 takes
+  /// the per-flow path).
+  net::MultipathMode multipath = net::MultipathMode::kPerFlow;
 };
 
 class TcpSender : public net::Agent {
@@ -38,7 +44,11 @@ class TcpSender : public net::Agent {
   double cwnd_pkts() const { return cwnd_; }
   sim::Time rto() const;
 
- private:
+ protected:
+  /// Subclass hooks (the DCTCP family, protocols/dctcp.h). Stamps
+  /// applied to every outgoing data segment — e.g. the ECT codepoint.
+  virtual void decorate_data(net::Packet& p) { (void)p; }
+
   void try_send();
   void send_segment(std::int64_t seq, bool is_retx);
   void on_ack(std::int64_t ack_bytes, const net::Packet& p);
@@ -85,7 +95,14 @@ class TcpReceiver : public net::Agent {
   void on_packet(const net::PacketPtr& p) override;
   std::int64_t bytes_in_order() const { return in_order_; }
 
- private:
+ protected:
+  /// Stamps applied to each outgoing cumulative ACK — e.g. DCTCP's ECE
+  /// echo of the data packet's CE mark.
+  virtual void decorate_ack(const net::Packet& data, net::Packet& ack) {
+    (void)data;
+    (void)ack;
+  }
+
   net::AgentContext ctx_;
   std::int64_t in_order_ = 0;
   std::vector<bool> received_;  // per segment

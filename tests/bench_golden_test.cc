@@ -243,6 +243,53 @@ TEST(GoldenFig11, MpdqBeatsSinglePathPdqOnBcube) {
   // above (7.72 < 12.04, 10.71 < 12.60).
 }
 
+TEST(GoldenFig15, DctcpFamilyOnSpineLeafPinnedMeanFct) {
+  // The fig15 golden wall: the DCTCP family (multi-queue marking ports)
+  // on a small spine-leaf, fixed seed ladder. Any change to the
+  // multi-queue admission/marking/service order, the DCTCP estimator,
+  // the spine-leaf builder, or the TCP loss path moves these digits.
+  workload::FlowSetOptions w;
+  w.num_flows = 12;
+  w.size = workload::uniform_size(50'000, 500'000);
+  w.pattern = workload::random_permutation();
+  w.arrival_rate_per_sec = 4000;
+  harness::Scenario s;
+  s.topology = harness::TopologySpec::spine_leaf(2, 2, 3);
+  s.workload = harness::WorkloadSpec::flow_set(w, "spine-mix");
+  s.options.horizon = 30 * sim::kSecond;
+
+  harness::StackOptions mq4;
+  protocols::DctcpConfig mq_cfg;
+  mq_cfg.mq.num_queues = 4;
+  mq_cfg.mq.ecn = net::EcnScheme::kMqEcn;
+  mq4.dctcp = mq_cfg;
+  mq4.label = "DCTCP(MQ4)";
+
+  harness::StackOptions spray;
+  protocols::DctcpConfig spray_cfg;
+  spray_cfg.tcp.multipath = net::MultipathMode::kPerPacket;
+  spray.dctcp = spray_cfg;
+  spray.label = "DCTCP(spray)";
+
+  struct Case {
+    harness::Column col;
+    double value;
+  };
+  const Case expect[] = {
+      {harness::stack_column("DCTCP"), 4.1902837916666673},
+      {harness::stack_column("DCTCP(MQ4)", "DCTCP", mq4), 4.0936886666666661},
+      {harness::stack_column("DCTCP(spray)", "DCTCP", spray), 3.7656987499999994},
+      {harness::stack_column("TCP"), 4.1027810416666668},
+  };
+  harness::SweepRunner runner(1);
+  for (const auto& c : expect) {
+    EXPECT_DOUBLE_EQ(runner.average(s, c.col, 2, 1000,
+                                    harness::metrics::mean_fct_ms().fn),
+                     c.value)
+        << c.col.label;
+  }
+}
+
 TEST(GoldenFig1, D3MeetsAllDeadlinesForExactlyOneArrivalOrder) {
   // Captured from the v1 fig1_motivation binary: deadlines met per
   // next_permutation order of {A,B,C}.

@@ -12,7 +12,7 @@ namespace {
 
 const char* kCanonical[] = {"PDQ(Full)", "PDQ(ES+ET)", "PDQ(ES)",
                             "PDQ(Basic)", "D3",         "RCP",
-                            "TCP",        "M-PDQ"};
+                            "TCP",        "M-PDQ",      "DCTCP"};
 
 TEST(StackRegistry, RoundTripsAllSevenPaperNamesPlusMpdq) {
   auto& r = StackRegistry::global();
@@ -26,7 +26,7 @@ TEST(StackRegistry, RoundTripsAllSevenPaperNamesPlusMpdq) {
 
 TEST(StackRegistry, NamesPreserveRegistrationOrder) {
   const auto names = StackRegistry::global().names();
-  ASSERT_EQ(names.size(), 8u);
+  ASSERT_EQ(names.size(), 9u);
   for (std::size_t i = 0; i < names.size(); ++i) {
     EXPECT_EQ(names[i], kCanonical[i]);
   }
@@ -54,7 +54,7 @@ TEST(StackRegistry, CliAliasesResolveToCanonicalStacks) {
       {"pdq-eset", "PDQ(ES+ET)"}, {"pdq-es", "PDQ(ES)"},
       {"pdq-basic", "PDQ(Basic)"}, {"d3", "D3"},
       {"rcp", "RCP"},         {"tcp", "TCP"},
-      {"mpdq", "M-PDQ"}};
+      {"mpdq", "M-PDQ"},      {"dctcp", "DCTCP"}};
   for (const auto& [alias, canonical] : cases) {
     EXPECT_EQ(r.resolve(alias), canonical);
     auto stack = r.make(alias);
@@ -73,6 +73,30 @@ TEST(StackRegistry, SubflowOverrideReachesMpdq) {
   // Default stays at the MpdqConfig default.
   auto dflt = StackRegistry::global().make("mpdq");
   EXPECT_EQ(dflt->subflows(), core::MpdqConfig{}.num_subflows);
+}
+
+TEST(StackRegistry, DctcpConfigAndLabelOverridesApply) {
+  StackOptions options;
+  protocols::DctcpConfig cfg;
+  cfg.g = 0.25;
+  cfg.mq.num_queues = 4;
+  cfg.mq.ecn = net::EcnScheme::kMqEcn;
+  options.dctcp = cfg;
+  options.label = "DCTCP(MQ4)";
+  auto stack = StackRegistry::global().make("dctcp", options);
+  ASSERT_NE(stack, nullptr);
+  EXPECT_EQ(stack->name(), "DCTCP(MQ4)");
+  auto* dctcp = dynamic_cast<DctcpStack*>(stack.get());
+  ASSERT_NE(dctcp, nullptr);
+  EXPECT_EQ(dctcp->config().g, 0.25);
+  EXPECT_EQ(dctcp->config().mq.num_queues, 4);
+  // Defaults: canonical DCTCP — one queue, standard marking at 30 KB.
+  auto dflt = StackRegistry::global().make("DCTCP");
+  auto* d = dynamic_cast<DctcpStack*>(dflt.get());
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->config().mq.num_queues, 1);
+  EXPECT_EQ(d->config().mq.ecn, net::EcnScheme::kPerQueue);
+  EXPECT_EQ(d->config().mq.ecn_threshold_bytes, 30'000);
 }
 
 TEST(StackRegistry, PdqConfigAndLabelOverridesApply) {

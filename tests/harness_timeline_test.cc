@@ -78,6 +78,47 @@ TEST(Timeline, DeterministicAcrossSweepRunnerThreadCounts) {
   EXPECT_NE(one.samples[0][0][0], 0.0);  // something actually ran
 }
 
+TEST(Timeline, DctcpSpineLeafDeterministicAcrossThreadCounts) {
+  // The fig15 regime: DCTCP-family stacks (multi-queue marking ports
+  // installed per run) over a spine-leaf fabric with the dynamic
+  // timeline. Results and the per-trial CSV must be byte-identical for
+  // any SweepRunner thread count.
+  Scenario s = small_dynamic_scenario();
+  s.topology = TopologySpec::spine_leaf(4, 4, 4);
+
+  StackOptions mq4;
+  protocols::DctcpConfig cfg;
+  cfg.mq.num_queues = 4;
+  cfg.mq.ecn = net::EcnScheme::kMqEcn;
+  mq4.dctcp = cfg;
+  mq4.label = "DCTCP(MQ4)";
+
+  ExperimentSpec spec;
+  spec.name = "timeline_dctcp_determinism";
+  spec.axis = "scenario";
+  spec.metric = metrics::windowed_mean_fct_ms();
+  spec.trials = 2;
+  spec.base = s;
+  spec.columns = {stack_column("DCTCP"),
+                  stack_column("DCTCP(MQ4)", "DCTCP", mq4)};
+  spec.points.push_back({"dynamic", nullptr, nullptr});
+
+  const SweepResults one = SweepRunner(1).run(spec);
+  const SweepResults four = SweepRunner(4).run(spec);
+  ASSERT_EQ(one.samples.size(), four.samples.size());
+  for (std::size_t c = 0; c < one.samples[0].size(); ++c) {
+    for (std::size_t t = 0; t < one.samples[0][c].size(); ++t) {
+      EXPECT_EQ(one.samples[0][c][t], four.samples[0][c][t])
+          << "column " << c << " trial " << t;
+    }
+  }
+  const std::string dir = ::testing::TempDir();
+  CsvSink(dir + "/dctcp_one.csv").write(one);
+  CsvSink(dir + "/dctcp_four.csv").write(four);
+  EXPECT_EQ(slurp(dir + "/dctcp_one.csv"), slurp(dir + "/dctcp_four.csv"));
+  EXPECT_NE(one.samples[0][0][0], 0.0);
+}
+
 TEST(Timeline, IncastAndLoadShiftInjectFlows) {
   std::vector<net::FlowSpec> base(1);
   base[0].id = 1;
@@ -173,7 +214,10 @@ TEST(Timeline, LinkFailureReroutesInFlightFlows) {
 }
 
 TEST(Timeline, LinkFailureTerminatesDisconnectedFlows) {
-  for (const char* stack_name : {"PDQ(Full)", "TCP", "RCP", "D3"}) {
+  // M-PDQ rides along: its sender claims the link-down event
+  // (Agent::handle_link_down) and must terminate every subflow when the
+  // receiver becomes unreachable — including the flow that never started.
+  for (const char* stack_name : {"PDQ(Full)", "TCP", "RCP", "D3", "M-PDQ"}) {
     std::vector<net::FlowSpec> flows(2);
     flows[0].id = 1;
     flows[0].size_bytes = 2'000'000;
@@ -217,6 +261,82 @@ TEST(Timeline, LinkFailureTerminatesDisconnectedFlows) {
     // The not-yet-started flow stayed silent after termination.
     EXPECT_EQ(result.flows[1].packets_sent, 0) << stack_name;
   }
+}
+
+/// Same SplitMix64 finalizer as mpdq.cc — replicated so the test can
+/// predict which disjoint path each subflow is pinned to.
+std::uint64_t mpdq_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+TEST(Timeline, MpdqLinkFailureReroutesSubflowsToCompletion) {
+  // BCube(2,3): servers have multiple NICs, so the disjoint-path set is
+  // genuinely multipath. Cut the middle link of the exact path subflow 0
+  // is pinned to (the construction hash is deterministic, replicated
+  // here); MpdqSender::handle_link_down must re-pin the affected
+  // subflows onto the surviving paths and the flow must still deliver
+  // every byte — no reliance on the generic parent-route reroute, which
+  // is meaningless for subflows.
+  std::vector<net::FlowSpec> flows(1);
+  flows[0].id = 1;
+  flows[0].size_bytes = 4'000'000;  // ~32 ms at 1 Gbps: alive at 2 ms
+
+  auto tl = std::make_shared<TimelineSpec>();
+  tl->at(2 * sim::kMillisecond, "cut subflow-0 path", [](TimelineCtx& ctx) {
+    const auto& paths =
+        ctx.topo.disjoint_paths(ctx.servers[0], ctx.servers.back());
+    ASSERT_GT(paths.size(), 1u) << "scenario needs real path diversity";
+    const auto& path =
+        paths[mpdq_mix64(1 * 1315423911ULL + 0) % paths.size()];
+    const std::size_t mid = path.size() / 2 - 1;
+    ctx.set_link_state(path[mid], path[mid + 1], false);
+  });
+
+  RunOptions opts;
+  opts.timeline = tl;
+  opts.horizon = 5 * sim::kSecond;
+  auto stack = StackRegistry::global().make("M-PDQ", {}, nullptr);
+  ASSERT_NE(stack, nullptr);
+  const RunResult result = run_scenario(
+      *stack,
+      [&](net::Topology& t) {
+        auto servers = net::build_bcube(t, 2, 3);
+        flows[0].src = servers.front();
+        flows[0].dst = servers.back();
+        return servers;
+      },
+      flows, opts);
+
+  ASSERT_EQ(result.flows.size(), 1u);
+  EXPECT_EQ(result.flows[0].outcome, net::FlowOutcome::kCompleted);
+  EXPECT_EQ(result.flows[0].bytes_acked, 4'000'000);
+}
+
+TEST(Timeline, MpdqDeterministicAcrossThreadCountsUnderChurn) {
+  // The PR-5 gap test, closed: M-PDQ through the full dynamic scenario
+  // (incast + link failure) must be bit-identical for any SweepRunner
+  // thread count, like every other stack.
+  ExperimentSpec spec;
+  spec.name = "timeline_mpdq_determinism";
+  spec.axis = "scenario";
+  spec.metric = metrics::windowed_mean_fct_ms();
+  spec.trials = 2;
+  spec.base = small_dynamic_scenario();
+  spec.columns = {stack_column("M-PDQ")};
+  spec.points.push_back({"dynamic", nullptr, nullptr});
+
+  const SweepResults one = SweepRunner(1).run(spec);
+  const SweepResults four = SweepRunner(4).run(spec);
+  for (std::size_t c = 0; c < one.samples[0].size(); ++c) {
+    for (std::size_t t = 0; t < one.samples[0][c].size(); ++t) {
+      EXPECT_EQ(one.samples[0][c][t], four.samples[0][c][t])
+          << "column " << c << " trial " << t;
+    }
+  }
+  EXPECT_NE(one.samples[0][0][0], 0.0);
 }
 
 TEST(Timeline, InjectionWhileDisconnectedIsStillbornTerminated) {

@@ -152,5 +152,100 @@ INSTANTIATE_TEST_SUITE_P(Shapes, TreeSweep,
                                            std::make_pair(2, 8),
                                            std::make_pair(8, 4)));
 
+struct SpineLeafParam {
+  int spines;
+  int tors;
+  int servers_per_rack;
+};
+
+class SpineLeafSweep : public ::testing::TestWithParam<SpineLeafParam> {};
+
+TEST_P(SpineLeafSweep, StructureInvariants) {
+  const auto p = GetParam();
+  sim::Simulator s;
+  Topology t(s);
+  auto servers = build_spine_leaf(t, p.spines, p.tors, p.servers_per_rack);
+  EXPECT_EQ(servers.size(),
+            static_cast<std::size_t>(p.tors * p.servers_per_rack));
+  EXPECT_EQ(t.switch_ids().size(),
+            static_cast<std::size_t>(p.spines + p.tors));
+  EXPECT_TRUE(fully_connected(t));
+  // Spines connect to every leaf and nothing else; leaves carry their
+  // rack plus one uplink per spine. Spines were added first, so the
+  // first `spines` switch ids are the spine layer.
+  const auto& sw = t.switch_ids();
+  for (int i = 0; i < p.spines; ++i) {
+    EXPECT_EQ(t.node(sw[static_cast<std::size_t>(i)]).ports().size(),
+              static_cast<std::size_t>(p.tors));
+  }
+  for (std::size_t i = static_cast<std::size_t>(p.spines); i < sw.size();
+       ++i) {
+    EXPECT_EQ(t.node(sw[i]).ports().size(),
+              static_cast<std::size_t>(p.spines + p.servers_per_rack));
+  }
+}
+
+TEST_P(SpineLeafSweep, EcmpAndPathLengths) {
+  const auto p = GetParam();
+  if (p.tors < 2) return;
+  sim::Simulator s;
+  Topology t(s);
+  auto servers = build_spine_leaf(t, p.spines, p.tors, p.servers_per_rack);
+  // Cross-rack: host-leaf-spine-leaf-host, one equal-cost path per spine.
+  const auto& cross = t.shortest_paths(servers.front(), servers.back());
+  EXPECT_EQ(cross.size(),
+            std::min<std::size_t>(static_cast<std::size_t>(p.spines),
+                                  Topology::kMaxEcmpPaths));
+  for (const auto& path : cross) EXPECT_EQ(path.size(), 5u);
+  // Same-rack: host-leaf-host, unique.
+  if (p.servers_per_rack >= 2) {
+    const auto& local = t.shortest_paths(servers[0], servers[1]);
+    ASSERT_EQ(local.size(), 1u);
+    EXPECT_EQ(local.front().size(), 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SpineLeafSweep,
+                         ::testing::Values(SpineLeafParam{4, 4, 4},
+                                           SpineLeafParam{2, 8, 4},
+                                           SpineLeafParam{8, 2, 16},
+                                           SpineLeafParam{1, 2, 3}));
+
+TEST(SpineLeaf, UplinkRatesFollowOversubscription) {
+  // Non-blocking (oversub 1): each of the `spines` uplinks carries
+  // rack_rate / spines; oversub 2 halves that.
+  sim::Simulator s;
+  Topology t(s);
+  build_spine_leaf(t, 4, 2, 8);  // rack injects 8 Gbps over 4 uplinks
+  const auto& ids = t.switch_ids();
+  const std::set<NodeId> switches(ids.begin(), ids.end());
+  auto is_uplink = [&switches](const SimplexLink& l) {
+    return switches.count(l.from) != 0 && switches.count(l.to) != 0;
+  };
+  double host_links = 0, uplinks = 0;
+  for (const auto& l : t.links()) {
+    if (is_uplink(*l)) {
+      EXPECT_DOUBLE_EQ(l->rate_bps, 2e9);
+      ++uplinks;
+    } else {
+      EXPECT_DOUBLE_EQ(l->rate_bps, 1e9);
+      ++host_links;
+    }
+  }
+  EXPECT_EQ(uplinks, 2 * 4 * 2);    // duplex halves x spines x tors
+  EXPECT_EQ(host_links, 2 * 16);
+
+  sim::Simulator s2;
+  Topology t2(s2);
+  build_spine_leaf(t2, 4, 2, 8, /*oversub=*/2.0);
+  const auto& ids2 = t2.switch_ids();
+  const std::set<NodeId> switches2(ids2.begin(), ids2.end());
+  for (const auto& l : t2.links()) {
+    if (switches2.count(l->from) != 0 && switches2.count(l->to) != 0) {
+      EXPECT_DOUBLE_EQ(l->rate_bps, 1e9);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pdq::net

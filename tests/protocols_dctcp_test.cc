@@ -1,0 +1,239 @@
+// DCTCP family: ECE echo, the g-weighted estimator, alpha-scaled window
+// cuts, and end-to-end behaviour over marking multi-queue ports.
+#include "protocols/dctcp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "net/builders.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace pdq::protocols {
+namespace {
+
+using pdq::testing::run_single_bottleneck;
+
+net::AgentContext make_ctx(net::Topology& topo,
+                           const std::vector<net::NodeId>& servers,
+                           net::FlowSpec& f) {
+  net::AgentContext ctx;
+  ctx.topo = &topo;
+  ctx.local = &topo.host(f.src);
+  ctx.spec = f;
+  ctx.route = topo.ecmp_route(f.id, f.src, f.dst);
+  (void)servers;
+  return ctx;
+}
+
+net::PacketPtr make_ack(std::int64_t cum_ack, bool ece) {
+  auto ack = net::make_packet();
+  ack->flow = 1;
+  ack->type = net::PacketType::kAck;
+  ack->ack = cum_ack;
+  ack->ecn_capable = true;
+  ack->ecn_echo = ece;
+  ack->sent_time = 0;
+  return ack;
+}
+
+class DctcpEstimator : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    servers_ = net::build_single_bottleneck(topo_, 1);
+    flow_.id = 1;
+    flow_.src = servers_[0];
+    flow_.dst = servers_[1];
+    flow_.size_bytes = 1'000'000;
+  }
+
+  DctcpSender make_sender(DctcpConfig cfg = {}) {
+    return DctcpSender(make_ctx(topo_, servers_, flow_), cfg);
+  }
+
+  sim::Simulator sim_;
+  net::Topology topo_{sim_};
+  std::vector<net::NodeId> servers_;
+  net::FlowSpec flow_;
+};
+
+TEST_F(DctcpEstimator, DataGoesOutEcnCapable) {
+  // decorate_data stamps ECT on every outgoing data segment (it is the
+  // hook TcpSender::send_segment calls for each one).
+  struct Probe : DctcpSender {
+    using DctcpSender::DctcpSender;
+    using DctcpSender::decorate_data;  // publish for the test
+  };
+  Probe snd(make_ctx(topo_, servers_, flow_), DctcpConfig{});
+  net::Packet p;
+  ASSERT_FALSE(p.ecn_capable);
+  snd.decorate_data(p);
+  EXPECT_TRUE(p.ecn_capable);
+}
+
+TEST_F(DctcpEstimator, FullyMarkedWindowFoldsAlphaByG) {
+  DctcpConfig cfg;
+  auto snd = make_sender(cfg);
+  snd.start();
+  EXPECT_DOUBLE_EQ(snd.alpha(), 0.0);
+  // First window boundary fires on the first cumulative ACK; the whole
+  // window was marked, so F = 1 and alpha = (1-g)*0 + g*1 = g exactly.
+  snd.on_packet(make_ack(net::kMaxPayloadBytes, /*ece=*/true));
+  EXPECT_DOUBLE_EQ(snd.alpha(), cfg.g);
+  EXPECT_EQ(snd.marks_echoed(), 1);
+  EXPECT_EQ(snd.window_cuts(), 1);
+  // The cut scales the pre-ack window by (1 - alpha/2), not Reno's 1/2;
+  // the same ACK then grows it by one segment (slow start, Reno reused).
+  EXPECT_DOUBLE_EQ(snd.cwnd_pkts(),
+                   cfg.tcp.initial_cwnd_pkts * (1.0 - cfg.g / 2.0) + 1.0);
+}
+
+TEST_F(DctcpEstimator, UnmarkedAcksLeaveAlphaZeroAndWindowGrowing) {
+  DctcpConfig cfg;
+  auto snd = make_sender(cfg);
+  snd.start();
+  for (int i = 1; i <= 4; ++i) {
+    snd.on_packet(make_ack(i * net::kMaxPayloadBytes, /*ece=*/false));
+  }
+  EXPECT_DOUBLE_EQ(snd.alpha(), 0.0);
+  EXPECT_EQ(snd.marks_echoed(), 0);
+  EXPECT_EQ(snd.window_cuts(), 0);
+  // Pure slow start: +1 packet per ACK, no cuts.
+  EXPECT_DOUBLE_EQ(snd.cwnd_pkts(), cfg.tcp.initial_cwnd_pkts + 4);
+}
+
+// The estimator folds once per *window of data* (when the cumulative
+// ACK reaches snd_nxt as of the previous fold), so these tests stride
+// the ACKs a full megabyte — always past the boundary with the window
+// cuts keeping cwnd a few segments.
+
+TEST_F(DctcpEstimator, PersistentMarkingConvergesAlphaTowardOne) {
+  // alpha_n = 1 - (1-g)^n under a fully marked stream; after many
+  // windows it approaches 1 and the cut approaches a halving.
+  flow_.size_bytes = 100'000'000;
+  DctcpConfig cfg;
+  auto snd = make_sender(cfg);
+  snd.start();
+  double prev = -1.0;
+  std::int64_t acked = 0;
+  for (int w = 0; w < 64; ++w) {
+    acked += 1'000'000;
+    snd.on_packet(make_ack(acked, /*ece=*/true));
+    ASSERT_GT(snd.alpha(), prev) << "alpha must increase every window";
+    prev = snd.alpha();
+  }
+  const double expect = 1.0 - std::pow(1.0 - cfg.g, 64);
+  EXPECT_DOUBLE_EQ(snd.alpha(), expect);
+  EXPECT_GT(snd.alpha(), 0.98);
+  EXPECT_EQ(snd.window_cuts(), 64);
+}
+
+TEST_F(DctcpEstimator, AlphaDecaysOnceMarkingStops) {
+  flow_.size_bytes = 100'000'000;
+  DctcpConfig cfg;
+  cfg.g = 0.5;  // fast gain so the decay is visible in a few windows
+  auto snd = make_sender(cfg);
+  snd.start();
+  snd.on_packet(make_ack(1'000'000, /*ece=*/true));
+  EXPECT_DOUBLE_EQ(snd.alpha(), 0.5);
+  snd.on_packet(make_ack(2'000'000, /*ece=*/false));
+  snd.on_packet(make_ack(3'000'000, /*ece=*/false));
+  // Two unmarked windows: alpha = 0.5 * (1-g)^2 = 0.125.
+  EXPECT_DOUBLE_EQ(snd.alpha(), 0.125);
+  EXPECT_EQ(snd.window_cuts(), 1);  // clean windows never cut
+}
+
+TEST(DctcpReceiverEcho, CeIsEchoedAsEcePerAck) {
+  sim::Simulator sim;
+  net::Topology topo(sim);
+  auto servers = net::build_single_bottleneck(topo, 1);
+  net::FlowSpec f;
+  f.id = 1;
+  f.src = servers[0];
+  f.dst = servers[1];
+  struct Probe : DctcpReceiver {
+    using DctcpReceiver::DctcpReceiver;
+    using DctcpReceiver::decorate_ack;  // publish for the test
+  };
+  Probe rcv(make_ctx(topo, servers, f));
+
+  net::Packet data;
+  data.ecn_capable = true;
+  data.ecn_ce = true;
+  net::Packet ack;
+  rcv.decorate_ack(data, ack);
+  EXPECT_TRUE(ack.ecn_capable);
+  EXPECT_TRUE(ack.ecn_echo);
+
+  data.ecn_ce = false;
+  net::Packet clean;
+  rcv.decorate_ack(data, clean);
+  EXPECT_TRUE(clean.ecn_capable);
+  EXPECT_FALSE(clean.ecn_echo);
+}
+
+// ---- end-to-end over marking switches ----
+
+TEST(Dctcp, SingleFlowCompletesWithByteConservation) {
+  harness::DctcpStack stack;
+  auto r = run_single_bottleneck(stack, 1, 1'000'000);
+  ASSERT_EQ(r.completed(), 1u);
+  EXPECT_EQ(r.flows[0].bytes_acked, 1'000'000);
+  EXPECT_LT(r.mean_fct_ms(), 16.0);  // no worse than the Reno baseline
+}
+
+TEST(Dctcp, SharedBottleneckCompletesAllFlows) {
+  harness::DctcpStack stack;
+  auto r = run_single_bottleneck(stack, 4, 2'000'000);
+  ASSERT_EQ(r.completed(), 4u);
+  for (const auto& f : r.flows) EXPECT_EQ(f.bytes_acked, 2'000'000);
+}
+
+TEST(Dctcp, MarkingKeepsIncastQueuesBelowTailDrop) {
+  // 32->1 incast into the 4 MB default buffer: Reno fills the buffer
+  // deep; DCTCP's marking at K = 30 KB caps the backlog far earlier, so
+  // completion cannot be slower than TCP by more than a small factor —
+  // and nothing is lost.
+  harness::DctcpStack dctcp;
+  auto rd = run_single_bottleneck(dctcp, 32, 50'000);
+  ASSERT_EQ(rd.completed(), 32u);
+  harness::TcpStack tcp;
+  auto rt = run_single_bottleneck(tcp, 32, 50'000);
+  ASSERT_EQ(rt.completed(), 32u);
+  EXPECT_LT(rd.mean_fct_ms(), rt.mean_fct_ms() * 1.25);
+}
+
+TEST(Dctcp, PerPacketSprayingCompletesOnSpineLeaf) {
+  // Packet spraying over the 4 equal-cost spine paths, cross-rack flows;
+  // cumulative ACKs absorb any reorder, every byte still lands.
+  protocols::DctcpConfig cfg;
+  cfg.tcp.multipath = net::MultipathMode::kPerPacket;
+  harness::DctcpStack stack(cfg);
+  std::vector<net::FlowSpec> flows;
+  for (int i = 0; i < 4; ++i) {
+    net::FlowSpec f;
+    f.id = i + 1;
+    f.size_bytes = 500'000;
+    f.start_time = 0;
+    flows.push_back(f);
+  }
+  auto build = [&](net::Topology& t) {
+    auto servers = net::build_spine_leaf(t, 4, 2, 4);
+    for (int i = 0; i < 4; ++i) {
+      flows[static_cast<std::size_t>(i)].src =
+          servers[static_cast<std::size_t>(i)];          // rack 0
+      flows[static_cast<std::size_t>(i)].dst =
+          servers[static_cast<std::size_t>(i) + 4];      // rack 1
+    }
+    return servers;
+  };
+  harness::RunOptions opts;
+  opts.horizon = 30 * sim::kSecond;
+  auto r = harness::run_scenario(stack, build, flows, opts);
+  ASSERT_EQ(r.completed(), 4u);
+  for (const auto& f : r.flows) EXPECT_EQ(f.bytes_acked, 500'000);
+}
+
+}  // namespace
+}  // namespace pdq::protocols
