@@ -38,6 +38,9 @@ namespace pdq::bench {
 
 struct BenchArgs {
   bool full = false;
+  /// --scale: the streaming-mode 100k-flow scale point (fig13). Implied
+  /// by --full; on its own it adds only the scale table to a quick run.
+  bool scale = false;
   std::optional<std::uint64_t> seed;
   int threads = 0;  // 0 = hardware concurrency
   std::string results_dir = "results";
@@ -67,6 +70,9 @@ struct FlagDoc {
 
 inline constexpr FlagDoc kFlagTable[] = {
     {"--full", "paper-scale sweeps (default: scaled-down)"},
+    {"--scale",
+     "streaming-mode 100k-flow scale table (fig13; implied by --full; "
+     "others accept and ignore)"},
     {"--seed S", "base seed; trial t runs with S + 7*t"},
     {"--threads N", "SweepRunner pool size (default: hw concurrency)"},
     {"--results-dir D", "where CSV/JSON land (default: results)"},
@@ -86,8 +92,12 @@ inline constexpr const char* kCounterGlossary =
     "flow), coalesced (events elided by per-hop transmit coalescing),\n"
     "scans (flow-list entries visited by the switch fast path),\n"
     "scan/pkt (scans per packet acquire — flat when the PDQ switch is\n"
-    "O(1) amortized), pkt_allocs and recycle%. Operation counts only;\n"
-    "wall time is never measured or asserted (single-core CI).\n";
+    "O(1) amortized), pkt_allocs and recycle%, plus the memory peaks:\n"
+    "peak_pending (event-queue high-water), pool_highwater (in-flight\n"
+    "packet high-water) and peak_flow_bytes (live transport-agent\n"
+    "footprint high-water — sublinear in total flows under streaming\n"
+    "mode). Deterministic operation/object counts only; wall time is\n"
+    "never measured or asserted (single-core CI).\n";
 
 inline void print_flag_block(std::FILE* out) {
   for (const auto& f : kFlagTable) {
@@ -133,6 +143,7 @@ inline BenchArgs parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--full") a.full = true;
+    else if (arg == "--scale") a.scale = true;
     else if (arg == "--seed") a.seed = static_cast<std::uint64_t>(std::strtoull(value(i), nullptr, 10));
     else if (arg == "--threads") a.threads = std::atoi(value(i));
     else if (arg == "--results-dir") a.results_dir = value(i);
@@ -190,9 +201,13 @@ inline std::unique_ptr<harness::ProtocolStack> make_stack(
 }
 
 /// The paper's seven single-path transports, in figure-legend order.
-/// Registry additions beyond the paper set (M-PDQ, DCTCP) are excluded
-/// so the historical fig3/fig4 tables — and their golden outputs — keep
-/// their columns; DCTCP is compared in fig15.
+/// Registry additions beyond the paper set are excluded BY NAME and ON
+/// PURPOSE: "M-PDQ" and "DCTCP" joining would change the column sets of
+/// the historical fig3/fig4 tables and break their golden outputs
+/// (tests/bench_golden_test.cc). M-PDQ is compared in fig10, DCTCP in
+/// fig15. The exclusion list is pinned by
+/// tests/bench_contract_test.cc — extend that test (and the goldens)
+/// deliberately if a new stack should join the default set.
 inline std::vector<std::string> all_stacks() {
   std::vector<std::string> v;
   for (const auto& name : harness::StackRegistry::global().names()) {
@@ -320,6 +335,18 @@ inline std::vector<harness::Column> engine_counter_columns(
       {"recycle%",
        [](const EngineCounterSample& s) {
          return s.engine.recycle_percent();
+       }},
+      {"peak_pending",
+       [](const EngineCounterSample& s) {
+         return static_cast<double>(s.engine.peak_pending_events);
+       }},
+      {"pool_highwater",
+       [](const EngineCounterSample& s) {
+         return static_cast<double>(s.engine.pool_highwater);
+       }},
+      {"peak_flow_bytes",
+       [](const EngineCounterSample& s) {
+         return static_cast<double>(s.engine.peak_flow_bytes);
        }},
   };
   std::vector<harness::Column> columns;

@@ -29,10 +29,13 @@ import os
 import subprocess
 import sys
 
-# Counters gated on: more of these = the engine does more work per run.
+# Counters gated on: more of these = the engine does more work (or holds
+# more memory) per run. All are deterministic operation/object counts.
 # Ratio-style columns (recycle%, scan/pkt) and derived ev/flow are
-# reported but not gated, to keep the gate signal crisp.
-GATED = ("events", "pkt_allocs")
+# reported but not gated, to keep the gate signal crisp; peak_pending is
+# reported but not gated because streaming-mode runs pre-schedule one
+# creation event per flow — it is O(total flows) by design.
+GATED = ("events", "pkt_allocs", "peak_flow_bytes", "pool_highwater")
 
 
 def load_fresh(path):

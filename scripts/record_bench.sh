@@ -36,8 +36,8 @@ else
   echo "note: micro_core not built (Google Benchmark missing?); skipping" >&2
 fi
 
-echo "== fig13 quick sweep (engine counters) =="
-"$FIG13" --json --no-csv --results-dir "$RESULTS"
+echo "== fig13 quick sweep + streaming scale point (engine counters) =="
+"$FIG13" --scale --json --no-csv --results-dir "$RESULTS"
 
 FIG14="$BUILD/bench/fig14_dynamic_traffic"
 if [[ -x "$FIG14" ]]; then
@@ -79,6 +79,7 @@ def load_counters(name):
 
 
 fig13 = load_counters("fig13_engine_counters.json")
+fig13_scale = load_counters("fig13_scale_streaming.json")
 fig14 = load_counters("fig14_engine_counters.json")
 fig15 = load_counters("fig15_engine_counters.json")
 with open(os.path.join(results_dir, "fig13_engine_counters.json")) as f:
@@ -99,6 +100,8 @@ doc = {
     "git": git,
     "fig13_engine_counters": fig13,
 }
+if fig13_scale is not None:
+    doc["fig13_scale_streaming"] = fig13_scale
 if fig14 is not None:
     doc["fig14_engine_counters"] = fig14
 if fig15 is not None:
@@ -107,8 +110,8 @@ if fig15 is not None:
 # Dated history: snapshots survive regeneration. The previous current
 # entry is appended only when it belongs to a different commit, so
 # running this script twice between commits never eats history.
-COUNTER_KEYS = ("fig13_engine_counters", "fig14_engine_counters",
-                "fig15_engine_counters")
+COUNTER_KEYS = ("fig13_engine_counters", "fig13_scale_streaming",
+                "fig14_engine_counters", "fig15_engine_counters")
 history = []
 if os.path.exists(out_path):
     with open(out_path) as f:

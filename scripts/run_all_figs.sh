@@ -9,7 +9,10 @@
 # Usage: scripts/run_all_figs.sh [--quick] [--build-dir DIR] [--filter RE]
 #
 #   --quick       run the scaled-down sweeps (seconds per figure); the
-#                 default passes --full for the paper-scale parameters
+#                 default passes --full for the paper-scale parameters.
+#                 The fig13 100k-flow streaming scale point rides with
+#                 --full only (or fig13's own --scale flag) — never in
+#                 --quick
 #   --build-dir   CMake build directory (default: build)
 #   --filter RE   only run benchmarks whose name matches the regex RE
 set -euo pipefail

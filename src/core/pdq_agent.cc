@@ -125,7 +125,19 @@ void PdqSender::tick() {
   }
 
   const sim::Time interval = std::max(rtt_estimate() / 2, kMinTick);
-  sim().schedule_in(interval, [this] { tick(); });
+  tick_pending_ = true;
+  tick_event_ = sim().schedule_in(interval, [this] {
+    tick_pending_ = false;
+    tick();
+  });
+}
+
+void PdqSender::quiesce() {
+  net::PacedSender::quiesce();
+  if (tick_pending_) {
+    sim().cancel(tick_event_);
+    tick_pending_ = false;
+  }
 }
 
 PdqReceiver::PdqReceiver(net::AgentContext ctx, double receive_rate_bps)

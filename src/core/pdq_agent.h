@@ -33,6 +33,8 @@ class PdqSender : public net::PacedSender {
     remaining_override_ = std::move(fn);
   }
 
+  void quiesce() override;
+
  protected:
   void on_start() override;
   void decorate(net::Packet& p) override;
@@ -50,6 +52,8 @@ class PdqSender : public net::PacedSender {
   sim::Time next_probe_at_ = 0;
   sim::Time random_criticality_ = 0;  // fixed T for CriticalityMode::kRandom
   bool got_feedback_ = false;
+  sim::EventId tick_event_ = 0;
+  bool tick_pending_ = false;
   std::function<std::int64_t()> remaining_override_;
 };
 

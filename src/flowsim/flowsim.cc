@@ -7,6 +7,8 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "stats/streaming.h"
+
 namespace pdq::flowsim {
 
 namespace {
@@ -47,6 +49,15 @@ double FlowSimResult::max_fct_ms() const {
     if (f.outcome == net::FlowOutcome::kCompleted)
       m = std::max(m, sim::to_millis(f.completion_time()));
   return m;
+}
+
+double FlowSimResult::p99_fct_ms() const {
+  std::vector<double> fcts;
+  for (const auto& f : flows)
+    if (f.outcome == net::FlowOutcome::kCompleted)
+      fcts.push_back(sim::to_millis(f.completion_time()));
+  std::sort(fcts.begin(), fcts.end());
+  return stats::nearest_rank(fcts, 0.99);
 }
 
 double FlowSimResult::application_throughput() const {

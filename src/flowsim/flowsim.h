@@ -46,6 +46,10 @@ struct FlowSimResult {
 
   double mean_fct_ms() const;
   double max_fct_ms() const;
+  /// Nearest-rank p99 of completed-flow FCTs (stats::nearest_rank — the
+  /// same quantile definition as metrics::windowed_p99_fct_ms and the
+  /// streaming sketch). 0 when nothing completed.
+  double p99_fct_ms() const;
   double application_throughput() const;
   std::size_t completed() const;
 };

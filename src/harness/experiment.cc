@@ -7,6 +7,7 @@
 
 #include "harness/timeline.h"
 #include "net/builders.h"
+#include "stats/streaming.h"
 
 namespace pdq::harness {
 
@@ -229,6 +230,24 @@ MetricSpec flowlist_scan_ops() {
           }};
 }
 
+MetricSpec peak_pending_events() {
+  return {"peak_pending_events", [](const RunContext& c) {
+            return static_cast<double>(c.result->engine.peak_pending_events);
+          }};
+}
+
+MetricSpec pool_highwater() {
+  return {"pool_highwater", [](const RunContext& c) {
+            return static_cast<double>(c.result->engine.pool_highwater);
+          }};
+}
+
+MetricSpec peak_flow_bytes() {
+  return {"peak_flow_bytes", [](const RunContext& c) {
+            return static_cast<double>(c.result->engine.peak_flow_bytes);
+          }};
+}
+
 namespace {
 
 struct Window {
@@ -271,6 +290,11 @@ std::vector<double> windowed_fcts_ms(const RunContext& c, std::int64_t lo,
 MetricSpec windowed_mean_fct_ms(std::int64_t bucket_lo,
                                 std::int64_t bucket_hi) {
   return {"windowed_mean_fct_ms", [bucket_lo, bucket_hi](const RunContext& c) {
+            if (c.result->streaming != nullptr) {
+              const auto& s = *c.result->streaming;
+              return s.windowed_mean_fct_ms(
+                  s.bucket_index(bucket_lo, bucket_hi));
+            }
             const auto fcts = windowed_fcts_ms(c, bucket_lo, bucket_hi);
             if (fcts.empty()) return 0.0;
             double sum = 0;
@@ -282,12 +306,17 @@ MetricSpec windowed_mean_fct_ms(std::int64_t bucket_lo,
 MetricSpec windowed_p99_fct_ms(std::int64_t bucket_lo,
                                std::int64_t bucket_hi) {
   return {"windowed_p99_fct_ms", [bucket_lo, bucket_hi](const RunContext& c) {
+            if (c.result->streaming != nullptr) {
+              // Sketch estimate: within quantile_alpha relative error of
+              // the exact nearest-rank value below.
+              const auto& s = *c.result->streaming;
+              return s.windowed_p99_fct_ms(
+                  s.bucket_index(bucket_lo, bucket_hi));
+            }
             const auto fcts = windowed_fcts_ms(c, bucket_lo, bucket_hi);
-            if (fcts.empty()) return 0.0;
-            // Nearest-rank percentile: ceil(0.99 n) ranked from 1.
-            const auto rank = static_cast<std::size_t>(
-                std::ceil(0.99 * static_cast<double>(fcts.size())));
-            return fcts[std::max<std::size_t>(rank, 1) - 1];
+            // Nearest-rank percentile, the shared definition
+            // (stats::nearest_rank): rank ceil(0.99 n), 1-based.
+            return stats::nearest_rank(fcts, 0.99);
           }};
 }
 
@@ -300,6 +329,9 @@ MetricSpec goodput_gbps() {
             // acked after the window close would otherwise be divided
             // by a window they were not delivered in, overstating
             // goodput (possibly beyond link capacity).
+            if (c.result->streaming != nullptr) {
+              return c.result->streaming->goodput_gbps();
+            }
             const Window w = metric_window(c);
             double bytes = 0;
             sim::Time span_end = w.lo;
@@ -318,6 +350,9 @@ MetricSpec goodput_gbps() {
 
 MetricSpec deadline_miss_percent() {
   return {"deadline_miss_pct", [](const RunContext& c) {
+            if (c.result->streaming != nullptr) {
+              return c.result->streaming->deadline_miss_percent();
+            }
             const Window w = metric_window(c);
             std::size_t deadline_flows = 0;
             std::size_t missed = 0;

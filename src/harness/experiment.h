@@ -166,6 +166,13 @@ MetricSpec events_coalesced();
 /// Flow-state entries visited by switch-controller hot paths — flat per
 /// packet when the PDQ switch fast path is O(1) amortized.
 MetricSpec flowlist_scan_ops();
+/// High-water mark of pending events during the run.
+MetricSpec peak_pending_events();
+/// High-water mark of in-flight packets (PacketPool live count).
+MetricSpec pool_highwater();
+/// High-water mark of live transport-agent footprint bytes — sublinear
+/// in total flows under streaming mode, linear on the default path.
+MetricSpec peak_flow_bytes();
 
 // Steady-state (windowed) metrics for dynamic-traffic scenarios. Only
 // flows whose start_time falls in the timeline's measurement window
@@ -229,6 +236,12 @@ struct ExperimentSpec {
   MetricSpec metric = metrics::mean_fct_ms();  // per-column default
   int trials = 1;
   std::uint64_t base_seed = kDefaultBaseSeed;
+  /// Non-null: every run uses streaming metrics (RunOptions::streaming)
+  /// — O(1)-memory accumulators instead of per-flow result vectors.
+  /// Applied after each SweepPoint's `apply`, so points that replace
+  /// the scenario wholesale still stream. The windowed size-bucket
+  /// metrics require their [lo, hi) buckets listed in the spec.
+  std::shared_ptr<const stats::StreamingSpec> streaming_metrics;
 };
 
 }  // namespace pdq::harness

@@ -5,10 +5,12 @@
 
 #include "harness/timeline.h"
 #include "net/packet_pool.h"
+#include "stats/streaming.h"
 
 namespace pdq::harness {
 
 double RunResult::mean_fct_ms() const {
+  if (streaming != nullptr) return streaming->mean_fct_ms();
   double sum = 0;
   std::size_t n = 0;
   for (const auto& f : flows) {
@@ -21,6 +23,7 @@ double RunResult::mean_fct_ms() const {
 }
 
 double RunResult::max_fct_ms() const {
+  if (streaming != nullptr) return streaming->max_fct_ms();
   double m = 0;
   for (const auto& f : flows) {
     if (f.outcome == net::FlowOutcome::kCompleted)
@@ -30,6 +33,7 @@ double RunResult::max_fct_ms() const {
 }
 
 double RunResult::application_throughput() const {
+  if (streaming != nullptr) return streaming->application_throughput();
   std::size_t deadline_flows = 0;
   std::size_t met = 0;
   for (const auto& f : flows) {
@@ -43,6 +47,7 @@ double RunResult::application_throughput() const {
 }
 
 std::size_t RunResult::completed() const {
+  if (streaming != nullptr) return streaming->completed();
   std::size_t n = 0;
   for (const auto& f : flows)
     if (f.outcome == net::FlowOutcome::kCompleted) ++n;
@@ -88,8 +93,21 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     }
   }
 
-  std::vector<std::unique_ptr<net::Agent>> agents;
-  std::vector<net::Agent*> senders;
+  // Per-flow agent storage. The default path materializes all agents up
+  // front (the historical behaviour, byte-for-byte); streaming mode
+  // (opts.streaming) defers construction to each flow's start event and
+  // retires agents as flows terminate, so live agent memory tracks the
+  // number of *active* flows rather than the total (the 100k-flow scale
+  // points; docs/architecture.md "Streaming metrics & memory model").
+  struct FlowSlot {
+    std::unique_ptr<net::Agent> receiver;
+    std::unique_ptr<net::Agent> sender;
+    std::size_t receiver_bytes = 0;  // footprint charged at materialize
+    std::size_t sender_bytes = 0;
+    bool sender_done = false;  // on_done ran; stats folded in
+  };
+  std::vector<FlowSlot> slots;
+  std::vector<net::Agent*> senders;  // null: unmaterialized or retired
   // Parallel to `senders`, for timeline link-failure rerouting: the
   // flow's spec and its *current* route (updated on reroute).
   std::vector<net::FlowSpec> sender_specs;
@@ -102,14 +120,102 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
   // last one (it may inject flows). Zero when there is no timeline.
   std::size_t timeline_pending = 0;
 
-  const auto add_flow = [&](const net::FlowSpec& f) {
-    assert(f.id != net::kInvalidFlow && f.src != f.dst);
-    ++remaining;
+  const bool streaming = opts.streaming != nullptr;
+  assert(!(streaming && opts.per_flow_series) &&
+         "per-flow series needs per-flow agents for the whole run");
+  // Measurement window for the windowed streaming metrics — the same
+  // [warmup, measure_end) the vector path's metrics:: family derives
+  // from the timeline (whole run when there is none).
+  sim::Time window_lo = 0;
+  sim::Time window_hi = sim::kTimeInfinity;
+  if (opts.timeline != nullptr) {
+    window_lo = opts.timeline->warmup;
+    window_hi = opts.timeline->measure_end;
+  }
+  std::shared_ptr<stats::RunStats> run_stats;
+  if (streaming) {
+    run_stats = std::make_shared<stats::RunStats>(*opts.streaming,
+                                                  window_lo, window_hi);
+  }
+  // Live agent-footprint accounting (both modes — the counter is how
+  // the scale benches show streaming keeps agent memory O(active)).
+  std::size_t cur_flow_bytes = 0;
+  std::size_t peak_flow_bytes = 0;
+
+  // Retirement machinery (streaming only). Terminated flows enqueue
+  // their slot index; a zero-delay, coalesced sweep event destroys
+  // every retirable agent *outside* the reporting agent's call frame
+  // (on_done fires inside agent methods — freeing there would be a
+  // use-after-free on return).
+  std::vector<std::size_t> retire_ready;
+  bool sweep_scheduled = false;
+  std::function<void()> do_sweep;
+  const auto schedule_sweep = [&] {
+    if (sweep_scheduled) return;
+    sweep_scheduled = true;
+    // EventFn captures are capped: capture one pointer to the sweep
+    // closure rather than the sweep state itself.
+    simulator.schedule_in(0, [&do_sweep] { do_sweep(); });
+  };
+  do_sweep = [&] {
+    sweep_scheduled = false;
+    for (std::size_t k = 0; k < retire_ready.size(); ++k) {
+      const std::size_t idx = retire_ready[k];
+      FlowSlot& slot = slots[idx];
+      const net::FlowSpec& spec = sender_specs[idx];
+      if (slot.sender != nullptr && slot.sender_done &&
+          slot.sender->retirable()) {
+        slot.sender->quiesce();
+        topo.host(spec.src).detach_sender(spec.id);
+        cur_flow_bytes -= slot.sender_bytes;
+        senders[idx] = nullptr;
+        sender_routes[idx] = nullptr;
+        slot.sender.reset();
+      }
+      if (slot.receiver != nullptr && slot.receiver->retirable()) {
+        slot.receiver->quiesce();
+        topo.host(spec.dst).detach_receiver(spec.id);
+        cur_flow_bytes -= slot.receiver_bytes;
+        slot.receiver.reset();
+      }
+    }
+    retire_ready.clear();
+  };
+
+  // Builds and attaches the agent pair for flow slot `idx`. The default
+  // path calls this synchronously from add_flow — construction order,
+  // route-cache fills and the event sequence all identical to the
+  // historical code; streaming mode calls it from the flow's start
+  // event.
+  std::function<void(std::size_t)> materialize = [&](std::size_t idx) {
+    const net::FlowSpec f = sender_specs[idx];
+    if (streaming && topo.shortest_paths(f.src, f.dst).empty()) {
+      // Deferred construction can land inside a link outage the default
+      // path would have handled via reroute (agents built before the
+      // failure): record the flow terminated-at-start.
+      net::FlowResult r;
+      r.spec = f;
+      r.outcome = net::FlowOutcome::kTerminated;
+      r.finish_time = simulator.now();
+      run_stats->add(r, simulator.now());
+      slots[idx].sender_done = true;
+      if (--remaining == 0 && timeline_pending == 0) simulator.stop();
+      return;
+    }
 
     net::AgentContext rctx;
     rctx.topo = &topo;
     rctx.local = &topo.host(f.dst);
     rctx.spec = f;
+    if (streaming) {
+      // Receivers that can prove they are done (EchoReceiver after the
+      // TERM echo) notify here so the sweep can retire them.
+      rctx.on_done = [&retire_ready, &schedule_sweep,
+                      idx](const net::FlowResult&) {
+        retire_ready.push_back(idx);
+        schedule_sweep();
+      };
+    }
     auto receiver = stack.make_receiver(std::move(rctx));
     topo.host(f.dst).attach_receiver(f.id, receiver.get());
 
@@ -118,20 +224,54 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     sctx.local = &topo.host(f.src);
     sctx.spec = f;
     sctx.route = topo.ecmp_route(f.id, f.src, f.dst);
-    sctx.on_done = [&remaining, &timeline_pending,
-                    &simulator](const net::FlowResult&) {
-      if (--remaining == 0 && timeline_pending == 0) simulator.stop();
-    };
-    sender_routes.push_back(sctx.route);
-    sender_specs.push_back(f);
+    if (streaming) {
+      sctx.on_done = [&, idx](const net::FlowResult& r) {
+        run_stats->add(r, simulator.now());
+        slots[idx].sender_done = true;
+        retire_ready.push_back(idx);
+        schedule_sweep();
+        if (--remaining == 0 && timeline_pending == 0) simulator.stop();
+      };
+    } else {
+      sctx.on_done = [&remaining, &timeline_pending,
+                      &simulator](const net::FlowResult&) {
+        if (--remaining == 0 && timeline_pending == 0) simulator.stop();
+      };
+    }
+    sender_routes[idx] = sctx.route;
     auto sender = stack.make_sender(std::move(sctx));
     topo.host(f.src).attach_sender(f.id, sender.get());
-    simulator.schedule_at(f.start_time,
-                          [a = sender.get()] { a->start(); });
-    senders.push_back(sender.get());
+    senders[idx] = sender.get();
 
-    agents.push_back(std::move(receiver));
-    agents.push_back(std::move(sender));
+    FlowSlot& slot = slots[idx];
+    slot.receiver_bytes = receiver->footprint_bytes();
+    slot.sender_bytes = sender->footprint_bytes();
+    cur_flow_bytes += slot.receiver_bytes + slot.sender_bytes;
+    if (cur_flow_bytes > peak_flow_bytes) peak_flow_bytes = cur_flow_bytes;
+    slot.receiver = std::move(receiver);
+    slot.sender = std::move(sender);
+  };
+
+  const auto add_flow = [&](const net::FlowSpec& f) {
+    assert(f.id != net::kInvalidFlow && f.src != f.dst);
+    ++remaining;
+    const std::size_t idx = slots.size();
+    slots.emplace_back();
+    senders.push_back(nullptr);
+    sender_specs.push_back(f);
+    sender_routes.push_back(nullptr);
+    if (streaming) {
+      // One creation event replaces the one start event, 1:1, so the
+      // event-sequence stream keeps the same shape as the default path.
+      simulator.schedule_at(f.start_time, [&materialize, &senders, idx] {
+        materialize(idx);
+        if (senders[idx] != nullptr) senders[idx]->start();
+      });
+    } else {
+      materialize(idx);
+      simulator.schedule_at(f.start_time,
+                            [a = senders[idx]] { a->start(); });
+    }
   };
   for (const auto& f : flows) add_flow(f);
 
@@ -193,7 +333,11 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
         r.spec = f;
         r.outcome = net::FlowOutcome::kTerminated;
         r.finish_time = now;
-        stillborn.push_back(std::move(r));
+        if (streaming) {
+          run_stats->add(r, now);  // folded immediately, O(1) memory
+        } else {
+          stillborn.push_back(std::move(r));
+        }
         continue;
       }
       add_flow(f);
@@ -204,6 +348,10 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     topo.set_link_state(a, b, up);
     if (up) return;  // flows are not re-balanced onto recovered links
     for (std::size_t i = 0; i < senders.size(); ++i) {
+      // Streaming mode: unmaterialized flows route at their start event
+      // (post-failure routes); retired flows are done. Null is
+      // unreachable on the default path.
+      if (senders[i] == nullptr) continue;
       const net::FlowResult* r = senders[i]->flow_result();
       if (r == nullptr || r->outcome != net::FlowOutcome::kPending) continue;
       // Senders with private per-subflow routes (M-PDQ) claim the event
@@ -253,7 +401,10 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     }
   }
 
-  const net::PacketPool& pool = net::PacketPool::local();
+  net::PacketPool& pool = net::PacketPool::local();
+  // Peak trackers measure this run alone even on a reused pool/queue.
+  pool.relax_live_highwater();
+  simulator.relax_peak_pending();
   const std::uint64_t allocs_before = pool.total_allocated();
   const std::uint64_t acquires_before = pool.total_acquires();
   const std::uint64_t scheduled_before = simulator.events_scheduled();
@@ -273,6 +424,9 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
       topo.total_events_coalesced() - coalesced_before;
   result.engine.flowlist_scan_ops =
       topo.total_flowlist_scan_ops() - scans_before;
+  result.engine.peak_pending_events = simulator.peak_pending_events();
+  result.engine.pool_highwater = pool.live_highwater();
+  result.engine.peak_flow_bytes = peak_flow_bytes;
 
   // Flush the final partial bin so goodput integrates to the flow sizes.
   if (opts.per_flow_series) {
@@ -290,12 +444,34 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
   result.end_time = simulator.now();
   result.queue_drops = topo.total_queue_drops();
   result.wire_drops = topo.total_wire_drops();
-  for (net::Agent* s : senders) {
-    const net::FlowResult* r = s->flow_result();
-    assert(r != nullptr);
-    result.flows.push_back(*r);
+  if (streaming) {
+    // Fold in flows still live (or never materialized) at the horizon
+    // exactly as the vector path records them: the sender's pending
+    // FlowResult, or a zero-byte pending result for flows whose start
+    // event never fired. result.flows stays empty — the RunResult
+    // helpers read `streaming` instead.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].sender_done) continue;
+      if (senders[i] != nullptr) {
+        const net::FlowResult* r = senders[i]->flow_result();
+        assert(r != nullptr);
+        run_stats->add(*r, result.end_time);
+      } else {
+        net::FlowResult r;
+        r.spec = sender_specs[i];
+        run_stats->add(r, result.end_time);
+      }
+      slots[i].sender_done = true;
+    }
+    result.streaming = run_stats;
+  } else {
+    for (net::Agent* s : senders) {
+      const net::FlowResult* r = s->flow_result();
+      assert(r != nullptr);
+      result.flows.push_back(*r);
+    }
+    for (const auto& r : stillborn) result.flows.push_back(r);
   }
-  for (const auto& r : stillborn) result.flows.push_back(r);
   if (meter) {
     for (std::size_t i = 0; i < meter->num_bins(); ++i)
       result.link_utilization.push_back(meter->utilization(i));

@@ -15,6 +15,11 @@
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
+namespace pdq::stats {
+struct StreamingSpec;  // stats/streaming.h
+class RunStats;
+}  // namespace pdq::stats
+
 namespace pdq::harness {
 
 struct TimelineSpec;  // harness/timeline.h
@@ -50,6 +55,15 @@ struct RunOptions {
   /// shifts, plus the steady-state measurement window. Null (the
   /// default) runs the exact pre-timeline code path.
   std::shared_ptr<const TimelineSpec> timeline;
+  /// Streaming-metrics mode (stats/streaming.h): flow results fold into
+  /// O(1)-memory accumulators as flows terminate, agents are built at
+  /// flow start and destroyed at termination, and RunResult::flows stays
+  /// empty (RunResult::streaming carries the aggregates instead). Peak
+  /// per-flow memory becomes O(active flows), not O(total flows) — the
+  /// 100k+-flow scale points. Null (the default) runs the historical
+  /// materialize-everything path byte-for-byte. Incompatible with
+  /// per_flow_series.
+  std::shared_ptr<const stats::StreamingSpec> streaming;
 };
 
 /// Operation-count metrics for one run — the perf currency on
@@ -67,6 +81,17 @@ struct EngineCounters {
   /// path is O(1) amortized.
   std::uint64_t flowlist_scan_ops = 0;
 
+  // Memory peaks (operation-count-style: deterministic object/byte
+  // counts, never allocator or RSS measurements).
+  /// High-water mark of pending events during the run.
+  std::uint64_t peak_pending_events = 0;
+  /// High-water mark of in-flight packets (PacketPool live count).
+  std::uint64_t pool_highwater = 0;
+  /// High-water mark of live transport-agent footprint bytes
+  /// (Agent::footprint_bytes sums) — sublinear in total flows under
+  /// streaming mode, linear under the default path.
+  std::uint64_t peak_flow_bytes = 0;
+
   /// Percent of acquires served from the free list (0 when idle) — the
   /// single definition behind metrics::packet_recycle_percent() and the
   /// fig13 counters table.
@@ -78,7 +103,11 @@ struct EngineCounters {
 };
 
 struct RunResult {
+  /// Per-flow results (empty in streaming mode — see `streaming`).
   std::vector<net::FlowResult> flows;
+  /// Streaming-mode aggregates (null on the default path). The metric
+  /// helpers below read whichever representation is populated.
+  std::shared_ptr<const stats::RunStats> streaming;
   std::int64_t queue_drops = 0;
   std::int64_t wire_drops = 0;
   sim::Time end_time = 0;

@@ -8,6 +8,7 @@
 #include <functional>
 #include <thread>
 
+#include "harness/timeline.h"
 #include "net/packet_pool.h"
 
 namespace pdq::harness {
@@ -187,6 +188,11 @@ SweepResults SweepRunner::run(const ExperimentSpec& spec) const {
   for (std::size_t p = 0; p < num_points; ++p) {
     Scenario s = spec.base;
     if (spec.points[p].apply) spec.points[p].apply(s);
+    // After apply: points that replace the scenario wholesale (fig13's
+    // topology ladder) still run in streaming mode.
+    if (spec.streaming_metrics != nullptr) {
+      s.options.streaming = spec.streaming_metrics;
+    }
     scenarios.push_back(std::move(s));
     columns[p].reserve(num_cols);
     for (std::size_t c = 0; c < num_cols; ++c) {
@@ -229,6 +235,38 @@ double SweepRunner::average(const Scenario& scenario, const Column& column,
   double total = 0;
   for (double v : values) total += v;
   return values.empty() ? 0.0 : total / static_cast<double>(values.size());
+}
+
+stats::RunStats SweepRunner::merged_streaming(
+    const Scenario& scenario, const std::string& stack,
+    const StackOptions& options, int trials,
+    const stats::StreamingSpec& stream_spec, std::uint64_t base_seed) const {
+  Scenario sc = scenario;
+  sc.options.streaming =
+      std::make_shared<const stats::StreamingSpec>(stream_spec);
+  // One accumulator per trial slot, merged sequentially in trial order
+  // below — determinism does not depend on worker interleaving.
+  std::vector<std::shared_ptr<const stats::RunStats>> per_trial(
+      static_cast<std::size_t>(trials));
+  run_pool(threads_, per_trial.size(), [&](std::size_t t) {
+    const SampleRun run =
+        run_sample(sc, stack, options, base_seed + kTrialSeedStride * t);
+    per_trial[t] = run.result.streaming;
+  });
+  // The merged window comes from the scenario's timeline, exactly as
+  // run_prepared derives it for each trial.
+  sim::Time lo = 0;
+  sim::Time hi = sim::kTimeInfinity;
+  if (sc.options.timeline != nullptr) {
+    lo = sc.options.timeline->warmup;
+    hi = sc.options.timeline->measure_end;
+  }
+  stats::RunStats merged(stream_spec, lo, hi);
+  for (const auto& s : per_trial) {
+    assert(s != nullptr);
+    merged.merge(*s);
+  }
+  return merged;
 }
 
 }  // namespace pdq::harness

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "stats/streaming.h"
 
 namespace pdq::harness {
 
@@ -80,6 +81,16 @@ class SweepRunner {
   double average(const Scenario& scenario, const Column& column, int trials,
                  std::uint64_t base_seed = kDefaultBaseSeed,
                  const MetricFn& fallback = nullptr) const;
+
+  /// `trials` streaming-mode samples of (scenario, stack), fanned across
+  /// the pool, with the per-trial accumulators merged *in trial order* —
+  /// byte-identical for any thread count. The scenario's own
+  /// options.streaming is replaced by `stream_spec` for these runs.
+  stats::RunStats merged_streaming(
+      const Scenario& scenario, const std::string& stack,
+      const StackOptions& options, int trials,
+      const stats::StreamingSpec& stream_spec,
+      std::uint64_t base_seed = kDefaultBaseSeed) const;
 
   int threads() const { return threads_; }
 

@@ -175,6 +175,23 @@ class Agent {
     (void)b;
     return false;
   }
+
+  // --- retirement protocol (streaming-metrics mode; scenario.cc) ---
+  /// True when the agent holds no state a still-running simulation can
+  /// observe: its flow is terminated and no in-flight packet will need
+  /// it (Host::deliver_local drops packets for detached flows, so a
+  /// retirable agent may be destroyed mid-run). Default: never — agents
+  /// that cannot prove it (TCP/DCTCP receivers, M-PDQ) live to run end.
+  virtual bool retirable() const { return false; }
+  /// Cancels any events still scheduled against `this` so destruction
+  /// mid-run is safe. Must only cancel events it knows are pending
+  /// (guarded by per-event flags): a default-initialized EventId is
+  /// (gen 0, slot 0) — a live id in every fresh simulator.
+  virtual void quiesce() {}
+  /// Approximate heap footprint: sizeof the dynamic type plus owned
+  /// container capacities. Used for the peak_flow_bytes counter — an
+  /// operation-count-style memory metric, not an allocator measurement.
+  virtual std::size_t footprint_bytes() const { return sizeof(*this); }
 };
 
 class Host : public Node {

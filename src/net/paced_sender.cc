@@ -35,14 +35,41 @@ void PacedSender::start() {
   assert(!started_);
   started_ = true;
   send_syn();
-  sim().schedule_in(kSynRto, [this] { syn_retry(); });
+  syn_pending_ = true;
+  syn_event_ = sim().schedule_in(kSynRto, [this] {
+    syn_pending_ = false;
+    syn_retry();
+  });
   on_start();
 }
 
 void PacedSender::syn_retry() {
   if (finished() || got_reverse_) return;
   send_syn();
-  sim().schedule_in(kSynRto, [this] { syn_retry(); });
+  syn_pending_ = true;
+  syn_event_ = sim().schedule_in(kSynRto, [this] {
+    syn_pending_ = false;
+    syn_retry();
+  });
+}
+
+void PacedSender::quiesce() {
+  // Cancel only events known pending: a default EventId is (gen 0,
+  // slot 0), a live id in any fresh simulator.
+  if (syn_pending_) {
+    sim().cancel(syn_event_);
+    syn_pending_ = false;
+  }
+  if (pace_pending_) {
+    sim().cancel(pace_event_);
+    pace_pending_ = false;
+  }
+}
+
+std::size_t PacedSender::footprint_bytes() const {
+  return sizeof(*this) + payload_.capacity() * sizeof(std::int32_t) +
+         acked_.capacity() / 8 + sent_at_.capacity() * sizeof(sim::Time) +
+         acks_after_.capacity() * sizeof(std::int8_t);
 }
 
 sim::Time PacedSender::rto() const {
@@ -325,6 +352,12 @@ void EchoReceiver::on_packet(const PacketPtr& p) {
   auto reply = make_reply(*p, reply_type);
   decorate_reply(*reply, *p);
   ctx_.local->send(std::move(reply));
+  if (p->type == PacketType::kTerm && !saw_term_) {
+    // The TermAck is on the wire; nothing further arrives on this flow.
+    // Notify the harness (streaming mode retires the receiver here).
+    saw_term_ = true;
+    if (ctx_.on_done) ctx_.on_done(FlowResult{});
+  }
 }
 
 void EchoReceiver::decorate_reply(Packet& reply, const Packet& data) {

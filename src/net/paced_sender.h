@@ -53,6 +53,14 @@ class PacedSender : public Agent {
 
   // --- dynamic resizing (M-PDQ load shifting) ---
 
+  // --- retirement (streaming-metrics mode) ---
+  /// A paced sender is safe to destroy once its flow is finished: the
+  /// receiver replies along in-flight packets' own routes and the host
+  /// drops deliveries for detached flows.
+  bool retirable() const override { return finished(); }
+  void quiesce() override;
+  std::size_t footprint_bytes() const override;
+
   /// Bytes not yet handed to the network (never-sent tail packets).
   std::int64_t unsent_tail_bytes() const;
   /// Removes up to `bytes` from the unsent tail (whole packets); returns
@@ -124,6 +132,8 @@ class PacedSender : public Agent {
   bool started_ = false;
   sim::EventId pace_event_ = 0;
   bool pace_pending_ = false;
+  sim::EventId syn_event_ = 0;
+  bool syn_pending_ = false;
   bool got_reverse_ = false;  // any feedback at all (gates SYN retry)
 };
 
@@ -136,12 +146,18 @@ class EchoReceiver : public Agent {
   void on_packet(const PacketPtr& p) override;
   std::int64_t bytes_received() const { return bytes_received_; }
 
+  /// Retirable after echoing the TERM: the TermAck is already on the
+  /// wire and the sender sends nothing further on this flow.
+  bool retirable() const override { return saw_term_; }
+  std::size_t footprint_bytes() const override { return sizeof(*this); }
+
  protected:
   /// Protocol tweak applied to the reply header (e.g. PDQ rate clamping).
   virtual void decorate_reply(Packet& reply, const Packet& data);
 
   AgentContext ctx_;
   std::int64_t bytes_received_ = 0;
+  bool saw_term_ = false;
 };
 
 }  // namespace pdq::net

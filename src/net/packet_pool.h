@@ -69,6 +69,8 @@ class PacketPool {
       p->hook_.origin = this;
     }
     p->hook_.refs = 1;
+    const std::size_t live = owned_.size() - free_.size();
+    if (live > live_highwater_) live_highwater_ = live;
     return PacketPtr(p);
   }
 
@@ -91,6 +93,13 @@ class PacketPool {
   std::size_t free_count() const { return free_.size(); }
   /// Packets currently held by live PacketPtrs.
   std::size_t live_count() const { return owned_.size() - free_.size(); }
+  /// High-water mark of live_count() since construction (or the last
+  /// relax_live_highwater()) — the run's true in-flight packet peak,
+  /// even on a warm pool where total_allocated() stops moving.
+  std::size_t live_highwater() const { return live_highwater_; }
+  /// Resets the high-water mark to the current live count, so a run
+  /// measured on a reused pool reports its own peak.
+  void relax_live_highwater() { live_highwater_ = live_count(); }
   /// Packets currently owned (live + parked in the free list).
   std::size_t owned_count() const { return owned_.size(); }
 
@@ -112,6 +121,7 @@ class PacketPool {
   std::vector<Packet*> free_;                   // subset of owned_, idle
   std::uint64_t acquires_ = 0;
   std::uint64_t allocated_total_ = 0;
+  std::size_t live_highwater_ = 0;
 };
 
 }  // namespace pdq::net

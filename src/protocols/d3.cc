@@ -169,8 +169,21 @@ void D3Sender::tick() {
       rate_bps() < 10e6) {
     send_control(net::PacketType::kProbe);
   }
-  sim().schedule_in(std::max(rtt_estimate(), 100 * sim::kMicrosecond),
-                    [this] { tick(); });
+  tick_pending_ = true;
+  tick_event_ =
+      sim().schedule_in(std::max(rtt_estimate(), 100 * sim::kMicrosecond),
+                        [this] {
+                          tick_pending_ = false;
+                          tick();
+                        });
+}
+
+void D3Sender::quiesce() {
+  net::PacedSender::quiesce();
+  if (tick_pending_) {
+    sim().cancel(tick_event_);
+    tick_pending_ = false;
+  }
 }
 
 void install_d3(net::Topology& topo, const D3Config& cfg) {

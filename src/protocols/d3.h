@@ -74,6 +74,8 @@ class D3Sender : public net::PacedSender {
  public:
   D3Sender(net::AgentContext ctx, D3Config cfg);
 
+  void quiesce() override;
+
  protected:
   void on_start() override;
   void decorate(net::Packet& p) override;
@@ -90,6 +92,8 @@ class D3Sender : public net::PacedSender {
   sim::Time next_request_at_ = 0;
   net::AllocVec prev_alloc_;  // grants from the last request round
   bool request_outstanding_ = false;
+  sim::EventId tick_event_ = 0;
+  bool tick_pending_ = false;
 };
 
 void install_d3(net::Topology& topo, const D3Config& cfg);

@@ -93,8 +93,21 @@ void RcpSender::tick() {
   if (got_feedback_ && rate_bps() < kProbeRateThreshold) {
     send_control(net::PacketType::kProbe);
   }
-  sim().schedule_in(std::max(rtt_estimate(), 100 * sim::kMicrosecond),
-                    [this] { tick(); });
+  tick_pending_ = true;
+  tick_event_ =
+      sim().schedule_in(std::max(rtt_estimate(), 100 * sim::kMicrosecond),
+                        [this] {
+                          tick_pending_ = false;
+                          tick();
+                        });
+}
+
+void RcpSender::quiesce() {
+  net::PacedSender::quiesce();
+  if (tick_pending_) {
+    sim().cancel(tick_event_);
+    tick_pending_ = false;
+  }
 }
 
 void RcpSender::decorate(net::Packet& p) {

@@ -57,6 +57,8 @@ class RcpSender : public net::PacedSender {
  public:
   RcpSender(net::AgentContext ctx, RcpConfig cfg);
 
+  void quiesce() override;
+
  protected:
   void on_start() override;
   void decorate(net::Packet& p) override;
@@ -68,6 +70,8 @@ class RcpSender : public net::PacedSender {
   RcpConfig cfg_;
   double rmax_ = 0.0;
   bool got_feedback_ = false;
+  sim::EventId tick_event_ = 0;
+  bool tick_pending_ = false;
 };
 
 void install_rcp(net::Topology& topo, const RcpConfig& cfg);

@@ -190,6 +190,13 @@ void TcpSender::reroute(net::RouteRef route) {
   ctx_.route = std::move(route);
 }
 
+void TcpSender::quiesce() {
+  if (timer_armed_) {
+    ctx_.topo->sim().cancel(timer_);
+    timer_armed_ = false;
+  }
+}
+
 void TcpSender::finish(net::FlowOutcome outcome) {
   result_.outcome = outcome;
   result_.finish_time = now();

@@ -44,6 +44,19 @@ class TcpSender : public net::Agent {
   double cwnd_pkts() const { return cwnd_; }
   sim::Time rto() const;
 
+  // --- retirement (streaming-metrics mode) ---
+  /// Safe to destroy once the flow is finished: finish() cancelled the
+  /// RTO timer and the host drops deliveries for detached flows. The
+  /// *receiver* is not retirable (no TERM handshake tells it the sender
+  /// is done), so TCP-family receivers live to run end.
+  bool retirable() const override {
+    return result_.outcome != net::FlowOutcome::kPending;
+  }
+  void quiesce() override;
+  std::size_t footprint_bytes() const override {
+    return sizeof(*this) + retransmitted_.capacity() / 8;
+  }
+
  protected:
   /// Subclass hooks (the DCTCP family, protocols/dctcp.h). Stamps
   /// applied to every outgoing data segment — e.g. the ECT codepoint.
@@ -94,6 +107,10 @@ class TcpReceiver : public net::Agent {
 
   void on_packet(const net::PacketPtr& p) override;
   std::int64_t bytes_in_order() const { return in_order_; }
+
+  std::size_t footprint_bytes() const override {
+    return sizeof(*this) + received_.capacity() / 8;
+  }
 
  protected:
   /// Stamps applied to each outgoing cumulative ACK — e.g. DCTCP's ECE

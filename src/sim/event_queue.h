@@ -86,6 +86,7 @@ class EventQueue {
     s.fn = std::move(fn);
     heap_push(Entry{at, vtime, seq, slot});
     ++pending_;
+    if (pending_ > peak_pending_) peak_pending_ = pending_;
     ++scheduled_total_;
     return make_id(s.gen, slot);
   }
@@ -113,6 +114,13 @@ class EventQueue {
   /// Lifetime counters (operation-count metrics for the benches).
   std::uint64_t scheduled_total() const { return scheduled_total_; }
   std::uint64_t cancelled_total() const { return cancelled_total_; }
+
+  /// High-water mark of pending() since construction (or the last
+  /// relax_peak_pending()) — the event-queue memory peak, in events.
+  std::size_t peak_pending() const { return peak_pending_; }
+  /// Resets the high-water mark to the current pending count so one
+  /// run's peak can be measured on a reused queue.
+  void relax_peak_pending() { peak_pending_ = pending_; }
 
   /// Time of the next runnable event, or kTimeInfinity when empty.
   Time next_time() {
@@ -229,6 +237,7 @@ class EventQueue {
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   std::size_t pending_ = 0;
+  std::size_t peak_pending_ = 0;
   std::uint64_t scheduled_total_ = 0;
   std::uint64_t cancelled_total_ = 0;
 };

@@ -93,6 +93,9 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
   std::uint64_t events_scheduled() const { return queue_.scheduled_total(); }
   std::uint64_t events_cancelled() const { return queue_.cancelled_total(); }
+  /// High-water mark of pending_events() (see EventQueue::peak_pending).
+  std::size_t peak_pending_events() const { return queue_.peak_pending(); }
+  void relax_peak_pending() { queue_.relax_peak_pending(); }
 
  private:
   EventQueue queue_;

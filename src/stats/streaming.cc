@@ -1,0 +1,147 @@
+#include "stats/streaming.h"
+
+#include <algorithm>
+
+namespace pdq::stats {
+
+void LogHistogram::merge(const LogHistogram& o) {
+  if (o.alpha_ != alpha_) {
+    std::fprintf(stderr,
+                 "LogHistogram::merge: alpha mismatch (%g vs %g) — merged "
+                 "sketches must share one StreamingSpec\n",
+                 alpha_, o.alpha_);
+    std::exit(2);
+  }
+  count_ += o.count_;
+  zero_count_ += o.zero_count_;
+  for (const auto& [bin, c] : o.bins_) bins_[bin] += c;
+}
+
+double LogHistogram::quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  // Nearest-rank over the binned sample: same rank formula as
+  // nearest_rank_index, walked over cumulative bin counts.
+  const std::uint64_t rank = std::min<std::uint64_t>(
+      std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(
+              std::ceil(p * static_cast<double>(count_))),
+          1),
+      count_);
+  std::uint64_t cum = zero_count_;
+  if (rank <= cum) return 0.0;
+  for (const auto& [bin, c] : bins_) {
+    cum += c;
+    if (rank <= cum) {
+      // Mid-point estimate of (gamma^(bin-1), gamma^bin]: within
+      // relative error alpha of every value in the bin.
+      return 2.0 * std::pow(gamma_, static_cast<double>(bin)) /
+             (gamma_ + 1.0);
+    }
+  }
+  // Unreachable when counts are consistent.
+  return 0.0;
+}
+
+RunStats::RunStats(const StreamingSpec& spec, sim::Time window_lo,
+                   sim::Time window_hi)
+    : spec_(spec), window_lo_(window_lo), window_hi_(window_hi) {
+  // The goodput span starts at the window open, exactly like the vector
+  // path's span_end = w.lo seed.
+  span_end_ = window_lo;
+  buckets_.reserve(1 + spec_.size_buckets.size());
+  buckets_.emplace_back(spec_.quantile_alpha);  // full range
+  for (std::size_t i = 0; i < spec_.size_buckets.size(); ++i) {
+    buckets_.emplace_back(spec_.quantile_alpha);
+  }
+}
+
+void RunStats::add(const net::FlowResult& f, sim::Time end_time) {
+  ++flows_;
+  const bool completed = f.outcome == net::FlowOutcome::kCompleted;
+  double fct_ms = 0.0;
+  if (completed) {
+    ++completed_;
+    fct_ms = sim::to_millis(f.completion_time());
+    fct_sum_ms_ += fct_ms;
+    if (fct_ms > max_fct_ms_) max_fct_ms_ = fct_ms;
+  }
+  if (f.spec.has_deadline()) {
+    ++deadline_flows_;
+    if (f.deadline_met()) ++deadline_met_;
+  }
+
+  // Windowed accounting: flows *starting* in [window_lo, window_hi),
+  // the same membership test as metrics::in_window.
+  if (f.spec.start_time < window_lo_ || f.spec.start_time >= window_hi_) {
+    return;
+  }
+  win_bytes_acked_ += f.bytes_acked;
+  span_end_ = std::max(
+      span_end_,
+      f.finish_time == sim::kTimeInfinity ? end_time : f.finish_time);
+  if (f.spec.has_deadline()) {
+    ++win_deadline_flows_;
+    if (!f.deadline_met()) ++win_deadline_missed_;
+  }
+  if (completed) {
+    buckets_[0].add(fct_ms);
+    for (std::size_t i = 0; i < spec_.size_buckets.size(); ++i) {
+      const SizeBucket& b = spec_.size_buckets[i];
+      if (f.spec.size_bytes >= b.lo && f.spec.size_bytes < b.hi) {
+        buckets_[i + 1].add(fct_ms);
+      }
+    }
+  }
+}
+
+void RunStats::merge(const RunStats& o) {
+  if (o.buckets_.size() != buckets_.size()) {
+    std::fprintf(stderr,
+                 "RunStats::merge: bucket-count mismatch (%zu vs %zu) — "
+                 "merged runs must share one StreamingSpec\n",
+                 buckets_.size(), o.buckets_.size());
+    std::exit(2);
+  }
+  flows_ += o.flows_;
+  completed_ += o.completed_;
+  fct_sum_ms_ += o.fct_sum_ms_;
+  if (o.max_fct_ms_ > max_fct_ms_) max_fct_ms_ = o.max_fct_ms_;
+  deadline_flows_ += o.deadline_flows_;
+  deadline_met_ += o.deadline_met_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].merge(o.buckets_[i]);
+  }
+  win_bytes_acked_ += o.win_bytes_acked_;
+  // Merged goodput spans the union of the runs' accounting spans
+  // (sensible only when the merged runs share a window, which sharing
+  // one spec via merged_streaming guarantees).
+  span_end_ = std::max(span_end_, o.span_end_);
+  win_deadline_flows_ += o.win_deadline_flows_;
+  win_deadline_missed_ += o.win_deadline_missed_;
+}
+
+std::size_t RunStats::bucket_index(std::int64_t lo, std::int64_t hi) const {
+  if (lo == 0 && hi == std::numeric_limits<std::int64_t>::max()) return 0;
+  for (std::size_t i = 0; i < spec_.size_buckets.size(); ++i) {
+    if (spec_.size_buckets[i].lo == lo && spec_.size_buckets[i].hi == hi) {
+      return i + 1;
+    }
+  }
+  std::fprintf(stderr,
+               "RunStats: no size bucket [%lld, %lld) configured — add it "
+               "to StreamingSpec::size_buckets before using a "
+               "size-conditioned windowed metric in streaming mode\n",
+               static_cast<long long>(lo), static_cast<long long>(hi));
+  std::exit(2);
+}
+
+double RunStats::goodput_gbps() const {
+  // Same expression as the vector-path metrics::goodput_gbps: exact
+  // integer byte sum, span from window open to the last in-window
+  // flow's finish (or run end).
+  if (span_end_ <= window_lo_) return 0.0;
+  return static_cast<double>(win_bytes_acked_) * 8.0 /
+         sim::to_seconds(span_end_ - window_lo_) / 1e9;
+}
+
+}  // namespace pdq::stats

@@ -1,0 +1,276 @@
+// Streaming statistics: O(1)-memory, deterministic accumulators for
+// metrics over flow populations too large to materialize per-flow
+// result vectors (the 100k+-flow fig13 scale points; ROADMAP item 2b).
+//
+// Design constraints, in order:
+//  1. Bit-reproducible across insertion orders we control. Flows report
+//     at *termination* order, which differs between runs of different
+//     protocol stacks and from the creation order the vector path
+//     iterates in. Quantiles therefore use a fixed-gamma log-binned
+//     histogram (integer bin counts in a std::map — commutative by
+//     construction) rather than a t-digest, whose centroids depend on
+//     insertion order. Counts, maxima and integer byte sums are exactly
+//     order-independent; floating mean sums can differ by ULPs between
+//     orders (see docs/architecture.md "Streaming metrics").
+//  2. Mergeable: SweepRunner combines per-trial accumulators by adding
+//     bin counts / sums in trial order — deterministic for any thread
+//     count (sweep.h merged_streaming()).
+//  3. Same definitions as the vector path: nearest_rank() below is the
+//     single quantile definition shared by metrics::windowed_p99_fct_ms
+//     (vector path), FlowSimResult::p99_fct_ms() and the histogram walk.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "net/flow.h"
+#include "sim/time.h"
+
+namespace pdq::stats {
+
+/// Nearest-rank percentile index: rank = ceil(p * n), 1-based, clamped
+/// to [1, n]; returns the 0-based index into a sorted sample. This is
+/// the exact formula metrics::windowed_p99_fct_ms has always used.
+inline std::size_t nearest_rank_index(double p, std::size_t n) {
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+  return std::min(std::max<std::size_t>(rank, 1), n) - 1;
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+inline double nearest_rank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  return sorted[nearest_rank_index(p, sorted.size())];
+}
+
+/// Welford's online mean/variance. The running mean here is used for
+/// variance only; accumulators that must match the vector path's plain
+/// sum (RunStats) keep a separate naive sum.
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+
+  /// Chan et al. parallel combine; merge order must be fixed (trial
+  /// order) for bit-reproducibility.
+  void merge(const Welford& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double d = o.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += d * nb / n;
+    m2_ += o.m2_ + d * d * na * nb / n;
+    n_ += o.n_;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Population variance (0 for fewer than two samples).
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Fixed-gamma log-binned quantile histogram (the DDSketch bucketing):
+/// value x > 0 lands in bin i = ceil(log(x) / log(gamma)) with
+/// gamma = (1 + alpha) / (1 - alpha), and bin i reports the mid-point
+/// estimate 2 gamma^i / (gamma + 1), which is within relative error
+/// alpha of every value the bin covers. Bins are integer counts keyed
+/// by bin index, so insertion order and merge grouping cannot change
+/// the result. Non-positive values land in a dedicated zero bucket.
+/// Memory: O(log(max/min) / alpha) occupied bins — ~1350 for alpha=0.01
+/// over 12 decades — independent of the sample count.
+class LogHistogram {
+ public:
+  explicit LogHistogram(double alpha = 0.01)
+      : alpha_(alpha), gamma_((1.0 + alpha) / (1.0 - alpha)) {
+    inv_log_gamma_ = 1.0 / std::log(gamma_);
+  }
+
+  void add(double x) {
+    ++count_;
+    if (!(x > 0.0)) {
+      ++zero_count_;
+      return;
+    }
+    const auto bin =
+        static_cast<std::int32_t>(std::ceil(std::log(x) * inv_log_gamma_));
+    ++bins_[bin];
+  }
+
+  /// Adds the other histogram's bin counts (requires equal alpha).
+  void merge(const LogHistogram& o);
+
+  std::uint64_t count() const { return count_; }
+  double relative_error() const { return alpha_; }
+
+  /// Nearest-rank quantile estimate: walks the zero bucket then the
+  /// ascending bins to rank ceil(p * count). Within relative error
+  /// alpha of the exact nearest-rank statistic of the inserted sample.
+  double quantile(double p) const;
+
+  /// Occupied bins (for memory assertions in tests).
+  std::size_t bin_count() const { return bins_.size(); }
+
+ private:
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  std::uint64_t count_ = 0;
+  std::uint64_t zero_count_ = 0;
+  std::map<std::int32_t, std::uint64_t> bins_;  // ordered: quantile walk
+};
+
+/// A size bucket for windowed FCT metrics, matching the [lo, hi) bucket
+/// arguments of metrics::windowed_mean_fct_ms / windowed_p99_fct_ms.
+struct SizeBucket {
+  std::int64_t lo = 0;
+  std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+};
+
+/// Configuration for streaming-metrics mode (RunOptions::streaming /
+/// ExperimentSpec::streaming_metrics). The full-range bucket [0, max)
+/// is always tracked as bucket 0; list additional buckets only for the
+/// size-conditioned windowed metrics the experiment reads.
+struct StreamingSpec {
+  /// Quantile sketch relative-error bound (LogHistogram alpha).
+  double quantile_alpha = 0.01;
+  std::vector<SizeBucket> size_buckets;
+};
+
+/// Per-bucket windowed FCT accumulator.
+struct FctAccumulator {
+  std::uint64_t count = 0;
+  double sum_ms = 0.0;
+  double max_ms = 0.0;
+  Welford welford;
+  LogHistogram hist;
+
+  explicit FctAccumulator(double alpha = 0.01) : hist(alpha) {}
+
+  void add(double fct_ms) {
+    ++count;
+    sum_ms += fct_ms;
+    if (fct_ms > max_ms) max_ms = fct_ms;
+    welford.add(fct_ms);
+    hist.add(fct_ms);
+  }
+
+  void merge(const FctAccumulator& o) {
+    count += o.count;
+    sum_ms += o.sum_ms;
+    if (o.max_ms > max_ms) max_ms = o.max_ms;
+    welford.merge(o.welford);
+    hist.merge(o.hist);
+  }
+
+  double mean_ms() const {
+    return count == 0 ? 0.0 : sum_ms / static_cast<double>(count);
+  }
+  double p99_ms() const { return hist.quantile(0.99); }
+};
+
+/// The per-run streaming accumulator set: everything the RunResult
+/// metric helpers and the windowed metrics:: family need, fed one
+/// net::FlowResult at a time as flows terminate (or, for flows still
+/// pending at the horizon, once at the end of the run). Peak per-run
+/// memory is O(size_buckets * histogram bins), independent of the flow
+/// count.
+class RunStats {
+ public:
+  RunStats(const StreamingSpec& spec, sim::Time window_lo,
+           sim::Time window_hi);
+
+  /// Folds one finished (or horizon-pending) flow in. `end_time` is the
+  /// run's clock for flows with no finish time (pending at the horizon):
+  /// it extends the goodput accounting span exactly as the vector path
+  /// does.
+  void add(const net::FlowResult& f, sim::Time end_time);
+
+  /// Adds the other run's accumulators (same spec shape required).
+  /// Merge in a fixed order (trial order) for bit-reproducibility.
+  void merge(const RunStats& o);
+
+  // --- whole-run aggregates (the RunResult helper definitions) ---
+  std::size_t flows() const { return static_cast<std::size_t>(flows_); }
+  std::size_t completed() const {
+    return static_cast<std::size_t>(completed_);
+  }
+  double mean_fct_ms() const {
+    return completed_ == 0 ? 0.0
+                           : fct_sum_ms_ / static_cast<double>(completed_);
+  }
+  double max_fct_ms() const { return max_fct_ms_; }
+  double application_throughput() const {
+    if (deadline_flows_ == 0) return 100.0;
+    return 100.0 * static_cast<double>(deadline_met_) /
+           static_cast<double>(deadline_flows_);
+  }
+
+  // --- windowed metrics (the metrics:: definitions) ---
+  /// Bucket index for a [lo, hi) request: 0 for the full range,
+  /// 1 + position for a configured size bucket; exits with a
+  /// configuration error for an unknown bucket (add it to
+  /// StreamingSpec::size_buckets).
+  std::size_t bucket_index(std::int64_t lo, std::int64_t hi) const;
+  std::size_t num_buckets() const { return buckets_.size(); }
+  const FctAccumulator& bucket(std::size_t i) const { return buckets_[i]; }
+
+  double windowed_mean_fct_ms(std::size_t bucket = 0) const {
+    return buckets_[bucket].mean_ms();
+  }
+  double windowed_p99_fct_ms(std::size_t bucket = 0) const {
+    return buckets_[bucket].count == 0 ? 0.0 : buckets_[bucket].p99_ms();
+  }
+  double goodput_gbps() const;
+  double deadline_miss_percent() const {
+    if (win_deadline_flows_ == 0) return 0.0;
+    return 100.0 * static_cast<double>(win_deadline_missed_) /
+           static_cast<double>(win_deadline_flows_);
+  }
+
+  double quantile_alpha() const { return spec_.quantile_alpha; }
+  const StreamingSpec& spec() const { return spec_; }
+
+ private:
+  StreamingSpec spec_;
+  sim::Time window_lo_ = 0;
+  sim::Time window_hi_ = sim::kTimeInfinity;
+
+  // Whole-run counters (exactly order-independent except fct_sum_ms_,
+  // which can differ by ULPs between termination orders).
+  std::uint64_t flows_ = 0;
+  std::uint64_t completed_ = 0;
+  double fct_sum_ms_ = 0.0;
+  double max_fct_ms_ = 0.0;
+  std::uint64_t deadline_flows_ = 0;
+  std::uint64_t deadline_met_ = 0;
+
+  // Windowed accumulators. Goodput bytes are exact integer sums.
+  std::vector<FctAccumulator> buckets_;  // [0] = full range
+  std::int64_t win_bytes_acked_ = 0;
+  sim::Time span_end_ = 0;
+  std::uint64_t win_deadline_flows_ = 0;
+  std::uint64_t win_deadline_missed_ = 0;
+};
+
+}  // namespace pdq::stats

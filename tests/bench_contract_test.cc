@@ -1,0 +1,77 @@
+// Bench-layer contracts: the deliberate all_stacks() exclusion list and
+// the shared nearest-rank quantile definition exposed through
+// FlowSimResult::p99_fct_ms.
+#include "../bench/bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "flowsim/flowsim.h"
+#include "harness/registry.h"
+#include "stats/streaming.h"
+
+namespace pdq {
+namespace {
+
+TEST(AllStacks, ExcludesMpdqAndDctcpByDesign) {
+  // The default bench column set is the paper's seven single-path
+  // transports. "M-PDQ" and "DCTCP" exist in the registry but are
+  // excluded BY NAME: adding them would change the fig3/fig4 golden
+  // column sets (tests/bench_golden_test.cc). They are compared in
+  // their own figures (fig10 / fig15). This test pins the exclusion so
+  // a registry addition can't silently widen the historical tables.
+  const auto names = harness::StackRegistry::global().names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "M-PDQ"), names.end())
+      << "M-PDQ left the registry; update all_stacks() and this test";
+  EXPECT_NE(std::find(names.begin(), names.end(), "DCTCP"), names.end())
+      << "DCTCP left the registry; update all_stacks() and this test";
+
+  const auto stacks = bench::all_stacks();
+  EXPECT_EQ(std::find(stacks.begin(), stacks.end(), "M-PDQ"), stacks.end());
+  EXPECT_EQ(std::find(stacks.begin(), stacks.end(), "DCTCP"), stacks.end());
+  // Everything else in the registry is included, in registry order.
+  EXPECT_EQ(stacks.size(), names.size() - 2);
+  for (const auto& s : stacks) {
+    EXPECT_NE(std::find(names.begin(), names.end(), s), names.end()) << s;
+  }
+}
+
+TEST(FlowSimResult, P99UsesTheSharedNearestRankDefinition) {
+  flowsim::FlowSimResult r;
+  for (int i = 1; i <= 100; ++i) {
+    net::FlowResult f;
+    f.spec.id = i;
+    f.spec.start_time = 0;
+    f.outcome = net::FlowOutcome::kCompleted;
+    f.finish_time = i * sim::kMillisecond;
+    r.flows.push_back(f);
+  }
+  // Nearest rank: ceil(0.99 * 100) = 99 -> the 99th smallest FCT.
+  EXPECT_DOUBLE_EQ(r.p99_fct_ms(), 99.0);
+
+  // Terminated flows never count.
+  net::FlowResult t;
+  t.spec.id = 101;
+  t.outcome = net::FlowOutcome::kTerminated;
+  t.finish_time = 500 * sim::kMillisecond;
+  r.flows.push_back(t);
+  EXPECT_DOUBLE_EQ(r.p99_fct_ms(), 99.0);
+
+  // Empty result: 0, like stats::nearest_rank on an empty sample.
+  flowsim::FlowSimResult empty;
+  EXPECT_DOUBLE_EQ(empty.p99_fct_ms(), 0.0);
+
+  // The definition is literally stats::nearest_rank: one element, p99
+  // is that element (rank clamps to [1, n]).
+  flowsim::FlowSimResult one;
+  net::FlowResult f;
+  f.spec.id = 1;
+  f.outcome = net::FlowOutcome::kCompleted;
+  f.finish_time = 7 * sim::kMillisecond;
+  one.flows.push_back(f);
+  EXPECT_DOUBLE_EQ(one.p99_fct_ms(), 7.0);
+}
+
+}  // namespace
+}  // namespace pdq

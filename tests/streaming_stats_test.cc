@@ -1,0 +1,202 @@
+// Streaming-statistics primitives (src/stats): nearest-rank pin,
+// Welford, and the LogHistogram quantile sketch — including the
+// randomized property test pinning sketch quantiles to the exact
+// nearest-rank statistic within the documented relative-error bound.
+#include "stats/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace pdq::stats {
+namespace {
+
+TEST(NearestRank, MatchesTheHistoricalFormula) {
+  // rank = ceil(p * n), 1-based, clamped to [1, n] — the exact formula
+  // metrics::windowed_p99_fct_ms has always used.
+  EXPECT_EQ(nearest_rank_index(0.99, 1), 0u);
+  EXPECT_EQ(nearest_rank_index(0.99, 100), 98u);   // ceil(99) = 99
+  EXPECT_EQ(nearest_rank_index(0.99, 101), 99u);   // ceil(99.99) = 100
+  EXPECT_EQ(nearest_rank_index(0.99, 1000), 989u);
+  EXPECT_EQ(nearest_rank_index(0.5, 4), 1u);       // ceil(2) = 2
+  EXPECT_EQ(nearest_rank_index(1.0, 7), 6u);
+  EXPECT_EQ(nearest_rank_index(0.0, 7), 0u);       // clamped up to rank 1
+
+  EXPECT_DOUBLE_EQ(nearest_rank({}, 0.99), 0.0);
+  EXPECT_DOUBLE_EQ(nearest_rank({5.0}, 0.99), 5.0);
+  std::vector<double> v;
+  for (int i = 1; i <= 200; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(nearest_rank(v, 0.99), 198.0);
+}
+
+TEST(Welford, MeanAndVarianceMatchNaive) {
+  Welford w;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  double sum = 0.0;
+  for (double x : xs) {
+    w.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_EQ(w.count(), xs.size());
+  EXPECT_NEAR(w.mean(), mean, 1e-12);
+  EXPECT_NEAR(w.variance(), ss / static_cast<double>(xs.size()), 1e-12);
+}
+
+TEST(Welford, MergeEqualsSingleStream) {
+  sim::Rng rng(7);
+  Welford whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    whole.add(x);
+    (i < 200 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+
+  Welford empty;
+  empty.merge(whole);  // merge into empty adopts
+  EXPECT_EQ(empty.count(), whole.count());
+  EXPECT_DOUBLE_EQ(empty.mean(), whole.mean());
+}
+
+TEST(LogHistogram, QuantilesWithinAlphaOfExactNearestRank) {
+  // The property the streaming p99 column rests on: for arbitrary
+  // positive streams, every sketch quantile is within relative error
+  // alpha of the exact nearest-rank statistic of the same sample.
+  const double alpha = 0.01;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    sim::Rng rng(seed);
+    LogHistogram h(alpha);
+    std::vector<double> xs;
+    xs.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) {
+      // Heavy-tailed draw spanning ~6 decades, like FCT distributions:
+      // exp(u * ln(1e6)) * 0.01 ms.
+      const double x =
+          0.01 * std::exp(rng.uniform(0.0, 1.0) * std::log(1e6));
+      xs.push_back(x);
+      h.add(x);
+    }
+    std::sort(xs.begin(), xs.end());
+    for (double p : {0.5, 0.9, 0.99, 0.999}) {
+      const double exact = nearest_rank(xs, p);
+      const double est = h.quantile(p);
+      EXPECT_LE(std::abs(est - exact), alpha * exact)
+          << "seed " << seed << " p " << p;
+    }
+  }
+}
+
+TEST(LogHistogram, InsertionOrderCannotChangeAnything) {
+  sim::Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 2'000; ++i) xs.push_back(rng.uniform(0.001, 5000.0));
+
+  LogHistogram fwd, rev, shuffled;
+  for (double x : xs) fwd.add(x);
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) rev.add(*it);
+  // Deterministic shuffle (Fisher-Yates off the repo Rng).
+  std::vector<double> sh = xs;
+  for (std::size_t i = sh.size() - 1; i > 0; --i) {
+    std::swap(sh[i], sh[static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(i)))]);
+  }
+  for (double x : sh) shuffled.add(x);
+
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    // Bit-identical, not just close: bins are integer counts.
+    EXPECT_EQ(fwd.quantile(p), rev.quantile(p));
+    EXPECT_EQ(fwd.quantile(p), shuffled.quantile(p));
+  }
+  EXPECT_EQ(fwd.bin_count(), rev.bin_count());
+}
+
+TEST(LogHistogram, MergeEqualsSingleStreamBitForBit) {
+  sim::Rng rng(13);
+  LogHistogram whole, a, b, c;
+  for (int i = 0; i < 3'000; ++i) {
+    const double x = rng.uniform(0.01, 100.0);
+    whole.add(x);
+    (i % 3 == 0 ? a : (i % 3 == 1 ? b : c)).add(x);
+  }
+  a.merge(b);
+  a.merge(c);
+  EXPECT_EQ(a.count(), whole.count());
+  for (double p : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_EQ(a.quantile(p), whole.quantile(p));
+  }
+}
+
+TEST(LogHistogram, ZeroAndNegativeLandInTheZeroBucket) {
+  LogHistogram h;
+  h.add(0.0);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_EQ(h.count(), 3u);
+  // Rank 1 and 2 are the zero bucket; rank 3 is the real value.
+  EXPECT_DOUBLE_EQ(h.quantile(0.3), 0.0);
+  const double est = h.quantile(1.0);
+  EXPECT_LE(std::abs(est - 10.0), 0.01 * 10.0);
+}
+
+TEST(LogHistogram, MemoryIsBoundedByDecadesNotSamples) {
+  // 50k draws over 6 decades occupy O(log-range / alpha) bins — far
+  // fewer than the sample count (the whole point of the sketch).
+  sim::Rng rng(17);
+  LogHistogram h(0.01);
+  for (int i = 0; i < 50'000; ++i) {
+    h.add(std::exp(rng.uniform(0.0, 1.0) * std::log(1e6)));
+  }
+  EXPECT_LE(h.bin_count(), 1400u);
+  EXPECT_GT(h.bin_count(), 10u);
+}
+
+TEST(RunStats, BucketIndexAndMergeContract) {
+  StreamingSpec spec;
+  spec.size_buckets.push_back({0, 100'000});
+  spec.size_buckets.push_back({100'000, std::numeric_limits<std::int64_t>::max()});
+  RunStats a(spec, 0, sim::kTimeInfinity);
+  EXPECT_EQ(a.num_buckets(), 3u);  // full range + 2 configured
+  EXPECT_EQ(a.bucket_index(0, std::numeric_limits<std::int64_t>::max()), 0u);
+  EXPECT_EQ(a.bucket_index(0, 100'000), 1u);
+  EXPECT_EQ(
+      a.bucket_index(100'000, std::numeric_limits<std::int64_t>::max()), 2u);
+
+  net::FlowResult small;
+  small.spec.id = 1;
+  small.spec.size_bytes = 50'000;
+  small.spec.start_time = 0;
+  small.outcome = net::FlowOutcome::kCompleted;
+  small.finish_time = 10 * sim::kMillisecond;
+  small.bytes_acked = 50'000;
+  net::FlowResult big = small;
+  big.spec.id = 2;
+  big.spec.size_bytes = 500'000;
+  big.finish_time = 40 * sim::kMillisecond;
+  big.bytes_acked = 500'000;
+
+  RunStats b(spec, 0, sim::kTimeInfinity);
+  a.add(small, 50 * sim::kMillisecond);
+  b.add(big, 50 * sim::kMillisecond);
+  a.merge(b);
+  EXPECT_EQ(a.flows(), 2u);
+  EXPECT_EQ(a.completed(), 2u);
+  EXPECT_EQ(a.bucket(1).count, 1u);
+  EXPECT_EQ(a.bucket(2).count, 1u);
+  EXPECT_EQ(a.bucket(0).count, 2u);
+  EXPECT_NEAR(a.windowed_mean_fct_ms(1), 10.0, 1e-9);
+  EXPECT_NEAR(a.windowed_mean_fct_ms(2), 40.0, 1e-9);
+  EXPECT_NEAR(a.mean_fct_ms(), 25.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pdq::stats
