@@ -19,9 +19,17 @@
 // streaming-mode scale point — web-search sizes scaled 1:100 arriving
 // open-loop on a k=8 fat-tree, run with ExperimentSpec::streaming_metrics
 // so completed flows retire and per-flow memory stays bounded by the
-// *active* flow population. peak_flow_bytes (and pool_highwater) are the
-// gated CI artifacts; peak_pending is O(total flows) here by design (one
-// pre-scheduled creation event per flow) and is reported, not gated.
+// *active* flow population. Streaming runs chain flow-creation events
+// through reserved sequence numbers (scenario.cc), so peak_pending is
+// O(active) too; it joins peak_flow_bytes and pool_highwater as gated
+// CI artifacts.
+// Table 4 (fig13_scale_hybrid, --full or --scale): the hybrid
+// packet/fluid backend (RunOptions::hybrid) — elephants cross the fluid
+// middle at their equilibrium rates while mice and every scheduling
+// decision stay packet-level. Row 1 repeats Table 3's exact workload
+// with hybrid on, so its ev/flow drop is the like-for-like fast-forward
+// win; row 2 is the million-flow k=16 point. ev/flow is the headline
+// gated counter.
 #include <memory>
 
 #include "bench_common.h"
@@ -60,7 +68,8 @@ struct Point {
 // 100, mean ~17 KB) so 100k flows stay a minutes-scale single-core run
 // while keeping the mice/elephant shape. The flow count is baked into
 // the workload name (EngineCounterCache key contract).
-harness::Scenario scale_scenario(int num_flows) {
+harness::Scenario scale_scenario(int num_flows, int fat_tree_k = 8,
+                                 double arrivals_per_sec = 10'000.0) {
   // Keep the CDF alive for the loop: points() returns a reference into
   // the object, so iterating web_search().points() directly would walk
   // a destroyed temporary.
@@ -72,12 +81,14 @@ harness::Scenario scale_scenario(int num_flows) {
   workload::OpenLoopOptions w;
   w.num_flows = num_flows;
   w.size = workload::EmpiricalCdf::from_points(std::move(pts)).sampler();
-  w.arrivals = workload::ArrivalProcess::poisson(10'000.0);
+  w.arrivals = workload::ArrivalProcess::poisson(arrivals_per_sec);
   w.pattern = workload::staggered_prob(0.5, 4);
   harness::Scenario s;
-  s.topology = harness::TopologySpec::fat_tree(8);
-  s.workload = harness::WorkloadSpec::open_loop(
-      w, "ws-scaled100/" + std::to_string(num_flows / 1000) + "k");
+  s.topology = harness::TopologySpec::fat_tree(fat_tree_k);
+  const std::string count = num_flows >= 1'000'000
+                                ? std::to_string(num_flows / 1'000'000) + "M"
+                                : std::to_string(num_flows / 1000) + "k";
+  s.workload = harness::WorkloadSpec::open_loop(w, "ws-scaled100/" + count);
   s.options.horizon = 60 * sim::kSecond;
   return s;
 }
@@ -160,10 +171,9 @@ int main(int argc, char** argv) {
     std::printf(
         "\nFig 13 scale point (streaming metrics, PDQ(Full)): 100k\n"
         "open-loop flows, web-search sizes scaled 1:100, fat-tree k=8.\n"
-        "Flows retire at termination, so peak_flow_bytes tracks the\n"
-        "*active* population and stays sublinear in total flows;\n"
-        "peak_pending is O(total flows) by design (one pre-scheduled\n"
-        "creation event per flow) and is reported, not gated.\n\n");
+        "Flows retire at termination and creation events are chained\n"
+        "through reserved sequence numbers, so peak_flow_bytes AND\n"
+        "peak_pending both track the *active* population.\n\n");
     auto scale_cache = std::make_shared<EngineCounterCache>();
     harness::ExperimentSpec scale;
     scale.name = "fig13_scale_streaming";
@@ -178,6 +188,46 @@ int main(int argc, char** argv) {
     scale_pt.label = "ft8/100k";
     scale.points.push_back(std::move(scale_pt));
     run_and_report(scale, args, " %12.1f");
+  }
+
+  // --- Table 4: 1M-flow hybrid packet/fluid scale point ---
+  if (args.full || args.scale) {
+    std::printf(
+        "\nFig 13 hybrid scale points (PDQ(Full)): hybrid packet/fluid\n"
+        "backend — flows >= 128 KiB cross the fluid middle at\n"
+        "equilibrium rates (32 KiB packet head/tail keep admission,\n"
+        "preemption and the completion handshake packet-exact); mice\n"
+        "and deadline flows never leave the packet engine. Row 1 is the\n"
+        "*identical* workload as the Table 3 pure-packet run, so its\n"
+        "ev/flow drop is the backend's fast-forward win like-for-like;\n"
+        "row 2 is the million-flow k=16 point that is only tractable\n"
+        "with the fluid middle carrying the elephant bytes.\n\n");
+    auto hybrid = std::make_shared<harness::HybridSpec>();
+    hybrid->head_bytes = 32 * 1024;
+    hybrid->tail_bytes = 32 * 1024;
+    hybrid->min_fluid_bytes = 128 * 1024;
+    auto hybrid_cache = std::make_shared<EngineCounterCache>();
+    harness::ExperimentSpec mil;
+    mil.name = "fig13_scale_hybrid";
+    mil.axis = "flows";
+    mil.metric = harness::metrics::events_processed();
+    mil.trials = 1;
+    mil.base_seed = base_seed;
+    mil.base = scale_scenario(100'000);
+    mil.streaming_metrics = std::make_shared<const stats::StreamingSpec>();
+    mil.hybrid_backend = hybrid;
+    mil.columns = engine_counter_columns(hybrid_cache, "PDQ(Full)");
+    harness::SweepPoint same_as_t3;
+    same_as_t3.label = "ft8/100k";
+    mil.points.push_back(std::move(same_as_t3));
+    harness::SweepPoint mil_pt;
+    mil_pt.label = "ft16/1M";
+    mil_pt.apply = [](harness::Scenario& s) {
+      s = scale_scenario(1'000'000, /*fat_tree_k=*/16,
+                         /*arrivals_per_sec=*/100'000.0);
+    };
+    mil.points.push_back(std::move(mil_pt));
+    run_and_report(mil, args, " %12.1f");
   }
   return 0;
 }

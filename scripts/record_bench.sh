@@ -36,7 +36,7 @@ else
   echo "note: micro_core not built (Google Benchmark missing?); skipping" >&2
 fi
 
-echo "== fig13 quick sweep + streaming scale point (engine counters) =="
+echo "== fig13 quick sweep + streaming/hybrid scale points (engine counters) =="
 "$FIG13" --scale --json --no-csv --results-dir "$RESULTS"
 
 FIG14="$BUILD/bench/fig14_dynamic_traffic"
@@ -80,6 +80,7 @@ def load_counters(name):
 
 fig13 = load_counters("fig13_engine_counters.json")
 fig13_scale = load_counters("fig13_scale_streaming.json")
+fig13_hybrid = load_counters("fig13_scale_hybrid.json")
 fig14 = load_counters("fig14_engine_counters.json")
 fig15 = load_counters("fig15_engine_counters.json")
 with open(os.path.join(results_dir, "fig13_engine_counters.json")) as f:
@@ -102,6 +103,11 @@ doc = {
 }
 if fig13_scale is not None:
     doc["fig13_scale_streaming"] = fig13_scale
+if fig13_hybrid is not None:
+    # 1M-flow hybrid packet/fluid point (fig13 Table 4): ev/flow is the
+    # headline — the fluid middle removes per-packet events from
+    # elephant bytes.
+    doc["fig13_scale_hybrid"] = fig13_hybrid
 if fig14 is not None:
     doc["fig14_engine_counters"] = fig14
 if fig15 is not None:
@@ -111,7 +117,8 @@ if fig15 is not None:
 # entry is appended only when it belongs to a different commit, so
 # running this script twice between commits never eats history.
 COUNTER_KEYS = ("fig13_engine_counters", "fig13_scale_streaming",
-                "fig14_engine_counters", "fig15_engine_counters")
+                "fig13_scale_hybrid", "fig14_engine_counters",
+                "fig15_engine_counters")
 history = []
 if os.path.exists(out_path):
     with open(out_path) as f:

@@ -5,7 +5,6 @@
 #include <cmath>
 #include <limits>
 #include <tuple>
-#include <unordered_map>
 
 #include "stats/streaming.h"
 
@@ -20,10 +19,14 @@ std::uint64_t dir_key(net::NodeId a, net::NodeId b) {
 
 struct FlowLevelSimulator::Active {
   net::FlowSpec spec;
+  double total_bits = 0;
   double remaining_bits = 0;
   std::vector<std::size_t> links;  // directed link indices along the path
   double nic_bps = 0;
   double rate_bps = 0;
+  /// Per-flow arrival-to-first-bit latency: Options::init_latency
+  /// normally, 0 for flows handed off already-established.
+  sim::Time init_latency = 0;
   bool done = false;
   bool terminated = false;
   sim::Time finish = sim::kTimeInfinity;
@@ -81,33 +84,254 @@ std::size_t FlowSimResult::completed() const {
 
 FlowLevelSimulator::FlowLevelSimulator(net::Topology& topo, Options opts)
     : topo_(topo), opts_(opts) {
-  capacity_.reserve(topo_.links().size());
-  for (const auto& l : topo_.links())
-    capacity_.push_back(l->rate_bps * opts_.goodput_factor);
+  rebuild_network();
 }
 
-FlowSimResult FlowLevelSimulator::run(const std::vector<net::FlowSpec>& specs) {
-  // Directed (from,to) -> link index.
-  std::unordered_map<std::uint64_t, std::size_t> link_of;
+FlowLevelSimulator::~FlowLevelSimulator() = default;
+
+void FlowLevelSimulator::rebuild_network() {
+  topo_version_ = topo_.version();
+  capacity_.clear();
+  capacity_.reserve(topo_.links().size());
+  link_of_.clear();
   for (std::size_t i = 0; i < topo_.links().size(); ++i) {
     const auto& l = topo_.links()[i];
-    link_of[dir_key(l->from, l->to)] = i;
+    link_of_[dir_key(l->from, l->to)] = i;
+    // Administratively-down links carry nothing in the fluid model.
+    capacity_.push_back(l->up ? l->rate_bps * opts_.goodput_factor : 0.0);
   }
+}
 
-  std::vector<Active> flows;
-  flows.reserve(specs.size());
+void FlowLevelSimulator::ensure_network() {
+  if (topo_version_ == topo_.version()) return;
+  rebuild_network();
+  // Paths were resolved against the old topology: re-resolve every live
+  // flow. ECMP re-hashes around failures; a flow whose endpoints are now
+  // disconnected is terminated where it stands.
+  for (auto& f : flows_) {
+    if (f.done) continue;
+    if (!resolve_links(f)) {
+      f.done = true;
+      f.terminated = true;
+      f.finish = std::max(now_, f.spec.start_time);
+      --open_;
+    }
+  }
+}
+
+bool FlowLevelSimulator::resolve_links(Active& a) {
+  a.links.clear();
+  if (topo_.shortest_paths(a.spec.src, a.spec.dst).empty()) return false;
+  const auto path = topo_.ecmp_path(a.spec.id, a.spec.src, a.spec.dst);
+  for (std::size_t h = 0; h + 1 < path.size(); ++h)
+    a.links.push_back(link_of_.at(dir_key(path[h], path[h + 1])));
+  return true;
+}
+
+void FlowLevelSimulator::add_flow(const net::FlowSpec& spec,
+                                  double remaining_bits, double rate_hint_bps) {
+  ensure_network();
+  Active a;
+  a.spec = spec;
+  a.total_bits = remaining_bits >= 0
+                     ? remaining_bits
+                     : static_cast<double>(spec.size_bytes) * 8.0;
+  a.remaining_bits = a.total_bits;
+  a.nic_bps = topo_.host(spec.src).nic_rate_bps() * opts_.goodput_factor;
+  if (rate_hint_bps > 0.0) {
+    // Handed off mid-flow: already past admission, no 2-RTT ramp.
+    a.init_latency = 0;
+    a.rate_bps = std::min(rate_hint_bps, a.nic_bps);
+  } else {
+    a.init_latency = opts_.init_latency;
+  }
+  if (!resolve_links(a)) {
+    a.done = true;
+    a.terminated = true;
+    a.finish = std::max(now_, spec.start_time);
+    flows_.push_back(std::move(a));
+    return;
+  }
+  ++open_;
+  flows_.push_back(std::move(a));
+}
+
+void FlowLevelSimulator::step_once(sim::Time now,
+                                   std::vector<double>& residual) {
+  std::vector<Active*> active;
+  for (auto& f : flows_) {
+    if (f.done) continue;
+    // Early termination / quenching for deadline flows — gated on the
+    // flow's arrival: a not-yet-started flow has not entered the
+    // network, so it must not be terminated with finish < start_time.
+    if (opts_.early_termination && f.spec.has_deadline() &&
+        f.spec.start_time <= now) {
+      const sim::Time eta =
+          now + sim::from_seconds(f.remaining_bits / f.nic_bps);
+      if (now > f.deadline_abs() || eta > f.deadline_abs()) {
+        f.done = true;
+        f.terminated = true;
+        f.finish = now;
+        --open_;
+        continue;
+      }
+    }
+    if (f.spec.start_time + f.init_latency <= now) active.push_back(&f);
+  }
+  if (active.empty()) return;
+
+  sim::Time t = now;
+  const sim::Time step_end = now + opts_.step;
+  while (t < step_end && !active.empty()) {
+    residual = capacity_;
+    allocate(active, t, residual);
+
+    // Advance to the earliest completion inside this step, or to the
+    // step boundary.
+    sim::Time dt = step_end - t;
+    for (Active* f : active) {
+      if (f->rate_bps > 0) {
+        dt = std::min(dt, sim::from_seconds(f->remaining_bits / f->rate_bps));
+      }
+    }
+    dt = std::max<sim::Time>(dt, 1);
+    const double dt_s = sim::to_seconds(dt);
+
+    std::vector<Active*> still;
+    for (Active* f : active) {
+      if (f->rate_bps <= 0) {
+        still.push_back(f);
+        continue;
+      }
+      const double sent = f->rate_bps * dt_s;
+      if (sent >= f->remaining_bits - 1e-6) {
+        f->finish = t + dt;
+        f->remaining_bits = 0;
+        f->done = true;
+        --open_;
+      } else {
+        f->remaining_bits -= sent;
+        still.push_back(f);
+      }
+    }
+    active.swap(still);
+    t += dt;
+  }
+}
+
+void FlowLevelSimulator::allocate(std::vector<Active*>& active, sim::Time now,
+                                  std::vector<double>& residual) {
+  switch (opts_.model) {
+    case Model::kPdq:
+      allocate_pdq(active, now, residual);
+      break;
+    case Model::kRcp:
+      allocate_maxmin(active, residual);
+      break;
+    case Model::kD3:
+      allocate_d3(active, now, residual);
+      break;
+  }
+}
+
+void FlowLevelSimulator::compact_done() {
+  if (retain_all_) return;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < flows_.size(); ++r) {
+    Active& f = flows_[r];
+    if (f.done) {
+      Completion c;
+      c.result.spec = f.spec;
+      c.last_rate_bps = f.rate_bps;
+      if (f.terminated) {
+        c.result.outcome = net::FlowOutcome::kTerminated;
+        c.result.finish_time = f.finish;
+        c.result.bytes_acked = static_cast<std::int64_t>(
+            (f.total_bits - f.remaining_bits) / 8.0);
+      } else {
+        c.result.outcome = net::FlowOutcome::kCompleted;
+        c.result.finish_time = f.finish;
+        c.result.bytes_acked =
+            static_cast<std::int64_t>(f.total_bits / 8.0 + 0.5);
+      }
+      completions_.push_back(std::move(c));
+    } else {
+      if (w != r) flows_[w] = std::move(f);
+      ++w;
+    }
+  }
+  flows_.resize(w);
+}
+
+void FlowLevelSimulator::advance(sim::Time until) {
+  ensure_network();
+  std::vector<double> residual(capacity_.size());
+  while (now_ < until && now_ < opts_.horizon) {
+    if (open_ == 0) {
+      // Nothing can make progress: fast-forward the fluid clock.
+      now_ = std::min(until, opts_.horizon);
+      break;
+    }
+    step_once(now_, residual);
+    now_ += opts_.step;
+  }
+  compact_done();
+}
+
+std::vector<FlowLevelSimulator::Completion>
+FlowLevelSimulator::drain_completions() {
+  std::vector<Completion> out;
+  out.swap(completions_);
+  return out;
+}
+
+std::vector<FlowLevelSimulator::ActiveView>
+FlowLevelSimulator::active_snapshot() const {
+  std::vector<ActiveView> out;
+  out.reserve(open_);
+  for (const auto& f : flows_) {
+    if (f.done) continue;
+    out.push_back({f.spec.id, f.remaining_bits, f.rate_bps});
+  }
+  return out;
+}
+
+std::vector<double> FlowLevelSimulator::equilibrium_rates(
+    const std::vector<net::FlowSpec>& specs, sim::Time at) {
+  ensure_network();
+  std::vector<Active> scratch;
+  scratch.reserve(specs.size());
   for (const auto& s : specs) {
     Active a;
     a.spec = s;
-    a.remaining_bits = static_cast<double>(s.size_bytes) * 8.0;
-    const auto path = topo_.ecmp_path(s.id, s.src, s.dst);
-    for (std::size_t h = 0; h + 1 < path.size(); ++h)
-      a.links.push_back(link_of.at(dir_key(path[h], path[h + 1])));
+    a.total_bits = static_cast<double>(s.size_bytes) * 8.0;
+    a.remaining_bits = a.total_bits;
     a.nic_bps = topo_.host(s.src).nic_rate_bps() * opts_.goodput_factor;
-    flows.push_back(std::move(a));
+    resolve_links(a);  // disconnected -> no links -> NIC-limited
+    scratch.push_back(std::move(a));
   }
+  std::vector<Active*> active;
+  for (auto& a : scratch) active.push_back(&a);
+  std::vector<double> residual = capacity_;
+  allocate(active, at, residual);
+  std::vector<double> out;
+  out.reserve(scratch.size());
+  for (const auto& a : scratch) out.push_back(a.rate_bps);
+  return out;
+}
 
-  std::size_t open = flows.size();
+FlowSimResult FlowLevelSimulator::run(const std::vector<net::FlowSpec>& specs) {
+  // Each run() is a fresh one-shot evaluation: reset any steppable state
+  // and keep finished flows in place so results come out in spec order.
+  flows_.clear();
+  completions_.clear();
+  open_ = 0;
+  now_ = 0;
+  retain_all_ = true;
+  ensure_network();
+  flows_.reserve(specs.size());
+  for (const auto& s : specs) add_flow(s);
+
   std::vector<double> residual(capacity_.size());
 
   // Arrivals, terminations and rate recomputation happen on the 1 ms
@@ -115,80 +339,12 @@ FlowSimResult FlowLevelSimulator::run(const std::vector<net::FlowSpec>& specs) {
   // that capacity freed by a finishing flow is immediately reusable
   // (otherwise serialized schedules like PDQ's would lose the tail of
   // every step).
-  for (sim::Time now = 0; now < opts_.horizon && open > 0;
-       now += opts_.step) {
-    std::vector<Active*> active;
-    for (auto& f : flows) {
-      if (f.done) continue;
-      // Early termination / quenching for deadline flows.
-      if (opts_.early_termination && f.spec.has_deadline()) {
-        const sim::Time eta =
-            now + sim::from_seconds(f.remaining_bits / f.nic_bps);
-        if (now > f.deadline_abs() || eta > f.deadline_abs()) {
-          f.done = true;
-          f.terminated = true;
-          f.finish = now;
-          --open;
-          continue;
-        }
-      }
-      if (f.spec.start_time + opts_.init_latency <= now) active.push_back(&f);
-    }
-    if (active.empty()) continue;
-
-    sim::Time t = now;
-    const sim::Time step_end = now + opts_.step;
-    while (t < step_end && !active.empty()) {
-      residual = capacity_;
-      switch (opts_.model) {
-        case Model::kPdq:
-          allocate_pdq(active, t, residual);
-          break;
-        case Model::kRcp:
-          allocate_maxmin(active, residual);
-          break;
-        case Model::kD3:
-          allocate_d3(active, t, residual);
-          break;
-      }
-
-      // Advance to the earliest completion inside this step, or to the
-      // step boundary.
-      sim::Time dt = step_end - t;
-      for (Active* f : active) {
-        if (f->rate_bps > 0) {
-          dt = std::min(dt,
-                        sim::from_seconds(f->remaining_bits / f->rate_bps));
-        }
-      }
-      dt = std::max<sim::Time>(dt, 1);
-      const double dt_s = sim::to_seconds(dt);
-
-      std::vector<Active*> still;
-      for (Active* f : active) {
-        if (f->rate_bps <= 0) {
-          still.push_back(f);
-          continue;
-        }
-        const double sent = f->rate_bps * dt_s;
-        if (sent >= f->remaining_bits - 1e-6) {
-          f->finish = t + dt;
-          f->remaining_bits = 0;
-          f->done = true;
-          --open;
-        } else {
-          f->remaining_bits -= sent;
-          still.push_back(f);
-        }
-      }
-      active.swap(still);
-      t += dt;
-    }
-  }
+  for (now_ = 0; now_ < opts_.horizon && open_ > 0; now_ += opts_.step)
+    step_once(now_, residual);
 
   FlowSimResult out;
   sim::Time end = 0;
-  for (const auto& f : flows) {
+  for (const auto& f : flows_) {
     net::FlowResult r;
     r.spec = f.spec;
     if (f.done && !f.terminated) {
@@ -203,6 +359,9 @@ FlowSimResult FlowLevelSimulator::run(const std::vector<net::FlowSpec>& specs) {
     out.flows.push_back(r);
   }
   out.end_time = end;
+  flows_.clear();
+  open_ = 0;
+  retain_all_ = false;
   return out;
 }
 

@@ -11,8 +11,22 @@
 // Protocol inefficiencies the paper keeps: 2-RTT flow initialization
 // latency and ~3% header overhead. Packet dynamics (loss, timeouts) are
 // not modelled.
+//
+// Two driving modes share the same per-step arithmetic:
+//  - run(specs): the historical one-shot column evaluator.
+//  - add_flow / advance / drain_completions: the steppable API used by
+//    the harness's hybrid packet/fluid backend (docs/architecture.md,
+//    "Hybrid packet/fluid backend") — flows enter and leave while the
+//    packet simulation is running, and finished flows are compacted away
+//    so memory tracks the *active* population.
+// Link capacities and cached ECMP paths are refreshed whenever
+// Topology::version() changes (add_duplex_link / set_link_state), so
+// PR-5 failure timelines are honored; a live flow whose path disappears
+// is terminated.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "net/flow.h"
@@ -59,8 +73,57 @@ class FlowLevelSimulator {
   /// `topo` provides link capacities and ECMP paths; no packet machinery
   /// is used.
   FlowLevelSimulator(net::Topology& topo, Options opts);
+  // Out-of-line: flows_ holds the private Active type, incomplete here.
+  ~FlowLevelSimulator();
 
   FlowSimResult run(const std::vector<net::FlowSpec>& specs);
+
+  // --- steppable API (hybrid backend) -------------------------------
+
+  /// A flow that finished inside the fluid model. `result.bytes_acked`
+  /// counts only bytes delivered *by the fluid segment* (the harness
+  /// adds its packet-segment bytes back); `last_rate_bps` is the flow's
+  /// equilibrium rate at the finishing step — the seed for the packet
+  /// tail segment.
+  struct Completion {
+    net::FlowResult result;
+    double last_rate_bps = 0.0;
+  };
+
+  /// Admit a flow. `remaining_bits < 0` means the full `spec.size_bytes`.
+  /// `rate_hint_bps > 0` marks the flow as already established (it went
+  /// through packet-level admission): the 2-RTT init latency is skipped
+  /// and the hint is its rate until the next grid allocation. A flow
+  /// with no path (disconnected src/dst) is terminated immediately.
+  void add_flow(const net::FlowSpec& spec, double remaining_bits = -1.0,
+                double rate_hint_bps = 0.0);
+
+  /// Advance the fluid clock to `until` (absolute time), running every
+  /// whole grid step in (now, until]. Finished flows move to the
+  /// completion queue and are compacted out of the active set.
+  void advance(sim::Time until);
+
+  /// Flows finished since the last drain, in finishing order.
+  std::vector<Completion> drain_completions();
+
+  std::size_t active_flows() const { return open_; }
+  sim::Time fluid_now() const { return now_; }
+
+  /// Snapshot of live (not yet finished) flows — the harness folds these
+  /// as still-pending at the run horizon.
+  struct ActiveView {
+    net::FlowId id = net::kInvalidFlow;
+    double remaining_bits = 0;
+    double rate_bps = 0;
+  };
+  std::vector<ActiveView> active_snapshot() const;
+
+  /// One allocation round of the configured model at time `at` against a
+  /// fresh copy of the link capacities, with every spec treated as
+  /// active (arrival gates ignored). Returns rates in spec order —
+  /// the unit-test surface for allocate_pdq/allocate_maxmin/allocate_d3.
+  std::vector<double> equilibrium_rates(const std::vector<net::FlowSpec>& specs,
+                                        sim::Time at = 0);
 
  private:
   struct Active;
@@ -70,10 +133,34 @@ class FlowLevelSimulator {
                        std::vector<double>& residual);
   void allocate_d3(std::vector<Active*>& active, sim::Time now,
                    std::vector<double>& residual);
+  void allocate(std::vector<Active*>& active, sim::Time now,
+                std::vector<double>& residual);
+  /// Rebuild capacities + directed-link map and re-resolve every live
+  /// flow's path when Topology::version() moved (set_link_state /
+  /// add_duplex_link). Live flows left with no path are terminated.
+  void ensure_network();
+  void rebuild_network();
+  /// Resolve `a.links` from the topology's current ECMP paths; false if
+  /// src/dst are disconnected.
+  bool resolve_links(Active& a);
+  /// One grid step starting at `now` (arrival gate + quenching + the
+  /// completion-by-completion inner loop).
+  void step_once(sim::Time now, std::vector<double>& residual);
+  /// Move finished flows to completions_ (steppable mode only; run()
+  /// keeps them in place for spec-order result collection).
+  void compact_done();
 
   net::Topology& topo_;
   Options opts_;
   std::vector<double> capacity_;  // per directed link, bps (after overhead)
+  std::unordered_map<std::uint64_t, std::size_t> link_of_;  // directed key
+  std::uint64_t topo_version_ = 0;
+
+  std::vector<Active> flows_;
+  std::vector<Completion> completions_;
+  std::size_t open_ = 0;   // flows not yet done
+  sim::Time now_ = 0;      // fluid clock: next grid step start
+  bool retain_all_ = false;  // run(): keep finished flows in flows_
 };
 
 }  // namespace pdq::flowsim

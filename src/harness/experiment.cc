@@ -297,9 +297,11 @@ MetricSpec windowed_mean_fct_ms(std::int64_t bucket_lo,
             }
             const auto fcts = windowed_fcts_ms(c, bucket_lo, bucket_hi);
             if (fcts.empty()) return 0.0;
-            double sum = 0;
-            for (double v : fcts) sum += v;
-            return sum / static_cast<double>(fcts.size());
+            // Compensated like the streaming accumulator, so the two
+            // representations agree bit-for-bit, not just to a ULP.
+            stats::CompensatedSum sum;
+            for (double v : fcts) sum.add(v);
+            return sum.value() / static_cast<double>(fcts.size());
           }};
 }
 

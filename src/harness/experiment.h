@@ -242,6 +242,11 @@ struct ExperimentSpec {
   /// the scenario wholesale still stream. The windowed size-bucket
   /// metrics require their [lo, hi) buckets listed in the spec.
   std::shared_ptr<const stats::StreamingSpec> streaming_metrics;
+  /// Non-null: every run uses the hybrid packet/fluid fast-forward
+  /// backend (RunOptions::hybrid; see HybridSpec in harness/scenario.h).
+  /// Requires streaming_metrics. Applied after each SweepPoint's
+  /// `apply`, like streaming_metrics.
+  std::shared_ptr<const HybridSpec> hybrid_backend;
 };
 
 }  // namespace pdq::harness

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <unordered_map>
 
+#include "flowsim/flowsim.h"
 #include "harness/timeline.h"
 #include "net/packet_pool.h"
 #include "stats/streaming.h"
@@ -11,15 +16,17 @@ namespace pdq::harness {
 
 double RunResult::mean_fct_ms() const {
   if (streaming != nullptr) return streaming->mean_fct_ms();
-  double sum = 0;
+  // Compensated, like the streaming accumulator: both paths produce the
+  // correctly-rounded sum, so streaming==vector holds exactly.
+  stats::CompensatedSum sum;
   std::size_t n = 0;
   for (const auto& f : flows) {
     if (f.outcome == net::FlowOutcome::kCompleted) {
-      sum += sim::to_millis(f.completion_time());
+      sum.add(sim::to_millis(f.completion_time()));
       ++n;
     }
   }
-  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  return n == 0 ? 0.0 : sum.value() / static_cast<double>(n);
 }
 
 double RunResult::max_fct_ms() const {
@@ -123,6 +130,66 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
   const bool streaming = opts.streaming != nullptr;
   assert(!(streaming && opts.per_flow_series) &&
          "per-flow series needs per-flow agents for the whole run");
+  const bool hybrid = opts.hybrid != nullptr;
+  if (hybrid && !streaming) {
+    std::fprintf(stderr,
+                 "run_prepared: the hybrid packet/fluid backend requires "
+                 "streaming-metrics mode (RunOptions::streaming) — per-flow "
+                 "result vectors would defeat its O(active-flows) memory\n");
+    std::exit(2);
+  }
+
+  // ---- hybrid packet/fluid fast-forward state (opts.hybrid) ----
+  // Eligible flows live in three segments: a packet head (admission +
+  // ramp-up), a fluid middle on the S5.5 model's grid, and a packet tail
+  // (the last ~2 RTTs: TERM handshake, completion). `phase` tracks where
+  // each slot is; `hyb_seg` is the size the *current* packet segment
+  // materializes with; `hyb_done` accumulates bytes delivered by earlier
+  // segments so folded FlowResults describe the whole flow. The tail
+  // attaches under a *derived* FlowId (`attach_id`): the head's id must
+  // not be reused, or a head-segment packet still queued somewhere in
+  // the fabric (a TERM delayed behind a congested NIC longer than the
+  // fluid middle lasts) would be delivered to the tail's agents — a
+  // stale TERM marks the live tail receiver retirable, the sweep frees
+  // it, and the tail sender then stalls forever (and, under PDQ, its
+  // ghost allocation starves every flow sharing its hosts). With a
+  // fresh id, stragglers addressed to the head find no agent and drop
+  // silently (node.cc).
+  enum class HybridPhase : std::uint8_t { kNone, kHead, kFluid, kTail };
+  constexpr net::FlowId kHybridTailIdOffset = net::FlowId{1} << 40;
+  std::vector<HybridPhase> phase;
+  std::vector<std::int64_t> hyb_seg;
+  std::vector<std::int64_t> hyb_done;
+  std::vector<net::FlowId> attach_id;  // id the current segment attaches as
+  std::unique_ptr<flowsim::FlowLevelSimulator> fluid;
+  std::unordered_map<net::FlowId, std::size_t> fluid_slot;
+  std::int64_t hyb_head = 0, hyb_tail = 0, hyb_min = 0;
+  if (hybrid) {
+    hyb_head = std::max<std::int64_t>(opts.hybrid->head_bytes, 1);
+    hyb_tail = std::max<std::int64_t>(opts.hybrid->tail_bytes, 1);
+    hyb_min = std::max(opts.hybrid->min_fluid_bytes, hyb_head + hyb_tail + 1);
+    flowsim::Model model = flowsim::Model::kRcp;
+    if (opts.hybrid->model.has_value()) {
+      model = *opts.hybrid->model;
+    } else {
+      const std::string n = stack.name();
+      if (n.rfind("PDQ", 0) == 0 || n.rfind("M-PDQ", 0) == 0) {
+        model = flowsim::Model::kPdq;
+      } else if (n.rfind("D3", 0) == 0) {
+        model = flowsim::Model::kD3;
+      }
+    }
+    flowsim::Options fo;
+    fo.model = model;
+    fo.step = opts.hybrid->grid;
+    fo.horizon = opts.horizon;
+    fluid = std::make_unique<flowsim::FlowLevelSimulator>(topo, fo);
+  }
+  const auto hyb_eligible = [&](const net::FlowSpec& f) {
+    // Deadline flows never leave the packet engine: quenching/Early
+    // Termination and Application Throughput stay exact.
+    return hybrid && !f.has_deadline() && f.size_bytes >= hyb_min;
+  };
   // Measurement window for the windowed streaming metrics — the same
   // [warmup, measure_end) the vector path's metrics:: family derives
   // from the timeline (whole run when there is none).
@@ -163,10 +230,13 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
       const std::size_t idx = retire_ready[k];
       FlowSlot& slot = slots[idx];
       const net::FlowSpec& spec = sender_specs[idx];
+      // Hybrid tails attach under a derived id — detach what was
+      // attached, not the whole-flow spec's id.
+      const net::FlowId aid = hybrid ? attach_id[idx] : spec.id;
       if (slot.sender != nullptr && slot.sender_done &&
           slot.sender->retirable()) {
         slot.sender->quiesce();
-        topo.host(spec.src).detach_sender(spec.id);
+        topo.host(spec.src).detach_sender(aid);
         cur_flow_bytes -= slot.sender_bytes;
         senders[idx] = nullptr;
         sender_routes[idx] = nullptr;
@@ -174,7 +244,7 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
       }
       if (slot.receiver != nullptr && slot.receiver->retirable()) {
         slot.receiver->quiesce();
-        topo.host(spec.dst).detach_receiver(spec.id);
+        topo.host(spec.dst).detach_receiver(aid);
         cur_flow_bytes -= slot.receiver_bytes;
         slot.receiver.reset();
       }
@@ -182,21 +252,32 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     retire_ready.clear();
   };
 
+  // Hybrid segment completions route through here instead of the plain
+  // streaming fold (assigned after the helpers below; declared first so
+  // materialize's on_done closure can reference it).
+  std::function<void(std::size_t, const net::FlowResult&)> hybrid_segment_done;
+
   // Builds and attaches the agent pair for flow slot `idx`. The default
   // path calls this synchronously from add_flow — construction order,
   // route-cache fills and the event sequence all identical to the
   // historical code; streaming mode calls it from the flow's start
-  // event.
+  // event. Hybrid flows materialize with their current packet-segment
+  // size (head or tail) in place of the full flow size.
   std::function<void(std::size_t)> materialize = [&](std::size_t idx) {
-    const net::FlowSpec f = sender_specs[idx];
+    net::FlowSpec f = sender_specs[idx];
+    if (hybrid && phase[idx] != HybridPhase::kNone) {
+      f.size_bytes = hyb_seg[idx];
+      f.id = attach_id[idx];
+    }
     if (streaming && topo.shortest_paths(f.src, f.dst).empty()) {
       // Deferred construction can land inside a link outage the default
       // path would have handled via reroute (agents built before the
       // failure): record the flow terminated-at-start.
       net::FlowResult r;
-      r.spec = f;
+      r.spec = sender_specs[idx];
       r.outcome = net::FlowOutcome::kTerminated;
       r.finish_time = simulator.now();
+      if (hybrid) r.bytes_acked = hyb_done[idx];
       run_stats->add(r, simulator.now());
       slots[idx].sender_done = true;
       if (--remaining == 0 && timeline_pending == 0) simulator.stop();
@@ -226,6 +307,10 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     sctx.route = topo.ecmp_route(f.id, f.src, f.dst);
     if (streaming) {
       sctx.on_done = [&, idx](const net::FlowResult& r) {
+        if (hybrid && phase[idx] != HybridPhase::kNone) {
+          hybrid_segment_done(idx, r);
+          return;
+        }
         run_stats->add(r, simulator.now());
         slots[idx].sender_done = true;
         retire_ready.push_back(idx);
@@ -252,14 +337,139 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     slot.sender = std::move(sender);
   };
 
-  const auto add_flow = [&](const net::FlowSpec& f) {
+  // ---- hybrid handoff helpers ----
+  // Folds a whole-flow result: the one place hybrid flows finish.
+  const auto finish_flow_fold = [&](std::size_t idx,
+                                    const net::FlowResult& r) {
+    run_stats->add(r, simulator.now());
+    slots[idx].sender_done = true;
+    retire_ready.push_back(idx);
+    schedule_sweep();
+    if (--remaining == 0 && timeline_pending == 0) simulator.stop();
+  };
+  // Force-releases whatever head-segment agents are still attached
+  // before the tail segment re-attaches under the same FlowId. The
+  // retirement sweep normally got them already; stacks whose receivers
+  // never self-retire (TCP family) leave one behind.
+  const auto release_agents = [&](std::size_t idx) {
+    FlowSlot& slot = slots[idx];
+    const net::FlowSpec& spec = sender_specs[idx];
+    const net::FlowId aid = attach_id[idx];
+    if (slot.sender != nullptr) {
+      slot.sender->quiesce();
+      topo.host(spec.src).detach_sender(aid);
+      cur_flow_bytes -= slot.sender_bytes;
+      senders[idx] = nullptr;
+      sender_routes[idx] = nullptr;
+      slot.sender.reset();
+    }
+    if (slot.receiver != nullptr) {
+      slot.receiver->quiesce();
+      topo.host(spec.dst).detach_receiver(aid);
+      cur_flow_bytes -= slot.receiver_bytes;
+      slot.receiver.reset();
+    }
+  };
+  // The fluid grid tick: one pending event at a time, re-armed while
+  // the fluid model holds live flows.
+  std::function<void()> fluid_tick;
+  bool fluid_tick_pending = false;
+  const auto arm_fluid_tick = [&] {
+    if (fluid_tick_pending) return;
+    fluid_tick_pending = true;
+    simulator.schedule_in(opts.hybrid->grid, [&fluid_tick] { fluid_tick(); });
+  };
+  // Fluid middle finished: start the packet tail (or fold a fluid
+  // termination — a failure timeline cut the path).
+  const auto start_tail = [&](std::size_t idx,
+                              const flowsim::FlowLevelSimulator::Completion&
+                                  c) {
+    if (c.result.outcome != net::FlowOutcome::kCompleted) {
+      net::FlowResult full;
+      full.spec = sender_specs[idx];
+      full.outcome = net::FlowOutcome::kTerminated;
+      full.finish_time = c.result.finish_time;
+      full.bytes_acked = hyb_done[idx] + c.result.bytes_acked;
+      finish_flow_fold(idx, full);
+      return;
+    }
+    hyb_done[idx] += c.result.bytes_acked;
+    phase[idx] = HybridPhase::kTail;
+    hyb_seg[idx] = hyb_tail;
+    release_agents(idx);
+    attach_id[idx] = sender_specs[idx].id + kHybridTailIdOffset;
+    slots[idx].sender_done = false;
+    materialize(idx);
+    if (senders[idx] != nullptr) {
+      // Resume at the fluid equilibrium rate instead of re-ramping
+      // (seed_rate applies only if on_start() granted nothing).
+      senders[idx]->start();
+      senders[idx]->seed_rate(c.last_rate_bps);
+    }
+  };
+  fluid_tick = [&] {
+    fluid_tick_pending = false;
+    fluid->advance(simulator.now());
+    for (const auto& c : fluid->drain_completions()) {
+      const auto it = fluid_slot.find(c.result.spec.id);
+      assert(it != fluid_slot.end());
+      const std::size_t idx = it->second;
+      fluid_slot.erase(it);
+      start_tail(idx, c);
+    }
+    if (fluid->active_flows() > 0) arm_fluid_tick();
+  };
+  hybrid_segment_done = [&](std::size_t idx, const net::FlowResult& r) {
+    const net::FlowSpec& orig = sender_specs[idx];
+    if (phase[idx] == HybridPhase::kHead &&
+        r.outcome == net::FlowOutcome::kCompleted) {
+      // Head done: hand the middle to the fluid model, seeded with the
+      // sender's last granted rate (established — no 2-RTT ramp).
+      const double seed = senders[idx]->handoff_rate_bps();
+      hyb_done[idx] = r.bytes_acked;
+      phase[idx] = HybridPhase::kFluid;
+      // Head agents are spent; retire them without folding stats.
+      slots[idx].sender_done = true;
+      retire_ready.push_back(idx);
+      schedule_sweep();
+      net::FlowSpec mid = orig;
+      mid.start_time = simulator.now();
+      const double mid_bits =
+          static_cast<double>(orig.size_bytes - hyb_head - hyb_tail) * 8.0;
+      fluid_slot[orig.id] = idx;
+      fluid->add_flow(mid, mid_bits, seed);
+      arm_fluid_tick();
+      return;
+    }
+    // Tail completion — or a segment terminated by a failure timeline:
+    // either way the whole flow is finished; rewrite the segment result
+    // to the whole-flow view.
+    net::FlowResult full = r;
+    full.spec = orig;
+    full.bytes_acked = r.bytes_acked + hyb_done[idx];
+    finish_flow_fold(idx, full);
+  };
+
+  // Appends the bookkeeping slot for one flow; scheduling is separate
+  // so the initial flow set can chain its creation events.
+  const auto add_slot = [&](const net::FlowSpec& f) {
     assert(f.id != net::kInvalidFlow && f.src != f.dst);
     ++remaining;
-    const std::size_t idx = slots.size();
     slots.emplace_back();
     senders.push_back(nullptr);
     sender_specs.push_back(f);
     sender_routes.push_back(nullptr);
+    if (hybrid) {
+      const bool h = hyb_eligible(f);
+      phase.push_back(h ? HybridPhase::kHead : HybridPhase::kNone);
+      hyb_seg.push_back(h ? hyb_head : 0);
+      hyb_done.push_back(0);
+      attach_id.push_back(f.id);
+    }
+    return slots.size() - 1;
+  };
+  const auto add_flow = [&](const net::FlowSpec& f) {
+    const std::size_t idx = add_slot(f);
     if (streaming) {
       // One creation event replaces the one start event, 1:1, so the
       // event-sequence stream keeps the same shape as the default path.
@@ -273,7 +483,49 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
                             [a = senders[idx]] { a->start(); });
     }
   };
-  for (const auto& f : flows) add_flow(f);
+
+  // Initial flow set. The default path materializes everything here, as
+  // ever. Streaming mode *chains* the creation events — each one
+  // schedules its successor — so the event queue holds O(active flows),
+  // not one pre-scheduled creation per flow (the old peak_pending =
+  // O(total flows)). Every creation takes a sequence number reserved in
+  // add order and is scheduled with vtime 0, the exact (at, vtime, seq)
+  // key the historical pre-scheduled event had, so tie-break order — and
+  // therefore every downstream event — is unchanged.
+  std::vector<std::size_t> chain_order;   // slot indices, by (start, add)
+  std::vector<std::uint64_t> chain_seqs;  // parallel to slots
+  std::function<void(std::size_t)> chain_next;
+  if (streaming) {
+    for (const auto& f : flows) {
+      add_slot(f);
+      chain_seqs.push_back(simulator.reserve_event_order());
+    }
+    chain_order.resize(flows.size());
+    std::iota(chain_order.begin(), chain_order.end(), std::size_t{0});
+    std::stable_sort(chain_order.begin(), chain_order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return flows[a].start_time < flows[b].start_time;
+                     });
+    chain_next = [&](std::size_t k) {
+      const std::size_t idx = chain_order[k];
+      if (k + 1 < chain_order.size()) {
+        const std::size_t nxt = chain_order[k + 1];
+        simulator.schedule_at_reserved(
+            sender_specs[nxt].start_time, /*vtime=*/0, chain_seqs[nxt],
+            [&chain_next, k] { chain_next(k + 1); });
+      }
+      materialize(idx);
+      if (senders[idx] != nullptr) senders[idx]->start();
+    };
+    if (!chain_order.empty()) {
+      const std::size_t first = chain_order[0];
+      simulator.schedule_at_reserved(sender_specs[first].start_time,
+                                     /*vtime=*/0, chain_seqs[first],
+                                     [&chain_next] { chain_next(0); });
+    }
+  } else {
+    for (const auto& f : flows) add_flow(f);
+  }
 
   // Optional per-flow goodput sampler (Fig 6/7 time-series plots). The
   // recurring event holds a weak reference to its own closure: a shared
@@ -445,17 +697,56 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
   result.queue_drops = topo.total_queue_drops();
   result.wire_drops = topo.total_wire_drops();
   if (streaming) {
+    // Flows caught mid-fluid at the horizon fold as pending with the
+    // bytes their head + fluid progress delivered (their slots are
+    // sender_done from the head handoff, so the loop below skips them).
+    // Completions the fluid model reached but whose tail tick never
+    // fired (the horizon cut it) fold the same way.
+    if (hybrid) {
+      for (const auto& c : fluid->drain_completions()) {
+        const auto it = fluid_slot.find(c.result.spec.id);
+        assert(it != fluid_slot.end());
+        net::FlowResult r;
+        r.spec = sender_specs[it->second];
+        r.bytes_acked = hyb_done[it->second] + c.result.bytes_acked;
+        run_stats->add(r, result.end_time);
+        fluid_slot.erase(it);
+      }
+      for (const auto& v : fluid->active_snapshot()) {
+        const auto it = fluid_slot.find(v.id);
+        if (it == fluid_slot.end()) continue;
+        const std::size_t idx = it->second;
+        const net::FlowSpec& orig = sender_specs[idx];
+        const double mid_bits =
+            static_cast<double>(orig.size_bytes - hyb_head - hyb_tail) * 8.0;
+        net::FlowResult r;
+        r.spec = orig;
+        r.bytes_acked =
+            hyb_done[idx] +
+            static_cast<std::int64_t>((mid_bits - v.remaining_bits) / 8.0);
+        run_stats->add(r, result.end_time);
+      }
+    }
     // Fold in flows still live (or never materialized) at the horizon
     // exactly as the vector path records them: the sender's pending
     // FlowResult, or a zero-byte pending result for flows whose start
     // event never fired. result.flows stays empty — the RunResult
-    // helpers read `streaming` instead.
+    // helpers read `streaming` instead. A hybrid head/tail segment still
+    // in flight folds as the whole flow with its earlier segments' bytes
+    // added back.
     for (std::size_t i = 0; i < slots.size(); ++i) {
       if (slots[i].sender_done) continue;
       if (senders[i] != nullptr) {
         const net::FlowResult* r = senders[i]->flow_result();
         assert(r != nullptr);
-        run_stats->add(*r, result.end_time);
+        if (hybrid && phase[i] != HybridPhase::kNone) {
+          net::FlowResult full = *r;
+          full.spec = sender_specs[i];
+          full.bytes_acked += hyb_done[i];
+          run_stats->add(full, result.end_time);
+        } else {
+          run_stats->add(*r, result.end_time);
+        }
       } else {
         net::FlowResult r;
         r.spec = sender_specs[i];

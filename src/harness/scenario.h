@@ -20,9 +20,43 @@ struct StreamingSpec;  // stats/streaming.h
 class RunStats;
 }  // namespace pdq::stats
 
+namespace pdq::flowsim {
+enum class Model;  // flowsim/flowsim.h
+}  // namespace pdq::flowsim
+
 namespace pdq::harness {
 
 struct TimelineSpec;  // harness/timeline.h
+
+/// Hybrid packet/fluid fast-forward (docs/architecture.md, "Hybrid
+/// packet/fluid backend"). Large deadline-free flows run their first
+/// `head_bytes` and last `tail_bytes` through the packet engine —
+/// admission, PDQ preemption against packet flows, and the final ~2-RTT
+/// completion dance stay packet-accurate — while the middle advances in
+/// the S5.5 fluid model (src/flowsim) on its 1 ms grid at the model's
+/// equilibrium rates. Deadline flows and flows below `min_fluid_bytes`
+/// never leave the packet engine, so every PDQ scheduling decision that
+/// matters for Application Throughput is exact. Hybrid runs are
+/// approximate by construction; the hybrid≈packet differential test
+/// pins mean/p99 FCT against the pure-packet engine on small fabrics.
+/// Requires streaming-metrics mode (per-flow result vectors would
+/// defeat its O(active-flows) memory goal).
+struct HybridSpec {
+  /// Packet-engine prefix of each fluid-eligible flow: long enough to
+  /// pay admission/ramp-up costs for real (>= a few BDPs).
+  std::int64_t head_bytes = 64 * 1024;
+  /// Packet-engine suffix: covers the last ~2 RTTs before completion,
+  /// where PDQ's TERM handshake and preemption decisions live.
+  std::int64_t tail_bytes = 64 * 1024;
+  /// Flows below this — and all deadline flows — stay pure packet.
+  /// Clamped up to head_bytes + tail_bytes + 1 if set lower.
+  std::int64_t min_fluid_bytes = 256 * 1024;
+  /// Fluid recomputation grid (flowsim::Options::step).
+  sim::Time grid = sim::kMillisecond;
+  /// Fluid rate model; unset derives it from the stack name
+  /// (PDQ*/M-PDQ* -> kPdq, D3* -> kD3, anything else -> kRcp max-min).
+  std::optional<flowsim::Model> model;
+};
 
 /// A pluggable transport: switch-side controllers + end-host agents.
 class ProtocolStack {
@@ -64,6 +98,10 @@ struct RunOptions {
   /// materialize-everything path byte-for-byte. Incompatible with
   /// per_flow_series.
   std::shared_ptr<const stats::StreamingSpec> streaming;
+  /// Hybrid packet/fluid fast-forward (see HybridSpec). Null (the
+  /// default) keeps every flow in the packet engine byte-for-byte.
+  /// Requires `streaming`.
+  std::shared_ptr<const HybridSpec> hybrid;
 };
 
 /// Operation-count metrics for one run — the perf currency on

@@ -193,6 +193,9 @@ SweepResults SweepRunner::run(const ExperimentSpec& spec) const {
     if (spec.streaming_metrics != nullptr) {
       s.options.streaming = spec.streaming_metrics;
     }
+    if (spec.hybrid_backend != nullptr) {
+      s.options.hybrid = spec.hybrid_backend;
+    }
     scenarios.push_back(std::move(s));
     columns[p].reserve(num_cols);
     for (std::size_t c = 0; c < num_cols; ++c) {

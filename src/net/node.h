@@ -176,6 +176,19 @@ class Agent {
     return false;
   }
 
+  // --- hybrid packet/fluid handoff (scenario.cc hybrid backend) ---
+  /// The rate to seed the fluid model with when this sender's packet
+  /// segment hands off: the last positive protocol-granted rate
+  /// (explicit-rate stacks) or a cwnd/srtt estimate (TCP family).
+  /// 0 = unknown; the fluid model then applies its own 2-RTT ramp.
+  virtual double handoff_rate_bps() const { return 0.0; }
+  /// Seeds initial rate state on a sender resuming a fluid-advanced
+  /// flow (the packet tail segment): applied at start() only if the
+  /// protocol has not granted a rate by then, so explicit-rate stacks
+  /// resume at the fluid equilibrium instead of re-ramping from zero.
+  /// Default: ignored (window-based stacks ramp per their own rules).
+  virtual void seed_rate(double bps) { (void)bps; }
+
   // --- retirement protocol (streaming-metrics mode; scenario.cc) ---
   /// True when the agent holds no state a still-running simulation can
   /// observe: its flow is terminated and no in-flight packet will need

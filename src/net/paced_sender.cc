@@ -323,7 +323,9 @@ void PacedSender::complete(FlowOutcome outcome) {
     sim().cancel(pace_event_);
     pace_pending_ = false;
   }
-  rate_bps_ = 0.0;
+  // rate_bps_ deliberately keeps its final granted value: every
+  // transmission path below is finished()-guarded, and the hybrid
+  // backend reads it as the fluid-handoff seed (handoff_rate_bps).
   // A never-started flow (terminated by a pre-start link failure) has
   // no network state to release: no TERM.
   if (started_ && send_term_on_complete()) send_control(PacketType::kTerm);

@@ -40,6 +40,18 @@ class PacedSender : public Agent {
   const FlowResult& result() const { return result_; }
   const FlowResult* flow_result() const override { return &result_; }
   double rate_bps() const { return rate_bps_; }
+
+  // Hybrid handoff. complete() leaves rate_bps_ at its final granted
+  // value (every post-completion path is finished()-guarded), so the
+  // harness can read the handoff rate with no extra state.
+  double handoff_rate_bps() const override { return rate_bps_; }
+  /// Applies immediately (call after start()): the tail segment resumes
+  /// at the fluid equilibrium rate unless the protocol granted one
+  /// during on_start().
+  void seed_rate(double bps) override {
+    if (started_ && !finished() && rate_bps_ <= 0.0 && bps > 0.0)
+      set_rate(bps);
+  }
   sim::Time rtt_estimate() const { return rtt_; }
   std::int64_t bytes_unacked() const;
   std::int64_t remaining_bytes() const;

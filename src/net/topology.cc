@@ -76,6 +76,7 @@ void Topology::add_duplex_link(NodeId a, NodeId b, const LinkDefaults& d) {
   path_cache_.clear();
   route_cache_.clear();
   disjoint_cache_.clear();
+  ++version_;
 }
 
 const std::vector<std::vector<NodeId>>& Topology::shortest_paths(NodeId src,
@@ -279,6 +280,7 @@ void Topology::set_link_state(NodeId a, NodeId b, bool up) {
   path_cache_.clear();
   route_cache_.clear();
   disjoint_cache_.clear();
+  ++version_;
 }
 
 bool Topology::link_is_up(NodeId a, NodeId b) const {

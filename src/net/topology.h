@@ -126,6 +126,12 @@ class Topology {
   /// False while the a<->b link is administratively down.
   bool link_is_up(NodeId a, NodeId b) const;
 
+  /// Monotonic counter bumped whenever derived path products go stale
+  /// (add_duplex_link, set_link_state). External caches keyed on the
+  /// topology — e.g. the flow-level simulator's capacities and resolved
+  /// ECMP paths — compare against it to know when to recompute.
+  std::uint64_t version() const { return version_; }
+
   std::int64_t total_queue_drops() const;
   std::int64_t total_wire_drops() const;
   /// Net events saved by transmit coalescing (node.cc) across all ports.
@@ -152,6 +158,7 @@ class Topology {
   /// directions. Empty (the overwhelmingly common case) short-circuits
   /// every routing-time check.
   std::unordered_set<std::uint64_t> down_links_;
+  std::uint64_t version_ = 0;
   std::unordered_map<std::uint64_t, std::vector<std::vector<NodeId>>>
       path_cache_;
   std::unordered_map<std::uint64_t, std::vector<std::vector<NodeId>>>

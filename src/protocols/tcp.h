@@ -44,6 +44,14 @@ class TcpSender : public net::Agent {
   double cwnd_pkts() const { return cwnd_; }
   sim::Time rto() const;
 
+  /// Hybrid handoff: cwnd/srtt throughput estimate (0 until the first
+  /// RTT sample, i.e. before any data is acked).
+  double handoff_rate_bps() const override {
+    if (!rtt_valid_ || srtt_ <= 0) return 0.0;
+    return cwnd_ * static_cast<double>(net::kMaxPayloadBytes) * 8.0 /
+           sim::to_seconds(srtt_);
+  }
+
   // --- retirement (streaming-metrics mode) ---
   /// Safe to destroy once the flow is finished: finish() cancelled the
   /// RTO timer and the host drops deliveries for detached flows. The

@@ -62,7 +62,7 @@ void RunStats::add(const net::FlowResult& f, sim::Time end_time) {
   if (completed) {
     ++completed_;
     fct_ms = sim::to_millis(f.completion_time());
-    fct_sum_ms_ += fct_ms;
+    fct_sum_ms_.add(fct_ms);
     if (fct_ms > max_fct_ms_) max_fct_ms_ = fct_ms;
   }
   if (f.spec.has_deadline()) {
@@ -104,7 +104,7 @@ void RunStats::merge(const RunStats& o) {
   }
   flows_ += o.flows_;
   completed_ += o.completed_;
-  fct_sum_ms_ += o.fct_sum_ms_;
+  fct_sum_ms_.merge(o.fct_sum_ms_);
   if (o.max_fct_ms_ > max_fct_ms_) max_fct_ms_ = o.max_fct_ms_;
   deadline_flows_ += o.deadline_flows_;
   deadline_met_ += o.deadline_met_;

@@ -157,10 +157,38 @@ struct StreamingSpec {
   std::vector<SizeBucket> size_buckets;
 };
 
+/// Neumaier-compensated running sum: absorbs the low-order bits a naive
+/// `sum += x` drops, so the total is independent of fold order at double
+/// precision. The streaming path folds flows in *termination* order
+/// while the vector path sums in creation order — compensation is what
+/// lets the streaming==vector equality tests demand exact equality
+/// instead of a ULP tolerance.
+class CompensatedSum {
+ public:
+  void add(double x) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+  void merge(const CompensatedSum& o) {
+    add(o.sum_);
+    add(o.comp_);
+  }
+  double value() const { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
 /// Per-bucket windowed FCT accumulator.
 struct FctAccumulator {
   std::uint64_t count = 0;
-  double sum_ms = 0.0;
+  CompensatedSum sum_ms;
   double max_ms = 0.0;
   Welford welford;
   LogHistogram hist;
@@ -169,7 +197,7 @@ struct FctAccumulator {
 
   void add(double fct_ms) {
     ++count;
-    sum_ms += fct_ms;
+    sum_ms.add(fct_ms);
     if (fct_ms > max_ms) max_ms = fct_ms;
     welford.add(fct_ms);
     hist.add(fct_ms);
@@ -177,14 +205,14 @@ struct FctAccumulator {
 
   void merge(const FctAccumulator& o) {
     count += o.count;
-    sum_ms += o.sum_ms;
+    sum_ms.merge(o.sum_ms);
     if (o.max_ms > max_ms) max_ms = o.max_ms;
     welford.merge(o.welford);
     hist.merge(o.hist);
   }
 
   double mean_ms() const {
-    return count == 0 ? 0.0 : sum_ms / static_cast<double>(count);
+    return count == 0 ? 0.0 : sum_ms.value() / static_cast<double>(count);
   }
   double p99_ms() const { return hist.quantile(0.99); }
 };
@@ -216,8 +244,9 @@ class RunStats {
     return static_cast<std::size_t>(completed_);
   }
   double mean_fct_ms() const {
-    return completed_ == 0 ? 0.0
-                           : fct_sum_ms_ / static_cast<double>(completed_);
+    return completed_ == 0
+               ? 0.0
+               : fct_sum_ms_.value() / static_cast<double>(completed_);
   }
   double max_fct_ms() const { return max_fct_ms_; }
   double application_throughput() const {
@@ -256,11 +285,12 @@ class RunStats {
   sim::Time window_lo_ = 0;
   sim::Time window_hi_ = sim::kTimeInfinity;
 
-  // Whole-run counters (exactly order-independent except fct_sum_ms_,
-  // which can differ by ULPs between termination orders).
+  // Whole-run counters: order-independent, including fct_sum_ms_ —
+  // Neumaier compensation makes the FCT sum invariant to termination
+  // order at double precision.
   std::uint64_t flows_ = 0;
   std::uint64_t completed_ = 0;
-  double fct_sum_ms_ = 0.0;
+  CompensatedSum fct_sum_ms_;
   double max_fct_ms_ = 0.0;
   std::uint64_t deadline_flows_ = 0;
   std::uint64_t deadline_met_ = 0;

@@ -1,0 +1,162 @@
+// Direct unit tests for the three fluid allocators (allocate_pdq /
+// allocate_maxmin / allocate_d3) through the equilibrium_rates() hook:
+// one allocation round against hand-computed equilibria on small
+// hand-built topologies where every bottleneck is known exactly.
+#include "flowsim/flowsim.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace pdq::flowsim {
+namespace {
+
+constexpr double kGbps = 1e9;
+
+Options pure(Model m) {
+  // goodput_factor 1.0 so granted rates compare against raw capacities.
+  Options o;
+  o.model = m;
+  o.goodput_factor = 1.0;
+  o.init_latency = 0;
+  return o;
+}
+
+/// Two sender hosts behind one switch, one receiver. Host uplinks are
+/// 1 Gbps; the switch->receiver downlink rate is a parameter, so tests
+/// choose whether the uplinks or the downlink bottleneck.
+struct TwoHostRig {
+  sim::Simulator simulator;
+  net::Topology topo{simulator};
+  net::NodeId sw, h0, h1, recv;
+
+  explicit TwoHostRig(double downlink_bps = 1e9) {
+    sw = topo.add_switch();
+    h0 = topo.add_host();
+    h1 = topo.add_host();
+    recv = topo.add_host();
+    net::LinkDefaults up;  // 1 Gbps host uplinks
+    topo.add_duplex_link(h0, sw, up);
+    topo.add_duplex_link(h1, sw, up);
+    net::LinkDefaults down;
+    down.rate_bps = downlink_bps;
+    topo.add_duplex_link(sw, recv, down);
+  }
+
+  net::FlowSpec flow(net::FlowId id, net::NodeId src, std::int64_t size,
+                     sim::Time deadline = sim::kTimeInfinity) const {
+    net::FlowSpec f;
+    f.id = id;
+    f.src = src;
+    f.dst = recv;
+    f.size_bytes = size;
+    f.deadline = deadline;
+    return f;
+  }
+};
+
+TEST(FlowSimAllocators, PdqGrantsFullRateInCriticalityOrder) {
+  // 3 Gbps downlink, so only the uplinks bottleneck: PDQ packs h0's
+  // most-critical (smallest) flow at the full NIC rate, the second h0
+  // flow finds zero uplink residual, and h1's flow — less critical than
+  // both — still gets its own full uplink. Greedy packing is per-link,
+  // not a global priority cutoff.
+  TwoHostRig rig(3e9);
+  FlowLevelSimulator fs(rig.topo, pure(Model::kPdq));
+  std::vector<net::FlowSpec> specs = {
+      rig.flow(1, rig.h0, 1'000'000),
+      rig.flow(2, rig.h0, 2'000'000),
+      rig.flow(3, rig.h1, 3'000'000),
+  };
+  auto r = fs.equilibrium_rates(specs);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_NEAR(r[0], kGbps, 1.0);
+  EXPECT_NEAR(r[1], 0.0, 1.0);
+  EXPECT_NEAR(r[2], kGbps, 1.0);
+}
+
+TEST(FlowSimAllocators, PdqDeadlineBeatsShorterNonDeadlineFlow) {
+  // Criticality sorts by (deadline, T, id): any finite deadline ranks
+  // ahead of a deadline-less mouse, so the big deadline flow takes the
+  // whole shared 1 Gbps downlink.
+  TwoHostRig rig;
+  FlowLevelSimulator fs(rig.topo, pure(Model::kPdq));
+  std::vector<net::FlowSpec> specs = {
+      rig.flow(1, rig.h0, 5'000'000, 100 * sim::kMillisecond),
+      rig.flow(2, rig.h1, 1'000),
+  };
+  auto r = fs.equilibrium_rates(specs);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0], kGbps, 1.0);
+  EXPECT_NEAR(r[1], 0.0, 1.0);
+}
+
+TEST(FlowSimAllocators, MaxMinProgressiveFilling) {
+  // Classic two-level instance on a 3 Gbps downlink: h0's two flows
+  // split its 1 Gbps uplink (500 Mbps each, the first bottleneck);
+  // h1's flow then fills to its own 1 Gbps NIC — not to the 500 Mbps
+  // first-round share, which is what a single-pass fair split would
+  // wrongly produce.
+  TwoHostRig rig(3e9);
+  FlowLevelSimulator fs(rig.topo, pure(Model::kRcp));
+  std::vector<net::FlowSpec> specs = {
+      rig.flow(1, rig.h0, 1'000'000),
+      rig.flow(2, rig.h0, 1'000'000),
+      rig.flow(3, rig.h1, 1'000'000),
+  };
+  auto r = fs.equilibrium_rates(specs);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_NEAR(r[0], 0.5 * kGbps, 1.0);
+  EXPECT_NEAR(r[1], 0.5 * kGbps, 1.0);
+  EXPECT_NEAR(r[2], kGbps, 1.0);
+}
+
+TEST(FlowSimAllocators, MaxMinSplitsSharedBottleneckEvenly) {
+  // Both uplinks out-provision the shared 1 Gbps downlink: equal split.
+  TwoHostRig rig;
+  FlowLevelSimulator fs(rig.topo, pure(Model::kRcp));
+  std::vector<net::FlowSpec> specs = {
+      rig.flow(1, rig.h0, 4'000'000),
+      rig.flow(2, rig.h1, 1'000'000),
+  };
+  auto r = fs.equilibrium_rates(specs);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0], 0.5 * kGbps, 1.0);
+  EXPECT_NEAR(r[1], 0.5 * kGbps, 1.0);
+}
+
+TEST(FlowSimAllocators, D3ReservesDeadlineDemandThenSharesLeftover) {
+  // Pass 1 reserves the deadline flow's demand: 8 Mbit / 20 ms =
+  // 400 Mbps. Pass 2 splits the downlink's leftover 600 Mbps additively
+  // max-min (300 Mbps each), so the equilibrium is 700 / 300 Mbps.
+  TwoHostRig rig;
+  FlowLevelSimulator fs(rig.topo, pure(Model::kD3));
+  std::vector<net::FlowSpec> specs = {
+      rig.flow(1, rig.h0, 1'000'000, 20 * sim::kMillisecond),
+      rig.flow(2, rig.h1, 5'000'000),
+  };
+  auto r = fs.equilibrium_rates(specs, /*at=*/0);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_NEAR(r[0], 0.7 * kGbps, 1e3);
+  EXPECT_NEAR(r[1], 0.3 * kGbps, 1e3);
+}
+
+TEST(FlowSimAllocators, D3DemandShrinksAsDeadlineApproachesWithProgress) {
+  // Demand is remaining/time-to-deadline evaluated at `at`: half the
+  // deadline gone with no progress doubles the reservation.
+  TwoHostRig rig;
+  FlowLevelSimulator fs(rig.topo, pure(Model::kD3));
+  std::vector<net::FlowSpec> specs = {
+      rig.flow(1, rig.h0, 1'000'000, 20 * sim::kMillisecond),
+      rig.flow(2, rig.h1, 5'000'000),
+  };
+  auto r = fs.equilibrium_rates(specs, /*at=*/10 * sim::kMillisecond);
+  ASSERT_EQ(r.size(), 2u);
+  // 8 Mbit / 10 ms = 800 Mbps reserved; leftover 200 Mbps split 100/100.
+  EXPECT_NEAR(r[0], 0.9 * kGbps, 1e3);
+  EXPECT_NEAR(r[1], 0.1 * kGbps, 1e3);
+}
+
+}  // namespace
+}  // namespace pdq::flowsim

@@ -214,6 +214,132 @@ TEST(FlowSim, PdqAgingRaisesOldFlows) {
   EXPECT_LT(big_aged, big_no);
 }
 
+TEST(FlowSim, QuenchWaitsForFlowArrival) {
+  // Regression: early termination used to fire for deadline flows that
+  // had not arrived yet, stamping finish_time < start_time. A flow must
+  // enter the network before it can be quenched.
+  Rig rig(1);
+  std::vector<net::FlowSpec> flows;
+  net::FlowSpec f;
+  f.id = 1;
+  f.src = rig.servers[0];
+  f.dst = rig.servers.back();
+  f.size_bytes = 10'000'000;              // needs 80 ms at 1 Gbps
+  f.deadline = 3 * sim::kMillisecond;     // infeasible from the start
+  f.start_time = 50 * sim::kMillisecond;  // arrives late
+  flows.push_back(f);
+  FlowLevelSimulator fs(rig.topo, pure(Model::kPdq));
+  auto r = fs.run(flows);
+  ASSERT_EQ(r.flows[0].outcome, net::FlowOutcome::kTerminated);
+  EXPECT_GE(r.flows[0].finish_time, f.start_time);
+}
+
+TEST(FlowSim, SteppableMatchesOneShotRun) {
+  // The hybrid backend drives the same per-step arithmetic through
+  // add_flow/advance; finish times must not depend on the driving mode
+  // or on how advance() calls chunk the timeline.
+  Rig rig(3);
+  auto flows = rig.aggregation_flows(3, 1'000'000);
+  flows[1].size_bytes = 2'000'000;
+  flows[2].size_bytes = 3'000'000;
+  flows[2].start_time = 10 * sim::kMillisecond;
+
+  FlowLevelSimulator oneshot(rig.topo, pure(Model::kPdq));
+  auto ref = oneshot.run(flows);
+
+  FlowLevelSimulator step(rig.topo, pure(Model::kPdq));
+  for (const auto& f : flows) step.add_flow(f);
+  for (sim::Time t = 10 * sim::kMillisecond; t <= 100 * sim::kMillisecond;
+       t += 10 * sim::kMillisecond)
+    step.advance(t);
+  auto done = step.drain_completions();
+  ASSERT_EQ(done.size(), flows.size());
+  EXPECT_EQ(step.active_flows(), 0u);
+  for (const auto& c : done) {
+    const auto& expect = ref.flows[static_cast<std::size_t>(c.result.spec.id - 1)];
+    EXPECT_EQ(c.result.outcome, expect.outcome) << c.result.spec.id;
+    EXPECT_EQ(c.result.finish_time, expect.finish_time) << c.result.spec.id;
+  }
+}
+
+TEST(FlowSim, RateHintSkipsInitLatency) {
+  // A flow handed off mid-stream already went through packet-level
+  // admission: no 2-RTT ramp, and it finishes with a usable tail rate.
+  Rig rig(1);
+  Options o = pure(Model::kPdq);
+  o.init_latency = 5 * sim::kMillisecond;
+  auto flows = rig.aggregation_flows(1, 1'000'000);
+
+  FlowLevelSimulator cold(rig.topo, o);
+  cold.add_flow(flows[0]);
+  cold.advance(sim::kSecond);
+  auto rc = cold.drain_completions();
+
+  FlowLevelSimulator warm(rig.topo, o);
+  warm.add_flow(flows[0], /*remaining_bits=*/-1.0, /*rate_hint_bps=*/1e9);
+  warm.advance(sim::kSecond);
+  auto rw = warm.drain_completions();
+
+  ASSERT_EQ(rc.size(), 1u);
+  ASSERT_EQ(rw.size(), 1u);
+  EXPECT_GE(rc[0].result.finish_time,
+            rw[0].result.finish_time + 4 * sim::kMillisecond);
+  EXPECT_GT(rw[0].last_rate_bps, 0.0);
+}
+
+TEST(FlowSim, LinkFailureTerminatesDisconnectedFlows) {
+  // Regression: capacities and cached ECMP paths used to be computed
+  // once at construction and go stale across set_link_state. They now
+  // refresh on Topology::version() changes; a live flow whose path
+  // disappears is terminated where it stands, partial bytes retained.
+  Rig rig(2);
+  FlowLevelSimulator fs(rig.topo, pure(Model::kPdq));
+  net::FlowSpec f;
+  f.id = 1;
+  f.src = rig.servers[0];
+  f.dst = rig.servers.back();
+  f.size_bytes = 10'000'000;  // 80 ms at 1 Gbps
+  fs.add_flow(f);
+  fs.advance(5 * sim::kMillisecond);
+  ASSERT_EQ(fs.active_flows(), 1u);
+
+  // Cut the switch->receiver hop: the only path disappears.
+  const auto path = rig.topo.shortest_paths(f.src, f.dst)[0];
+  rig.topo.set_link_state(path[path.size() - 2], path.back(), false);
+  fs.advance(10 * sim::kMillisecond);
+
+  auto done = fs.drain_completions();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].result.outcome, net::FlowOutcome::kTerminated);
+  EXPECT_GE(done[0].result.finish_time, 5 * sim::kMillisecond);
+  EXPECT_GT(done[0].result.bytes_acked, 0);
+  EXPECT_EQ(fs.active_flows(), 0u);
+}
+
+TEST(FlowSim, UnrelatedLinkFailureLeavesFlowRunning) {
+  // The topology-version rebuild re-resolves paths but must not disturb
+  // flows whose own path survived.
+  Rig rig(2);
+  FlowLevelSimulator fs(rig.topo, pure(Model::kPdq));
+  net::FlowSpec f;
+  f.id = 1;
+  f.src = rig.servers[0];
+  f.dst = rig.servers.back();
+  f.size_bytes = 1'000'000;
+  fs.add_flow(f);
+  fs.advance(2 * sim::kMillisecond);
+
+  // servers[1]'s uplink is not on the flow's path.
+  const auto path = rig.topo.shortest_paths(f.src, f.dst)[0];
+  rig.topo.set_link_state(rig.servers[1], path[1], false);
+  fs.advance(sim::kSecond);
+
+  auto done = fs.drain_completions();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].result.outcome, net::FlowOutcome::kCompleted);
+  EXPECT_NEAR(sim::to_millis(done[0].result.finish_time), 8.0, 1.5);
+}
+
 TEST(FlowSim, AgreesWithPacketLevelShape) {
   // Cross-validation (paper Fig 8a/8b): flow- and packet-level PDQ mean
   // FCTs agree within ~20% on the 5-flow canonical scenario. Packet-level

@@ -50,9 +50,9 @@ SweepRunner::SampleRun run_mode(const Scenario& base, const std::string& stack,
 TEST(StreamingMode, AggregatesMatchVectorPathOnAggregationScenario) {
   // fig1/fig3d-style closed scenario, three stacks: the RunResult helper
   // values must agree between representations. Counts, maxima and byte
-  // sums are exactly order-independent; the FCT mean is a sum of a
-  // handful of doubles, where EXPECT_DOUBLE_EQ's ULP tolerance covers
-  // the termination-vs-creation summation order.
+  // sums are exactly order-independent; the FCT mean is too, now that
+  // the streaming side accumulates with a Neumaier-compensated sum —
+  // so everything is pinned with exact equality.
   AggregationSpec a;
   a.num_flows = 8;
   const Scenario sc = aggregation_scenario(a);
@@ -64,12 +64,10 @@ TEST(StreamingMode, AggregatesMatchVectorPathOnAggregationScenario) {
     EXPECT_FALSE(vec.result.flows.empty()) << stack;
     EXPECT_EQ(vec.result.flows.size(), str.result.streaming->flows());
     EXPECT_EQ(vec.result.completed(), str.result.completed()) << stack;
-    EXPECT_DOUBLE_EQ(vec.result.mean_fct_ms(), str.result.mean_fct_ms())
-        << stack;
-    EXPECT_DOUBLE_EQ(vec.result.max_fct_ms(), str.result.max_fct_ms())
-        << stack;
-    EXPECT_DOUBLE_EQ(vec.result.application_throughput(),
-                     str.result.application_throughput())
+    EXPECT_EQ(vec.result.mean_fct_ms(), str.result.mean_fct_ms()) << stack;
+    EXPECT_EQ(vec.result.max_fct_ms(), str.result.max_fct_ms()) << stack;
+    EXPECT_EQ(vec.result.application_throughput(),
+              str.result.application_throughput())
         << stack;
   }
 }
@@ -91,9 +89,10 @@ TEST(StreamingMode, WindowedMetricsMatchVectorPathOnOpenLoopRun) {
   // Deadline-miss: integer counts (no deadlines here: both 0).
   EXPECT_DOUBLE_EQ(metrics::deadline_miss_percent().fn(vctx),
                    metrics::deadline_miss_percent().fn(sctx));
-  // Windowed mean: same sample set; tolerance for summation order.
-  EXPECT_NEAR(metrics::windowed_mean_fct_ms().fn(vctx),
-              metrics::windowed_mean_fct_ms().fn(sctx), 1e-9);
+  // Windowed mean: same sample set, exactly — the streaming side's
+  // compensated sum reproduces the vector path's value bit-for-bit.
+  EXPECT_EQ(metrics::windowed_mean_fct_ms().fn(vctx),
+            metrics::windowed_mean_fct_ms().fn(sctx));
 
   // p99: the sketch estimate is within the documented relative-error
   // bound of the exact nearest-rank statistic the vector path computes.
@@ -173,6 +172,20 @@ TEST(StreamingMode, PeakFlowBytesTracksActiveNotTotalFlows) {
             vec.result.engine.peak_flow_bytes / 4);
 }
 
+TEST(StreamingMode, PeakPendingEventsTrackActiveNotTotalFlows) {
+  // Flow-creation events used to be scheduled up front, so the pending-
+  // event peak was O(total flows) even when arrivals spread over 30 s.
+  // Streaming runs now chain creations through reserved sequence
+  // numbers (tie-break order unchanged): the peak follows the *active*
+  // population. The default path still schedules everything at setup.
+  const Scenario sc = open_loop_scenario(2000, 500.0);
+  const auto vec = run_mode(sc, "PDQ(Full)", false);
+  const auto str = run_mode(sc, "PDQ(Full)", true);
+  EXPECT_EQ(vec.result.completed(), str.result.completed());
+  EXPECT_GE(vec.result.engine.peak_pending_events, 2000u);
+  EXPECT_LT(str.result.engine.peak_pending_events, 500u);
+}
+
 TEST(StreamingMode, NonRetiringStacksRunToCompletion) {
   // DCTCP receivers and M-PDQ (subflow-owning senders) never retire —
   // streaming mode must still aggregate correctly, just without the
@@ -211,8 +224,8 @@ TEST(StreamingMode, TimelineWindowFeedsTheStreamingWindow) {
   sctx.scenario = &sc;
   EXPECT_DOUBLE_EQ(metrics::goodput_gbps().fn(vctx),
                    metrics::goodput_gbps().fn(sctx));
-  EXPECT_NEAR(metrics::windowed_mean_fct_ms().fn(vctx),
-              metrics::windowed_mean_fct_ms().fn(sctx), 1e-9);
+  EXPECT_EQ(metrics::windowed_mean_fct_ms().fn(vctx),
+            metrics::windowed_mean_fct_ms().fn(sctx));
   EXPECT_EQ(vec.result.completed(), str.result.completed());
 }
 

@@ -198,5 +198,52 @@ TEST(RunStats, BucketIndexAndMergeContract) {
   EXPECT_NEAR(a.mean_fct_ms(), 25.0, 1e-9);
 }
 
+TEST(CompensatedSum, RecoversBitsNaiveSummationLoses) {
+  // The classic ill-conditioned case: the small addend vanishes into
+  // the big one under naive summation, Neumaier keeps it in the
+  // compensation term.
+  CompensatedSum c;
+  double naive = 0.0;
+  for (double x : {1e16, 1.0, -1e16}) {
+    c.add(x);
+    naive += x;
+  }
+  EXPECT_EQ(naive, 0.0);  // the bit naive summation lost
+  EXPECT_EQ(c.value(), 1.0);
+}
+
+TEST(CompensatedSum, InsertionOrderCannotChangeTheMean) {
+  // Why the streaming FCT mean uses it: flows fold in termination
+  // order, the vector path sums in creation order. With compensation
+  // both orders land on the correctly-rounded sum, so streaming==vector
+  // tests can pin exact equality instead of a ULP band.
+  sim::Rng rng(42);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.uniform(0.01, 5000.0));
+
+  CompensatedSum fwd;
+  for (double x : xs) fwd.add(x);
+  CompensatedSum rev;
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) rev.add(*it);
+  std::sort(xs.begin(), xs.end());
+  CompensatedSum sorted;
+  for (double x : xs) sorted.add(x);
+
+  EXPECT_EQ(fwd.value(), rev.value());
+  EXPECT_EQ(fwd.value(), sorted.value());
+}
+
+TEST(CompensatedSum, MergeEqualsSingleStream) {
+  sim::Rng rng(7);
+  CompensatedSum whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    whole.add(x);
+    (i < 400 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.value(), whole.value());
+}
+
 }  // namespace
 }  // namespace pdq::stats
