@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "faults/fault_spec.h"
 #include "harness/experiment.h"
 #include "harness/sinks.h"
 #include "harness/stacks.h"
@@ -52,6 +53,16 @@ struct BenchArgs {
   /// --timeline preset for the dynamic-traffic benches:
   /// both|incast|failure|none. Other benches accept and ignore it.
   std::string timeline = "both";
+  /// --faults preset (faults/fault_spec.h): off|loss|burst|ctrl|flap|
+  /// reset|chaos. "off" (the default) leaves every run byte-identical
+  /// to the historical no-fault path; anything else arms the fault
+  /// plane and the run auditor on every sweep sample.
+  std::string faults = "off";
+
+  /// The armed fault plane for --faults, or null for "off".
+  std::shared_ptr<const faults::FaultSpec> fault_plane() const {
+    return faults::FaultSpec::preset(faults);
+  }
 
   /// The base seed: --seed when given, else the bench's default.
   std::uint64_t seed_or(
@@ -84,6 +95,9 @@ inline constexpr FlagDoc kFlagTable[] = {
     {"--timeline T",
      "timeline preset both|incast|failure|none (dynamic-traffic benches; "
      "others accept and ignore)"},
+    {"--faults F",
+     "fault-plane preset off|loss|burst|ctrl|flap|reset|chaos (default "
+     "off: byte-identical to the no-fault path)"},
 };
 
 inline constexpr const char* kCounterGlossary =
@@ -173,6 +187,14 @@ inline BenchArgs parse_args(int argc, char** argv) {
         std::fprintf(stderr,
                      "--timeline: %s is not both|incast|failure|none\n",
                      a.timeline.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--faults") {
+      a.faults = value(i);
+      std::string error;
+      faults::FaultSpec::preset(a.faults, &error);
+      if (!error.empty()) {
+        std::fprintf(stderr, "--faults: %s\n", error.c_str());
         std::exit(2);
       }
     } else if (arg == "--help" || arg == "-h") {

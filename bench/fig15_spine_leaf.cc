@@ -132,6 +132,9 @@ harness::ExperimentSpec load_sweep(const std::string& name,
   spec.trials = 1;
   spec.base_seed = args.seed_or();
   spec.base = spine_scenario({loads.front(), num_flows, cdf, args.timeline});
+  // --faults arms the fault plane on every sample; null ("off") leaves
+  // the sweep byte-identical to the historical path.
+  spec.fault_plane = args.fault_plane();
   spec.columns = fig15_columns();
   for (double rho : loads) {
     harness::SweepPoint pt;

@@ -10,7 +10,13 @@
 //          [--servers N] [--flows N] [--pattern agg|stride|staggered|perm]
 //          [--size-dist uniform|vl2|edu|pareto] [--mean-kb N]
 //          [--deadlines] [--deadline-ms N] [--arrival-rate R]
-//          [--subflows K] [--seed S] [--csv] [--verbose] [--counters]
+//          [--subflows K] [--seed S] [--faults F] [--csv] [--verbose]
+//          [--counters]
+//
+// --faults arms the fault plane (src/faults/): off|loss|burst|ctrl|
+// flap|reset|chaos, mirroring the bench --faults flag. Anything but
+// "off" also enables the run auditor (watchdog + end-of-run invariant
+// checks); the default "off" is byte-identical to the no-fault path.
 //
 // --counters appends the engine operation counters (events processed /
 // coalesced, flow-list scan ops, packet allocs, pool recycle rate) — the
@@ -31,6 +37,7 @@
 #include <memory>
 #include <string>
 
+#include "faults/fault_spec.h"
 #include "harness/registry.h"
 #include "workload/workload.h"
 
@@ -51,6 +58,7 @@ struct Args {
   double arrival_rate = 0.0;
   int subflows = 3;
   std::uint64_t seed = 1;
+  std::string faults = "off";
   bool csv = false;
   bool verbose = false;
   bool counters = false;
@@ -63,7 +71,12 @@ struct Args {
                "              [--flows N] [--pattern P] [--size-dist D]\n"
                "              [--mean-kb N] [--deadlines] [--deadline-ms N]\n"
                "              [--arrival-rate R] [--subflows K] [--seed S]\n"
-               "              [--csv] [--verbose] [--counters]\n"
+               "              [--faults F] [--csv] [--verbose] [--counters]\n"
+               "\n"
+               "--faults F arms the fault plane with preset F:\n"
+               "off|loss|burst|ctrl|flap|reset|chaos (default off,\n"
+               "byte-identical to the no-fault path; anything else also\n"
+               "enables the watchdog + end-of-run invariant auditor).\n"
                "\n"
                "--counters appends engine operation counters (events\n"
                "processed / coalesced, flowlist_scan_ops, packet allocs,\n"
@@ -111,6 +124,15 @@ Args parse(int argc, char** argv) {
     else if (arg == "--arrival-rate") a.arrival_rate = std::atof(next(i));
     else if (arg == "--subflows") a.subflows = std::atoi(next(i));
     else if (arg == "--seed") a.seed = static_cast<std::uint64_t>(std::atoll(next(i)));
+    else if (arg == "--faults") {
+      a.faults = next(i);
+      std::string error;
+      faults::FaultSpec::preset(a.faults, &error);
+      if (!error.empty()) {
+        std::fprintf(stderr, "--faults: %s\n", error.c_str());
+        std::exit(2);
+      }
+    }
     else if (arg == "--csv") a.csv = true;
     else if (arg == "--verbose") a.verbose = true;
     else if (arg == "--counters") a.counters = true;
@@ -219,6 +241,7 @@ int main(int argc, char** argv) {
   harness::RunOptions opts;
   opts.horizon = 120 * sim::kSecond;
   opts.seed = a.seed;
+  opts.faults = faults::FaultSpec::preset(a.faults);
   auto r = harness::run_scenario(*stack, build, flows, opts);
 
   if (a.csv) {
@@ -262,6 +285,10 @@ int main(int argc, char** argv) {
   }
   std::printf("queue drops:           %lld\n",
               static_cast<long long>(r.queue_drops));
+  if (r.audit != nullptr) {
+    std::printf("audit:                 %s\n",
+                r.audit->ok() ? "ok" : "FAILED (see violations above)");
+  }
   if (a.counters) {
     const auto& e = r.engine;
     std::printf("\nengine counters (operation counts, never wall time):\n");

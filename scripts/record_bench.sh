@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Records the engine perf trajectory in-tree: runs the hot-path
-# microbenchmarks (micro_core, if built) and the quick fig13/fig14/fig15
-# engine-counter sweeps, then writes BENCH_engine.json at the repo root.
+# microbenchmarks (micro_core, if built) and the quick
+# fig13/fig14/fig15/fig16 engine-counter sweeps, then writes
+# BENCH_engine.json at the repo root.
 # Operation counts only — this project never records or asserts wall
 # time (single-core CI).
 #
@@ -55,6 +56,14 @@ else
   echo "note: fig15_spine_leaf not built; skipping its counters" >&2
 fi
 
+FIG16="$BUILD/bench/fig16_loss_resilience"
+if [[ -x "$FIG16" ]]; then
+  echo "== fig16 quick sweep (fault-ladder engine counters) =="
+  "$FIG16" --json --no-csv --results-dir "$RESULTS"
+else
+  echo "note: fig16_loss_resilience not built; skipping its counters" >&2
+fi
+
 python3 - "$RESULTS" "$ROOT/BENCH_engine.json" <<'EOF'
 import datetime
 import json, subprocess, sys, os
@@ -83,6 +92,7 @@ fig13_scale = load_counters("fig13_scale_streaming.json")
 fig13_hybrid = load_counters("fig13_scale_hybrid.json")
 fig14 = load_counters("fig14_engine_counters.json")
 fig15 = load_counters("fig15_engine_counters.json")
+fig16 = load_counters("fig16_engine_counters.json")
 with open(os.path.join(results_dir, "fig13_engine_counters.json")) as f:
     base_seed = json.load(f)["base_seed"]
 
@@ -96,7 +106,8 @@ doc = {
                "scripts/check_counter_regression.py gates CI on it against "
                "the last committed copy.",
     "source": "fig13_datacenter_scale / fig14_dynamic_traffic / "
-              "fig15_spine_leaf --json (quick points)",
+              "fig15_spine_leaf / fig16_loss_resilience --json "
+              "(quick points)",
     "base_seed": base_seed,
     "git": git,
     "fig13_engine_counters": fig13,
@@ -112,13 +123,18 @@ if fig14 is not None:
     doc["fig14_engine_counters"] = fig14
 if fig15 is not None:
     doc["fig15_engine_counters"] = fig15
+if fig16 is not None:
+    # Fault-ladder counters (fig16 Table 3). The "off" row doubles as
+    # the differential guard: it must never move unless the no-fault
+    # engine itself changed.
+    doc["fig16_engine_counters"] = fig16
 
 # Dated history: snapshots survive regeneration. The previous current
 # entry is appended only when it belongs to a different commit, so
 # running this script twice between commits never eats history.
 COUNTER_KEYS = ("fig13_engine_counters", "fig13_scale_streaming",
                 "fig13_scale_hybrid", "fig14_engine_counters",
-                "fig15_engine_counters")
+                "fig15_engine_counters", "fig16_engine_counters")
 history = []
 if os.path.exists(out_path):
     with open(out_path) as f:

@@ -83,6 +83,35 @@ void PdqLinkController::remove(net::FlowId f) {
   touch(idx);
 }
 
+void PdqLinkController::reset_state() {
+  // Everything derived from per-flow soft state goes; configuration and
+  // tick machinery (dormancy grid, capacity) survive the "reboot". The
+  // paper's design tolerates this: switches keep no hard state, so the
+  // next forward packet of every live flow re-adds its entry.
+  list_.clear();
+  index_.clear();
+  prefix_.clear();
+  prefix_clean_ = 0;
+  num_sending_ = 0;
+  rtt_sum_ = 0;
+  rtt_count_ = 0;
+  overflow_flows_.clear();
+  overflow_count_estimate_ = 0;
+  last_unpause_time_ = -1;
+  last_unpaused_flow_ = net::kInvalidFlow;
+}
+
+void PdqLinkController::granted_flows(std::vector<net::GrantInfo>& out) const {
+  for (const auto& e : list_) {
+    if (e.rate_bps <= 0.0 && e.granted_bps <= 0.0) continue;
+    net::GrantInfo g;
+    g.flow = e.flow;
+    g.rate_bps = std::max(e.rate_bps, e.granted_bps);
+    g.last_seen = e.last_seen;
+    out.push_back(g);
+  }
+}
+
 std::size_t PdqLinkController::resort(std::size_t i) {
   FlowEntry e = list_[i];
   list_.erase(list_.begin() + static_cast<std::ptrdiff_t>(i));

@@ -46,6 +46,14 @@ class PdqLinkController : public net::LinkController {
   void on_reverse(net::Packet& p) override;
   void on_enqueue() override;
   std::uint64_t flow_scan_ops() const override { return scan_ops_; }
+  /// Switch-reset fault: wipes the flow list, prefix cache and
+  /// aggregates as if the switch rebooted. Flows re-register from the
+  /// headers their next forward packet carries (Algorithm 1), so the
+  /// link recovers without sender cooperation.
+  void reset_state() override;
+  /// Auditor support: every entry with a committed or fresh provisional
+  /// rate, i.e. everything avail_bw() counts against capacity.
+  void granted_flows(std::vector<net::GrantInfo>& out) const override;
 
   /// Per-flow state for link `e` (paper S3.3.1), kept sorted by
   /// criticality.

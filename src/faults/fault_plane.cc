@@ -1,0 +1,204 @@
+#include "faults/fault_plane.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/packet.h"
+
+namespace pdq::faults {
+
+namespace {
+
+/// Control = every type except DATA and its ACK: SYN, PROBE, TERM and
+/// their echoes. These are the packets whose loss exercises the
+/// retransmit/state-expiry machinery rather than selective repeat.
+bool is_control(const net::Packet& p) {
+  return p.type != net::PacketType::kData && p.type != net::PacketType::kAck;
+}
+
+}  // namespace
+
+FaultPlane::FaultPlane(const FaultSpec& spec, net::Topology& topo,
+                       std::uint64_t seed)
+    : spec_(spec), topo_(topo), rng_(seed ^ kFaultSeedSalt) {}
+
+FaultPlane::~FaultPlane() {
+  // Pending fault events may outlive their usefulness (horizon exit)
+  // but never outlive the simulator; the hooks, however, live on the
+  // topology — detach them so nothing dangles.
+  for (net::SimplexLink* l : hooked_) l->fault = nullptr;
+}
+
+bool FaultPlane::in_scope(const net::SimplexLink& link) const {
+  const bool from_host = topo_.is_host(link.from);
+  const bool to_host = topo_.is_host(link.to);
+  switch (spec_.scope) {
+    case LinkScope::kAllLinks:
+      return true;
+    case LinkScope::kSwitchSwitch:
+      return !from_host && !to_host;
+    case LinkScope::kHostEdge:
+      return from_host || to_host;
+  }
+  return false;
+}
+
+void FaultPlane::arm(SetLinkState set_link_state) {
+  set_link_state_ = std::move(set_link_state);
+
+  if (spec_.per_packet_faults()) {
+    auto& links = topo_.links();
+    ge_bad_.assign(links.size(), 0);
+    for (auto& l : links) {
+      if (!in_scope(*l)) continue;
+      assert(l->fault == nullptr && "link already has a fault model");
+      l->fault = this;
+      hooked_.push_back(l.get());
+    }
+  }
+
+  if (spec_.flapping.enabled()) {
+    // Candidate duplex pairs: switch-to-switch only. Flapping a host's
+    // lone NIC link is indistinguishable from killing the host; the
+    // interesting regime is the fabric rerouting around a bouncing core
+    // link. Canonical (min, max) ordering dedupes the two halves.
+    std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+    for (auto& l : topo_.links()) {
+      if (topo_.is_host(l->from) || topo_.is_host(l->to)) continue;
+      const net::NodeId a = std::min(l->from, l->to);
+      const net::NodeId b = std::max(l->from, l->to);
+      if (std::find(pairs.begin(), pairs.end(), std::make_pair(a, b)) ==
+          pairs.end()) {
+        pairs.emplace_back(a, b);
+      }
+    }
+    rng_.shuffle(pairs);
+    const std::size_t n = std::min<std::size_t>(
+        pairs.size(), static_cast<std::size_t>(spec_.flapping.num_links));
+    for (std::size_t k = 0; k < n; ++k) {
+      Flapper f;
+      f.a = pairs[k].first;
+      f.b = pairs[k].second;
+      f.flaps_left = spec_.flapping.max_flaps;
+      flappers_.push_back(f);
+    }
+    for (std::size_t k = 0; k < flappers_.size(); ++k) schedule_flap_down(k);
+  }
+
+  for (const auto& r : spec_.switch_resets) {
+    topo_.sim().schedule_at(r.at, [this, r] { do_reset(r); });
+  }
+}
+
+bool FaultPlane::should_drop(const net::SimplexLink& link,
+                             const net::Packet& p) {
+  bool drop = false;
+  if (spec_.ge.enabled()) {
+    auto& bad = ge_bad_[static_cast<std::size_t>(link.id)];
+    if (bad != 0) {
+      if (rng_.bernoulli(spec_.ge.p_bad_good)) bad = 0;
+    } else {
+      if (rng_.bernoulli(spec_.ge.p_good_bad)) bad = 1;
+    }
+    const double pl = bad != 0 ? spec_.ge.loss_bad : spec_.ge.loss_good;
+    if (pl > 0.0 && rng_.bernoulli(pl)) drop = true;
+  }
+  if (spec_.selective.enabled()) {
+    const bool ctrl = is_control(p);
+    const double rate =
+        ctrl ? spec_.selective.control_rate : spec_.selective.data_rate;
+    if (rate > 0.0 && rng_.bernoulli(rate)) drop = true;
+  }
+  if (drop) {
+    ++fault_drops_;
+    if (is_control(p)) ++control_drops_;
+  }
+  return drop;
+}
+
+void FaultPlane::schedule_flap_down(std::size_t k) {
+  const double dwell =
+      rng_.exponential(sim::to_seconds(spec_.flapping.mean_up));
+  const sim::Time at = std::max(topo_.sim().now(), spec_.flapping.start) +
+                       sim::from_seconds(dwell);
+  topo_.sim().schedule_at(at, [this, k] { flap_down(k); });
+}
+
+void FaultPlane::flap_down(std::size_t k) {
+  Flapper& f = flappers_[k];
+  if (f.flaps_left <= 0 || f.down) return;
+  // A concurrent timeline event may have downed this link already;
+  // flapping it "down" again would double-toggle on recovery.
+  if (!topo_.link_is_up(f.a, f.b)) {
+    schedule_flap_down(k);
+    return;
+  }
+  f.down = true;
+  --f.flaps_left;
+  ++flaps_executed_;
+  set_link_state_(f.a, f.b, false);
+  const double dwell =
+      rng_.exponential(sim::to_seconds(spec_.flapping.mean_down));
+  topo_.sim().schedule_in(sim::from_seconds(dwell), [this, k] { flap_up(k); });
+}
+
+void FaultPlane::flap_up(std::size_t k) {
+  Flapper& f = flappers_[k];
+  if (!f.down) return;
+  f.down = false;
+  set_link_state_(f.a, f.b, true);
+  if (f.flaps_left > 0) schedule_flap_down(k);
+}
+
+void FaultPlane::do_reset(const SwitchResetSpec& r) {
+  const auto& switches = topo_.switch_ids();
+  if (switches.empty()) return;
+  std::size_t pick;
+  if (r.index >= 0) {
+    pick = static_cast<std::size_t>(r.index) % switches.size();
+  } else {
+    pick = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(switches.size()) - 1));
+  }
+  net::Node& sw = topo_.node(switches[pick]);
+  for (auto& port : sw.ports()) {
+    if (port->controller() != nullptr) port->controller()->reset_state();
+  }
+  ++resets_executed_;
+}
+
+std::shared_ptr<const FaultSpec> FaultSpec::preset(const std::string& name,
+                                                   std::string* error) {
+  if (error != nullptr) error->clear();
+  if (name.empty() || name == "off" || name == "none") return nullptr;
+  auto spec = std::make_shared<FaultSpec>();
+  if (name == "loss") {
+    spec->data_loss(0.01).control_loss(0.01);
+  } else if (name == "burst") {
+    spec->burst_loss(/*p_gb=*/0.0005, /*p_bg=*/0.02, /*loss_bad=*/0.25);
+  } else if (name == "ctrl") {
+    spec->control_loss(0.05);
+  } else if (name == "flap") {
+    spec->flap(/*links=*/1, /*mean_up=*/500 * sim::kMillisecond,
+               /*mean_down=*/20 * sim::kMillisecond,
+               /*start=*/10 * sim::kMillisecond);
+  } else if (name == "reset") {
+    spec->reset_switch(50 * sim::kMillisecond)
+        .reset_switch(150 * sim::kMillisecond);
+  } else if (name == "chaos") {
+    spec->burst_loss(0.0002, 0.05, 0.15)
+        .control_loss(0.01)
+        .flap(1, 500 * sim::kMillisecond, 20 * sim::kMillisecond,
+              10 * sim::kMillisecond)
+        .reset_switch(100 * sim::kMillisecond);
+  } else {
+    if (error != nullptr) {
+      *error = "unknown --faults preset '" + name +
+               "' (expected off|loss|burst|ctrl|flap|reset|chaos)";
+    }
+    return nullptr;
+  }
+  return spec;
+}
+
+}  // namespace pdq::faults

@@ -1,0 +1,79 @@
+// FaultPlane: the runtime that executes a FaultSpec against one run.
+//
+// Owned by harness::run_prepared (one per run, like the timeline
+// machinery). arm() installs the per-packet hook on every in-scope link
+// and schedules the flap / switch-reset events; the destructor detaches
+// the hooks so the topology never holds a dangling pointer.
+//
+// Links with an installed hook take the explicit tx-complete event
+// chain in node.cc (the same rule as drop_rate > 0): per-packet fault
+// decisions must execute in event order. The legacy drop_rate draw (from
+// the topology RNG) runs first and is untouched; the fault plane's own
+// draws come from its salted private stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "faults/fault_spec.h"
+#include "net/link.h"
+#include "net/topology.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace pdq::faults {
+
+class FaultPlane : public net::LinkFaultModel {
+ public:
+  /// Brings a duplex link up or down; the harness passes its timeline
+  /// closure, which also reroutes (or terminates) affected senders.
+  using SetLinkState = std::function<void(net::NodeId, net::NodeId, bool)>;
+
+  FaultPlane(const FaultSpec& spec, net::Topology& topo, std::uint64_t seed);
+  ~FaultPlane() override;
+
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  /// Installs hooks and schedules fault events. Call once, after the
+  /// topology is built and before the simulator runs.
+  void arm(SetLinkState set_link_state);
+
+  // net::LinkFaultModel
+  bool should_drop(const net::SimplexLink& link, const net::Packet& p) override;
+
+  // Observability (tests and the auditor's diagnostic dump).
+  std::uint64_t fault_drops() const { return fault_drops_; }
+  std::uint64_t control_drops() const { return control_drops_; }
+  int flaps_executed() const { return flaps_executed_; }
+  int resets_executed() const { return resets_executed_; }
+
+ private:
+  bool in_scope(const net::SimplexLink& link) const;
+  void schedule_flap_down(std::size_t k);
+  void flap_down(std::size_t k);
+  void flap_up(std::size_t k);
+  void do_reset(const SwitchResetSpec& r);
+
+  struct Flapper {
+    net::NodeId a = net::kInvalidNode;
+    net::NodeId b = net::kInvalidNode;
+    int flaps_left = 0;
+    bool down = false;
+  };
+
+  const FaultSpec spec_;
+  net::Topology& topo_;
+  sim::Rng rng_;
+  SetLinkState set_link_state_;
+  std::vector<net::SimplexLink*> hooked_;
+  std::vector<std::uint8_t> ge_bad_;  // Gilbert-Elliott state by LinkId
+  std::vector<Flapper> flappers_;
+  std::uint64_t fault_drops_ = 0;
+  std::uint64_t control_drops_ = 0;
+  int flaps_executed_ = 0;
+  int resets_executed_ = 0;
+};
+
+}  // namespace pdq::faults

@@ -1,0 +1,156 @@
+// FaultSpec: seeded, deterministic per-link fault schedules.
+//
+// The fault plane generalizes the scalar SimplexLink::drop_rate (the
+// Fig 9 loss knob) into four first-class fault classes on long-haul /
+// unreliable paths (ROADMAP item 5):
+//   - Gilbert-Elliott burst loss: a per-link two-state Markov chain
+//     advanced per packet; loss clusters in "bad" episodes instead of
+//     the memoryless Bernoulli drop_rate.
+//   - Selective control-vs-data drop: independent loss rates for
+//     control packets (SYN/PROBE/TERM and their echoes) and data/ack
+//     packets — the paper's lost-probe/lost-TERM regime.
+//   - Link flapping: random up/down toggles through the same
+//     Topology::set_link_state / harness reroute path scripted
+//     timeline failures use.
+//   - Switch reset: a switch wipes its soft flow state mid-run
+//     (LinkController::reset_state) and must rebuild from carried
+//     packet headers.
+//
+// Determinism contract: every fault decision draws from a dedicated
+// sim::Rng seeded with `run_seed ^ kFaultSeedSalt` — the workload,
+// timeline and topology (wire-loss) streams never shift when faults are
+// enabled, and a faulted run is bit-reproducible for a given seed
+// across SweepRunner thread counts. With a null FaultSpec the engine is
+// byte-for-byte the historical path (no hooks, no events, no draws).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pdq::faults {
+
+/// Salt for the fault plane's private RNG stream (same pattern as
+/// harness::kTimelineSeedSalt): rng = Rng(run_seed ^ kFaultSeedSalt).
+inline constexpr std::uint64_t kFaultSeedSalt = 0xFA17BADC0DE5ULL;
+
+/// Two-state Markov (Gilbert-Elliott) burst-loss model, advanced once
+/// per packet at transmit completion. Mean good-run length is 1/p_gb
+/// packets, mean bad-run length 1/p_bg.
+struct GilbertElliott {
+  double p_good_bad = 0.0;  // per-packet good -> bad transition
+  double p_bad_good = 0.0;  // per-packet bad -> good transition
+  double loss_good = 0.0;   // drop probability in the good state
+  double loss_bad = 0.0;    // drop probability in the bad state
+  bool enabled() const {
+    return p_good_bad > 0.0 && (loss_bad > 0.0 || loss_good > 0.0);
+  }
+};
+
+/// Independent uniform loss by packet class. "Control" is every type
+/// except kData/kAck: SYN, PROBE, TERM and their echoes — the packets
+/// whose loss PDQ must survive via retransmit + switch state expiry.
+struct SelectiveDrop {
+  double control_rate = 0.0;
+  double data_rate = 0.0;
+  bool enabled() const { return control_rate > 0.0 || data_rate > 0.0; }
+};
+
+/// Random link up/down toggles on `num_links` switch-to-switch links
+/// (chosen once per run from the fault RNG). Up/down dwell times are
+/// exponential; each down+up pair counts as one flap against the cap.
+struct FlapSpec {
+  int num_links = 0;  // 0 disables
+  sim::Time mean_up = 500 * sim::kMillisecond;
+  sim::Time mean_down = 20 * sim::kMillisecond;
+  sim::Time start = 0;        // no flap before this instant
+  int max_flaps = 64;         // per chosen link
+  bool enabled() const { return num_links > 0 && mean_up > 0; }
+};
+
+/// One scheduled switch reset. `index` picks switch_ids()[index % n];
+/// -1 draws a switch from the fault RNG at fire time.
+struct SwitchResetSpec {
+  sim::Time at = 0;
+  int index = -1;
+};
+
+/// Which links get the per-packet fault hook (burst + selective drop).
+enum class LinkScope : std::uint8_t {
+  kAllLinks,      // every simplex link, host edges included
+  kSwitchSwitch,  // fabric core only (both endpoints switches)
+  kHostEdge,      // links with a host endpoint
+};
+
+struct FaultSpec {
+  GilbertElliott ge;
+  SelectiveDrop selective;
+  FlapSpec flapping;
+  std::vector<SwitchResetSpec> switch_resets;
+  LinkScope scope = LinkScope::kSwitchSwitch;
+  /// Arms the loss-hardening path in the transport agents (TERM
+  /// retransmit with capped backoff, net::Topology::loss_hardening).
+  /// On by default: a fault plane without sender-side recovery turns
+  /// every lost TERM into switch-GC latency.
+  bool harden_protocols = true;
+
+  bool per_packet_faults() const {
+    return ge.enabled() || selective.enabled();
+  }
+  bool any() const {
+    return per_packet_faults() || flapping.enabled() ||
+           !switch_resets.empty();
+  }
+
+  // Chainable builders (mirroring harness::TimelineSpec's style).
+  FaultSpec& burst_loss(double p_gb, double p_bg, double loss_bad,
+                        double loss_good = 0.0) {
+    ge.p_good_bad = p_gb;
+    ge.p_bad_good = p_bg;
+    ge.loss_bad = loss_bad;
+    ge.loss_good = loss_good;
+    return *this;
+  }
+  FaultSpec& control_loss(double rate) {
+    selective.control_rate = rate;
+    return *this;
+  }
+  FaultSpec& data_loss(double rate) {
+    selective.data_rate = rate;
+    return *this;
+  }
+  FaultSpec& flap(int links, sim::Time mean_up, sim::Time mean_down,
+                  sim::Time start = 0) {
+    flapping.num_links = links;
+    flapping.mean_up = mean_up;
+    flapping.mean_down = mean_down;
+    flapping.start = start;
+    return *this;
+  }
+  FaultSpec& reset_switch(sim::Time at, int index = -1) {
+    switch_resets.push_back({at, index});
+    return *this;
+  }
+  FaultSpec& on_links(LinkScope s) {
+    scope = s;
+    return *this;
+  }
+
+  /// Named presets backing the `--faults` CLI flag:
+  ///   off    - no faults (returns null)
+  ///   loss   - 1% uniform loss, data + control, fabric core
+  ///   burst  - Gilbert-Elliott burst loss (25% in bad episodes)
+  ///   ctrl   - 5% control-only drop (lost probes/TERMs, fig9 regime)
+  ///   flap   - one core link flapping (500ms up / 20ms down)
+  ///   reset  - two scheduled switch resets
+  ///   chaos  - mild burst + 1% control drop + flapping + one reset
+  /// Unknown names return null and set *error to a message listing the
+  /// presets; "off" returns null with *error cleared.
+  static std::shared_ptr<const FaultSpec> preset(const std::string& name,
+                                                 std::string* error = nullptr);
+};
+
+}  // namespace pdq::faults

@@ -1,0 +1,88 @@
+// Watchdog + invariant auditor: turns "mysterious hang" into a
+// structured violation report.
+//
+// Motivation: the PR-8 stranded-sender/ghost-grant bug hung 85k-flow
+// runs silently — a stale TERM retired a live receiver, the sender
+// probed to the horizon, and under PDQ its ghost allocation starved
+// every co-hosted flow. The auditor makes that class of failure loud:
+// a progress watchdog stops the run and reports instead of spinning,
+// and end-of-run checks cover stranded flows, packet conservation,
+// retired-agent leaks and PDQ ghost grants.
+//
+// Wiring: RunOptions::audit enables it explicitly; enabling a fault
+// plane (RunOptions::faults) turns a default-constructed AuditSpec on
+// automatically. With auditing off, run_prepared schedules no extra
+// events and draws nothing — the historical path byte-for-byte (a
+// debug-build assert on the drained-run invariant is the only always-on
+// piece).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace pdq::net {
+class Topology;
+}  // namespace pdq::net
+
+namespace pdq::harness {
+
+struct AuditSpec {
+  /// Progress watchdog: fail the run when no live flow acks a byte for
+  /// `stall_checks` consecutive intervals. Generous by default — PDQ
+  /// legitimately pauses individual flows for long stretches, but in
+  /// any non-wedged run *some* flow is acking.
+  bool progress_watchdog = true;
+  sim::Time progress_interval = 500 * sim::kMillisecond;
+  int stall_checks = 6;
+  /// Stop the simulation at the stall (the "fail the run instead of
+  /// spinning to the horizon" behaviour) rather than only reporting.
+  bool stop_on_stall = true;
+
+  // End-of-run checks.
+  bool check_stranded = true;      // live flows with a drained event queue
+  bool check_conservation = true;  // PacketPool live-count conservation
+  bool check_ghost_grants = true;  // switch grants no live sender owns
+  /// A grant for an unowned flow younger than this is ordinary
+  /// post-TERM staleness the switch GC will collect (PdqConfig::
+  /// gc_timeout, default 100 ms); older is a ghost. Keep this above the
+  /// stack's GC timeout.
+  sim::Time ghost_grace = 250 * sim::kMillisecond;
+  /// Chaos-suite mode: flows unfinished at the horizon are violations
+  /// (workloads there are sized to drain well before it).
+  bool require_drain = false;
+  /// Print the diagnostic dump to stderr when a violation is recorded.
+  bool log_to_stderr = true;
+};
+
+struct AuditViolation {
+  /// "no_progress" | "stranded_flow" | "stranded_agent" | "packet_leak"
+  /// | "ghost_grant" | "unfinished".
+  std::string kind;
+  /// Structured diagnostic dump: flow ids, last event key, per-link
+  /// controller state — whatever the check saw.
+  std::string detail;
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  bool ok() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// Scans every port's link controller for grants whose flow id no host
+/// currently has a sender attached for, older than `grace`. Appends one
+/// "ghost_grant" violation per offending link (grant details inline).
+void scan_ghost_grants(net::Topology& topo, sim::Time now, sim::Time grace,
+                       AuditReport& report);
+
+/// Up to `max_lines` one-line summaries of per-link controller state
+/// (links with grants only) — the controller section of the watchdog's
+/// diagnostic dump.
+std::string describe_controllers(net::Topology& topo, std::size_t max_lines);
+
+}  // namespace pdq::harness

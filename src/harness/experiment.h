@@ -247,6 +247,11 @@ struct ExperimentSpec {
   /// Requires streaming_metrics. Applied after each SweepPoint's
   /// `apply`, like streaming_metrics.
   std::shared_ptr<const HybridSpec> hybrid_backend;
+  /// Non-null: every run injects this fault schedule (RunOptions::
+  /// faults; see faults/fault_spec.h) and gets the default audit
+  /// (watchdog + end-of-run invariants) unless the scenario sets its
+  /// own RunOptions::audit. Applied after each SweepPoint's `apply`.
+  std::shared_ptr<const faults::FaultSpec> fault_plane;
 };
 
 }  // namespace pdq::harness

@@ -7,8 +7,10 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "faults/fault_plane.h"
 #include "flowsim/flowsim.h"
 #include "harness/timeline.h"
+#include "net/node.h"
 #include "net/packet_pool.h"
 #include "stats/streaming.h"
 
@@ -130,6 +132,20 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
   const bool streaming = opts.streaming != nullptr;
   assert(!(streaming && opts.per_flow_series) &&
          "per-flow series needs per-flow agents for the whole run");
+  // Loss hardening rides with the fault plane (FaultSpec::
+  // harden_protocols): the TERM-retry timer schedules events, which
+  // would shift sequence numbers on the byte-identical golden path.
+  // Run-scoped, carried by the topology so per-agent state stays at
+  // the golden sizeof (peak_flow_bytes).
+  topo.set_loss_hardening(opts.faults != nullptr &&
+                          opts.faults->harden_protocols);
+  // Audit resolution: an explicit spec wins; a fault plane auto-enables
+  // the defaults (fault runs should fail loudly, not hang); otherwise
+  // fully off — no events scheduled, nothing drawn.
+  std::shared_ptr<const AuditSpec> audit = opts.audit;
+  if (audit == nullptr && opts.faults != nullptr) {
+    audit = std::make_shared<AuditSpec>();
+  }
   const bool hybrid = opts.hybrid != nullptr;
   if (hybrid && !streaming) {
     std::fprintf(stderr,
@@ -653,10 +669,99 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
     }
   }
 
+  // ---- fault plane (faults/fault_plane.h) ----
+  // Armed after the timeline so hook installation and flap/reset
+  // scheduling never perturb the no-fault event stream (this whole
+  // block is inert when opts.faults is null). Fault decisions draw from
+  // their own salted RNG, so workload and timeline draws never shift.
+  std::unique_ptr<faults::FaultPlane> fault_plane;
+  if (opts.faults != nullptr && opts.faults->any()) {
+    fault_plane =
+        std::make_unique<faults::FaultPlane>(*opts.faults, topo, opts.seed);
+    fault_plane->arm(set_link_state);
+  }
+
+  // ---- watchdog + invariant auditor (harness/audit.h) ----
+  auto audit_report = std::make_shared<AuditReport>();
+  const auto audit_log = [&](AuditViolation v) {
+    if (audit->log_to_stderr) {
+      std::fprintf(stderr, "audit [%s] %s\n", v.kind.c_str(),
+                   v.detail.c_str());
+    }
+    audit_report->violations.push_back(std::move(v));
+  };
+  // Progress token: (unfinished flows, Σ acked bytes, live agents).
+  // Materialization and retirement count as progress, so late flow
+  // starts do not trip the stall detector.
+  std::function<void()> watchdog_tick;
+  std::int64_t wd_acked = -1;
+  std::size_t wd_remaining = 0;
+  std::size_t wd_live = 0;
+  int wd_stalls = 0;
+  if (audit != nullptr && audit->progress_watchdog) {
+    watchdog_tick = [&] {
+      if (remaining == 0) return;  // drained; no re-arm
+      std::int64_t acked = 0;
+      std::size_t live = 0;
+      for (net::Agent* s : senders) {
+        if (s == nullptr) continue;
+        ++live;
+        const net::FlowResult* r = s->flow_result();
+        if (r != nullptr) acked += r->bytes_acked;
+      }
+      const bool progressed =
+          acked != wd_acked || remaining != wd_remaining || live != wd_live;
+      wd_acked = acked;
+      wd_remaining = remaining;
+      wd_live = live;
+      if (progressed) {
+        wd_stalls = 0;
+      } else if (++wd_stalls >= audit->stall_checks) {
+        // Structured diagnostic dump — flow ids, last event key,
+        // per-link controller state — then fail the run instead of
+        // spinning to the horizon.
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "t=%.1fms: no acked-byte progress for %d x %.1fms "
+            "(%zu flow(s) unfinished, %zu live agent(s), last event "
+            "seq=%llu)\n",
+            sim::to_millis(simulator.now()), audit->stall_checks,
+            sim::to_millis(audit->progress_interval), remaining, live,
+            static_cast<unsigned long long>(simulator.current_event_seq()));
+        std::string detail = buf;
+        std::size_t listed = 0;
+        for (std::size_t i = 0; i < senders.size() && listed < 8; ++i) {
+          if (senders[i] == nullptr) continue;
+          const net::FlowResult* r = senders[i]->flow_result();
+          if (r == nullptr || r->outcome != net::FlowOutcome::kPending)
+            continue;
+          std::snprintf(buf, sizeof(buf),
+                        "  flow=%lld acked %lld of %lld bytes\n",
+                        static_cast<long long>(sender_specs[i].id),
+                        static_cast<long long>(r->bytes_acked),
+                        static_cast<long long>(sender_specs[i].size_bytes));
+          detail += buf;
+          ++listed;
+        }
+        detail += describe_controllers(topo, 12);
+        audit_log({"no_progress", std::move(detail)});
+        if (audit->stop_on_stall) {
+          simulator.stop();
+          return;  // no re-arm
+        }
+        wd_stalls = 0;
+      }
+      simulator.schedule_in(audit->progress_interval, watchdog_tick);
+    };
+    simulator.schedule_in(audit->progress_interval, watchdog_tick);
+  }
+
   net::PacketPool& pool = net::PacketPool::local();
   // Peak trackers measure this run alone even on a reused pool/queue.
   pool.relax_live_highwater();
   simulator.relax_peak_pending();
+  const std::size_t live_before = pool.live_count();
   const std::uint64_t allocs_before = pool.total_allocated();
   const std::uint64_t acquires_before = pool.total_acquires();
   const std::uint64_t scheduled_before = simulator.events_scheduled();
@@ -679,6 +784,95 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
   result.engine.peak_pending_events = simulator.peak_pending_events();
   result.engine.pool_highwater = pool.live_highwater();
   result.engine.peak_flow_bytes = peak_flow_bytes;
+
+  // ---- end-of-run invariant audit ----
+  if (audit != nullptr) {
+    if (audit->check_stranded && remaining > 0 &&
+        simulator.pending_events() == 0) {
+      // The PR-8 signature: a drained event queue with unfinished flows
+      // means someone waits on a packet that will never come.
+      std::string detail = "event queue drained with " +
+                           std::to_string(remaining) +
+                           " flow(s) unfinished:\n";
+      std::size_t listed = 0;
+      for (std::size_t i = 0; i < senders.size() && listed < 8; ++i) {
+        if (senders[i] == nullptr) continue;
+        const net::FlowResult* r = senders[i]->flow_result();
+        if (r == nullptr || r->outcome != net::FlowOutcome::kPending)
+          continue;
+        detail += "  flow=" + std::to_string(sender_specs[i].id) +
+                  " acked " + std::to_string(r->bytes_acked) + " of " +
+                  std::to_string(sender_specs[i].size_bytes) + " bytes\n";
+        ++listed;
+      }
+      detail += describe_controllers(topo, 12);
+      audit_log({"stranded_flow", std::move(detail)});
+    }
+    if (audit->require_drain && remaining > 0) {
+      audit_log({"unfinished",
+                 std::to_string(remaining) +
+                     " flow(s) still unfinished at the horizon"});
+    }
+    if (audit->check_conservation) {
+      // Every packet still live must be accounted for: parked in a port
+      // queue or held by a pending event closure (stop()/horizon exits
+      // leave in-flight transmissions and timers unexecuted). Anything
+      // beyond that bound leaked.
+      std::size_t queued = 0;
+      for (net::NodeId id = 0;
+           id < static_cast<net::NodeId>(topo.num_nodes()); ++id) {
+        for (const auto& port : topo.node(id).ports()) {
+          queued += port->multi_queue() != nullptr
+                        ? port->multi_queue()->packets()
+                        : port->queue().packets();
+        }
+      }
+      const std::size_t live_now = pool.live_count();
+      const std::size_t bound =
+          live_before + queued + simulator.pending_events();
+      if (live_now > bound) {
+        audit_log(
+            {"packet_leak",
+             std::to_string(live_now) + " packets live at run end but only " +
+                 std::to_string(bound) + " accounted for (" +
+                 std::to_string(queued) + " queued, " +
+                 std::to_string(simulator.pending_events()) +
+                 " pending events, " + std::to_string(live_before) +
+                 " pre-run)"});
+      }
+    }
+    if (audit->check_ghost_grants) {
+      const std::size_t first = audit_report->violations.size();
+      scan_ghost_grants(topo, simulator.now(), audit->ghost_grace,
+                        *audit_report);
+      if (audit->log_to_stderr) {
+        for (std::size_t v = first; v < audit_report->violations.size();
+             ++v) {
+          std::fprintf(stderr, "audit [%s] %s\n",
+                       audit_report->violations[v].kind.c_str(),
+                       audit_report->violations[v].detail.c_str());
+        }
+      }
+    }
+    result.audit = audit_report;
+  }
+  // Retirement audit (PR-8 regression guard; cheap, always on in debug
+  // builds): once every flow has reported done, no live sender may
+  // still think it is pending.
+  if (remaining == 0) {
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      if (senders[i] == nullptr) continue;
+      const net::FlowResult* r = senders[i]->flow_result();
+      if (r == nullptr || r->outcome != net::FlowOutcome::kPending) continue;
+      if (audit != nullptr) {
+        audit_log({"stranded_agent",
+                   "flow " + std::to_string(sender_specs[i].id) +
+                       " reported done but its sender is still pending"});
+      } else {
+        assert(false && "sender still pending after the run drained");
+      }
+    }
+  }
 
   // Flush the final partial bin so goodput integrates to the flow sizes.
   if (opts.per_flow_series) {

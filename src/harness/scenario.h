@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/audit.h"
 #include "net/builders.h"
 #include "net/flow.h"
 #include "net/paced_sender.h"
@@ -23,6 +24,10 @@ class RunStats;
 namespace pdq::flowsim {
 enum class Model;  // flowsim/flowsim.h
 }  // namespace pdq::flowsim
+
+namespace pdq::faults {
+struct FaultSpec;  // faults/fault_spec.h
+}  // namespace pdq::faults
 
 namespace pdq::harness {
 
@@ -102,6 +107,16 @@ struct RunOptions {
   /// default) keeps every flow in the packet engine byte-for-byte.
   /// Requires `streaming`.
   std::shared_ptr<const HybridSpec> hybrid;
+  /// Fault plane (faults/fault_spec.h): seeded per-link fault schedules
+  /// — Gilbert-Elliott burst loss, selective control/data drop, link
+  /// flapping, switch resets. Draws from its own salted RNG stream, so
+  /// workload and timeline draws never shift. Null (the default) hooks
+  /// nothing: every link stays on the historical path byte-for-byte.
+  std::shared_ptr<const faults::FaultSpec> faults;
+  /// Watchdog + invariant auditor (harness/audit.h). Null means "off"
+  /// unless `faults` is set, in which case a default AuditSpec is
+  /// applied automatically (fault runs should fail loudly, not hang).
+  std::shared_ptr<const AuditSpec> audit;
 };
 
 /// Operation-count metrics for one run — the perf currency on
@@ -158,6 +173,11 @@ struct RunResult {
 
   /// Per-flow acked-bytes-per-bin series (when per_flow_series).
   std::vector<std::vector<double>> flow_goodput_bps;
+
+  /// Audit outcome (null when auditing was off). A non-ok report means
+  /// the run violated a survivability invariant — chaos tests assert
+  /// `audit->ok()`.
+  std::shared_ptr<const AuditReport> audit;
 
   // --- metric helpers ---
   double mean_fct_ms() const;

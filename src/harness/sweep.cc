@@ -196,6 +196,9 @@ SweepResults SweepRunner::run(const ExperimentSpec& spec) const {
     if (spec.hybrid_backend != nullptr) {
       s.options.hybrid = spec.hybrid_backend;
     }
+    if (spec.fault_plane != nullptr) {
+      s.options.faults = spec.fault_plane;
+    }
     scenarios.push_back(std::move(s));
     columns[p].reserve(num_cols);
     for (std::size_t c = 0; c < num_cols; ++c) {

@@ -12,6 +12,22 @@
 
 namespace pdq::net {
 
+struct Packet;
+struct SimplexLink;
+
+/// Per-link fault-injection hook (src/faults). Consulted once per packet
+/// at transmit completion, after the legacy `drop_rate` Bernoulli draw —
+/// the fault plane draws from its own salted RNG, so enabling it never
+/// shifts the topology/workload random streams. A link with a non-null
+/// hook takes the explicit tx-complete event chain (node.cc), exactly
+/// like a `drop_rate > 0` link: per-packet decisions must happen in
+/// event order.
+struct LinkFaultModel {
+  virtual ~LinkFaultModel() = default;
+  /// True: the packet is lost on the wire (counted as a wire drop).
+  virtual bool should_drop(const SimplexLink& link, const Packet& p) = 0;
+};
+
 struct SimplexLink {
   LinkId id = -1;
   NodeId from = kInvalidNode;
@@ -25,6 +41,9 @@ struct SimplexLink {
   /// a down link are dropped at the transmitter (counted as wire drops);
   /// routing skips down links. Both simplex halves flip together.
   bool up = true;
+  /// Optional fault-injection hook (non-owning; faults::FaultPlane clears
+  /// it on destruction). Null on every historical code path.
+  LinkFaultModel* fault = nullptr;
 
   SimplexLink* reverse = nullptr;  // the paired opposite direction
 };

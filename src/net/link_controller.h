@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/time.h"
@@ -18,6 +19,16 @@
 namespace pdq::net {
 
 class Port;
+
+/// One per-link rate grant, as reported by LinkController::granted_flows
+/// for the harness invariant auditor (ghost-grant detection).
+struct GrantInfo {
+  FlowId flow = kInvalidFlow;
+  double rate_bps = 0.0;
+  /// Time the controller last heard from this flow (kTimeInfinity when
+  /// the controller does not track freshness).
+  sim::Time last_seen = sim::kTimeInfinity;
+};
 
 class LinkController {
  public:
@@ -44,6 +55,19 @@ class LinkController {
   /// (lookups, prefix recomputes, resort shifts). Aggregated by
   /// Topology::total_flowlist_scan_ops() into the fig13 counter table.
   virtual std::uint64_t flow_scan_ops() const { return 0; }
+
+  /// Switch-reset fault (faults::FaultSpec): discard all soft flow state
+  /// as if the switch rebooted. Protocols must rebuild from carried
+  /// packet state (PDQ re-adds flows from headers, Algorithm 1). The
+  /// default keeps stateless controllers untouched.
+  virtual void reset_state() {}
+
+  /// Invariant-auditor support: appends every flow this controller
+  /// currently counts against link capacity (committed or provisionally
+  /// granted rate > 0). Stateless controllers report nothing.
+  virtual void granted_flows(std::vector<GrantInfo>& out) const {
+    (void)out;
+  }
 
  protected:
   Port* port_ = nullptr;

@@ -160,7 +160,7 @@ void Node::start_tx(Port& port) {
   }
   const sim::Time tx = sim::transmission_time(p->size_bytes, port.link().rate_bps);
 
-  if (port.link().drop_rate == 0.0) {
+  if (port.link().drop_rate == 0.0 && port.link().fault == nullptr) {
     // Coalesced fast path (lossless link — no RNG draw, so the loss-check
     // event can be elided without perturbing the random stream): schedule
     // the next-hop arrival directly and clear the busy marker lazily.
@@ -228,13 +228,19 @@ void Node::start_tx(Port& port) {
   }
 
   // Lossy link: keep the explicit tx-complete event — the loss draw must
-  // happen there, in event order, to leave the RNG stream untouched.
+  // happen there, in event order, to leave the RNG stream untouched. A
+  // link with an installed fault model rides the same chain: its
+  // per-packet decisions (from the fault plane's own salted RNG) also
+  // happen at tx completion, after the legacy drop_rate draw.
   port.coalesced_tx_ = false;
   topo_.sim().schedule_in(tx, [this, &port, p = std::move(p)]() mutable {
     if (port.meter) port.meter->on_bytes(topo_.sim().now(), p->size_bytes);
 
-    const bool lost = port.link().drop_rate > 0.0 &&
-                      topo_.rng().bernoulli(port.link().drop_rate);
+    bool lost = port.link().drop_rate > 0.0 &&
+                topo_.rng().bernoulli(port.link().drop_rate);
+    if (!lost && port.link().fault != nullptr) {
+      lost = port.link().fault->should_drop(port.link(), *p);
+    }
     if (lost) {
       ++port.wire_drops;
     } else {

@@ -219,6 +219,13 @@ class Host : public Node {
   void detach_sender(FlowId f) { senders_.erase(f); }
   void detach_receiver(FlowId f) { receivers_.erase(f); }
 
+  /// Attached sender agents by flow id — the invariant auditor's ground
+  /// truth for "a live sender owns this flow" (M-PDQ subflow ids and
+  /// hybrid tail-segment ids included, unlike the harness's slot table).
+  const std::unordered_map<FlowId, Agent*>& attached_senders() const {
+    return senders_;
+  }
+
  protected:
   void deliver_local(PacketPtr p) override;
 

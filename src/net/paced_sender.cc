@@ -10,6 +10,11 @@ constexpr sim::Time kMinRto = 2 * sim::kMillisecond;
 constexpr sim::Time kInitialRtt = 200 * sim::kMicrosecond;
 constexpr sim::Time kSynRto = 10 * sim::kMillisecond;
 constexpr std::int8_t kDupAckThreshold = 3;
+// Loss hardening: TERM retransmit backoff doubles from the RTO up to
+// this ceiling, for at most this many retries (a persistently dead
+// reverse path must not keep an agent alive forever).
+constexpr sim::Time kTermBackoffCap = 100 * sim::kMillisecond;
+constexpr int kMaxTermRetries = 8;
 }  // namespace
 
 PacedSender::PacedSender(AgentContext ctx)
@@ -36,7 +41,7 @@ void PacedSender::start() {
   started_ = true;
   send_syn();
   syn_pending_ = true;
-  syn_event_ = sim().schedule_in(kSynRto, [this] {
+  retry_event_ = sim().schedule_in(kSynRto, [this] {
     syn_pending_ = false;
     syn_retry();
   });
@@ -47,7 +52,7 @@ void PacedSender::syn_retry() {
   if (finished() || got_reverse_) return;
   send_syn();
   syn_pending_ = true;
-  syn_event_ = sim().schedule_in(kSynRto, [this] {
+  retry_event_ = sim().schedule_in(kSynRto, [this] {
     syn_pending_ = false;
     syn_retry();
   });
@@ -57,12 +62,16 @@ void PacedSender::quiesce() {
   // Cancel only events known pending: a default EventId is (gen 0,
   // slot 0), a live id in any fresh simulator.
   if (syn_pending_) {
-    sim().cancel(syn_event_);
+    sim().cancel(retry_event_);
     syn_pending_ = false;
   }
   if (pace_pending_) {
     sim().cancel(pace_event_);
     pace_pending_ = false;
+  }
+  if (term_retry_pending_) {
+    sim().cancel(retry_event_);
+    term_retry_pending_ = false;
   }
 }
 
@@ -247,7 +256,18 @@ void PacedSender::record_ack(const Packet& p) {
 }
 
 void PacedSender::on_packet(const PacketPtr& p) {
-  if (finished()) return;
+  if (finished()) {
+    // Loss hardening keeps the agent alive past completion to confirm
+    // the TERM handshake; the TermAck cancels the retry timer.
+    if (p->type == PacketType::kTermAck && !term_acked_) {
+      term_acked_ = true;
+      if (term_retry_pending_) {
+        sim().cancel(retry_event_);
+        term_retry_pending_ = false;
+      }
+    }
+    return;
+  }
   got_reverse_ = true;
   update_rtt(*p);
   record_ack(*p);
@@ -328,8 +348,39 @@ void PacedSender::complete(FlowOutcome outcome) {
   // backend reads it as the fluid-handoff seed (handoff_rate_bps).
   // A never-started flow (terminated by a pre-start link failure) has
   // no network state to release: no TERM.
-  if (started_ && send_term_on_complete()) send_control(PacketType::kTerm);
+  if (started_ && send_term_on_complete()) {
+    send_control(PacketType::kTerm);
+    // Loss hardening: a lost TERM (or TermAck) must not strand switch
+    // state — retransmit on a capped-backoff timer until acknowledged.
+    // Gated on the flag because the timer schedules events, which would
+    // shift sequence numbers on the byte-identical golden path.
+    if (ctx_.topo->loss_hardening()) arm_term_retry();
+  }
   if (ctx_.on_done) ctx_.on_done(result_);
+}
+
+void PacedSender::arm_term_retry() {
+  // The timer slot is shared with the SYN retry; a hardened flow small
+  // enough to finish inside the SYN RTO still has that timer pending.
+  if (syn_pending_) {
+    sim().cancel(retry_event_);
+    syn_pending_ = false;
+  }
+  const int shift = std::min<int>(term_retries_, 6);
+  const sim::Time backoff =
+      std::min<sim::Time>(rto() << shift, kTermBackoffCap);
+  term_retry_pending_ = true;
+  retry_event_ = sim().schedule_in(backoff, [this] {
+    term_retry_pending_ = false;
+    term_retry();
+  });
+}
+
+void PacedSender::term_retry() {
+  if (term_acked_ || term_retries_ >= kMaxTermRetries) return;
+  ++term_retries_;
+  send_control(PacketType::kTerm);
+  arm_term_retry();
 }
 
 void EchoReceiver::on_packet(const PacketPtr& p) {

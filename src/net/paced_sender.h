@@ -68,8 +68,10 @@ class PacedSender : public Agent {
   // --- retirement (streaming-metrics mode) ---
   /// A paced sender is safe to destroy once its flow is finished: the
   /// receiver replies along in-flight packets' own routes and the host
-  /// drops deliveries for detached flows.
-  bool retirable() const override { return finished(); }
+  /// drops deliveries for detached flows. Under loss hardening the
+  /// sender additionally lives until its TERM is acknowledged (or the
+  /// retry budget runs out), so a lost TERM still gets retransmitted.
+  bool retirable() const override { return finished() && !term_retry_pending_; }
   void quiesce() override;
   std::size_t footprint_bytes() const override;
 
@@ -124,6 +126,11 @@ class PacedSender : public Agent {
   void syn_retry();
   /// (Re)schedules the next pace event at the earliest legal send time.
   void kick_pacer();
+  /// Loss hardening: schedules the next TERM retransmit (doubling
+  /// backoff from the RTO, capped) until the TermAck arrives or the
+  /// retry budget is spent.
+  void arm_term_retry();
+  void term_retry();
 
   AgentContext ctx_;
   FlowResult result_;
@@ -144,9 +151,19 @@ class PacedSender : public Agent {
   bool started_ = false;
   sim::EventId pace_event_ = 0;
   bool pace_pending_ = false;
-  sim::EventId syn_event_ = 0;
+  /// One timer slot for both retry loops: SYN retry runs only before
+  /// the first feedback, the loss-hardened TERM retransmit only after
+  /// completion, so the phases never overlap. Sharing the slot (and
+  /// packing the flags below into former tail padding) keeps sizeof at
+  /// the golden baseline — peak_flow_bytes in BENCH_engine.json pins it.
+  sim::EventId retry_event_ = 0;
   bool syn_pending_ = false;
   bool got_reverse_ = false;  // any feedback at all (gates SYN retry)
+
+  // TERM reliability (loss hardening only; see Topology::loss_hardening).
+  bool term_retry_pending_ = false;
+  bool term_acked_ = false;
+  std::uint8_t term_retries_ = 0;
 };
 
 /// Receiver that echoes every forward packet back as the matching reverse

@@ -57,6 +57,14 @@ class Topology {
   sim::Simulator& sim() { return sim_; }
   sim::Rng& rng() { return rng_; }
 
+  /// Run-scoped loss-hardening switch (set by the harness when a fault
+  /// plane with FaultSpec::harden_protocols is armed): senders
+  /// retransmit TERM with timeout + capped backoff instead of
+  /// fire-and-forget. Lives here rather than per-agent so agent sizeof
+  /// (the peak_flow_bytes counter) stays at the golden baseline.
+  bool loss_hardening() const { return loss_hardening_; }
+  void set_loss_hardening(bool on) { loss_hardening_ = on; }
+
   /// All equal-cost shortest node paths from src to dst, capped at
   /// kMaxEcmpPaths, in a deterministic order. Cached.
   const std::vector<std::vector<NodeId>>& shortest_paths(NodeId src,
@@ -148,6 +156,7 @@ class Topology {
 
   sim::Simulator& sim_;
   sim::Rng rng_;
+  bool loss_hardening_ = false;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<SimplexLink>> links_;
   std::vector<std::vector<NodeId>> adjacency_;

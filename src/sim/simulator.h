@@ -60,8 +60,8 @@ class Simulator {
 
   void cancel(EventId id) { queue_.cancel(id); }
 
-  /// Runs until the queue drains or the clock passes `until`.
-  /// Returns the number of events executed.
+  /// Runs until the queue drains, the clock passes `until`, or stop()
+  /// is called. Returns the number of events executed.
   std::uint64_t run(Time until = kTimeInfinity) {
     std::uint64_t executed = 0;
     while (!stopped_ && !queue_.empty()) {
@@ -74,7 +74,9 @@ class Simulator {
       ev.fn();
       ++executed;
     }
-    if (until != kTimeInfinity && now_ < until) now_ = until;
+    // A stop() mid-run freezes the clock where the run actually ended;
+    // only a queue drain or horizon cap advances it to `until`.
+    if (!stopped_ && until != kTimeInfinity && now_ < until) now_ = until;
     stopped_ = false;
     events_executed_ += executed;
     return executed;

@@ -1,0 +1,121 @@
+// Chaos property suite: randomized fault schedules (the "chaos" preset:
+// Gilbert-Elliott burst loss + control drop + link flapping + a switch
+// reset) crossed with every registered stack and three topology
+// families, 8 seeds each. Properties asserted for every sample:
+//
+//   termination   - the run ends before the horizon or the watchdog
+//                   fails it; it never silently spins (a violation-free
+//                   sample that hit the horizon is fine: open-loop tails
+//                   may straddle it, and the auditor checked it anyway),
+//   conservation  - the end-of-run audit (packet conservation vs the
+//                   PacketPool live counters, stranded flows, retired-
+//                   agent leaks, PDQ ghost grants) finds nothing,
+//   reproducibility - SweepRunner(1) and SweepRunner(4) produce the
+//                   same samples bit for bit: fault draws are keyed off
+//                   (seed ^ salt) only, never off worker interleaving.
+//
+// Each sample's metric is a composite `violations * 10000 + completed`
+// so a single matrix of doubles carries both properties through the
+// thread-count comparison.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "faults/fault_spec.h"
+#include "harness/audit.h"
+#include "harness/experiment.h"
+#include "harness/registry.h"
+#include "harness/sweep.h"
+#include "workload/arrivals.h"
+#include "workload/workload.h"
+
+namespace pdq::harness {
+namespace {
+
+constexpr int kTrials = 8;
+constexpr double kViolationWeight = 10000.0;
+
+ExperimentSpec chaos_spec() {
+  workload::OpenLoopOptions w;
+  w.num_flows = 16;
+  w.arrivals = workload::ArrivalProcess::poisson(2000.0);
+  w.size = workload::uniform_size(2'000, 20'000);
+  w.pattern = workload::staggered_prob(0.5, 4);
+
+  ExperimentSpec spec;
+  spec.name = "chaos_property";
+  spec.trials = kTrials;
+  spec.base.workload = WorkloadSpec::open_loop(w, "chaos");
+  spec.base.options.horizon = 20 * sim::kSecond;
+  auto audit = std::make_shared<AuditSpec>();
+  audit->log_to_stderr = false;  // violations are the assertion, not noise
+  spec.base.options.audit = audit;
+  spec.fault_plane = faults::FaultSpec::preset("chaos");
+
+  spec.points.push_back({"ft4", [](Scenario& s) {
+                           s.topology = TopologySpec::fat_tree(4);
+                         }});
+  spec.points.push_back({"dcell", [](Scenario& s) {
+                           s.topology = TopologySpec::dcell(3, 1);
+                         }});
+  spec.points.push_back({"spine-leaf", [](Scenario& s) {
+                           s.topology = TopologySpec::spine_leaf(2, 4, 4);
+                         }});
+
+  spec.metric = {"violationsx1e4_plus_completed", [](const RunContext& c) {
+                   const auto* audit_report = c.result->audit.get();
+                   const double violations =
+                       audit_report == nullptr
+                           ? kViolationWeight  // audit must exist under faults
+                           : static_cast<double>(
+                                 audit_report->violations.size());
+                   return violations * kViolationWeight +
+                          static_cast<double>(c.result->completed());
+                 }};
+  for (const std::string& stack : StackRegistry::global().names()) {
+    spec.columns.push_back(stack_column(stack));
+  }
+  return spec;
+}
+
+TEST(ChaosProperty, EveryStackSurvivesChaosOnEveryTopology) {
+  const ExperimentSpec spec = chaos_spec();
+  const SweepResults r = SweepRunner(1).run(spec);
+  for (std::size_t p = 0; p < r.points.size(); ++p) {
+    for (std::size_t c = 0; c < r.columns.size(); ++c) {
+      for (std::size_t t = 0; t < r.samples[p][c].size(); ++t) {
+        const double v = r.samples[p][c][t];
+        // No audit violation of any kind: the integer part below the
+        // weight is the completed-flow count alone.
+        EXPECT_LT(v, kViolationWeight)
+            << r.points[p] << " / " << r.columns[c] << " trial " << t;
+        // Chaos is survivable by construction: progress is made even if
+        // the open-loop tail straddles the horizon.
+        EXPECT_GT(v, 0.0) << r.points[p] << " / " << r.columns[c]
+                          << " trial " << t;
+      }
+    }
+  }
+}
+
+TEST(ChaosProperty, SamplesAreByteIdenticalAcrossSweepThreadCounts) {
+  const ExperimentSpec spec = chaos_spec();
+  const SweepResults serial = SweepRunner(1).run(spec);
+  const SweepResults fanned = SweepRunner(4).run(spec);
+  ASSERT_EQ(serial.samples.size(), fanned.samples.size());
+  for (std::size_t p = 0; p < serial.samples.size(); ++p) {
+    for (std::size_t c = 0; c < serial.samples[p].size(); ++c) {
+      for (std::size_t t = 0; t < serial.samples[p][c].size(); ++t) {
+        // Exact equality: every completed count and violation total must
+        // match bit for bit regardless of worker interleaving.
+        EXPECT_EQ(serial.samples[p][c][t], fanned.samples[p][c][t])
+            << serial.points[p] << " / " << serial.columns[c] << " trial "
+            << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdq::harness

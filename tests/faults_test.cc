@@ -1,0 +1,246 @@
+// Fault plane (faults/fault_spec.h, faults/fault_plane.h): preset
+// parsing, per-packet fault hooks (Gilbert-Elliott burst loss and
+// selective control/data drop), link flapping through the harness
+// reroute path, switch resets, and the determinism contract — fault
+// draws come from a salted private stream, so enabling a fault plane
+// never shifts workload or timeline draws.
+#include "faults/fault_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "net/packet.h"
+#include "workload/arrivals.h"
+#include "workload/workload.h"
+
+namespace pdq::faults {
+namespace {
+
+using harness::Scenario;
+using harness::SweepRunner;
+using harness::TopologySpec;
+using harness::WorkloadSpec;
+
+Scenario small_open_loop(int num_flows = 24) {
+  workload::OpenLoopOptions w;
+  w.num_flows = num_flows;
+  w.arrivals = workload::ArrivalProcess::poisson(2000.0);
+  w.size = workload::uniform_size(2'000, 30'000);
+  w.pattern = workload::staggered_prob(0.5, 4);
+  Scenario s;
+  s.topology = TopologySpec::fat_tree(4);
+  s.workload = WorkloadSpec::open_loop(w, "faults-test");
+  s.options.horizon = 10 * sim::kSecond;
+  return s;
+}
+
+TEST(FaultSpecTest, PresetsParseAndOffReturnsNull) {
+  std::string err = "stale";
+  EXPECT_EQ(FaultSpec::preset("off", &err), nullptr);
+  EXPECT_TRUE(err.empty());
+  EXPECT_EQ(FaultSpec::preset("", &err), nullptr);
+  EXPECT_TRUE(err.empty());
+
+  const auto loss = FaultSpec::preset("loss", &err);
+  ASSERT_NE(loss, nullptr);
+  EXPECT_TRUE(err.empty());
+  EXPECT_TRUE(loss->selective.enabled());
+  EXPECT_TRUE(loss->any());
+
+  const auto burst = FaultSpec::preset("burst");
+  ASSERT_NE(burst, nullptr);
+  EXPECT_TRUE(burst->ge.enabled());
+
+  const auto chaos = FaultSpec::preset("chaos");
+  ASSERT_NE(chaos, nullptr);
+  EXPECT_TRUE(chaos->ge.enabled());
+  EXPECT_TRUE(chaos->selective.enabled());
+  EXPECT_TRUE(chaos->flapping.enabled());
+  EXPECT_FALSE(chaos->switch_resets.empty());
+
+  EXPECT_EQ(FaultSpec::preset("bogus", &err), nullptr);
+  EXPECT_NE(err.find("bogus"), std::string::npos);
+  EXPECT_NE(err.find("chaos"), std::string::npos);
+}
+
+TEST(FaultPlaneTest, ArmHooksOnlyInScopeLinksAndDetachesOnDestruction) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1);
+  TopologySpec::fat_tree(4).build(topo);
+  FaultSpec spec;
+  spec.data_loss(0.5).on_links(LinkScope::kSwitchSwitch);
+  {
+    FaultPlane plane(spec, topo, /*seed=*/1);
+    plane.arm([](net::NodeId, net::NodeId, bool) {});
+    std::size_t hooked = 0;
+    for (const auto& l : topo.links()) {
+      const bool core = !topo.is_host(l->from) && !topo.is_host(l->to);
+      if (core) {
+        EXPECT_EQ(l->fault, &plane);
+        ++hooked;
+      } else {
+        EXPECT_EQ(l->fault, nullptr);
+      }
+    }
+    EXPECT_GT(hooked, 0u);
+  }
+  // Destruction detaches every hook — the topology never dangles.
+  for (const auto& l : topo.links()) EXPECT_EQ(l->fault, nullptr);
+}
+
+TEST(FaultPlaneTest, SelectiveDropDistinguishesControlFromData) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1);
+  TopologySpec::fat_tree(4).build(topo);
+  FaultSpec spec;
+  spec.control_loss(1.0).on_links(LinkScope::kAllLinks);
+  FaultPlane plane(spec, topo, 1);
+  plane.arm([](net::NodeId, net::NodeId, bool) {});
+
+  const net::SimplexLink& link = *topo.links().front();
+  net::Packet data;
+  data.type = net::PacketType::kData;
+  net::Packet ack;
+  ack.type = net::PacketType::kAck;
+  net::Packet probe;
+  probe.type = net::PacketType::kProbe;
+  net::Packet term;
+  term.type = net::PacketType::kTerm;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(plane.should_drop(link, data));
+    EXPECT_FALSE(plane.should_drop(link, ack));
+    EXPECT_TRUE(plane.should_drop(link, probe));
+    EXPECT_TRUE(plane.should_drop(link, term));
+  }
+  EXPECT_EQ(plane.fault_drops(), 128u);
+  EXPECT_EQ(plane.control_drops(), 128u);
+}
+
+TEST(FaultPlaneTest, GilbertElliottIsSeedDeterministicAndBursty) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1);
+  TopologySpec::fat_tree(4).build(topo);
+  FaultSpec spec;
+  spec.burst_loss(/*p_gb=*/0.05, /*p_bg=*/0.2, /*loss_bad=*/1.0);
+  spec.on_links(LinkScope::kAllLinks);
+
+  const net::SimplexLink& link = *topo.links().front();
+  net::Packet data;
+  data.type = net::PacketType::kData;
+
+  const auto drop_trace = [&](std::uint64_t seed) {
+    FaultPlane plane(spec, topo, seed);
+    plane.arm([](net::NodeId, net::NodeId, bool) {});
+    std::string trace;
+    for (int i = 0; i < 4000; ++i) {
+      trace += plane.should_drop(link, data) ? '1' : '0';
+    }
+    return trace;
+  };
+  const std::string a = drop_trace(7);
+  EXPECT_EQ(a, drop_trace(7));  // bit-reproducible for a seed
+  EXPECT_NE(a, drop_trace(8));
+  // loss_bad = 1.0: every drop run is a bad episode; mean bad-run length
+  // 1/p_bg = 5, so drops must cluster (some adjacent pair exists).
+  EXPECT_NE(a.find('1'), std::string::npos);
+  EXPECT_NE(a.find("11"), std::string::npos);
+}
+
+TEST(FaultPlaneTest, FlappingTogglesAndRestoresLinks) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1);
+  TopologySpec::fat_tree(4).build(topo);
+  FaultSpec spec;
+  spec.flap(/*links=*/2, /*mean_up=*/5 * sim::kMillisecond,
+            /*mean_down=*/sim::kMillisecond);
+  spec.flapping.max_flaps = 4;
+  FaultPlane plane(spec, topo, 3);
+  int downs = 0, ups = 0;
+  plane.arm([&](net::NodeId a, net::NodeId b, bool up) {
+    topo.set_link_state(a, b, up);
+    (up ? ups : downs)++;
+  });
+  simulator.run(sim::kSecond);
+  EXPECT_EQ(plane.flaps_executed(), 8);  // 2 links x 4 flaps, budget spent
+  EXPECT_EQ(downs, 8);
+  EXPECT_EQ(ups, 8);  // every down was matched by a recovery
+  for (const auto& l : topo.links()) EXPECT_TRUE(l->up);
+}
+
+TEST(FaultPlaneTest, WorkloadDrawsNeverShiftWhenFaultsEnabled) {
+  // Determinism contract: the fault plane draws from its own salted
+  // stream, so the materialized flow set is identical with and without
+  // faults.
+  const Scenario base = small_open_loop();
+  Scenario faulted = base;
+  faulted.options.faults = FaultSpec::preset("chaos");
+  const auto plain = SweepRunner::run_sample(base, "PDQ(Full)", {}, 1000);
+  const auto chaos = SweepRunner::run_sample(faulted, "PDQ(Full)", {}, 1000);
+  ASSERT_EQ(plain.flows.size(), chaos.flows.size());
+  for (std::size_t i = 0; i < plain.flows.size(); ++i) {
+    EXPECT_EQ(plain.flows[i].id, chaos.flows[i].id);
+    EXPECT_EQ(plain.flows[i].src, chaos.flows[i].src);
+    EXPECT_EQ(plain.flows[i].dst, chaos.flows[i].dst);
+    EXPECT_EQ(plain.flows[i].size_bytes, chaos.flows[i].size_bytes);
+    EXPECT_EQ(plain.flows[i].start_time, chaos.flows[i].start_time);
+  }
+}
+
+TEST(FaultPlaneTest, ModerateControlLossStillCompletesEveryFlow) {
+  // 30% control drop on the fabric core: SYN retry, the probe tick loop
+  // and the hardened TERM retransmit must carry every flow to
+  // completion, and the auditor must find nothing wrong.
+  Scenario s = small_open_loop();
+  auto spec = std::make_shared<FaultSpec>();
+  spec->control_loss(0.3);
+  s.options.faults = spec;
+  for (const char* stack : {"PDQ(Full)", "RCP", "D3"}) {
+    const auto run = SweepRunner::run_sample(s, stack, {}, 1000);
+    EXPECT_EQ(run.result.completed(), run.flows.size()) << stack;
+    ASSERT_NE(run.result.audit, nullptr) << stack;
+    EXPECT_TRUE(run.result.audit->ok())
+        << stack << "\n"
+        << run.result.audit->to_string();
+  }
+}
+
+TEST(FaultPlaneTest, SwitchResetRebuildsPdqStateMidRun) {
+  // Wipe every PDQ controller on one switch mid-run: Algorithm 1
+  // rebuilds the flow list from carried packet headers, so all flows
+  // still complete and no ghost state survives the run.
+  Scenario s = small_open_loop();
+  auto spec = std::make_shared<FaultSpec>();
+  spec->reset_switch(5 * sim::kMillisecond)
+      .reset_switch(10 * sim::kMillisecond);
+  s.options.faults = spec;
+  const auto run = SweepRunner::run_sample(s, "PDQ(Full)", {}, 1000);
+  EXPECT_EQ(run.result.completed(), run.flows.size());
+  ASSERT_NE(run.result.audit, nullptr);
+  EXPECT_TRUE(run.result.audit->ok()) << run.result.audit->to_string();
+}
+
+TEST(FaultPlaneTest, TotalControlLossOnCoreTripsTheWatchdog) {
+  // With every control packet dying on the core, cross-rack PDQ flows
+  // can never finish the SYN handshake. The watchdog must fail the run
+  // instead of spinning to the horizon.
+  Scenario s = small_open_loop();
+  s.options.horizon = 60 * sim::kSecond;
+  auto spec = std::make_shared<FaultSpec>();
+  spec->control_loss(1.0).data_loss(1.0);
+  s.options.faults = spec;
+  auto audit = std::make_shared<harness::AuditSpec>();
+  audit->log_to_stderr = false;  // the violation here is the point
+  s.options.audit = audit;
+  const auto run = SweepRunner::run_sample(s, "PDQ(Full)", {}, 1000);
+  ASSERT_NE(run.result.audit, nullptr);
+  ASSERT_FALSE(run.result.audit->ok());
+  EXPECT_EQ(run.result.audit->violations.front().kind, "no_progress");
+  EXPECT_LT(run.result.end_time, s.options.horizon);  // stopped, not spun
+}
+
+}  // namespace
+}  // namespace pdq::faults

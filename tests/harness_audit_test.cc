@@ -1,0 +1,170 @@
+// Watchdog + invariant auditor (harness/audit.h): the pinned PR-8-style
+// stranded flow (a mid-run receiver detach leaves the sender
+// retransmitting forever — the watchdog must stop the run and name the
+// flow in a structured report), the ghost-grant scanner, and
+// no-false-positive coverage on clean runs.
+#include "harness/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/registry.h"
+#include "harness/timeline.h"
+#include "net/node.h"
+#include "test_util.h"
+
+namespace pdq::harness {
+namespace {
+
+TEST(Audit, OffByDefaultAndSilentOnCleanRuns) {
+  auto stack = StackRegistry::global().make("PDQ(Full)");
+  ASSERT_NE(stack, nullptr);
+  const RunResult r = testing::run_single_bottleneck(*stack, 4, 50'000);
+  EXPECT_EQ(r.completed(), 4u);
+  EXPECT_EQ(r.audit, nullptr);  // no audit spec, no faults: fully off
+}
+
+TEST(Audit, CleanRunPassesEveryCheck) {
+  // No false positives: a healthy run under the full audit (watchdog,
+  // stranded, conservation, ghost grants, drain requirement) reports ok.
+  auto stack = StackRegistry::global().make("PDQ(Full)");
+  ASSERT_NE(stack, nullptr);
+  RunOptions opts;
+  auto audit = std::make_shared<AuditSpec>();
+  audit->require_drain = true;
+  opts.audit = audit;
+  const RunResult r = testing::run_single_bottleneck(*stack, 6, 80'000,
+                                                     sim::kTimeInfinity, opts);
+  EXPECT_EQ(r.completed(), 6u);
+  ASSERT_NE(r.audit, nullptr);
+  EXPECT_TRUE(r.audit->ok()) << r.audit->to_string();
+  EXPECT_EQ(r.audit->to_string(), "audit: ok\n");
+}
+
+TEST(Audit, WatchdogCatchesStrandedFlowAndNamesItInTheReport) {
+  // The PR-8 regression, re-introduced deliberately: mid-run, flow 1's
+  // receiver vanishes (detached exactly as the stranded-sender bug left
+  // it). The sender retransmits into the void forever; pre-auditor the
+  // run would spin to the 30 s horizon. The watchdog must stop it at
+  // the stall threshold and the report must name the flow.
+  auto stack = StackRegistry::global().make("PDQ(Full)");
+  ASSERT_NE(stack, nullptr);
+
+  // Flow 2 is short so PDQ's shortest-remaining-first finishes it before
+  // the detach; flow 1 then holds the bottleneck grant forever.
+  std::vector<net::FlowSpec> flows;
+  for (int i = 0; i < 2; ++i) {
+    net::FlowSpec f;
+    f.id = i + 1;
+    f.size_bytes = i == 0 ? 400'000 : 40'000;
+    flows.push_back(f);
+  }
+  const auto build = [&](net::Topology& t) {
+    auto servers = net::build_single_bottleneck(t, 2);
+    for (int i = 0; i < 2; ++i) {
+      flows[static_cast<std::size_t>(i)].src =
+          servers[static_cast<std::size_t>(i)];
+      flows[static_cast<std::size_t>(i)].dst = servers.back();
+    }
+    return servers;
+  };
+
+  auto tl = std::make_shared<TimelineSpec>();
+  tl->at(2 * sim::kMillisecond, "strand flow 1", [&](TimelineCtx& ctx) {
+    ctx.topo.host(flows[0].dst).detach_receiver(flows[0].id);
+  });
+
+  RunOptions opts;
+  opts.horizon = 30 * sim::kSecond;
+  opts.timeline = tl;
+  auto audit = std::make_shared<AuditSpec>();
+  audit->log_to_stderr = false;  // the violation is expected output here
+  opts.audit = audit;
+
+  const RunResult r = run_scenario(*stack, build, flows, opts);
+
+  ASSERT_NE(r.audit, nullptr);
+  ASSERT_FALSE(r.audit->ok());
+  const AuditViolation& v = r.audit->violations.front();
+  EXPECT_EQ(v.kind, "no_progress");
+  // Structured report: the stranded flow id and its byte progress.
+  EXPECT_NE(v.detail.find("flow=1"), std::string::npos) << v.detail;
+  EXPECT_NE(v.detail.find("bytes"), std::string::npos) << v.detail;
+  // Failed fast: stopped at the stall threshold, not the 30 s horizon.
+  EXPECT_LT(r.audit->violations.size(), 3u);
+  EXPECT_LT(r.end_time, opts.horizon);
+  EXPECT_LE(r.end_time, 10 * sim::kSecond);
+  // The healthy flow finished; only the stranded one is unresolved.
+  const net::FlowResult* healthy = r.flow(2);
+  ASSERT_NE(healthy, nullptr);
+  EXPECT_EQ(healthy->outcome, net::FlowOutcome::kCompleted);
+}
+
+/// A controller that reports a grant for an arbitrary flow id — the
+/// scanner's positive case (no real stack grants unowned flows on the
+/// default path, since agents stay attached to run end).
+class GhostController : public net::LinkController {
+ public:
+  explicit GhostController(net::FlowId ghost) : ghost_(ghost) {}
+  void on_forward(net::Packet&) override {}
+  void on_reverse(net::Packet&) override {}
+  void granted_flows(std::vector<net::GrantInfo>& out) const override {
+    net::GrantInfo g;
+    g.flow = ghost_;
+    g.rate_bps = 1e9;
+    g.last_seen = 0;  // ancient: well past any grace period
+    out.push_back(g);
+  }
+
+ private:
+  net::FlowId ghost_;
+};
+
+TEST(Audit, GhostGrantScannerFlagsGrantsNoLiveSenderOwns) {
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1);
+  auto servers = net::build_single_bottleneck(topo, 2);
+
+  net::Port* port = topo.node(servers[0]).ports().front().get();
+  ASSERT_NE(port, nullptr);
+  port->set_controller(std::make_unique<GhostController>(net::FlowId{77}));
+
+  AuditReport report;
+  scan_ghost_grants(topo, /*now=*/sim::kSecond,
+                    /*grace=*/250 * sim::kMillisecond, report);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, "ghost_grant");
+  EXPECT_NE(report.violations[0].detail.find("flow=77"), std::string::npos)
+      << report.violations[0].detail;
+
+  // Attach a live sender owning flow 77: the grant is owned, not a ghost.
+  class NullAgent : public net::Agent {
+    void on_packet(const net::PacketPtr&) override {}
+  } owner;
+  topo.host(servers[0]).attach_sender(net::FlowId{77}, &owner);
+  AuditReport clean;
+  scan_ghost_grants(topo, sim::kSecond, 250 * sim::kMillisecond, clean);
+  EXPECT_TRUE(clean.ok());
+}
+
+TEST(Audit, YoungUnownedGrantsAreGraceNotGhost) {
+  // A grant younger than the grace window is ordinary post-TERM
+  // staleness awaiting switch GC — never flagged.
+  sim::Simulator simulator;
+  net::Topology topo(simulator, 1);
+  auto servers = net::build_single_bottleneck(topo, 2);
+  net::Port* port = topo.node(servers[0]).ports().front().get();
+  port->set_controller(std::make_unique<GhostController>(net::FlowId{5}));
+
+  AuditReport report;
+  scan_ghost_grants(topo, /*now=*/100 * sim::kMillisecond,
+                    /*grace=*/250 * sim::kMillisecond, report);
+  EXPECT_TRUE(report.ok());
+}
+
+}  // namespace
+}  // namespace pdq::harness

@@ -1,0 +1,151 @@
+// The legacy lossy-link path (SimplexLink::drop_rate, the Fig 9 knob)
+// after the fault-hook refactor: drop decisions still come from the
+// topology RNG in the same order (fault hooks only run when the legacy
+// draw kept the packet), packets are conserved end to end, and a
+// fault-plane attachment that schedules no pre-completion work leaves a
+// lossy run bit-identical.
+#include "net/node.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faults/fault_spec.h"
+#include "harness/audit.h"
+#include "harness/registry.h"
+#include "net/builders.h"
+#include "net/packet_pool.h"
+#include "test_util.h"
+
+namespace pdq::net {
+namespace {
+
+/// Counts hook consultations; never drops.
+struct CountingFault : LinkFaultModel {
+  int calls = 0;
+  bool should_drop(const SimplexLink&, const Packet&) override {
+    ++calls;
+    return false;
+  }
+};
+
+harness::RunOptions lossy_opts(double rate) {
+  harness::RunOptions opts;
+  // The shared bottleneck for 3 senders: switch (node 0) -> receiver
+  // (node 4; hosts are 1..3).
+  opts.watch_link = std::make_pair(NodeId{0}, NodeId{4});
+  opts.watch_link_drop_rate = rate;
+  return opts;
+}
+
+TEST(LossyLink, DropRateRunIsSeedDeterministicAndConservesPackets) {
+  auto run_once = [&] {
+    PacketPool pool;
+    double fct;
+    {
+      PacketPool::ScopedPool scoped(pool);
+      auto stack = harness::StackRegistry::global().make("PDQ(Full)");
+      const harness::RunResult r = testing::run_single_bottleneck(
+          *stack, 3, 100'000, sim::kTimeInfinity, lossy_opts(0.02));
+      EXPECT_EQ(r.completed(), 3u);
+      EXPECT_GT(r.wire_drops, 0);  // the loss knob actually fired
+      fct = r.mean_fct_ms();
+    }
+    // Simulator and topology are gone: every packet ever drawn from the
+    // scoped pool — including the randomly dropped ones — came back.
+    EXPECT_EQ(pool.live_count(), 0u);
+    return fct;
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_EQ(a, b);  // bit-identical, not approximately
+}
+
+TEST(LossyLink, FaultHookRunsOnlyWhenLegacyDrawKeepsThePacket) {
+  // drop_rate = 1.0 loses every packet at the legacy draw, so an
+  // attached fault model must never be consulted — the legacy stream
+  // owns the first decision, in the historical order.
+  sim::Simulator simulator;
+  Topology topo(simulator, 1);
+  auto servers = build_single_bottleneck(topo, 2);
+  CountingFault fault;
+  topo.set_link_drop_rate(0, 3, 1.0);
+  for (auto& l : topo.links()) {
+    if (l->from == 0 && l->to == 3) l->fault = &fault;
+  }
+
+  auto stack = harness::StackRegistry::global().make("TCP");
+  std::vector<FlowSpec> flows(1);
+  flows[0].id = 1;
+  flows[0].src = servers[0];
+  flows[0].dst = servers.back();
+  flows[0].size_bytes = 20'000;
+  harness::RunOptions opts;
+  opts.horizon = 50 * sim::kMillisecond;
+  const harness::RunResult r =
+      harness::run_prepared(*stack, simulator, topo, flows, opts);
+  EXPECT_GT(r.wire_drops, 0);
+  EXPECT_EQ(fault.calls, 0);  // legacy draw dropped first, every time
+
+  // Flip the rates: with drop_rate = 0 the link is lossy only through
+  // the hook, which must now see every transmission completion.
+  topo.set_link_drop_rate(0, 3, 0.0);
+  for (auto& l : topo.links()) {
+    if (l->from == 0 && l->to == 3) {
+      // Hooked links must not coalesce even at drop_rate 0.
+      EXPECT_NE(l->fault, nullptr);
+    }
+  }
+  sim::Simulator sim2;
+  Topology topo2(sim2, 1);
+  auto servers2 = build_single_bottleneck(topo2, 2);
+  CountingFault fault2;
+  for (auto& l : topo2.links()) {
+    if (l->from == 0 && l->to == 3) l->fault = &fault2;
+  }
+  auto stack2 = harness::StackRegistry::global().make("TCP");
+  std::vector<FlowSpec> flows2(1);
+  flows2[0].id = 1;
+  flows2[0].src = servers2[0];
+  flows2[0].dst = servers2.back();
+  flows2[0].size_bytes = 20'000;
+  const harness::RunResult r2 =
+      harness::run_prepared(*stack2, sim2, topo2, flows2, opts);
+  EXPECT_EQ(r2.completed(), 1u);
+  EXPECT_GT(fault2.calls, 0);
+}
+
+TEST(LossyLink, InertFaultPlaneLeavesLossyRunBitIdentical) {
+  // A fault spec whose only event fires after every flow is done (one
+  // switch reset at t = 20 s, hardening off) schedules exactly one
+  // extra event up front and draws nothing from the topology RNG: the
+  // legacy drop decisions, and therefore the whole run, are
+  // bit-identical to the fault-free baseline.
+  auto run_once = [&](bool with_faults) {
+    auto stack = harness::StackRegistry::global().make("PDQ(Full)");
+    harness::RunOptions opts = lossy_opts(0.02);
+    if (with_faults) {
+      auto spec = std::make_shared<faults::FaultSpec>();
+      spec->reset_switch(20 * sim::kSecond);
+      spec->harden_protocols = false;
+      opts.faults = spec;
+      // End-of-run checks only: the watchdog would add periodic events.
+      auto audit = std::make_shared<harness::AuditSpec>();
+      audit->progress_watchdog = false;
+      opts.audit = audit;
+    }
+    return testing::run_single_bottleneck(*stack, 3, 100'000,
+                                          sim::kTimeInfinity, opts);
+  };
+  const harness::RunResult plain = run_once(false);
+  const harness::RunResult faulted = run_once(true);
+  EXPECT_EQ(plain.mean_fct_ms(), faulted.mean_fct_ms());
+  EXPECT_EQ(plain.wire_drops, faulted.wire_drops);
+  EXPECT_EQ(plain.queue_drops, faulted.queue_drops);
+  ASSERT_NE(faulted.audit, nullptr);
+  EXPECT_TRUE(faulted.audit->ok()) << faulted.audit->to_string();
+  EXPECT_EQ(plain.audit, nullptr);
+}
+
+}  // namespace
+}  // namespace pdq::net
