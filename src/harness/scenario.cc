@@ -12,6 +12,7 @@
 #include "harness/timeline.h"
 #include "net/node.h"
 #include "net/packet_pool.h"
+#include "net/shard_plan.h"
 #include "stats/streaming.h"
 
 namespace pdq::harness {
@@ -82,6 +83,37 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
                        net::Topology& topo,
                        const std::vector<net::FlowSpec>& flows,
                        const RunOptions& opts) {
+  // ---- sharded parallel engine (sim/sharded.h) ----
+  // Installed before any event is scheduled: stack installation below
+  // already routes setup events to their owning shards. v1 runs only
+  // the default materialize-everything path; every excluded feature
+  // fails loudly rather than silently degrading to shards=1.
+  const bool sharded = opts.shards > 1;
+  std::unique_ptr<net::ShardedSession> shard_session;
+  if (sharded) {
+    if (opts.streaming != nullptr || opts.hybrid != nullptr ||
+        opts.faults != nullptr || opts.audit != nullptr ||
+        opts.timeline != nullptr || opts.watch_link.has_value() ||
+        opts.per_flow_series) {
+      std::fprintf(stderr,
+                   "run_prepared: sharded execution (RunOptions::shards > 1) "
+                   "supports only the default materialize-everything path — "
+                   "streaming, hybrid, timeline, fault, audit, watch-link and "
+                   "per-flow-series runs must use shards=1\n");
+      std::exit(2);
+    }
+    std::string err;
+    shard_session =
+        net::ShardedSession::create(simulator, topo, opts.shards, &err);
+    if (shard_session == nullptr) {
+      std::fprintf(stderr, "run_prepared: cannot shard this topology: %s\n",
+                   err.c_str());
+      std::exit(2);
+    }
+  }
+  sim::ShardExecutor* shard_exec =
+      shard_session != nullptr ? &shard_session->executor() : nullptr;
+
   stack.install(topo);
 
   RunResult result;
@@ -313,8 +345,14 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
         schedule_sweep();
       };
     }
-    auto receiver = stack.make_receiver(std::move(rctx));
-    topo.host(f.dst).attach_receiver(f.id, receiver.get());
+    std::unique_ptr<net::Agent> receiver;
+    {
+      // Agent construction may schedule events touching the endpoint's
+      // state; route them to its shard (inert single-shard).
+      sim::Simulator::ScopedShardTarget target(f.dst);
+      receiver = stack.make_receiver(std::move(rctx));
+      topo.host(f.dst).attach_receiver(f.id, receiver.get());
+    }
 
     net::AgentContext sctx;
     sctx.topo = &topo;
@@ -333,6 +371,13 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
         schedule_sweep();
         if (--remaining == 0 && timeline_pending == 0) simulator.stop();
       };
+    } else if (shard_exec != nullptr) {
+      // Workers must not race on `remaining`; the executor counts
+      // completions and finds the interleaving-independent stop point
+      // at the window barrier (see expect_flow_completions below).
+      sctx.on_done = [shard_exec](const net::FlowResult&) {
+        shard_exec->note_flow_done();
+      };
     } else {
       sctx.on_done = [&remaining, &timeline_pending,
                       &simulator](const net::FlowResult&) {
@@ -340,8 +385,12 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
       };
     }
     sender_routes[idx] = sctx.route;
-    auto sender = stack.make_sender(std::move(sctx));
-    topo.host(f.src).attach_sender(f.id, sender.get());
+    std::unique_ptr<net::Agent> sender;
+    {
+      sim::Simulator::ScopedShardTarget target(f.src);
+      sender = stack.make_sender(std::move(sctx));
+      topo.host(f.src).attach_sender(f.id, sender.get());
+    }
     senders[idx] = sender.get();
 
     FlowSlot& slot = slots[idx];
@@ -495,6 +544,8 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
       });
     } else {
       materialize(idx);
+      // The start event mutates the sender's host: its shard owns it.
+      sim::Simulator::ScopedShardTarget target(f.src);
       simulator.schedule_at(f.start_time,
                             [a = senders[idx]] { a->start(); });
     }
@@ -769,6 +820,8 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
   const std::uint64_t coalesced_before = topo.total_events_coalesced();
   const std::uint64_t scans_before = topo.total_flowlist_scan_ops();
 
+  if (shard_exec != nullptr) shard_exec->expect_flow_completions(remaining);
+
   result.engine.events_executed = simulator.run(opts.horizon);
 
   result.engine.events_scheduled =
@@ -784,6 +837,25 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
   result.engine.peak_pending_events = simulator.peak_pending_events();
   result.engine.pool_highwater = pool.live_highwater();
   result.engine.peak_flow_bytes = peak_flow_bytes;
+
+  if (shard_exec != nullptr) {
+    // Packets live in the per-shard pools, not the coordinator's
+    // thread-local pool (whose deltas above are zero). Allocation
+    // counts are execution-strategy-scoped: deterministic for a fixed
+    // shard count, not comparable across counts.
+    result.engine.packet_allocs = shard_session->packet_allocs();
+    result.engine.packet_acquires = shard_session->packet_acquires();
+    result.engine.pool_highwater = shard_session->pool_highwater();
+    const sim::ShardCounters& sc = shard_exec->counters();
+    result.engine.sync_rounds = sc.sync_rounds;
+    result.engine.ring_handoffs = sc.ring_handoffs;
+    result.engine.lookahead_ns = sc.lookahead_ns;
+    result.engine.shards = sc.shards;
+    result.engine.shard_threads = sc.shard_threads;
+    // The sharded on_done path never touched `remaining`; adopt the
+    // executor's committed completion count for the post-run checks.
+    remaining = static_cast<std::size_t>(shard_exec->flows_remaining());
+  }
 
   // ---- end-of-run invariant audit ----
   if (audit != nullptr) {
@@ -890,6 +962,13 @@ RunResult run_prepared(ProtocolStack& stack, sim::Simulator& simulator,
   result.end_time = simulator.now();
   result.queue_drops = topo.total_queue_drops();
   result.wire_drops = topo.total_wire_drops();
+  if (shard_exec != nullptr) {
+    // Port counters include drops from overshoot events (events past
+    // the stop point that executed inside the final window); the
+    // committed total is truncated exactly as the sequential run's.
+    result.queue_drops =
+        static_cast<std::int64_t>(shard_exec->committed_queue_drops());
+  }
   if (streaming) {
     // Flows caught mid-fluid at the horizon fold as pending with the
     // bytes their head + fluid progress delivered (their slots are

@@ -1,0 +1,178 @@
+#include "net/shard_plan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace pdq::net {
+
+bool make_shard_plan(Topology& topo, int shards, sim::ShardPlan* plan,
+                     std::string* error) {
+  const auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (shards < 1 || shards > 14) {
+    return fail("shard count must be in [1, 14]");
+  }
+  for (const auto& l : topo.links()) {
+    if (l->drop_rate > 0.0) {
+      return fail("lossy links are unsupported under sharded execution");
+    }
+    if (l->fault != nullptr) {
+      return fail("link fault hooks are unsupported under sharded execution");
+    }
+    if (!l->up) {
+      return fail("administratively-down links are unsupported under "
+                  "sharded execution");
+    }
+  }
+
+  const std::size_t n = topo.num_nodes();
+  std::vector<std::int32_t> node_shard(n, -1);
+
+  // Attachment groups: host -> first-port neighbor. std::map keeps the
+  // groups in ascending attachment-node order — the contiguous-block
+  // order that tracks pods / cells / rack groups.
+  std::map<NodeId, std::vector<NodeId>> groups;
+  for (NodeId h : topo.host_ids()) {
+    const auto& ports = topo.node(h).ports();
+    if (ports.empty()) return fail("host with no ports cannot be sharded");
+    groups[ports[0]->link().to].push_back(h);
+  }
+  if (static_cast<int>(groups.size()) < shards) {
+    return fail("fewer attachment groups than requested shards");
+  }
+
+  // Contiguous blocks balanced by host count; every block gets at least
+  // one group.
+  std::size_t total_hosts = 0;
+  for (const auto& [attach, hosts] : groups) total_hosts += hosts.size();
+  std::size_t groups_left = groups.size();
+  std::size_t hosts_left = total_hosts;
+  int block = 0;
+  std::size_t block_hosts = 0;
+  for (const auto& [attach, hosts] : groups) {
+    const int blocks_left = shards - block;
+    const std::size_t target =
+        (hosts_left + static_cast<std::size_t>(blocks_left) - 1) /
+        static_cast<std::size_t>(blocks_left);
+    // Close the current block when it hit its share, or when the groups
+    // still unconsumed are only just enough to give every remaining
+    // block one (no trailing block may end up empty).
+    if (block_hosts > 0 && block + 1 < shards &&
+        (block_hosts >= target ||
+         groups_left < static_cast<std::size_t>(blocks_left))) {
+      ++block;
+      block_hosts = 0;
+    }
+    if (node_shard[static_cast<std::size_t>(attach)] < 0) {
+      node_shard[static_cast<std::size_t>(attach)] = block;
+    }
+    for (NodeId h : hosts) node_shard[static_cast<std::size_t>(h)] = block;
+    block_hosts += hosts.size();
+    hosts_left -= hosts.size();
+    --groups_left;
+  }
+
+  // Host-less switches: majority-link affinity with already-assigned
+  // neighbors, in id order; isolated ones round-robin deterministically.
+  for (std::size_t id = 0; id < n; ++id) {
+    if (node_shard[id] >= 0) continue;
+    std::vector<int> votes(static_cast<std::size_t>(shards), 0);
+    bool any = false;
+    for (const auto& port : topo.node(static_cast<NodeId>(id)).ports()) {
+      const std::int32_t peer = node_shard[static_cast<std::size_t>(
+          port->link().to)];
+      if (peer >= 0) {
+        ++votes[static_cast<std::size_t>(peer)];
+        any = true;
+      }
+    }
+    if (any) {
+      node_shard[id] = static_cast<std::int32_t>(std::distance(
+          votes.begin(), std::max_element(votes.begin(), votes.end())));
+    } else {
+      node_shard[id] = static_cast<std::int32_t>(id) % shards;
+    }
+  }
+
+  // Lookahead: the minimum time any packet needs to cross the cut.
+  sim::Time lookahead = sim::kTimeInfinity;
+  for (const auto& l : topo.links()) {
+    if (node_shard[static_cast<std::size_t>(l->from)] ==
+        node_shard[static_cast<std::size_t>(l->to)]) {
+      continue;
+    }
+    const sim::Time cross =
+        l->prop_delay + sim::transmission_time(kControlBytes, l->rate_bps);
+    if (cross < lookahead) lookahead = cross;
+  }
+  if (shards > 1 && lookahead == sim::kTimeInfinity) {
+    return fail("no cross-shard link: partition is degenerate");
+  }
+  if (lookahead < 1) lookahead = 1;
+
+  plan->shards = shards;
+  plan->lookahead = lookahead;
+  plan->node_shard = std::move(node_shard);
+  return true;
+}
+
+std::unique_ptr<ShardedSession> ShardedSession::create(sim::Simulator& sim,
+                                                       Topology& topo,
+                                                       int shards,
+                                                       std::string* error) {
+  sim::ShardPlan plan;
+  if (!make_shard_plan(topo, shards, &plan, error)) return nullptr;
+  std::unique_ptr<ShardedSession> session(new ShardedSession(topo));
+  session->pools_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    auto pool = std::make_unique<PacketPool>();
+    pool->set_cross_thread_guard(true);
+    session->pools_.push_back(std::move(pool));
+  }
+  ShardedSession* raw = session.get();
+  plan.thread_env = [raw](int shard) -> std::shared_ptr<void> {
+    return std::make_shared<PacketPool::ScopedPool>(
+        *raw->pools_[static_cast<std::size_t>(shard)]);
+  };
+  session->exec_ = std::make_unique<sim::ShardExecutor>(sim, std::move(plan));
+  return session;
+}
+
+ShardedSession::~ShardedSession() {
+  // Teardown order: worker threads join and pending event closures die
+  // inside the executor's destructor; port-queue packets drain here.
+  // Both release packets to their origin pools, which the member order
+  // (pools_ before exec_) keeps alive until last.
+  for (std::size_t id = 0; id < topo_.num_nodes(); ++id) {
+    for (const auto& port : topo_.node(static_cast<NodeId>(id)).ports()) {
+      while (!port->queue_empty()) port->dequeue();
+    }
+  }
+  exec_.reset();
+}
+
+std::uint64_t ShardedSession::packet_allocs() const {
+  std::uint64_t sum = 0;
+  for (const auto& p : pools_) sum += p->total_allocated();
+  return sum;
+}
+
+std::uint64_t ShardedSession::packet_acquires() const {
+  std::uint64_t sum = 0;
+  for (const auto& p : pools_) sum += p->total_acquires();
+  return sum;
+}
+
+std::size_t ShardedSession::pool_highwater() const {
+  std::size_t sum = 0;
+  for (const auto& p : pools_) sum += p->live_highwater();
+  return sum;
+}
+
+}  // namespace pdq::net

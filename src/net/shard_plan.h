@@ -1,0 +1,70 @@
+// Topology partitioning for the sharded engine (sim/sharded.h).
+//
+// The cut follows the fabric's natural seams: every host groups with its
+// attachment switch (its first port's neighbor — the ToR in fat-tree and
+// spine-leaf, the cell mini-switch in DCell), attachment groups split
+// into K contiguous blocks balanced by host count (pods / cells / rack
+// groups), and host-less switches (aggregation, core, spine) join the
+// shard they share the most links with. The conservative-sync lookahead
+// is the minimum latency any packet needs to cross the cut: min over
+// cross-shard links of propagation + minimum-packet (kControlBytes)
+// serialization — positive by construction, since transmission_time
+// rounds up to at least 1 ns.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet_pool.h"
+#include "net/topology.h"
+#include "sim/sharded.h"
+
+namespace pdq::net {
+
+/// Computes a shard plan for `topo`. Returns false with *error set when
+/// the topology cannot honor the request (fewer attachment groups than
+/// shards, lossy or faulted links, no cross-shard link).
+bool make_shard_plan(Topology& topo, int shards, sim::ShardPlan* plan,
+                     std::string* error);
+
+/// Owns everything a sharded run needs beyond the plan: the executor
+/// and one cross-thread-guarded PacketPool per shard, installed as each
+/// worker thread's PacketPool::local() via ShardPlan::thread_env.
+/// Destruction drains the topology's port queues and the executor's
+/// pending closures before the pools die, so every in-flight packet is
+/// released to its origin pool first (the pools' leak assert stays
+/// armed).
+class ShardedSession {
+ public:
+  /// Builds the plan and executor; installs the executor as `sim`'s
+  /// backend. Returns null with *error set when make_shard_plan fails.
+  static std::unique_ptr<ShardedSession> create(sim::Simulator& sim,
+                                                Topology& topo, int shards,
+                                                std::string* error);
+  ~ShardedSession();
+
+  ShardedSession(const ShardedSession&) = delete;
+  ShardedSession& operator=(const ShardedSession&) = delete;
+
+  sim::ShardExecutor& executor() { return *exec_; }
+  const sim::ShardExecutor& executor() const { return *exec_; }
+
+  /// Packet counters summed over the per-shard pools. Allocation counts
+  /// are execution-strategy-scoped: deterministic for a fixed shard
+  /// count, but not comparable across shard counts (each shard warms
+  /// its own free list) — see docs/architecture.md "Sharded execution".
+  std::uint64_t packet_allocs() const;
+  std::uint64_t packet_acquires() const;
+  std::size_t pool_highwater() const;
+
+ private:
+  explicit ShardedSession(Topology& topo) : topo_(topo) {}
+
+  Topology& topo_;
+  std::vector<std::unique_ptr<PacketPool>> pools_;
+  std::unique_ptr<sim::ShardExecutor> exec_;
+};
+
+}  // namespace pdq::net

@@ -1,0 +1,300 @@
+// ShardQueue: the per-shard event queue of the sharded engine.
+//
+// Same slab + implicit 4-ary heap design as sim/event_queue.h, with two
+// deliberate differences:
+//
+//  1. The sequence number lives in the *slot*, not the heap entry, and
+//     the comparator reads it through the slot index. During a window a
+//     shard stamps provisional sequence numbers (>= kProvisionalSeqBase,
+//     numerically above every true one); at the barrier the coordinator
+//     relabels them to the dense true values the single-threaded engine
+//     would have assigned — an O(1) slot write per patched event. The
+//     relabeling is monotone per shard (merge replay preserves each
+//     shard's op order), so heap order is never perturbed.
+//
+//  2. A TimingWheel fronts the heap: events at or beyond the frontier
+//     (the current sync-window bound) bucket in the wheel, and
+//     set_frontier() flushes due buckets into the heap where the exact
+//     (time, vtime, seq) key orders them. Events below the frontier must
+//     go straight to the heap — they may run this window.
+//
+// Single-threaded per shard: the owning worker thread (in-window) or the
+// coordinator (at barriers) — never both at once.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "sim/timing_wheel.h"
+
+namespace pdq::sim {
+
+/// Provisional in-window sequence numbers start here; true sequence
+/// numbers stay far below (a run would need ~4.6e18 events to collide).
+/// Provisional > true matches sequential order: an op performed inside
+/// the current window sequentially follows every previously numbered op.
+inline constexpr std::uint64_t kProvisionalSeqBase = 1ull << 62;
+
+class ShardQueue {
+ public:
+  struct ScheduledRef {
+    EventId id = 0;          // gen<<32|slot, same encoding as EventQueue
+    std::uint32_t slot = 0;  // for barrier-time seq patching
+    std::uint32_t gen = 0;
+  };
+
+  ShardQueue()
+      : wheel_(/*granularity=*/64 * kMicrosecond, /*num_slots=*/256) {}
+
+  ~ShardQueue() { clear(); }
+
+  ShardQueue(const ShardQueue&) = delete;
+  ShardQueue& operator=(const ShardQueue&) = delete;
+
+  ScheduledRef schedule(Time at, Time vtime, std::uint64_t seq, EventFn fn) {
+    assert(vtime <= at);
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    assert(s.state == SlotState::kFree);
+    s.state = SlotState::kPending;
+    s.fn = std::move(fn);
+    s.at = at;
+    s.vtime = vtime;
+    s.seq = seq;
+    if (at < frontier_) {
+      heap_push(HeapRef{at, vtime, slot});
+    } else {
+      s.in_wheel = true;
+      wheel_.add(TimingWheel::Entry{at, slot});
+    }
+    ++pending_;
+    if (pending_ > peak_pending_) peak_pending_ = pending_;
+    ++scheduled_total_;
+    return ScheduledRef{make_id(s.gen, slot), slot, s.gen};
+  }
+
+  /// O(1) exact cancel; stale ids (already ran / already cancelled) are
+  /// harmless no-ops. A cancelled wheel entry is dropped at flush time.
+  /// Returns whether a live event was actually cancelled — the executor
+  /// logs only effective cancels, matching EventQueue::cancelled_total.
+  bool cancel(EventId id) {
+    const std::uint32_t slot = id_slot(id);
+    if (slot >= slots_.size()) return false;
+    Slot& s = slots_[slot];
+    if (s.gen != id_gen(id) || s.state != SlotState::kPending) return false;
+    s.state = SlotState::kCancelled;
+    s.fn.reset();
+    --pending_;
+    ++cancelled_total_;
+    return true;
+  }
+
+  /// Barrier-time provisional->true seq relabel. Generation-checked: an
+  /// event that executed inside its own window released its slot (gen
+  /// advanced), so a reused slot is never mis-patched. Cancelled
+  /// tombstones *are* patched: they still sit in the heap and take part
+  /// in comparisons, so leaving a provisional number there would break
+  /// the comparator's consistency with later true-space entries.
+  void patch_seq(std::uint32_t slot, std::uint32_t gen, std::uint64_t seq) {
+    if (slot >= slots_.size()) return;
+    Slot& s = slots_[slot];
+    if (s.gen != gen || s.state == SlotState::kFree) return;
+    s.seq = seq;
+  }
+
+  /// Advances the execution frontier to `bound`: wheel buckets that
+  /// could hold events before `bound` flush into the heap (the wheel may
+  /// release whole buckets early; the heap re-orders exactly). Must be
+  /// called quiesced, before the window [*, bound) executes.
+  void set_frontier(Time bound) {
+    wheel_.flush_until(bound, [this](TimingWheel::Entry e) {
+      Slot& s = slots_[e.payload];
+      assert(s.in_wheel);
+      s.in_wheel = false;
+      if (s.state == SlotState::kCancelled) {
+        release_slot(e.payload);
+        return;
+      }
+      assert(s.state == SlotState::kPending && s.at == e.at);
+      heap_push(HeapRef{s.at, s.vtime, e.payload});
+    });
+    // The wheel rounds its flush frontier up to a bucket boundary;
+    // everything below that boundary must take the heap path.
+    frontier_ = wheel_.flushed_until();
+    assert(frontier_ >= bound);
+  }
+
+  /// Earliest pending time across heap and wheel — bucket-granular for
+  /// wheel residents (a lower bound, never late). The coordinator uses
+  /// this for window placement: a bound derived from a bucket lower
+  /// bound at worst costs one extra sync round, never a wrong order.
+  Time next_time_lower_bound() {
+    skip_cancelled();
+    Time best = heap_.empty() ? kTimeInfinity : heap_.front().at;
+    const Time wheel_bound = wheel_.next_lower_bound();
+    return wheel_bound < best ? wheel_bound : best;
+  }
+
+  /// True when the heap front runs before `bound`. Wheel residents are
+  /// all >= frontier_ >= bound by construction, so the heap decides.
+  bool has_runnable_before(Time bound) {
+    skip_cancelled();
+    return !heap_.empty() && heap_.front().at < bound;
+  }
+
+  struct Popped {
+    Time at;
+    Time vtime;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  Popped pop() {
+    skip_cancelled();
+    assert(!heap_.empty());
+    const HeapRef top = heap_.front();
+    heap_remove_top();
+    Slot& s = slots_[top.slot];
+    assert(s.state == SlotState::kPending);
+    Popped out{top.at, top.vtime, s.seq, std::move(s.fn)};
+    release_slot(top.slot);
+    --pending_;
+    return out;
+  }
+
+  /// Destroys every pending callable (teardown path — packet-carrying
+  /// closures must release to their pools before the pools die).
+  void clear() {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].state != SlotState::kFree) {
+        slots_[i].fn.reset();
+        slots_[i].state = SlotState::kFree;
+        ++slots_[i].gen;
+      }
+      slots_[i].in_wheel = false;
+    }
+    heap_.clear();
+    free_slots_.clear();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      free_slots_.push_back(static_cast<std::uint32_t>(i));
+    }
+    pending_ = 0;
+  }
+
+  bool empty() const { return pending_ == 0; }
+  std::size_t pending() const { return pending_; }
+  std::uint64_t scheduled_total() const { return scheduled_total_; }
+  std::uint64_t cancelled_total() const { return cancelled_total_; }
+  std::size_t peak_pending() const { return peak_pending_; }
+  std::size_t wheel_resident() const { return wheel_.size(); }
+  Time frontier() const { return frontier_; }
+
+ private:
+  /// Heap entries carry (at, vtime) for locality; seq is read through
+  /// the slot so barrier relabeling does not touch the heap.
+  struct HeapRef {
+    Time at;
+    Time vtime;
+    std::uint32_t slot;
+  };
+
+  enum class SlotState : std::uint8_t { kFree, kPending, kCancelled };
+
+  struct Slot {
+    EventFn fn;
+    Time at = 0;
+    Time vtime = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 0;
+    SlotState state = SlotState::kFree;
+    bool in_wheel = false;
+  };
+
+  static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+  static std::uint32_t id_slot(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static std::uint32_t id_gen(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  bool before(const HeapRef& a, const HeapRef& b) const {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.vtime != b.vtime) return a.vtime < b.vtime;
+    return slots_[a.slot].seq < slots_[b.slot].seq;
+  }
+
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.state = SlotState::kFree;
+    s.in_wheel = false;
+    ++s.gen;
+    free_slots_.push_back(slot);
+  }
+
+  void skip_cancelled() {
+    while (!heap_.empty() &&
+           slots_[heap_.front().slot].state == SlotState::kCancelled) {
+      release_slot(heap_.front().slot);
+      heap_remove_top();
+    }
+  }
+
+  void heap_push(HeapRef e) {
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void heap_remove_top() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (heap_.size() <= 1) return;
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first_child = 4 * i + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t last_child =
+          first_child + 4 < n ? first_child + 4 : n;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  TimingWheel wheel_;
+  Time frontier_ = 0;  // schedules below this must take the heap path
+  std::vector<HeapRef> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t pending_ = 0;
+  std::size_t peak_pending_ = 0;
+  std::uint64_t scheduled_total_ = 0;
+  std::uint64_t cancelled_total_ = 0;
+};
+
+}  // namespace pdq::sim

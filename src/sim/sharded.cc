@@ -1,0 +1,535 @@
+#include "sim/sharded.h"
+
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <utility>
+
+namespace pdq::sim {
+
+namespace {
+
+/// Returned for cross-shard schedules: the event is staged in a ring,
+/// not yet in any queue, so there is nothing an id could cancel. Arrival
+/// events are fire-and-forget (node.cc discards the id), so this never
+/// reaches a cancel() that matters.
+constexpr EventId kForeignEventId = ~0ull;
+
+/// Executor event ids pack the owning shard in the top nibble
+/// (shard + 1, so the all-zero id stays "nothing of ours"); the low 60
+/// bits are the ShardQueue id. Caps shards at 14 and slot generations
+/// at 2^28 — both far beyond what a run reaches (asserted).
+constexpr int kShardIdShift = 60;
+constexpr EventId kLocalIdMask = (1ull << kShardIdShift) - 1;
+
+}  // namespace
+
+struct ShardExecutor::Handoff {
+  Time at = 0;
+  Time vtime = 0;
+  std::uint64_t seq = 0;  // raw (possibly provisional) at push; true after merge
+  std::int32_t dst = 0;
+  EventFn fn;
+};
+
+struct ShardExecutor::OpRec {
+  enum Kind : std::uint8_t {
+    kSchedule,          // local insert, new seq consumed (seq = provisional)
+    kScheduleReserved,  // local insert with caller-supplied raw seq
+    kReserve,           // seq consumed, handed to caller (keeper cell)
+    kCancel,            // effective cancel of a live event
+    kHandoff,           // ring push, new seq consumed (seq = provisional)
+    kHandoffReserved,   // ring push with caller-supplied raw seq
+  };
+  Kind kind = kSchedule;
+  std::uint64_t seq = 0;
+  std::uint32_t slot = 0;  // queue slot (local kinds) or drained-ring index
+  std::uint32_t gen = 0;
+  std::uint64_t* keeper = nullptr;
+};
+
+struct ShardExecutor::ExecRec {
+  Time at = 0;
+  Time vtime = 0;
+  std::uint64_t seq = 0;  // raw key as popped (true, or this window's prov)
+  std::uint32_t op_begin = 0;
+  std::uint32_t op_count = 0;
+  std::uint32_t drops = 0;
+  std::uint32_t dones = 0;
+  bool stop = false;
+};
+
+struct ShardExecutor::MergedExec {
+  Time at = 0;
+  std::uint32_t drops = 0;
+  std::uint32_t dones = 0;
+  std::uint32_t scheds = 0;
+  std::uint32_t cancels = 0;
+  bool stop = false;
+};
+
+struct ShardExecutor::Shard {
+  ShardQueue q;
+  SpscRing<Handoff> ring;
+  // Window-scoped logs: worker-written during the window, coordinator-
+  // read at the barrier (the epoch mutex orders the two).
+  std::vector<OpRec> ops;
+  std::vector<ExecRec> execs;
+  std::vector<Handoff> drained;  // coordinator-side ring contents
+  std::unordered_map<std::uint64_t, std::uint64_t> prov_map;
+  std::uint64_t prov_next = kProvisionalSeqBase;
+  std::uint32_t handoffs = 0;  // pushed this window
+  Time now = 0;
+  Time vtime = 0;
+  std::uint64_t seq = 0;
+  std::size_t cur_exec = 0;
+  std::size_t thread_hash = 0;
+  bool executed_any = false;
+};
+
+struct ShardExecutor::SyncState {
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t epoch = 0;
+  Time bound = 0;
+  int done = 0;
+  bool shutdown = false;
+};
+
+ShardExecutor::ShardExecutor(Simulator& sim, ShardPlan plan)
+    : sim_(sim), plan_(std::move(plan)), sync_(new SyncState) {
+  assert(plan_.shards >= 1 && plan_.shards <= 14);
+  assert(plan_.lookahead >= 1);
+  shards_.reserve(static_cast<std::size_t>(plan_.shards));
+  for (int s = 0; s < plan_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  counters_.shards = static_cast<std::uint64_t>(plan_.shards);
+  counters_.lookahead_ns = static_cast<std::uint64_t>(plan_.lookahead);
+  sim_.install_shard_hooks(this);
+  start_workers();
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(sync_->mu);
+    sync_->shutdown = true;
+  }
+  sync_->cv_work.notify_all();
+  for (std::thread& t : workers_) t.join();
+  if (sim_.shard_hooks() == this) sim_.install_shard_hooks(nullptr);
+  drain_queues();
+}
+
+void ShardExecutor::drain_queues() {
+  for (auto& sh : shards_) {
+    sh->q.clear();
+    sh->drained.clear();
+    Handoff h;
+    while (sh->ring.pop(h)) {
+    }
+  }
+}
+
+void ShardExecutor::expect_flow_completions(std::uint64_t n) {
+  expect_set_ = true;
+  expect_flows_ = n;
+}
+
+void ShardExecutor::note_flow_done() {
+  const int ctx = tls_shard_;
+  assert(ctx >= 0 && "flow completions only fire inside events");
+  Shard& sh = *shards_[ctx];
+  ++sh.execs[sh.cur_exec].dones;
+}
+
+std::uint64_t ShardExecutor::flows_remaining() const {
+  return expect_flows_ - done_committed_;
+}
+
+std::size_t ShardExecutor::peak_pending() const {
+  std::size_t sum = 0;
+  for (const auto& sh : shards_) sum += sh->q.peak_pending();
+  return sum;
+}
+
+std::size_t ShardExecutor::pending() const {
+  std::size_t sum = 0;
+  for (const auto& sh : shards_) sum += sh->q.pending();
+  return sum;
+}
+
+int ShardExecutor::context_shard() const { return tls_shard_; }
+
+int ShardExecutor::resolve_target_shard() const {
+  const std::int32_t node = Simulator::current_target_node();
+  if (node >= 0 &&
+      static_cast<std::size_t>(node) < plan_.node_shard.size()) {
+    return plan_.node_shard[static_cast<std::size_t>(node)];
+  }
+  const int ctx = tls_shard_;
+  return ctx >= 0 ? ctx : 0;
+}
+
+EventId ShardExecutor::wrap_id(int shard,
+                               ShardQueue::ScheduledRef ref) const {
+  assert((ref.id >> kShardIdShift) == 0 && "slot generation overflow");
+  return (static_cast<EventId>(shard + 1) << kShardIdShift) | ref.id;
+}
+
+Time ShardExecutor::now() const {
+  const int ctx = tls_shard_;
+  return ctx >= 0 ? shards_[ctx]->now : end_now_;
+}
+
+Time ShardExecutor::current_vtime() const {
+  const int ctx = tls_shard_;
+  return ctx >= 0 ? shards_[ctx]->vtime : 0;
+}
+
+std::uint64_t ShardExecutor::current_seq() const {
+  const int ctx = tls_shard_;
+  return ctx >= 0 ? shards_[ctx]->seq : 0;
+}
+
+EventId ShardExecutor::schedule(Time at, Time vtime, EventFn fn) {
+  const int ctx = tls_shard_;
+  const int dst = resolve_target_shard();
+  if (ctx < 0) {
+    // Setup / between windows: the coordinator inserts directly in true
+    // sequential space (no other thread is touching the queues).
+    const std::uint64_t seq = true_next_++;
+    ++sched_committed_;
+    return wrap_id(dst,
+                   shards_[dst]->q.schedule(at, vtime, seq, std::move(fn)));
+  }
+  Shard& sh = *shards_[ctx];
+  const std::uint64_t prov = sh.prov_next++;
+  if (dst == ctx) {
+    const auto ref = sh.q.schedule(at, vtime, prov, std::move(fn));
+    sh.ops.push_back({OpRec::kSchedule, prov, ref.slot, ref.gen, nullptr});
+    return wrap_id(ctx, ref);
+  }
+  assert(at >= window_bound_ &&
+         "cross-shard event inside its own window: lookahead violated");
+  sh.ring.push(Handoff{at, vtime, prov, dst, std::move(fn)});
+  sh.ops.push_back({OpRec::kHandoff, prov, sh.handoffs++, 0, nullptr});
+  return kForeignEventId;
+}
+
+EventId ShardExecutor::schedule_reserved(Time at, Time vtime,
+                                         std::uint64_t seq, EventFn fn) {
+  const int ctx = tls_shard_;
+  const int dst = resolve_target_shard();
+  if (ctx < 0) {
+    assert(seq < kProvisionalSeqBase);
+    ++sched_committed_;
+    return wrap_id(dst,
+                   shards_[dst]->q.schedule(at, vtime, seq, std::move(fn)));
+  }
+  Shard& sh = *shards_[ctx];
+  if (dst == ctx) {
+    const auto ref = sh.q.schedule(at, vtime, seq, std::move(fn));
+    sh.ops.push_back(
+        {OpRec::kScheduleReserved, seq, ref.slot, ref.gen, nullptr});
+    return wrap_id(ctx, ref);
+  }
+  assert(at >= window_bound_ &&
+         "cross-shard event inside its own window: lookahead violated");
+  sh.ring.push(Handoff{at, vtime, seq, dst, std::move(fn)});
+  sh.ops.push_back({OpRec::kHandoffReserved, seq, sh.handoffs++, 0, nullptr});
+  return kForeignEventId;
+}
+
+std::uint64_t ShardExecutor::reserve(std::uint64_t* keeper) {
+  const int ctx = tls_shard_;
+  if (ctx < 0) return true_next_++;
+  Shard& sh = *shards_[ctx];
+  const std::uint64_t prov = sh.prov_next++;
+  sh.ops.push_back({OpRec::kReserve, prov, 0, 0, keeper});
+  return prov;
+}
+
+void ShardExecutor::cancel(EventId id) {
+  if (id == kForeignEventId) return;
+  const std::uint64_t nib = id >> kShardIdShift;
+  if (nib == 0) return;  // default-initialized id: nothing of ours
+  const int s = static_cast<int>(nib) - 1;
+  assert(s >= 0 && s < plan_.shards);
+  const int ctx = tls_shard_;
+  assert((ctx < 0 || ctx == s) &&
+         "agents may only cancel events on their own shard");
+  Shard& sh = *shards_[static_cast<std::size_t>(s)];
+  if (!sh.q.cancel(id & kLocalIdMask)) return;
+  if (ctx >= 0) {
+    sh.ops.push_back({OpRec::kCancel, 0, 0, 0, nullptr});
+  } else {
+    ++cancel_committed_;
+  }
+}
+
+void ShardExecutor::stop() {
+  const int ctx = tls_shard_;
+  assert(ctx >= 0 &&
+         "stop() outside an event is unsupported under sharded execution");
+  Shard& sh = *shards_[ctx];
+  sh.execs[sh.cur_exec].stop = true;
+}
+
+void ShardExecutor::note_queue_drop() {
+  const int ctx = tls_shard_;
+  assert(ctx >= 0 && "queue drops only happen inside events");
+  Shard& sh = *shards_[ctx];
+  ++sh.execs[sh.cur_exec].drops;
+}
+
+void ShardExecutor::start_workers() {
+  workers_.reserve(static_cast<std::size_t>(plan_.shards));
+  for (int s = 0; s < plan_.shards; ++s) {
+    workers_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+void ShardExecutor::worker_main(int shard) {
+  tls_shard_ = shard;
+  std::shared_ptr<void> env;
+  if (plan_.thread_env) env = plan_.thread_env(shard);
+  std::uint64_t seen = 0;
+  for (;;) {
+    Time bound;
+    {
+      std::unique_lock<std::mutex> lk(sync_->mu);
+      sync_->cv_work.wait(
+          lk, [&] { return sync_->shutdown || sync_->epoch != seen; });
+      if (sync_->shutdown) return;
+      seen = sync_->epoch;
+      bound = sync_->bound;
+    }
+    run_window(*shards_[static_cast<std::size_t>(shard)], bound);
+    {
+      std::lock_guard<std::mutex> lk(sync_->mu);
+      if (++sync_->done == plan_.shards) sync_->cv_done.notify_one();
+    }
+  }
+}
+
+void ShardExecutor::run_window(Shard& sh, Time bound) {
+  sh.ops.clear();
+  sh.execs.clear();
+  sh.handoffs = 0;
+  sh.prov_next = kProvisionalSeqBase;
+  sh.q.set_frontier(bound);
+  while (sh.q.has_runnable_before(bound)) {
+    auto ev = sh.q.pop();
+    sh.now = ev.at;
+    sh.vtime = ev.vtime;
+    sh.seq = ev.seq;
+    sh.cur_exec = sh.execs.size();
+    ExecRec rec;
+    rec.at = ev.at;
+    rec.vtime = ev.vtime;
+    rec.seq = ev.seq;
+    rec.op_begin = static_cast<std::uint32_t>(sh.ops.size());
+    sh.execs.push_back(rec);
+    ev.fn();
+    ExecRec& r = sh.execs[sh.cur_exec];
+    r.op_count = static_cast<std::uint32_t>(sh.ops.size()) - r.op_begin;
+  }
+  if (!sh.execs.empty() && !sh.executed_any) {
+    sh.executed_any = true;
+    sh.thread_hash =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+  }
+}
+
+void ShardExecutor::dispatch_window(Time bound) {
+  window_bound_ = bound;
+  {
+    std::lock_guard<std::mutex> lk(sync_->mu);
+    ++sync_->epoch;
+    sync_->bound = bound;
+    sync_->done = 0;
+  }
+  sync_->cv_work.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(sync_->mu);
+    sync_->cv_done.wait(lk, [&] { return sync_->done == plan_.shards; });
+  }
+}
+
+std::uint64_t ShardExecutor::run(Time until) {
+  const std::uint64_t before = exec_committed_;
+  for (;;) {
+    Time m = kTimeInfinity;
+    for (const auto& sh : shards_) {
+      const Time t = sh->q.next_time_lower_bound();
+      if (t < m) m = t;
+    }
+    if (m == kTimeInfinity || m > until) {
+      // Drained or horizon-capped: the sequential run advances the
+      // clock to `until` when it is finite.
+      if (until != kTimeInfinity && end_now_ < until) end_now_ = until;
+      break;
+    }
+    Time bound = m + plan_.lookahead;
+    // Let events at exactly `until` run (sequential breaks only when
+    // next_time() > until), but nothing beyond.
+    if (until != kTimeInfinity && bound > until) bound = until + 1;
+    dispatch_window(bound);
+    ++counters_.sync_rounds;
+    if (barrier(bound)) break;
+  }
+  std::unordered_set<std::size_t> distinct;
+  for (const auto& sh : shards_) {
+    if (sh->executed_any) distinct.insert(sh->thread_hash);
+  }
+  counters_.shard_threads = distinct.size();
+  return exec_committed_ - before;
+}
+
+bool ShardExecutor::barrier(Time bound) {
+  (void)bound;  // referenced only by the lookahead asserts
+  const int num = plan_.shards;
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    sh.drained.clear();
+    Handoff h;
+    while (sh.ring.pop(h)) sh.drained.push_back(std::move(h));
+    assert(sh.drained.size() == sh.handoffs);
+    sh.prov_map.clear();
+  }
+
+  const auto resolve = [](Shard& sh, std::uint64_t raw) -> std::uint64_t {
+    if (raw < kProvisionalSeqBase) return raw;
+    const auto it = sh.prov_map.find(raw);
+    assert(it != sh.prov_map.end() &&
+           "provisional seq used before its creating op was merged");
+    return it->second;
+  };
+
+  // K-way merge replay: consume execs in exact sequential key order,
+  // assigning the same dense true sequence numbers the single-threaded
+  // engine would. A front exec's provisional seq is always resolvable —
+  // its creating op lives in an earlier exec of the same shard (a
+  // cross-shard child cannot run in its parent's window).
+  merged_.clear();
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(num), 0);
+  for (;;) {
+    int best = -1;
+    Time bat = 0;
+    Time bvt = 0;
+    std::uint64_t bseq = 0;
+    for (int s = 0; s < num; ++s) {
+      Shard& sh = *shards_[static_cast<std::size_t>(s)];
+      if (cursor[static_cast<std::size_t>(s)] >= sh.execs.size()) continue;
+      const ExecRec& e = sh.execs[cursor[static_cast<std::size_t>(s)]];
+      const std::uint64_t tseq = resolve(sh, e.seq);
+      const bool wins =
+          best < 0 || e.at < bat ||
+          (e.at == bat &&
+           (e.vtime < bvt || (e.vtime == bvt && tseq < bseq)));
+      if (wins) {
+        best = s;
+        bat = e.at;
+        bvt = e.vtime;
+        bseq = tseq;
+      }
+    }
+    if (best < 0) break;
+    Shard& sh = *shards_[static_cast<std::size_t>(best)];
+    const ExecRec& e = sh.execs[cursor[static_cast<std::size_t>(best)]++];
+    MergedExec me;
+    me.at = e.at;
+    me.drops = e.drops;
+    me.dones = e.dones;
+    me.stop = e.stop;
+    for (std::uint32_t i = 0; i < e.op_count; ++i) {
+      OpRec& op = sh.ops[e.op_begin + i];
+      switch (op.kind) {
+        case OpRec::kSchedule: {
+          const std::uint64_t t = true_next_++;
+          sh.prov_map.emplace(op.seq, t);
+          sh.q.patch_seq(op.slot, op.gen, t);
+          ++me.scheds;
+          break;
+        }
+        case OpRec::kScheduleReserved: {
+          sh.q.patch_seq(op.slot, op.gen, resolve(sh, op.seq));
+          ++me.scheds;
+          break;
+        }
+        case OpRec::kReserve: {
+          const std::uint64_t t = true_next_++;
+          sh.prov_map.emplace(op.seq, t);
+          // Compare-by-value: a later reservation may have overwritten
+          // the cell, in which case that op patches it instead.
+          if (op.keeper != nullptr && *op.keeper == op.seq) *op.keeper = t;
+          break;
+        }
+        case OpRec::kCancel:
+          ++me.cancels;
+          break;
+        case OpRec::kHandoff: {
+          const std::uint64_t t = true_next_++;
+          sh.prov_map.emplace(op.seq, t);
+          sh.drained[op.slot].seq = t;
+          ++me.scheds;
+          break;
+        }
+        case OpRec::kHandoffReserved: {
+          sh.drained[op.slot].seq = resolve(sh, op.seq);
+          ++me.scheds;
+          break;
+        }
+      }
+    }
+    merged_.push_back(me);
+  }
+
+  // Stop detection: the first exec (in sequential order) that either
+  // called stop() or completed the last expected flow ends the run.
+  // Everything after it in the merged order is overshoot the sequential
+  // engine never ran — excluded from every committed counter.
+  bool stop = false;
+  std::size_t commit_n = merged_.size();
+  std::uint64_t dones = done_committed_;
+  for (std::size_t i = 0; i < merged_.size(); ++i) {
+    dones += merged_[i].dones;
+    if (merged_[i].stop ||
+        (expect_set_ && merged_[i].dones > 0 && dones >= expect_flows_)) {
+      stop = true;
+      commit_n = i + 1;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < commit_n; ++i) {
+    const MergedExec& me = merged_[i];
+    ++exec_committed_;
+    sched_committed_ += me.scheds;
+    cancel_committed_ += me.cancels;
+    drops_committed_ += me.drops;
+    done_committed_ += me.dones;
+    end_now_ = me.at;
+  }
+  if (stop) return true;
+
+  // Ingest cross-shard handoffs — every record is now in true
+  // sequential space, and its lookahead-guaranteed arrival time is at
+  // or beyond every shard's frontier.
+  for (auto& shp : shards_) {
+    for (Handoff& h : shp->drained) {
+      assert(h.seq < kProvisionalSeqBase);
+      assert(h.at >= bound);
+      ++counters_.ring_handoffs;
+      shards_[static_cast<std::size_t>(h.dst)]->q.schedule(
+          h.at, h.vtime, h.seq, std::move(h.fn));
+    }
+    shp->drained.clear();
+  }
+  return false;
+}
+
+}  // namespace pdq::sim

@@ -1,0 +1,191 @@
+// Sharded conservative-parallel execution of one simulation.
+//
+// The topology is partitioned into K shards (net/shard_plan.h computes
+// the cut), each with its own ShardQueue and worker thread. Execution
+// proceeds in windows: the coordinator computes m = min next-event time
+// across shards and lets every shard run its events in [m, m + L) in
+// parallel, where the lookahead L is the minimum latency of any
+// cross-shard link. A packet crossing the cut arrives no earlier than
+// its send time plus that link's serialization + propagation delay, so
+// nothing scheduled during a window can land inside it — shards are
+// independent within a window by construction. Cross-shard arrivals
+// travel as records in per-shard SPSC rings, drained by the coordinator
+// at the window barrier.
+//
+// Bit-identity with the single-queue engine comes from sequence-number
+// resequencing at each barrier. During a window a shard stamps
+// *provisional* sequence numbers (kProvisionalSeqBase + n) on every
+// seq-consuming operation and logs the operation. At the barrier the
+// coordinator replays all shards' logs in exact (time, vtime, seq) merge
+// order — the order the single-threaded engine would have interleaved
+// them — assigning the same dense true sequence numbers it would have,
+// and patches every place a provisional number landed: pending queue
+// slots, caller-held reservations (Port::tx_seq_, dormant ticks), and
+// ring records. Between windows every persisted key is therefore in true
+// sequential space, so the next window's heap order, and every
+// coalescing comparison against current_event_seq(), match the
+// single-queue run exactly. In-window comparisons are safe unpatched:
+// provisional numbers exceed all true ones — exactly the sequential
+// order, since in-window ops sequentially follow everything already
+// numbered — and same-shard provisionals are assigned in execution
+// order.
+//
+// tests/sim_sharded_determinism_test.cc holds all of this to the
+// bit-identical claim across stacks x topologies x shard counts x seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/shard_queue.h"
+#include "sim/simulator.h"
+#include "sim/spsc_ring.h"
+#include "sim/time.h"
+
+namespace pdq::sim {
+
+/// How to split the simulation. Computed from the topology graph by
+/// net/shard_plan.h; this layer only needs the node->shard map and the
+/// proven-safe lookahead.
+struct ShardPlan {
+  int shards = 1;
+  /// Conservative sync lookahead: min over cross-shard links of
+  /// (propagation + minimum-packet serialization) in ns. Must be >= 1;
+  /// the window bound is min_next_event + lookahead.
+  Time lookahead = 1;
+  /// node id -> owning shard, for every node in the topology.
+  std::vector<std::int32_t> node_shard;
+  /// Per-worker-thread environment hook, called once on each worker at
+  /// spawn (shard index argument); the returned token lives for the
+  /// thread's lifetime. The harness uses it to install a per-shard
+  /// thread-local PacketPool.
+  std::function<std::shared_ptr<void>(int)> thread_env;
+};
+
+/// Engine-cost counters surfaced through RunResult::engine.
+struct ShardCounters {
+  std::uint64_t sync_rounds = 0;    // conservative windows dispatched
+  std::uint64_t ring_handoffs = 0;  // cross-shard records committed
+  std::uint64_t lookahead_ns = 0;
+  std::uint64_t shards = 1;
+  /// Distinct worker threads that executed at least one event — the
+  /// CI-safe proof of parallel execution (never wall time).
+  std::uint64_t shard_threads = 0;
+};
+
+class ShardExecutor final : public ShardHooks {
+ public:
+  /// Installs itself as `sim`'s backend. `sim` must be idle (nothing
+  /// scheduled yet); the executor owns all event state from here on.
+  ShardExecutor(Simulator& sim, ShardPlan plan);
+  /// Uninstalls, shuts worker threads down and destroys every still-
+  /// pending event closure (on the caller's thread).
+  ~ShardExecutor() override;
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  // ---- harness API ----
+
+  /// Declares how many flow completions end the run: the sharded
+  /// equivalent of the harness's "--remaining == 0 -> stop()" closure.
+  /// The stop point — the key of the event in which the last completion
+  /// fires — is interleaving-independent, so the barrier can truncate
+  /// every counter to exactly what the sequential run would report.
+  void expect_flow_completions(std::uint64_t n);
+  /// Called from a flow's on_done callback (worker context).
+  void note_flow_done();
+  std::uint64_t flows_remaining() const;
+
+  /// Queue-admission drops attributed to events at or before the stop
+  /// point (matches the sequential run's port-counter total).
+  std::uint64_t committed_queue_drops() const { return drops_committed_; }
+
+  const ShardCounters& counters() const { return counters_; }
+  /// Sum of per-shard queue memory peaks (execution-strategy-scoped:
+  /// not comparable across shard counts; see docs/architecture.md).
+  std::size_t peak_pending() const override;
+
+  /// Destroys every still-pending event closure. Call before tearing
+  /// down the packet pools the closures hold packets from; the
+  /// destructor also does this.
+  void drain_queues();
+
+  // ---- ShardHooks (called through Simulator) ----
+  Time now() const override;
+  Time current_vtime() const override;
+  std::uint64_t current_seq() const override;
+  EventId schedule(Time at, Time vtime, EventFn fn) override;
+  EventId schedule_reserved(Time at, Time vtime, std::uint64_t seq,
+                            EventFn fn) override;
+  std::uint64_t reserve(std::uint64_t* keeper) override;
+  void cancel(EventId id) override;
+  void stop() override;
+  void note_queue_drop() override;
+  std::uint64_t run(Time until) override;
+  Time end_now() const override { return end_now_; }
+  std::size_t pending() const override;
+  std::uint64_t scheduled_total() const override { return sched_committed_; }
+  std::uint64_t cancelled_total() const override { return cancel_committed_; }
+
+ private:
+  struct Shard;
+  struct OpRec;
+  struct ExecRec;
+  struct Handoff;
+  struct MergedExec;
+
+  int context_shard() const;
+  int resolve_target_shard() const;
+  EventId wrap_id(int shard, ShardQueue::ScheduledRef ref) const;
+  void start_workers();
+  void worker_main(int shard);
+  void run_window(Shard& sh, Time bound);
+  void dispatch_window(Time bound);
+  /// Merge-replays the window's op logs in sequential key order,
+  /// relabels provisional seqs, detects the stop point, commits
+  /// counters and ingests ring handoffs. Returns true when the run
+  /// stops inside this window.
+  bool barrier(Time bound);
+
+  Simulator& sim_;
+  ShardPlan plan_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardCounters counters_;
+
+  // Sequential-space sequence counter: evolves exactly as the single
+  // queue's next_seq_ would.
+  std::uint64_t true_next_ = 0;
+
+  // Committed (stop-truncated) totals, updated only at barriers or
+  // during setup — the values the sequential engine would report.
+  std::uint64_t exec_committed_ = 0;
+  std::uint64_t sched_committed_ = 0;
+  std::uint64_t cancel_committed_ = 0;
+  std::uint64_t drops_committed_ = 0;
+  std::uint64_t done_committed_ = 0;
+  Time end_now_ = 0;
+
+  bool expect_set_ = false;
+  std::uint64_t expect_flows_ = 0;
+
+  // Worker pool + epoch barrier.
+  std::vector<std::thread> workers_;
+  struct SyncState;
+  std::unique_ptr<SyncState> sync_;
+  /// Bound of the in-flight window — the lookahead-violation assert's
+  /// reference point. Written by the coordinator before dispatch (the
+  /// epoch mutex publishes it to workers).
+  Time window_bound_ = 0;
+
+  // Merge scratch (coordinator only).
+  std::vector<MergedExec> merged_;
+
+  inline static thread_local int tls_shard_ = -1;
+};
+
+}  // namespace pdq::sim

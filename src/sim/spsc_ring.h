@@ -1,0 +1,115 @@
+// SpscRing: a growable single-producer/single-consumer handoff ring.
+//
+// The sharded engine (sim/sharded.h) gives every shard one outbound ring
+// carrying cross-shard event handoffs: the shard's worker thread pushes
+// during a window, the coordinator drains at the barrier. Push and pop
+// are wait-free; capacity grows by linking a larger segment, so a burst
+// of handoffs never blocks the producer (the DPDK-style dataplane shape
+// from ROADMAP item 1, minus the fixed-size drop policy — simulation
+// events must never be lost).
+//
+// Memory model: within one segment, `tail` is produced-side (release on
+// push, acquire on pop) and `head` is consumer-side. When a segment
+// fills, the producer allocates the next (double capacity), publishes it
+// through `next` with release semantics, and never touches the old
+// segment again; the consumer follows `next` once the old segment
+// drains. Segments are reclaimed by the consumer as it leaves them.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace pdq::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t initial_capacity = 64)
+      : head_seg_(new Segment(round_up(initial_capacity))),
+        tail_seg_(head_seg_) {}
+
+  ~SpscRing() {
+    // Single-threaded at destruction (threads joined): drain and free.
+    T scratch;
+    while (pop(scratch)) {
+    }
+    Segment* s = head_seg_;
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_relaxed);
+      delete s;
+      s = next;
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Never fails: a full segment links a bigger successor.
+  void push(T value) {
+    Segment* s = tail_seg_;
+    const std::size_t tail = s->tail.load(std::memory_order_relaxed);
+    const std::size_t head = s->head.load(std::memory_order_acquire);
+    if (tail - head == s->cap) {
+      // Full: grow. The old segment is sealed (producer moves on).
+      Segment* bigger = new Segment(s->cap * 2);
+      bigger->buf[0] = std::move(value);
+      bigger->tail.store(1, std::memory_order_relaxed);
+      s->next.store(bigger, std::memory_order_release);
+      tail_seg_ = bigger;
+      ++size_pushed_;
+      return;
+    }
+    s->buf[tail & (s->cap - 1)] = std::move(value);
+    s->tail.store(tail + 1, std::memory_order_release);
+    ++size_pushed_;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool pop(T& out) {
+    Segment* s = head_seg_;
+    for (;;) {
+      const std::size_t head = s->head.load(std::memory_order_relaxed);
+      const std::size_t tail = s->tail.load(std::memory_order_acquire);
+      if (head != tail) {
+        out = std::move(s->buf[head & (s->cap - 1)]);
+        s->head.store(head + 1, std::memory_order_release);
+        return true;
+      }
+      // Segment drained; a sealed segment's successor takes over.
+      Segment* next = s->next.load(std::memory_order_acquire);
+      if (next == nullptr) return false;
+      head_seg_ = next;
+      delete s;
+      s = next;
+    }
+  }
+
+  /// Producer-side lifetime count of pushes (not a live size).
+  std::size_t pushed() const { return size_pushed_; }
+
+ private:
+  struct Segment {
+    explicit Segment(std::size_t c) : buf(c), cap(c) {}
+    std::vector<T> buf;
+    const std::size_t cap;
+    std::atomic<std::size_t> head{0};  // consumer cursor
+    std::atomic<std::size_t> tail{0};  // producer cursor
+    std::atomic<Segment*> next{nullptr};
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  Segment* head_seg_;  // consumer end
+  Segment* tail_seg_;  // producer end
+  std::size_t size_pushed_ = 0;
+};
+
+}  // namespace pdq::sim

@@ -1,0 +1,97 @@
+#include "sim/timing_wheel.h"
+
+#include <cassert>
+
+namespace pdq::sim {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p < 2 ? 2 : p;
+}
+}  // namespace
+
+TimingWheel::TimingWheel(Time granularity, std::size_t num_slots)
+    : granularity_(granularity),
+      buckets_(round_up_pow2(num_slots)),
+      mask_(buckets_.size() - 1) {
+  assert(granularity_ > 0);
+}
+
+void TimingWheel::add(Entry e) {
+  // Invariant: flushed_ == base_ (bucket aligned), so at >= flushed_
+  // means the entry lands in the cursor bucket or later — never behind
+  // the cursor where a full revolution would deliver it late.
+  assert(e.at >= flushed_);
+  if (e.at >= horizon()) {
+    if (overflow_.empty() || e.at < overflow_min_) overflow_min_ = e.at;
+    overflow_.push_back(e);
+  } else {
+    buckets_[bucket_index(e.at)].push_back(e);
+  }
+  ++size_;
+}
+
+void TimingWheel::flush_collect(Time t, std::vector<Entry>& out) {
+  while (base_ < t && size_ > 0) {
+    std::vector<Entry>& b = buckets_[cursor_];
+    for (Entry& e : b) {
+      assert(e.at >= base_ && e.at < base_ + granularity_);
+      out.push_back(e);
+      --size_;
+    }
+    b.clear();
+    base_ += granularity_;
+    cursor_ = (cursor_ + 1) & mask_;
+    migrate_overflow();
+  }
+  if (base_ < t) {
+    // Empty wheel: jump the base straight to t's bucket boundary.
+    const Time aligned = (t / granularity_) * granularity_;
+    const Time target = aligned < t ? aligned + granularity_ : aligned;
+    base_ = target > base_ ? target : base_;
+    cursor_ = bucket_index(base_);
+  }
+  flushed_ = base_;
+}
+
+void TimingWheel::migrate_overflow() {
+  if (overflow_.empty() || overflow_min_ >= horizon()) return;
+  const Time h = horizon();
+  std::size_t kept = 0;
+  Time new_min = 0;
+  bool have_min = false;
+  for (Entry& e : overflow_) {
+    if (e.at < h) {
+      buckets_[bucket_index(e.at)].push_back(e);
+    } else {
+      if (!have_min || e.at < new_min) {
+        new_min = e.at;
+        have_min = true;
+      }
+      overflow_[kept++] = e;
+    }
+  }
+  overflow_.resize(kept);
+  overflow_min_ = new_min;
+}
+
+Time TimingWheel::next_lower_bound() const {
+  if (size_ == 0) return kTimeInfinity;
+  const std::size_t in_buckets = size_ - overflow_.size();
+  Time best = kTimeInfinity;
+  if (in_buckets > 0) {
+    for (std::size_t k = 0; k < buckets_.size(); ++k) {
+      const std::size_t idx = (cursor_ + k) & mask_;
+      if (!buckets_[idx].empty()) {
+        best = base_ + granularity_ * static_cast<Time>(k);
+        break;
+      }
+    }
+  }
+  if (!overflow_.empty() && overflow_min_ < best) best = overflow_min_;
+  return best;
+}
+
+}  // namespace pdq::sim

@@ -1,0 +1,85 @@
+// TimingWheel: a hashed timing wheel front-end for far-future events.
+//
+// Periodic rate-controller grid ticks (PDQ's 2*RTT re-evaluation grid,
+// RCP/D3 control intervals) schedule far ahead of the execution frontier
+// and would otherwise churn the binary heap: O(log n) sift per tick for
+// an event that stays buried for thousands of pops. The wheel buckets
+// such events by coarse time slot — O(1) insert — and only hands them to
+// the precise heap when the frontier approaches (flush_until), where the
+// (time, vtime, seq) key takes over for exact ordering.
+//
+// The wheel therefore never needs to order events itself; it only
+// guarantees it releases every event no later than the frontier that
+// needs it. Entries past the wheel horizon go to an overflow list that
+// migrates into buckets as the base advances.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pdq::sim {
+
+class TimingWheel {
+ public:
+  struct Entry {
+    Time at = 0;
+    std::uint32_t payload = 0;  // caller cookie (e.g. a queue slot index)
+  };
+
+  /// `granularity` is the bucket width in ns; `num_slots` buckets cover
+  /// [base, base + granularity * num_slots). Both must be positive;
+  /// num_slots is rounded up to a power of two.
+  TimingWheel(Time granularity, std::size_t num_slots);
+
+  /// Inserts an entry. Requires e.at >= flushed_until() — earlier times
+  /// already belong to the caller's precise heap.
+  void add(Entry e);
+
+  /// Moves every entry that could fire before `t` out of the wheel via
+  /// `sink(Entry)`, in no particular order, and advances the flush
+  /// frontier to max(t, previous frontier). Whole buckets are released,
+  /// so some delivered entries may have at >= t; none is ever late.
+  template <typename Sink>
+  void flush_until(Time t, Sink&& sink) {
+    if (t <= flushed_) return;
+    flush_collect(t, scratch_);
+    for (Entry& e : scratch_) sink(e);
+    scratch_.clear();
+  }
+
+  /// Lower bound on the earliest entry still in the wheel (bucket
+  /// granular), or kTimeInfinity when empty. Never later than the true
+  /// minimum, and within one bucket width of it.
+  Time next_lower_bound() const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Time flushed_until() const { return flushed_; }
+  Time granularity() const { return granularity_; }
+  Time horizon() const {
+    return base_ + granularity_ * static_cast<Time>(buckets_.size());
+  }
+
+ private:
+  void flush_collect(Time t, std::vector<Entry>& out);
+  void migrate_overflow();
+  std::size_t bucket_index(Time at) const {
+    return static_cast<std::size_t>(at / granularity_) & mask_;
+  }
+
+  Time granularity_;
+  Time base_ = 0;     // start time of the bucket at cursor_
+  Time flushed_ = 0;  // everything < flushed_ has left the wheel
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t mask_;
+  std::vector<Entry> overflow_;  // at >= horizon()
+  Time overflow_min_ = 0;        // valid when overflow_ non-empty
+  std::vector<Entry> scratch_;
+};
+
+}  // namespace pdq::sim

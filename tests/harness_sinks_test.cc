@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -47,12 +49,7 @@ SweepResults tiny_results() {
   return r;
 }
 
-std::string slurp(const std::string& path) {
-  std::ifstream in(path);
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
+using pdq::testing::slurp;
 
 TEST(CsvSink, WritesOneEscapedRowPerSample) {
   const std::string path = ::testing::TempDir() + "/sink_test.csv";

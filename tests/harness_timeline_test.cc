@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -17,12 +19,7 @@
 namespace pdq::harness {
 namespace {
 
-std::string slurp(const std::string& path) {
-  std::ifstream f(path);
-  std::ostringstream buf;
-  buf << f.rdbuf();
-  return buf.str();
-}
+using pdq::testing::slurp;
 
 /// A small dynamic scenario: open-loop mice on a fat-tree k=4 with an
 /// incast burst and a core-link failure.

@@ -1,12 +1,25 @@
 // Shared helpers for the test suite.
 #pragma once
 
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "harness/scenario.h"
 #include "harness/stacks.h"
 
 namespace pdq::testing {
+
+/// Reads a whole file into a string, byte for byte. The golden-output
+/// suites compare two sink files with EXPECT_EQ(slurp(a), slurp(b)) so
+/// that any formatting drift — not just value drift — fails the test.
+inline std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
 
 /// Builds n equal flows from distinct senders to one receiver over a
 /// single-bottleneck topology and runs them under `stack`.
